@@ -1,0 +1,60 @@
+// Supplementary: processes-per-node sweep (Table II's c = 1..16).
+// With more ranks per node, neighbour traffic increasingly takes the
+// shared-memory path while the node's torus links and the software
+// rmw service are shared by more processes — the trade the paper's
+// evaluation fixed at c=16.
+#include "apps/counter_kernel.hpp"
+#include "common.hpp"
+
+using namespace pgasq;
+
+int main(int argc, char** argv) {
+  const Config cli = Config::from_args(argc, argv);
+  bench::print_banner("bench_supp_ppn: processes-per-node (c) sweep at fixed p=64",
+                      "Table II attribute c = 1..16");
+  const std::size_t bytes = static_cast<std::size_t>(cli.get_int("bytes", 65536));
+  Table table({"c(ppn)", "nodes", "ring_put_MB/s/rank", "fadd_avg_us", "shm_share_%"});
+  for (int c : {1, 2, 4, 8, 16}) {
+    armci::WorldConfig cfg = bench::make_world_config(cli, 64, c);
+    cfg.machine.ranks_per_node = c;
+    armci::World world(cfg);
+    Time t0 = 0, t1 = 0;
+    int shm_neighbours = 0;
+    world.spmd([&](armci::Comm& comm) {
+      auto& mem = comm.malloc_collective(bytes);
+      auto* src = static_cast<std::byte*>(comm.malloc_local(bytes));
+      const int right = (comm.rank() + 1) % comm.nprocs();
+      const auto& mapping = world.machine().mapping();
+      if (mapping.node_of_rank(comm.rank()) == mapping.node_of_rank(right)) {
+        ++shm_neighbours;
+      }
+      comm.barrier();
+      if (comm.rank() == 0) t0 = comm.now();
+      armci::Handle h;
+      for (int i = 0; i < 8; ++i) comm.nb_put(src, mem.at(right), bytes, h);
+      comm.wait(h);
+      comm.fence_all();
+      comm.barrier();
+      if (comm.rank() == 0) t1 = comm.now();
+    });
+    const double per_rank_bw =
+        8.0 * static_cast<double>(bytes) / to_s(t1 - t0) / 1e6;
+    // Counter latency under the same layout.
+    armci::WorldConfig kcfg_world = bench::make_world_config(cli, 64, c);
+    kcfg_world.machine.ranks_per_node = c;
+    armci::World kworld(kcfg_world);
+    apps::CounterKernelConfig kcfg;
+    kcfg.ops_per_rank = 8;
+    const double fadd = apps::run_counter_kernel(kworld, kcfg).avg_latency_us;
+    table.row()
+        .add(c)
+        .add(64 / c)
+        .add(per_rank_bw, 1)
+        .add(fadd, 2)
+        .add(100.0 * shm_neighbours / 64.0, 1);
+  }
+  table.print();
+  std::printf("(64 ranks in a neighbour-put ring + the Fig 9 idle counter kernel;\n"
+              " higher c routes more of the ring through shared memory)\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Shared helpers for the paper-reproduction benchmark binaries.
+//
+// Every bench accepts "--key=value" overrides (see util/config.hpp);
+// common knobs: ranks, ranks_per_node (c), net (loggp|contention),
+// progress (default|async), contexts (rho), consistency
+// (target|region), seed.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/comm.hpp"
+#include "core/world.hpp"
+#include "util/config.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace pgasq::bench {
+
+inline armci::WorldConfig make_world_config(const Config& cli, int default_ranks,
+                                            int default_ranks_per_node = 1) {
+  armci::WorldConfig cfg;
+  cfg.machine.num_ranks =
+      static_cast<int>(cli.get_int("ranks", default_ranks));
+  cfg.machine.ranks_per_node =
+      static_cast<int>(cli.get_int("ranks_per_node", default_ranks_per_node));
+  cfg.machine.network_model = cli.get_string("net", "loggp");
+  cfg.machine.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+
+  const std::string progress = cli.get_string("progress", "default");
+  if (progress == "async") {
+    cfg.armci.progress = armci::ProgressMode::kAsyncThread;
+    cfg.armci.contexts_per_rank = static_cast<int>(cli.get_int("contexts", 2));
+  } else {
+    PGASQ_CHECK(progress == "default", << "progress=" << progress);
+    cfg.armci.progress = armci::ProgressMode::kDefault;
+    cfg.armci.contexts_per_rank = static_cast<int>(cli.get_int("contexts", 1));
+  }
+  const std::string consistency = cli.get_string("consistency", "region");
+  if (consistency == "target") {
+    cfg.armci.consistency = armci::ConsistencyMode::kPerTarget;
+  } else {
+    PGASQ_CHECK(consistency == "region", << "consistency=" << consistency);
+    cfg.armci.consistency = armci::ConsistencyMode::kPerRegion;
+  }
+  cfg.machine.params.hardware_amo = cli.get_bool("hardware_amo", false);
+  return cfg;
+}
+
+/// Message-size sweep 16 B .. 1 MB in powers of two (Table II's range).
+inline std::vector<std::size_t> size_sweep(std::size_t lo = 16,
+                                           std::size_t hi = 1 << 20) {
+  std::vector<std::size_t> sizes;
+  for (std::size_t m = lo; m <= hi; m *= 2) sizes.push_back(m);
+  return sizes;
+}
+
+inline void print_banner(const std::string& title, const std::string& paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("==============================================================\n");
+}
+
+/// Progress-mode series used by Fig 9 / Fig 11.
+struct ModeSpec {
+  std::string name;
+  armci::ProgressMode progress;
+  int contexts;
+};
+
+inline std::vector<ModeSpec> default_and_async() {
+  return {{"D", armci::ProgressMode::kDefault, 1},
+          {"AT", armci::ProgressMode::kAsyncThread, 2}};
+}
+
+}  // namespace pgasq::bench

@@ -1,0 +1,75 @@
+#include "apps/counter_kernel.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/comm.hpp"
+#include "ga/global_array.hpp"
+#include "util/error.hpp"
+
+namespace pgasq::apps {
+
+CounterKernelResult run_counter_kernel(armci::World& world,
+                                       const CounterKernelConfig& config) {
+  PGASQ_CHECK(config.ops_per_rank >= 1);
+  CounterKernelResult result;
+  double latency_sum = 0.0;
+  double latency_min = std::numeric_limits<double>::infinity();
+  double latency_max = 0.0;
+  std::uint64_t ops = 0;
+  int finished = 0;  // non-home ranks done (cooperative shared state)
+  Time t_start = 0;
+  Time t_end = 0;
+
+  world.spmd([&](armci::Comm& comm) {
+    ga::SharedCounter counter(comm, config.home);
+    const int clients = comm.nprocs() - 1;
+    comm.barrier();
+    if (comm.rank() == config.home) t_start = comm.now();
+
+    if (comm.rank() == config.home) {
+      if (clients == 0) {
+        // Single-rank run: just exercise the counter locally.
+        for (int i = 0; i < config.ops_per_rank; ++i) counter.next();
+      } else if (config.home_computes) {
+        // Compute chunks with one explicit progress call in between —
+        // in Default mode this is the ONLY servicing the counter gets.
+        while (finished < clients) {
+          comm.compute(config.compute_chunk);
+          comm.progress();
+        }
+      } else {
+        // Idle home: park in the progress engine until everyone is
+        // done (servicing promptly, like a rank blocked in a wait).
+        while (finished < clients) comm.progress();
+      }
+    } else {
+      for (int i = 0; i < config.ops_per_rank; ++i) {
+        const Time t0 = comm.now();
+        counter.next();
+        const double us = to_us(comm.now() - t0);
+        latency_sum += us;
+        latency_min = std::min(latency_min, us);
+        latency_max = std::max(latency_max, us);
+        ++ops;
+      }
+      ++finished;
+    }
+
+    comm.barrier();
+    if (comm.rank() == config.home) {
+      t_end = comm.now();
+      result.final_value = counter.read();
+    }
+    comm.barrier();
+  });
+
+  result.avg_latency_us = ops ? latency_sum / static_cast<double>(ops) : 0.0;
+  result.min_latency_us = ops ? latency_min : 0.0;
+  result.max_latency_us = latency_max;
+  result.total_ops = ops;
+  result.wall_time = t_end - t_start;
+  return result;
+}
+
+}  // namespace pgasq::apps

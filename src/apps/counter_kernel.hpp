@@ -1,0 +1,40 @@
+// Load-balance-counter micro-kernel (paper Fig 9 / S IV-B3).
+//
+// Every rank except the counter's home hammers fetch-and-add on a
+// counter resident at rank 0, optionally while rank 0 performs
+// ~300 us compute chunks between explicit progress calls — the
+// micro-kernel of NWChem's compute phases. Compares Default vs
+// Async-Thread progress (the World's configuration decides which).
+#pragma once
+
+#include <cstdint>
+
+#include "core/world.hpp"
+#include "util/time_types.hpp"
+
+namespace pgasq::apps {
+
+struct CounterKernelConfig {
+  /// Fetch-and-adds issued by each non-home rank.
+  int ops_per_rank = 16;
+  /// Whether the home rank runs compute chunks (the "with computation
+  /// by process 0" series of Fig 9).
+  bool home_computes = false;
+  /// Compute-chunk length (the paper states ~300 us).
+  Time compute_chunk = from_us(300);
+  armci::RankId home = 0;
+};
+
+struct CounterKernelResult {
+  double avg_latency_us = 0.0;
+  double min_latency_us = 0.0;
+  double max_latency_us = 0.0;
+  Time wall_time = 0;
+  std::int64_t final_value = 0;
+  std::uint64_t total_ops = 0;
+};
+
+CounterKernelResult run_counter_kernel(armci::World& world,
+                                       const CounterKernelConfig& config);
+
+}  // namespace pgasq::apps

@@ -1,0 +1,42 @@
+// Subsurface-transport stencil proxy (the STOMP-style workload the
+// paper cites as the other big Global Arrays consumer, S II-B).
+//
+// A 2-D Jacobi diffusion sweep over a block-distributed grid: every
+// iteration each rank pulls one-cell halos from its four neighbours
+// with one-sided strided gets, relaxes its tile, and the iteration
+// ends with a global residual reduction. Communication here is
+// RDMA-dominated (gets) with no load-balance counter — the counter-
+// point to the SCF proxy: the asynchronous progress thread should buy
+// little, sharpening the paper's claim that AT matters for AMOs and
+// AM-serviced operations specifically.
+#pragma once
+
+#include <cstdint>
+
+#include "core/world.hpp"
+#include "util/time_types.hpp"
+
+namespace pgasq::apps {
+
+struct StencilConfig {
+  /// Global grid is (tiles_x * tile) x (tiles_y * tile) cells; the
+  /// process grid is chosen from nprocs.
+  std::int64_t tile = 64;
+  int iterations = 10;
+  /// Modelled relaxation time per cell per sweep.
+  double ns_per_cell = 4.0;
+};
+
+struct StencilResult {
+  Time wall_time = 0;
+  /// Final global residual (deterministic; p- and mode-independent up
+  /// to floating point association in the reduction).
+  double residual = 0.0;
+  std::uint64_t halo_bytes = 0;
+  armci::CommStats stats;
+};
+
+/// Runs the stencil proxy as the SPMD body of `world`.
+StencilResult run_stencil(armci::World& world, const StencilConfig& config);
+
+}  // namespace pgasq::apps

@@ -1,0 +1,297 @@
+// Comm — the per-rank ARMCI runtime and the library's main public API.
+//
+// One Comm exists per simulated process inside World::spmd. It owns
+// the rank's PAMI objects (client, rho contexts, endpoint cache), the
+// scalable-protocols layer of S III (RDMA-first contiguous and strided
+// transfers with active-message fall-backs, the LFU remote-region
+// cache, conflicting-access tracking for location consistency), the
+// load-balance-counter rmw path, and the asynchronous progress thread
+// of S III-D.
+//
+// API shape follows ARMCI: blocking and non-blocking (explicit handle)
+// put/get/accumulate for contiguous and uniformly non-contiguous data,
+// fetch-and-add / swap rmw, pairwise and global fence, mutexes, and
+// collective allocation.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/caches.hpp"
+#include "core/consistency.hpp"
+#include "core/globalmem.hpp"
+#include "core/strided.hpp"
+#include "core/types.hpp"
+#include "core/world.hpp"
+#include "pami/context.hpp"
+#include "pami/process.hpp"
+
+namespace pgasq::armci {
+
+/// A set of ARMCI mutexes: `count` lock words hosted on every rank.
+class MutexSet {
+ public:
+  int count() const { return count_; }
+
+ private:
+  friend class Comm;
+  GlobalMem* mem_ = nullptr;
+  int count_ = 0;
+};
+
+class Comm {
+ public:
+  Comm(World& world, pami::Process& process);
+  ~Comm();
+  Comm(const Comm&) = delete;
+  Comm& operator=(const Comm&) = delete;
+
+  // --- Identity & time ------------------------------------------------------
+
+  RankId rank() const { return process_.rank(); }
+  int nprocs() const { return world_.num_ranks(); }
+  World& world() { return world_; }
+  pami::Process& process() { return process_; }
+  Time now() const { return process_.now(); }
+
+  /// Occupies this rank's main thread for `t` of virtual time (the
+  /// application's local computation, "do work" in Fig 10).
+  void compute(Time t) { process_.busy(t); }
+
+  // --- Lifecycle (called by World::spmd) -------------------------------------
+
+  void init();
+  void finalize();
+
+  // --- Collective memory ------------------------------------------------------
+
+  /// ARMCI_Malloc: every rank contributes `bytes_per_rank`; regions
+  /// are registered and exchanged. Collective.
+  GlobalMem& malloc_collective(std::size_t bytes_per_rank);
+  /// ARMCI_Free. Collective.
+  void free_collective(GlobalMem& mem);
+
+  /// ARMCI_Malloc_local: local communication buffer, registered as one
+  /// memory region up front (a tau buffer of Table I) so transfers of
+  /// any size within it take the RDMA path. Registration failure (at
+  /// the region limit) still returns usable memory — fall-back
+  /// protocols then apply.
+  void* malloc_local(std::size_t bytes);
+  void free_local(void* ptr);
+
+  // --- Contiguous RMA ---------------------------------------------------------
+
+  void put(const void* src, RemotePtr dst, std::size_t bytes);
+  void get(RemotePtr src, void* dst, std::size_t bytes);
+  /// Accumulate: dst[i] += alpha * src[i] over `count` doubles.
+  void acc(double alpha, const double* src, RemotePtr dst, std::size_t count);
+
+  void nb_put(const void* src, RemotePtr dst, std::size_t bytes, Handle& handle);
+  void nb_get(RemotePtr src, void* dst, std::size_t bytes, Handle& handle);
+  void nb_acc(double alpha, const double* src, RemotePtr dst, std::size_t count,
+              Handle& handle);
+
+  /// Typed accumulate (ARMCI_Acc with ARMCI_ACC_INT/FLT/DBL/DCP):
+  /// dst[i] += alpha * src[i] elementwise over `count` elements of T.
+  /// T is one of std::int32_t, std::int64_t, float, double,
+  /// std::complex<double>.
+  template <typename T>
+  void acc_t(T alpha, const T* src, RemotePtr dst, std::size_t count);
+  template <typename T>
+  void nb_acc_t(T alpha, const T* src, RemotePtr dst, std::size_t count,
+                Handle& handle);
+
+  // --- Strided RMA ------------------------------------------------------------
+
+  void put_strided(const void* src, RemotePtr dst, const StridedSpec& spec);
+  void get_strided(RemotePtr src, void* dst, const StridedSpec& spec);
+  void acc_strided(double alpha, const double* src, RemotePtr dst,
+                   const StridedSpec& spec);
+
+  void nb_put_strided(const void* src, RemotePtr dst, const StridedSpec& spec,
+                      Handle& handle);
+  void nb_get_strided(RemotePtr src, void* dst, const StridedSpec& spec,
+                      Handle& handle);
+  void nb_acc_strided(double alpha, const double* src, RemotePtr dst,
+                      const StridedSpec& spec, Handle& handle);
+
+  // --- General I/O-vector RMA (ARMCI_PutV / GetV / AccV) ----------------------
+
+  /// Scatter/gather descriptor: `count()` segments of `segment_bytes`
+  /// each; `local[i]` pairs with `remote[i]` in the target's address
+  /// space. All segments address ONE target rank.
+  struct VectorDescriptor {
+    std::size_t segment_bytes = 0;
+    std::vector<std::byte*> local;
+    std::vector<std::byte*> remote;
+
+    std::size_t count() const { return local.size(); }
+    std::size_t total_bytes() const { return segment_bytes * local.size(); }
+  };
+
+  void put_v(RankId target, const VectorDescriptor& desc);
+  void get_v(RankId target, const VectorDescriptor& desc);
+  /// remote[i][k] += alpha * local[i][k] over doubles.
+  void acc_v(double alpha, RankId target, const VectorDescriptor& desc);
+
+  void nb_put_v(RankId target, const VectorDescriptor& desc, Handle& handle);
+  void nb_get_v(RankId target, const VectorDescriptor& desc, Handle& handle);
+  void nb_acc_v(double alpha, RankId target, const VectorDescriptor& desc,
+                Handle& handle);
+
+  // --- Atomic memory operations ----------------------------------------------
+
+  /// ARMCI_Rmw(ARMCI_FETCH_AND_ADD): the load-balance-counter
+  /// primitive. Blocks for the old value.
+  std::int64_t fetch_add(RemotePtr counter, std::int64_t delta);
+  /// Atomic swap; returns the old value.
+  std::int64_t swap(RemotePtr word, std::int64_t value);
+  /// Compare-and-swap; returns the old value.
+  std::int64_t compare_swap(RemotePtr word, std::int64_t compare, std::int64_t value);
+
+  // --- Completion & synchronization --------------------------------------------
+
+  void wait(Handle& handle);
+  bool test(Handle& handle);
+  /// One explicit progress-engine call (what a Default-mode
+  /// application must sprinkle into compute phases to service remote
+  /// requests, S III-D).
+  void progress() { locked_advance(main_context()); }
+  /// Waits for local completion of all implicit non-blocking ops.
+  void wait_all();
+
+  /// Pairwise producer/consumer synchronization (armci_notify):
+  /// fences all writes to `target`, then raises a notification there.
+  /// The consumer calls wait_notify(producer) and may then read the
+  /// produced data without any other synchronization (S II-B:
+  /// "pairwise memory synchronization").
+  void notify(RankId target);
+  /// Blocks until `count` notifications from `producer` have arrived
+  /// (cumulative across the program).
+  void wait_notify(RankId producer, std::uint64_t count = 1);
+  /// Notifications received so far from `producer`.
+  std::uint64_t notifications_from(RankId producer) const;
+
+  /// ARMCI_Fence: remote completion of all writes to `target`.
+  void fence(RankId target);
+  /// ARMCI_AllFence.
+  void fence_all();
+  /// ARMCI_Barrier (allfence + hardware barrier).
+  void barrier();
+
+  // --- Mutexes ------------------------------------------------------------------
+
+  /// ARMCI_Create_mutexes. Collective.
+  MutexSet create_mutexes(int count);
+  void lock(MutexSet& set, int mutex, RankId owner);
+  void unlock(MutexSet& set, int mutex, RankId owner);
+
+  // --- Introspection --------------------------------------------------------------
+
+  const CommStats& stats() const { return stats_; }
+  const RegionCache& region_cache() const { return *region_cache_; }
+  const EndpointCache& endpoint_cache() const { return *endpoint_cache_; }
+  const ConflictTracker& conflict_tracker() const { return *tracker_; }
+  const Options& options() const { return world_.options(); }
+
+  /// Context the main thread initiates on and advances.
+  pami::Context& main_context() { return process_.context(0); }
+  /// Context remote requests are serviced on (context 1 when the
+  /// async-thread design runs with rho = 2, else context 0).
+  pami::Context& service_context() { return process_.context(service_context_index_); }
+
+ private:
+  struct AckClosure;
+
+  // Progress & locking.
+  bool needs_context_lock() const;
+  void locked_advance(pami::Context& ctx);
+  void progress_until(const std::function<bool()>& pred);
+  void start_async_thread();
+
+  // Endpoint / region resolution.
+  void ensure_endpoint(RankId target, int context);
+  std::optional<pami::MemoryRegion> resolve_remote_region(RankId target,
+                                                          const std::byte* addr,
+                                                          std::size_t bytes);
+  /// Tracking-only lookup: never sends a query; returns region id 0 on
+  /// unknown.
+  std::uint64_t known_region_id(RankId target, const std::byte* addr,
+                                std::size_t bytes);
+  std::optional<pami::MemoryRegion> resolve_local_region(const void* addr,
+                                                         std::size_t bytes);
+  pami::Endpoint service_endpoint(RankId target);
+
+  // Write tracking.
+  /// Called (from an engine event) when a remote ack for a tracked
+  /// write lands at this rank's NIC.
+  void write_acked_from_wire(const ConflictTracker::Key& key);
+  void track_write(RankId target, std::uint64_t region_id,
+                   ConflictTracker::Key* key_out);
+  pami::Callback make_ack(const ConflictTracker::Key& key);
+  void maybe_fence_before_read(RankId target, std::uint64_t region_id);
+
+  // Handles.
+  static void attach(Handle& handle, int ops);
+  static pami::Callback make_done(Handle& handle);
+
+  // Strided protocol engines.
+  enum class Dir { kPut, kGet };
+  StridedProtocol choose_strided_protocol(const StridedSpec& spec,
+                                          bool regions_available) const;
+  void strided_zero_copy(Dir dir, std::byte* local,
+                         const pami::MemoryRegion& local_mr, RemotePtr remote,
+                         const pami::MemoryRegion& remote_mr,
+                         const StridedSpec& spec, Handle& handle);
+  void strided_typed(Dir dir, std::byte* local, const pami::MemoryRegion& local_mr,
+                     RemotePtr remote, const pami::MemoryRegion& remote_mr,
+                     const StridedSpec& spec, Handle& handle);
+  void strided_packed(Dir dir, std::byte* local, RemotePtr remote,
+                      const StridedSpec& spec, Handle& handle);
+
+  // AM dispatch handlers (registered on every context).
+  void register_dispatch(pami::Context& ctx);
+  void on_acc_message(pami::Context& ctx, const pami::AmMessage& msg);
+  void on_region_query(pami::Context& ctx, const pami::AmMessage& msg);
+  void on_region_reply(pami::Context& ctx, const pami::AmMessage& msg);
+  void on_strided_put(pami::Context& ctx, const pami::AmMessage& msg);
+  void on_strided_get_request(pami::Context& ctx, const pami::AmMessage& msg);
+  void on_strided_get_reply(pami::Context& ctx, const pami::AmMessage& msg);
+  void on_notify(pami::Context& ctx, const pami::AmMessage& msg);
+  void on_vector_write(pami::Context& ctx, const pami::AmMessage& msg);
+  void on_vector_get_request(pami::Context& ctx, const pami::AmMessage& msg);
+  void on_vector_get_reply(pami::Context& ctx, const pami::AmMessage& msg);
+
+  /// True when every segment (and its local counterpart) is covered by
+  /// usable memory regions, filling `local_mrs`/`remote_mrs`.
+  bool resolve_vector_regions(RankId target, const VectorDescriptor& desc,
+                              std::vector<pami::MemoryRegion>* local_mrs,
+                              std::vector<pami::MemoryRegion>* remote_mrs);
+
+  World& world_;
+  pami::Process& process_;
+  int service_context_index_ = 0;
+  bool async_running_ = false;
+  std::uint64_t next_collective_seq_ = 0;
+  Handle implicit_;
+
+  std::unique_ptr<EndpointCache> endpoint_cache_;
+  std::unique_ptr<RegionCache> region_cache_;
+  std::unique_ptr<ConflictTracker> tracker_;
+  CommStats stats_;
+
+  struct LocalAllocation {
+    std::unique_ptr<std::byte[]> memory;
+    std::size_t bytes = 0;
+    std::optional<pami::MemoryRegion> region;
+  };
+  std::vector<LocalAllocation> local_allocations_;
+  /// Cumulative notifications received, by producer rank.
+  std::vector<std::uint64_t> notifications_;
+};
+
+}  // namespace pgasq::armci

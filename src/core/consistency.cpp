@@ -1,0 +1,75 @@
+#include "core/consistency.hpp"
+
+#include "util/error.hpp"
+
+namespace pgasq::armci {
+
+ConflictTracker::ConflictTracker(ConsistencyMode mode, int num_ranks)
+    : mode_(mode), per_target_(static_cast<std::size_t>(num_ranks), 0) {}
+
+std::uint64_t ConflictTracker::pack(RankId target, std::uint64_t region_id) {
+  PGASQ_CHECK(region_id < (1ULL << 32), << "region id " << region_id);
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(target)) << 32) |
+         region_id;
+}
+
+ConflictTracker::Key ConflictTracker::on_write_initiated(RankId target,
+                                                         std::uint64_t region_id) {
+  ++per_target_.at(static_cast<std::size_t>(target));
+  ++total_;
+  if (mode_ == ConsistencyMode::kPerRegion) {
+    ++per_region_[pack(target, region_id)];
+  }
+  return Key{target, region_id};
+}
+
+void ConflictTracker::on_write_acked(const Key& key) {
+  auto& t = per_target_.at(static_cast<std::size_t>(key.target));
+  PGASQ_CHECK(t > 0, << "write ack underflow for target " << key.target);
+  --t;
+  PGASQ_CHECK(total_ > 0);
+  --total_;
+  if (mode_ == ConsistencyMode::kPerRegion) {
+    const auto it = per_region_.find(pack(key.target, key.region_id));
+    PGASQ_CHECK(it != per_region_.end() && it->second > 0,
+                << "region ack underflow for target " << key.target << " region "
+                << key.region_id);
+    if (--it->second == 0) per_region_.erase(it);
+  }
+}
+
+bool ConflictTracker::read_requires_fence(RankId target,
+                                          std::uint64_t region_id) const {
+  if (mode_ == ConsistencyMode::kPerTarget) {
+    return outstanding_to(target) > 0;
+  }
+  // Region id 0 ("unknown") conservatively conflicts with any
+  // outstanding write on this target.
+  if (region_id == 0) return outstanding_to(target) > 0;
+  // A pending unknown-region write also aliases everything.
+  if (outstanding_to_region(target, 0) > 0) return true;
+  return outstanding_to_region(target, region_id) > 0;
+}
+
+std::uint64_t ConflictTracker::outstanding_to(RankId target) const {
+  return per_target_.at(static_cast<std::size_t>(target));
+}
+
+std::uint64_t ConflictTracker::outstanding_to_region(RankId target,
+                                                     std::uint64_t region_id) const {
+  if (mode_ == ConsistencyMode::kPerTarget) return outstanding_to(target);
+  const auto it = per_region_.find(pack(target, region_id));
+  return it == per_region_.end() ? 0 : it->second;
+}
+
+std::uint8_t ConflictTracker::status(RankId target, std::uint64_t region_id) const {
+  std::uint8_t s = 0;
+  if (mode_ == ConsistencyMode::kPerTarget) {
+    if (outstanding_to(target) > 0) s |= StatusBits::kWrite;
+  } else {
+    if (outstanding_to_region(target, region_id) > 0) s |= StatusBits::kWrite;
+  }
+  return s;
+}
+
+}  // namespace pgasq::armci

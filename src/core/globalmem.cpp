@@ -1,0 +1,48 @@
+#include "core/globalmem.hpp"
+
+#include "util/error.hpp"
+
+namespace pgasq::armci {
+
+GlobalMem::GlobalMem(std::uint64_t id, int num_ranks, std::size_t bytes_per_rank)
+    : id_(id), bytes_(bytes_per_rank) {
+  PGASQ_CHECK(num_ranks >= 1);
+  PGASQ_CHECK(bytes_per_rank > 0);
+  slabs_.reserve(static_cast<std::size_t>(num_ranks));
+  for (int r = 0; r < num_ranks; ++r) {
+    // Value-initialized so tests see deterministic zeroed memory, as
+    // ARMCI_Malloc'd global arrays are zeroed by applications anyway.
+    slabs_.push_back(std::make_unique<std::byte[]>(bytes_per_rank));
+  }
+  regions_.resize(static_cast<std::size_t>(num_ranks));
+}
+
+RemotePtr GlobalMem::at(RankId r) const { return RemotePtr{r, slab(r)}; }
+
+RemotePtr GlobalMem::at(RankId r, std::size_t offset) const {
+  PGASQ_CHECK(offset <= bytes_, << "offset " << offset << " beyond slab " << bytes_);
+  return RemotePtr{r, slab(r) + offset};
+}
+
+std::byte* GlobalMem::slab(RankId r) const {
+  PGASQ_CHECK(r >= 0 && static_cast<std::size_t>(r) < slabs_.size(), << "rank " << r);
+  return slabs_[static_cast<std::size_t>(r)].get();
+}
+
+const pami::MemoryRegion& GlobalMem::region_of(RankId r) const {
+  PGASQ_CHECK(r >= 0 && static_cast<std::size_t>(r) < regions_.size(), << "rank " << r);
+  return regions_[static_cast<std::size_t>(r)];
+}
+
+void GlobalMem::set_region(RankId r, const pami::MemoryRegion& region) {
+  PGASQ_CHECK(r >= 0 && static_cast<std::size_t>(r) < regions_.size(), << "rank " << r);
+  regions_[static_cast<std::size_t>(r)] = region;
+}
+
+bool GlobalMem::contains(RankId r, const std::byte* addr, std::size_t bytes) const {
+  if (freed_) return false;
+  const std::byte* base = slab(r);
+  return addr >= base && addr + bytes <= base + bytes_;
+}
+
+}  // namespace pgasq::armci

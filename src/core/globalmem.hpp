@@ -1,0 +1,54 @@
+// Collectively allocated global memory (ARMCI_Malloc).
+//
+// Every rank contributes one equally sized slab; afterwards each rank
+// holds the remote base addresses of the whole clique plus the memory
+// region metadata exchanged at allocation time — the sigma "active
+// global address structures" of Table I whose regions are known
+// without the miss protocol.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/types.hpp"
+#include "pami/memregion.hpp"
+
+namespace pgasq::armci {
+
+class GlobalMem {
+ public:
+  GlobalMem(std::uint64_t id, int num_ranks, std::size_t bytes_per_rank);
+
+  std::uint64_t id() const { return id_; }
+  std::size_t bytes_per_rank() const { return bytes_; }
+  int num_ranks() const { return static_cast<int>(slabs_.size()); }
+  bool freed() const { return freed_; }
+
+  /// Base address of rank r's slab.
+  RemotePtr at(RankId r) const;
+  /// Convenience: address `offset` bytes into rank r's slab.
+  RemotePtr at(RankId r, std::size_t offset) const;
+  std::byte* local(RankId me) const { return slab(me); }
+
+  /// Region metadata exchanged at allocation; !valid() when that
+  /// rank's registration failed (fall-back protocols take over).
+  const pami::MemoryRegion& region_of(RankId r) const;
+
+  bool contains(RankId r, const std::byte* addr, std::size_t bytes) const;
+
+  // Internal (World / Comm during the collective).
+  std::byte* slab(RankId r) const;
+  void set_region(RankId r, const pami::MemoryRegion& region);
+  void mark_freed() { freed_ = true; }
+
+ private:
+  std::uint64_t id_;
+  std::size_t bytes_;
+  bool freed_ = false;
+  std::vector<std::unique_ptr<std::byte[]>> slabs_;
+  std::vector<pami::MemoryRegion> regions_;
+};
+
+}  // namespace pgasq::armci

@@ -1,0 +1,96 @@
+#include "core/report.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace pgasq::armci {
+
+namespace {
+std::string human_bytes(std::uint64_t b) {
+  char buf[32];
+  if (b >= (1ull << 30)) {
+    std::snprintf(buf, sizeof buf, "%.2f GiB", static_cast<double>(b) / (1ull << 30));
+  } else if (b >= (1ull << 20)) {
+    std::snprintf(buf, sizeof buf, "%.2f MiB", static_cast<double>(b) / (1ull << 20));
+  } else if (b >= (1ull << 10)) {
+    std::snprintf(buf, sizeof buf, "%.2f KiB", static_cast<double>(b) / (1ull << 10));
+  } else {
+    std::snprintf(buf, sizeof buf, "%llu B", static_cast<unsigned long long>(b));
+  }
+  return buf;
+}
+}  // namespace
+
+std::string render_report(const World& world, const ReportOptions& options) {
+  const CommStats s = world.total_stats();
+  std::ostringstream os;
+  os << "=== pgasq communication report (" << world.num_ranks() << " ranks, "
+     << world.machine().torus().to_string() << ") ===\n";
+  os << "virtual time: " << to_ms(world.elapsed()) << " ms\n\n";
+
+  Table ops({"operation", "count", "bytes", "rdma", "fallback/AM"});
+  ops.row().add(std::string("put (contig+vector)")).add(s.puts)
+      .add(human_bytes(s.bytes_put)).add(s.rdma_puts).add(s.fallback_puts);
+  ops.row().add(std::string("get (contig+vector)")).add(s.gets)
+      .add(human_bytes(s.bytes_got)).add(s.rdma_gets).add(s.fallback_gets);
+  ops.row().add(std::string("accumulate")).add(s.accs)
+      .add(human_bytes(s.bytes_acc)).add(0ull).add(s.accs);
+  ops.row().add(std::string("strided put/get/acc"))
+      .add(s.strided_puts + s.strided_gets + s.strided_accs)
+      .add(std::string("-")).add(s.zero_copy_chunks + s.typed_ops).add(s.packed_ops);
+  ops.row().add(std::string("rmw (fetch&add etc.)")).add(s.rmws)
+      .add(human_bytes(s.rmws * 8)).add(0ull).add(s.rmws);
+  os << ops.to_string() << '\n';
+
+  Table sync({"synchronization", "value"});
+  sync.row().add(std::string("fence calls")).add(s.fence_calls);
+  sync.row().add(std::string("forced fences (conflicts)")).add(s.forced_fences);
+  sync.row().add(std::string("endpoints created")).add(s.endpoints_created);
+  sync.row().add(std::string("region cache hits/misses"))
+      .add(std::to_string(s.region_cache_hits) + "/" +
+           std::to_string(s.region_cache_misses));
+  sync.row().add(std::string("region queries sent")).add(s.region_queries_sent);
+  os << sync.to_string() << '\n';
+
+  Table times({"blocked in", "seconds (sum over ranks)"});
+  times.row().add(std::string("get")).add(to_s(s.time_in_get), 4);
+  times.row().add(std::string("put")).add(to_s(s.time_in_put), 4);
+  times.row().add(std::string("accumulate")).add(to_s(s.time_in_acc), 4);
+  times.row().add(std::string("rmw (counters)")).add(to_s(s.time_in_rmw), 4);
+  times.row().add(std::string("fence")).add(to_s(s.time_in_fence), 4);
+  times.row().add(std::string("barrier")).add(to_s(s.time_in_barrier), 4);
+  times.row().add(std::string("wait (nb handles)")).add(to_s(s.time_in_wait), 4);
+  os << times.to_string();
+
+  if (options.include_histograms && s.put_sizes.total() + s.get_sizes.total() > 0) {
+    os << "\nput sizes (log2 buckets):\n" << s.put_sizes.to_string();
+    os << "get sizes (log2 buckets):\n" << s.get_sizes.to_string();
+    if (s.acc_sizes.total() > 0) {
+      os << "acc sizes (log2 buckets):\n" << s.acc_sizes.to_string();
+    }
+  }
+
+  if (options.include_per_rank) {
+    os << '\n';
+    Table per({"rank", "puts", "gets", "accs", "rmws", "rmw_ms", "fence_ms"});
+    const int limit = std::min(world.num_ranks(), options.per_rank_limit);
+    for (int r = 0; r < limit; ++r) {
+      const CommStats& rs = world.stats(r);
+      per.row().add(r).add(rs.puts).add(rs.gets).add(rs.accs).add(rs.rmws)
+          .add(to_ms(rs.time_in_rmw), 3).add(to_ms(rs.time_in_fence), 3);
+    }
+    os << per.to_string();
+    if (world.num_ranks() > limit) {
+      os << "(" << world.num_ranks() - limit << " more ranks elided)\n";
+    }
+  }
+  return os.str();
+}
+
+void print_report(const World& world, const ReportOptions& options) {
+  std::fputs(render_report(world, options).c_str(), stdout);
+}
+
+}  // namespace pgasq::armci

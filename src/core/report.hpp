@@ -1,0 +1,26 @@
+// Post-run communication report: renders a World's aggregated
+// statistics — operation mix, protocol routing, bytes, blocking-time
+// breakdown, message-size distributions — as the kind of summary a
+// communication runtime prints at finalize.
+#pragma once
+
+#include <string>
+
+#include "core/world.hpp"
+
+namespace pgasq::armci {
+
+struct ReportOptions {
+  bool include_histograms = true;
+  bool include_per_rank = false;
+  /// Per-rank rows are elided beyond this many ranks.
+  int per_rank_limit = 16;
+};
+
+/// Renders the report as plain text.
+std::string render_report(const World& world, const ReportOptions& options = {});
+
+/// Convenience: render and print to stdout.
+void print_report(const World& world, const ReportOptions& options = {});
+
+}  // namespace pgasq::armci

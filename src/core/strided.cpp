@@ -1,0 +1,103 @@
+#include "core/strided.hpp"
+
+#include "util/error.hpp"
+
+namespace pgasq::armci {
+
+StridedSpec::StridedSpec(std::vector<std::uint64_t> counts,
+                         std::vector<std::uint64_t> src_strides,
+                         std::vector<std::uint64_t> dst_strides)
+    : counts_(std::move(counts)),
+      src_strides_(std::move(src_strides)),
+      dst_strides_(std::move(dst_strides)) {
+  PGASQ_CHECK(!counts_.empty(), << "counts must have at least l0");
+  PGASQ_CHECK(src_strides_.size() == counts_.size() - 1,
+              << "src_strides size " << src_strides_.size() << " for "
+              << counts_.size() - 1 << " levels");
+  PGASQ_CHECK(dst_strides_.size() == counts_.size() - 1);
+  PGASQ_CHECK(counts_[0] > 0, << "empty contiguous chunk");
+  for (std::size_t i = 1; i < counts_.size(); ++i) {
+    PGASQ_CHECK(counts_[i] > 0, << "count[" << i << "] = 0");
+  }
+  // Strides must not make chunks of one level overlap: each level's
+  // stride covers the extent of everything below it.
+  std::uint64_t src_below = counts_[0];
+  std::uint64_t dst_below = counts_[0];
+  for (std::size_t i = 0; i < src_strides_.size(); ++i) {
+    PGASQ_CHECK(src_strides_[i] >= src_below,
+                << "src stride level " << i << " (" << src_strides_[i]
+                << ") overlaps inner extent " << src_below);
+    PGASQ_CHECK(dst_strides_[i] >= dst_below,
+                << "dst stride level " << i << " (" << dst_strides_[i]
+                << ") overlaps inner extent " << dst_below);
+    src_below = src_strides_[i] * (counts_[i + 1] - 1) + src_below;
+    dst_below = dst_strides_[i] * (counts_[i + 1] - 1) + dst_below;
+  }
+}
+
+StridedSpec StridedSpec::contiguous(std::uint64_t bytes) {
+  return StridedSpec({bytes}, {}, {});
+}
+
+StridedSpec StridedSpec::rect2d(std::uint64_t rows, std::uint64_t row_bytes,
+                                std::uint64_t src_pitch, std::uint64_t dst_pitch) {
+  return StridedSpec({row_bytes, rows}, {src_pitch}, {dst_pitch});
+}
+
+std::uint64_t StridedSpec::num_chunks() const {
+  std::uint64_t n = 1;
+  for (std::size_t i = 1; i < counts_.size(); ++i) n *= counts_[i];
+  return n;
+}
+
+std::uint64_t StridedSpec::extent(const std::vector<std::uint64_t>& strides) const {
+  std::uint64_t e = counts_[0];
+  for (std::size_t i = 0; i < strides.size(); ++i) {
+    e += strides[i] * (counts_[i + 1] - 1);
+  }
+  return e;
+}
+
+std::uint64_t StridedSpec::src_extent() const { return extent(src_strides_); }
+std::uint64_t StridedSpec::dst_extent() const { return extent(dst_strides_); }
+
+void StridedSpec::for_each_chunk(
+    const std::function<void(std::uint64_t, std::uint64_t)>& fn) const {
+  const int nlevels = levels();
+  if (nlevels == 0) {
+    fn(0, 0);
+    return;
+  }
+  std::vector<std::uint64_t> idx(static_cast<std::size_t>(nlevels), 0);
+  for (;;) {
+    std::uint64_t soff = 0;
+    std::uint64_t doff = 0;
+    for (int l = 0; l < nlevels; ++l) {
+      soff += idx[static_cast<std::size_t>(l)] * src_strides_[static_cast<std::size_t>(l)];
+      doff += idx[static_cast<std::size_t>(l)] * dst_strides_[static_cast<std::size_t>(l)];
+    }
+    fn(soff, doff);
+    // Odometer increment, innermost level (index 0) fastest.
+    int l = 0;
+    for (; l < nlevels; ++l) {
+      if (++idx[static_cast<std::size_t>(l)] < counts_[static_cast<std::size_t>(l) + 1]) break;
+      idx[static_cast<std::size_t>(l)] = 0;
+    }
+    if (l == nlevels) return;
+  }
+}
+
+std::vector<pami::TypedChunk> StridedSpec::chunks_local_remote(bool local_is_src) const {
+  std::vector<pami::TypedChunk> out;
+  out.reserve(static_cast<std::size_t>(num_chunks()));
+  for_each_chunk([&](std::uint64_t soff, std::uint64_t doff) {
+    if (local_is_src) {
+      out.push_back(pami::TypedChunk{soff, doff, counts_[0]});
+    } else {
+      out.push_back(pami::TypedChunk{doff, soff, counts_[0]});
+    }
+  });
+  return out;
+}
+
+}  // namespace pgasq::armci

@@ -1,0 +1,63 @@
+// Uniformly non-contiguous (strided) transfer geometry (S III-C2).
+//
+// ARMCI describes an s-dimensional patch with counts[0] = bytes of the
+// contiguous chunk (l0 in Eq 9), counts[i] = repeats at level i, and a
+// stride (in bytes) per level on each side. Total payload
+// m = prod(counts); number of chunks = m / l0.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "pami/types.hpp"
+
+namespace pgasq::armci {
+
+class StridedSpec {
+ public:
+  /// counts.size() == levels + 1; each strides vector has `levels`
+  /// entries. Level i's stride must be at least the extent of the
+  /// level below (no self-overlapping patches).
+  StridedSpec(std::vector<std::uint64_t> counts,
+              std::vector<std::uint64_t> src_strides,
+              std::vector<std::uint64_t> dst_strides);
+
+  /// Contiguous 1-D transfer of `bytes`.
+  static StridedSpec contiguous(std::uint64_t bytes);
+
+  /// 2-D patch: `rows` rows of `row_bytes`, row pitch per side.
+  static StridedSpec rect2d(std::uint64_t rows, std::uint64_t row_bytes,
+                            std::uint64_t src_pitch, std::uint64_t dst_pitch);
+
+  int levels() const { return static_cast<int>(counts_.size()) - 1; }
+  std::uint64_t chunk_bytes() const { return counts_[0]; }  // l0
+  std::uint64_t num_chunks() const;
+  std::uint64_t total_bytes() const { return chunk_bytes() * num_chunks(); }
+
+  const std::vector<std::uint64_t>& counts() const { return counts_; }
+  const std::vector<std::uint64_t>& src_strides() const { return src_strides_; }
+  const std::vector<std::uint64_t>& dst_strides() const { return dst_strides_; }
+
+  /// Byte span touched on the source / destination side (for region
+  /// coverage checks): offset of the last chunk plus chunk size.
+  std::uint64_t src_extent() const;
+  std::uint64_t dst_extent() const;
+
+  /// Calls fn(src_offset, dst_offset) for every chunk, in canonical
+  /// (outer level slowest) order.
+  void for_each_chunk(
+      const std::function<void(std::uint64_t, std::uint64_t)>& fn) const;
+
+  /// Chunk list in PAMI typed form.
+  std::vector<pami::TypedChunk> chunks_local_remote(bool local_is_src) const;
+
+ private:
+  std::uint64_t extent(const std::vector<std::uint64_t>& strides) const;
+
+  std::vector<std::uint64_t> counts_;
+  std::vector<std::uint64_t> src_strides_;
+  std::vector<std::uint64_t> dst_strides_;
+};
+
+}  // namespace pgasq::armci

@@ -1,0 +1,125 @@
+// Public vocabulary types of the ARMCI-style runtime (the paper's
+// contribution, S III).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "pami/types.hpp"
+#include "util/stats.hpp"
+#include "util/time_types.hpp"
+
+namespace pgasq::armci {
+
+using RankId = pami::RankId;
+
+/// Address in another rank's (simulated) address space.
+struct RemotePtr {
+  RankId rank = -1;
+  std::byte* addr = nullptr;
+
+  RemotePtr offset(std::ptrdiff_t delta) const { return {rank, addr + delta}; }
+  bool valid() const { return rank >= 0 && addr != nullptr; }
+};
+
+/// Progress engine configuration (S III-D): kDefault services remote
+/// requests only when the main thread enters the runtime; kAsyncThread
+/// dedicates a simulated SMT thread to progress.
+enum class ProgressMode { kDefault, kAsyncThread };
+
+/// Conflicting-memory-access tracking granularity (S III-E): kPerTarget
+/// is the naive one-status-per-process scheme (false positives);
+/// kPerRegion keeps an 8-bit status per distributed structure per
+/// target, Theta(sigma * zeta) space.
+enum class ConsistencyMode { kPerTarget, kPerRegion };
+
+/// Replacement policy for the remote-region cache. The paper uses
+/// least-frequently-used; LRU exists for the ablation showing why
+/// (hot global structures survive cold scans under LFU).
+enum class CacheReplacement { kLfu, kLru };
+
+/// Strided (uniformly non-contiguous) protocol selection (S III-C2).
+enum class StridedProtocol {
+  kAuto,        ///< zero-copy, switching to typed for tall-skinny shapes
+  kZeroCopy,    ///< one RDMA per contiguous chunk
+  kTyped,       ///< single PAMI typed-datatype operation
+  kPackUnpack,  ///< legacy pack at source / unpack at target baseline
+};
+
+struct Options {
+  ProgressMode progress = ProgressMode::kDefault;
+  /// Communication contexts per rank (rho). With kAsyncThread and
+  /// rho=2 each thread advances its own context; with rho=1 both
+  /// threads contend on the single context's lock (S III-D).
+  int contexts_per_rank = 1;
+  ConsistencyMode consistency = ConsistencyMode::kPerRegion;
+  StridedProtocol strided = StridedProtocol::kAuto;
+  /// kAuto switches to the typed path when the contiguous chunk is
+  /// smaller than this and the transfer has many chunks (tall-skinny).
+  std::uint64_t tall_skinny_chunk_bytes = 512;
+  std::size_t tall_skinny_min_chunks = 8;
+  /// Remote memory-region cache capacity (entries).
+  std::size_t region_cache_capacity = 1024;
+  /// Cache replacement policy; the paper uses LFU (S III-B).
+  CacheReplacement region_cache_policy = CacheReplacement::kLfu;
+  /// Cache endpoints for the communication clique (zeta) instead of
+  /// re-creating one per operation.
+  bool cache_endpoints = true;
+};
+
+/// Completion state shared between a Handle and in-flight callbacks.
+struct HandleState {
+  int outstanding = 0;
+  bool used = false;
+};
+
+/// Non-blocking request handle (explicit-handle ARMCI semantics). A
+/// default-constructed handle can be passed to any nb_* call and then
+/// waited on; one handle may aggregate several operations.
+class Handle {
+ public:
+  Handle() : state_(std::make_shared<HandleState>()) {}
+
+  /// All operations attached to this handle have completed.
+  bool done() const { return state_->outstanding == 0; }
+  /// At least one operation was attached.
+  bool used() const { return state_->used; }
+
+  const std::shared_ptr<HandleState>& state() const { return state_; }
+
+ private:
+  std::shared_ptr<HandleState> state_;
+};
+
+/// Per-rank operation statistics; the benchmark harness aggregates
+/// these into the paper's tables.
+struct CommStats {
+  // Operation counts.
+  std::uint64_t puts = 0, gets = 0, accs = 0, rmws = 0;
+  std::uint64_t strided_puts = 0, strided_gets = 0, strided_accs = 0;
+  // Protocol routing.
+  std::uint64_t rdma_puts = 0, rdma_gets = 0;
+  std::uint64_t fallback_puts = 0, fallback_gets = 0;
+  std::uint64_t typed_ops = 0, zero_copy_chunks = 0, packed_ops = 0;
+  // Bytes.
+  std::uint64_t bytes_put = 0, bytes_got = 0, bytes_acc = 0;
+  // Region cache.
+  std::uint64_t region_cache_hits = 0, region_cache_misses = 0;
+  std::uint64_t region_queries_sent = 0;
+  // Consistency.
+  std::uint64_t fence_calls = 0, forced_fences = 0;
+  // Endpoints.
+  std::uint64_t endpoints_created = 0;
+  // Blocking time by category (virtual time).
+  Time time_in_get = 0, time_in_put = 0, time_in_acc = 0;
+  Time time_in_rmw = 0, time_in_fence = 0, time_in_barrier = 0, time_in_wait = 0;
+  // Message-size distributions (log2 buckets) — the "large percentile
+  // of message size used in real applications" evidence of S IV-A.
+  Log2Histogram put_sizes, get_sizes, acc_sizes;
+
+  void merge(const CommStats& o);
+};
+
+}  // namespace pgasq::armci

@@ -1,0 +1,56 @@
+#include "core/world.hpp"
+
+#include "core/comm.hpp"
+#include "util/error.hpp"
+
+namespace pgasq::armci {
+
+World::World(WorldConfig config)
+    : config_(std::move(config)), machine_(config_.machine) {
+  final_stats_.resize(static_cast<std::size_t>(machine_.num_ranks()));
+  comms_.resize(static_cast<std::size_t>(machine_.num_ranks()), nullptr);
+}
+
+World::~World() = default;
+
+void World::spmd(std::function<void(Comm&)> body) {
+  PGASQ_CHECK(!spmd_ran_, << "a World hosts exactly one SPMD program; "
+                             "construct a new World for another run");
+  spmd_ran_ = true;
+  machine_.run([this, &body](pami::Process& process) {
+    Comm comm(*this, process);
+    comms_[static_cast<std::size_t>(process.rank())] = &comm;
+    comm.init();
+    body(comm);
+    comm.finalize();
+    final_stats_[static_cast<std::size_t>(process.rank())] = comm.stats();
+    comms_[static_cast<std::size_t>(process.rank())] = nullptr;
+  });
+  elapsed_ = machine_.engine().now();
+}
+
+const CommStats& World::stats(RankId rank) const {
+  PGASQ_CHECK(rank >= 0 && rank < machine_.num_ranks());
+  return final_stats_[static_cast<std::size_t>(rank)];
+}
+
+CommStats World::total_stats() const {
+  CommStats total;
+  for (const auto& s : final_stats_) total.merge(s);
+  return total;
+}
+
+GlobalMem& World::ensure_heap(std::uint64_t seq, std::size_t bytes_per_rank) {
+  if (heaps_.size() <= seq) heaps_.resize(seq + 1);
+  auto& slot = heaps_[seq];
+  if (!slot) {
+    slot = std::make_unique<GlobalMem>(next_mem_id_++, machine_.num_ranks(),
+                                       bytes_per_rank);
+  }
+  PGASQ_CHECK(slot->bytes_per_rank() == bytes_per_rank,
+              << "collective allocation size mismatch across ranks: " << bytes_per_rank
+              << " vs " << slot->bytes_per_rank());
+  return *slot;
+}
+
+}  // namespace pgasq::armci

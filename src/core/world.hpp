@@ -1,0 +1,75 @@
+// World: the simulated machine plus the cross-rank coordination state
+// of the ARMCI runtime (collective allocation rendezvous, the
+// hardware-barrier signal, final statistics).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/globalmem.hpp"
+#include "core/types.hpp"
+#include "pami/machine.hpp"
+
+namespace pgasq::armci {
+
+class Comm;
+
+struct WorldConfig {
+  pami::MachineConfig machine;
+  Options armci;
+};
+
+class World {
+ public:
+  explicit World(WorldConfig config);
+  ~World();
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  /// Runs `body` as an SPMD program: one simulated process per rank,
+  /// each receiving its own Comm. Returns when the simulation drains.
+  void spmd(std::function<void(Comm&)> body);
+
+  pami::Machine& machine() { return machine_; }
+  const pami::Machine& machine() const { return machine_; }
+  const Options& options() const { return config_.armci; }
+  int num_ranks() const { return machine_.num_ranks(); }
+
+  /// Virtual time when the last rank finished.
+  Time elapsed() const { return elapsed_; }
+
+  /// Per-rank statistics captured at finalize.
+  const CommStats& stats(RankId rank) const;
+  /// Sum over ranks.
+  CommStats total_stats() const;
+
+  /// Live global allocations (sigma structures). Entries may be
+  /// freed-but-kept to keep addresses stable.
+  const std::vector<std::unique_ptr<GlobalMem>>& heaps() const { return heaps_; }
+
+ private:
+  friend class Comm;
+
+  struct BarrierState {
+    std::size_t arrived = 0;
+    std::uint64_t generation = 0;
+  };
+
+  /// First caller (by collective sequence number) constructs the heap;
+  /// later callers validate the size matches.
+  GlobalMem& ensure_heap(std::uint64_t seq, std::size_t bytes_per_rank);
+
+  WorldConfig config_;
+  pami::Machine machine_;
+  BarrierState barrier_;
+  std::vector<std::unique_ptr<GlobalMem>> heaps_;  // indexed by collective seq
+  std::uint64_t next_mem_id_ = 1;
+  std::vector<Comm*> comms_;
+  std::vector<CommStats> final_stats_;
+  Time elapsed_ = 0;
+  bool spmd_ran_ = false;
+};
+
+}  // namespace pgasq::armci

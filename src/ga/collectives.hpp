@@ -1,0 +1,30 @@
+// Collective reductions over the one-sided runtime.
+//
+// NWChem's SCF loop ends every iteration with global reductions
+// (energy, convergence norms). GA implements these on top of ARMCI
+// one-sided primitives; we do the same: a recursive-doubling
+// allreduce built from accumulates (associative, so partial sums
+// combine in any arrival order) with flag words for pairwise
+// synchronization, falling back to a gather-to-root scheme for
+// non-power-of-two process counts.
+#pragma once
+
+#include <cstddef>
+
+#include "ga/global_array.hpp"
+
+namespace pgasq::ga {
+
+/// In-place elementwise double-sum allreduce (GA_Dgop with op "+"):
+/// after the call, x[0..n) on every rank holds the sum over ranks.
+/// Collective; every rank passes the same n.
+void gop_sum(Comm& comm, double* x, std::size_t n);
+
+/// Global dot product <a, b> over identically distributed arrays.
+/// Collective; returns the same value on every rank.
+double dot(GlobalArray& a, GlobalArray& b);
+
+/// Sum of all elements of the array. Collective.
+double element_sum(GlobalArray& a);
+
+}  // namespace pgasq::ga

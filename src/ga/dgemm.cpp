@@ -1,0 +1,81 @@
+#include "ga/dgemm.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace pgasq::ga {
+
+void dgemm(double alpha, GlobalArray& a, GlobalArray& b, double beta,
+           GlobalArray& c, const DgemmOptions& options) {
+  PGASQ_CHECK(a.cols() == b.rows(), << "inner dimension mismatch: " << a.cols()
+                                    << " vs " << b.rows());
+  PGASQ_CHECK(a.rows() == c.rows() && b.cols() == c.cols(), << "C shape mismatch");
+  PGASQ_CHECK(options.panel >= 1);
+  Comm& comm = c.comm();
+  const std::int64_t k_total = a.cols();
+
+  // Settle producers of A and B before pulling panels.
+  comm.barrier();
+
+  const auto [rlo, rhi] = c.local_rows();
+  const auto [clo, chi] = c.local_cols();
+  const std::int64_t m_local = rhi - rlo;
+  const std::int64_t n_local = chi - clo;
+  double* cd = c.local_data();
+  // beta-scale the local C block first.
+  for (std::int64_t i = 0; i < m_local; ++i) {
+    for (std::int64_t j = 0; j < n_local; ++j) {
+      cd[i * c.local_ld() + j] *= beta;
+    }
+  }
+
+  if (m_local > 0 && n_local > 0) {
+    const std::int64_t panel = std::min(options.panel, k_total);
+    std::vector<double> apan(static_cast<std::size_t>(m_local * panel));
+    std::vector<double> bpan(static_cast<std::size_t>(panel * n_local));
+    std::vector<double> apan_next(apan.size());
+    std::vector<double> bpan_next(bpan.size());
+
+    // Software pipeline: prefetch panel p+1 while multiplying panel p
+    // (non-blocking gets overlapped with the local dgemm — the S III-E
+    // communication/computation-overlap pattern).
+    auto fetch = [&](std::int64_t klo, std::vector<double>& ab,
+                     std::vector<double>& bb, armci::Handle& h) {
+      const std::int64_t kw = std::min(panel, k_total - klo);
+      a.nb_get(rlo, rhi, klo, klo + kw, ab.data(), panel, h);
+      b.nb_get(klo, klo + kw, clo, chi, bb.data(), n_local, h);
+    };
+    armci::Handle inflight;
+    fetch(0, apan, bpan, inflight);
+
+    for (std::int64_t klo = 0; klo < k_total; klo += panel) {
+      const std::int64_t kw = std::min(panel, k_total - klo);
+      comm.wait(inflight);  // this panel has landed in apan/bpan
+      armci::Handle prefetch;
+      const bool more = klo + panel < k_total;
+      if (more) fetch(klo + panel, apan_next, bpan_next, prefetch);
+      for (std::int64_t i = 0; i < m_local; ++i) {
+        for (std::int64_t j = 0; j < n_local; ++j) {
+          double s = 0.0;
+          for (std::int64_t kk = 0; kk < kw; ++kk) {
+            s += apan[static_cast<std::size_t>(i * panel + kk)] *
+                 bpan[static_cast<std::size_t>(kk * n_local + j)];
+          }
+          cd[i * c.local_ld() + j] += alpha * s;
+        }
+      }
+      comm.compute(from_ns(options.ns_per_flop *
+                           static_cast<double>(m_local * n_local * kw)));
+      if (more) {
+        inflight = prefetch;
+        apan.swap(apan_next);
+        bpan.swap(bpan_next);
+      }
+    }
+  }
+  comm.barrier();
+}
+
+}  // namespace pgasq::ga

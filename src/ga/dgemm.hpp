@@ -1,0 +1,27 @@
+// Distributed matrix multiply over Global Arrays (GA_Dgemm analogue),
+// in the pull-based SUMMA style: the multiply proceeds in panels along
+// the contraction dimension; every rank one-sidedly GETs the A-panel
+// rows and B-panel columns it needs, multiplies locally, and adds into
+// its own block of C. The overlap of non-blocking panel gets with the
+// accumulating local dgemm is exactly the paper's S III-E scenario.
+#pragma once
+
+#include <cstdint>
+
+#include "ga/global_array.hpp"
+
+namespace pgasq::ga {
+
+struct DgemmOptions {
+  /// Contraction panel width.
+  std::int64_t panel = 32;
+  /// Model time per fused multiply-add (ns); A2 cores are slow.
+  double ns_per_flop = 0.6;
+};
+
+/// C = alpha * A * B + beta * C. Shapes: A is m x k, B is k x n, C is
+/// m x n. Collective; every rank passes identical arguments.
+void dgemm(double alpha, GlobalArray& a, GlobalArray& b, double beta,
+           GlobalArray& c, const DgemmOptions& options = {});
+
+}  // namespace pgasq::ga

@@ -1,0 +1,33 @@
+// Whole-array operations on GlobalArrays (the GA_* matrix utilities
+// NWChem leans on around the Fock build: copy, scale, add, transpose,
+// symmetrize). All are collective; local parts are computed in place
+// and remote parts move through one-sided patch transfers.
+#pragma once
+
+#include "ga/global_array.hpp"
+
+namespace pgasq::ga {
+
+/// dst = src (same shape, same distribution). Collective.
+void copy(GlobalArray& src, GlobalArray& dst);
+
+/// a *= alpha. Collective.
+void scale(GlobalArray& a, double alpha);
+
+/// dst = alpha * a + beta * b (all same shape). Collective.
+void add(double alpha, GlobalArray& a, double beta, GlobalArray& b,
+         GlobalArray& dst);
+
+/// dst = transpose(src); src must be square for in-distribution
+/// transpose. Collective: every rank fetches the mirrored patch of its
+/// own block with a one-sided strided get.
+void transpose_into(GlobalArray& src, GlobalArray& dst);
+
+/// a = (a + a^T) / 2 — the Fock-matrix symmetrization step of SCF.
+/// Collective. `scratch` must have a's shape.
+void symmetrize(GlobalArray& a, GlobalArray& scratch);
+
+/// Frobenius norm squared. Collective; same value on all ranks.
+double norm2(GlobalArray& a);
+
+}  // namespace pgasq::ga

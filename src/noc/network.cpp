@@ -1,0 +1,94 @@
+#include "noc/network.hpp"
+
+#include <string>
+
+#include "util/error.hpp"
+
+namespace pgasq::noc {
+
+Time NetworkModel::serialization(std::uint64_t bytes, TransferOptions opts) const {
+  Time t = from_ns(params_.g_ns_per_byte * static_cast<double>(bytes));
+  if (!opts.is_control && bytes < params_.aligned_threshold_bytes) {
+    t += params_.unaligned_penalty;
+  }
+  return t;
+}
+
+Time NetworkModel::flight(int src_node, int dst_node) const {
+  const int hops = torus_.hop_distance(src_node, dst_node);
+  return params_.wire_base_latency + hops * params_.hop_latency;
+}
+
+Time NetworkModel::claim_injection(int src_node, Time start, Time serialization_time) {
+  if (nic_free_.empty()) {
+    nic_free_.assign(static_cast<std::size_t>(torus_.num_nodes()), 0);
+  }
+  auto& free_at = nic_free_[static_cast<std::size_t>(src_node)];
+  // Note: responses computed ahead of wall-time (e.g. an rget's data
+  // leg, timed at initiation) reserve the NIC in *call* order, an
+  // approximation documented in DESIGN.md.
+  const Time begin = std::max(start, free_at);
+  free_at = begin + serialization_time;
+  return begin;
+}
+
+Transfer NetworkModel::shm_transfer(std::uint64_t bytes, Time start) const {
+  const Time copy = from_ns(params_.shm_g_ns_per_byte * static_cast<double>(bytes));
+  const Time done = start + params_.shm_latency + copy;
+  return Transfer{done, done};
+}
+
+Transfer LogGPModel::transfer(int src_node, int dst_node, std::uint64_t bytes,
+                              Time start, TransferOptions opts) {
+  account(bytes);
+  if (src_node == dst_node) return shm_transfer(bytes, start);
+  const Time ser = serialization(bytes, opts);
+  const Time begin = claim_injection(src_node, start, ser);
+  const Time inject_done = begin + ser;
+  // Cut-through: the head races ahead while the tail serializes, so
+  // arrival is serialization + flight, not store-and-forward per hop.
+  const Time arrive = inject_done + flight(src_node, dst_node);
+  return Transfer{inject_done, arrive};
+}
+
+Transfer LinkContentionModel::transfer(int src_node, int dst_node,
+                                       std::uint64_t bytes, Time start,
+                                       TransferOptions opts) {
+  account(bytes);
+  if (src_node == dst_node) return shm_transfer(bytes, start);
+  const Time ser = serialization(bytes, opts);
+  // Wormhole approximation: the message head moves link by link,
+  // stalling behind earlier messages; each traversed link is then
+  // occupied for the full serialization time (the worm's body).
+  Time head = claim_injection(src_node, start, ser);
+  Time inject_done = start;
+  std::array<int, topo::kDims> order{0, 1, 2, 3, 4};
+  if (params_.dynamic_routing) {
+    // Rotate the dimension order per message — a cheap, deterministic
+    // stand-in for adaptive minimal routing.
+    const int shift = static_cast<int>(messages_sent() % topo::kDims);
+    for (int i = 0; i < topo::kDims; ++i) order[static_cast<std::size_t>(i)] = (i + shift) % topo::kDims;
+  }
+  const auto route = torus_.route_ordered(src_node, dst_node, order);
+  PGASQ_CHECK(!route.empty());
+  for (std::size_t i = 0; i < route.size(); ++i) {
+    auto& free_at = link_free_[static_cast<std::size_t>(torus_.link_index(route[i]))];
+    head = std::max(head, free_at) + params_.hop_latency;
+    free_at = head + ser;
+    if (i == 0) inject_done = head + ser;  // source link drained
+  }
+  const Time arrive = head + ser + params_.wire_base_latency;
+  return Transfer{inject_done, arrive};
+}
+
+std::unique_ptr<NetworkModel> make_network_model(const std::string& name,
+                                                 const topo::Torus5D& torus,
+                                                 const BgqParameters& params) {
+  if (name == "loggp") return std::make_unique<LogGPModel>(torus, params);
+  if (name == "contention") return std::make_unique<LinkContentionModel>(torus, params);
+  PGASQ_CHECK(false, << "unknown network model '" << name
+                     << "' (expected 'loggp' or 'contention')");
+  return nullptr;
+}
+
+}  // namespace pgasq::noc

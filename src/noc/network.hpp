@@ -1,0 +1,125 @@
+// Interconnect timing models.
+//
+// A NetworkModel answers one question: if a message of `bytes` payload
+// leaves node `src` for node `dst` starting at virtual time `start`,
+// when has it drained from the source (link injection complete) and
+// when does its last byte arrive at the destination NIC? Two models
+// are provided:
+//
+//  * LogGPModel — stateless LogGP with torus hop latency; matches the
+//    analytical model of S III-C (Eqs 7-9).
+//  * LinkContentionModel — additionally reserves every directed link
+//    on the deterministic dimension-order route, modelling cut-through
+//    (wormhole) flow with per-link bandwidth occupancy; used for the
+//    network-model sensitivity ablation.
+//
+// Intra-node transfers take a shared-memory path in both models.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "noc/parameters.hpp"
+#include "topo/torus.hpp"
+#include "util/time_types.hpp"
+
+namespace pgasq::noc {
+
+/// Timing result of one message transfer.
+struct Transfer {
+  Time inject_done;  ///< source link drained; safe for local-completion
+  Time arrive;       ///< last byte at destination NIC
+};
+
+/// Options for a single transfer.
+struct TransferOptions {
+  /// Control packets (get requests, AM headers without payload) are
+  /// always packet-aligned and never pay the alignment penalty.
+  bool is_control = false;
+};
+
+class NetworkModel {
+ public:
+  NetworkModel(const topo::Torus5D& torus, const BgqParameters& params)
+      : torus_(torus), params_(params) {}
+  virtual ~NetworkModel() = default;
+
+  NetworkModel(const NetworkModel&) = delete;
+  NetworkModel& operator=(const NetworkModel&) = delete;
+
+  /// Times a payload transfer of `bytes` from `src` to `dst` nodes.
+  virtual Transfer transfer(int src_node, int dst_node, std::uint64_t bytes,
+                            Time start, TransferOptions opts = {}) = 0;
+
+  /// Times a fixed-size control packet (descriptor, get request, ack).
+  Transfer control(int src_node, int dst_node, Time start) {
+    return transfer(src_node, dst_node, params_.control_packet_bytes, start,
+                    TransferOptions{.is_control = true});
+  }
+
+  const topo::Torus5D& torus() const { return torus_; }
+  const BgqParameters& params() const { return params_; }
+
+  /// Total messages / bytes injected (diagnostics & tests).
+  std::uint64_t messages_sent() const { return messages_; }
+  std::uint64_t bytes_sent() const { return bytes_; }
+
+ protected:
+  Time serialization(std::uint64_t bytes, TransferOptions opts) const;
+  Time flight(int src_node, int dst_node) const;
+  Transfer shm_transfer(std::uint64_t bytes, Time start) const;
+  void account(std::uint64_t bytes) {
+    ++messages_;
+    bytes_ += bytes;
+  }
+
+  /// Serializes message injection through the source node's DMA/NIC:
+  /// a message cannot start draining before earlier messages from the
+  /// same node have drained. This yields PAMI's pairwise ordering
+  /// guarantee under deterministic routing (S III-A4). Returns the
+  /// actual serialization start time and records the new busy horizon.
+  Time claim_injection(int src_node, Time start, Time serialization_time);
+
+  const topo::Torus5D& torus_;
+  BgqParameters params_;
+
+ private:
+  std::uint64_t messages_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::vector<Time> nic_free_;
+};
+
+/// Stateless LogGP + hop-count model.
+class LogGPModel final : public NetworkModel {
+ public:
+  using NetworkModel::NetworkModel;
+  Transfer transfer(int src_node, int dst_node, std::uint64_t bytes, Time start,
+                    TransferOptions opts = {}) override;
+};
+
+/// Per-link occupancy model: every directed link on the route is busy
+/// for the message serialization time; the head advances one
+/// hop_latency per link and additionally waits for busy links.
+class LinkContentionModel final : public NetworkModel {
+ public:
+  LinkContentionModel(const topo::Torus5D& torus, const BgqParameters& params)
+      : NetworkModel(torus, params),
+        link_free_(static_cast<std::size_t>(torus.num_links()), 0) {}
+
+  Transfer transfer(int src_node, int dst_node, std::uint64_t bytes, Time start,
+                    TransferOptions opts = {}) override;
+
+  /// Virtual time the given link becomes idle (tests / diagnostics).
+  Time link_free_at(int link_index) const { return link_free_.at(static_cast<std::size_t>(link_index)); }
+
+ private:
+  std::vector<Time> link_free_;
+};
+
+/// Factory keyed by name ("loggp" | "contention").
+std::unique_ptr<NetworkModel> make_network_model(const std::string& name,
+                                                 const topo::Torus5D& torus,
+                                                 const BgqParameters& params);
+
+}  // namespace pgasq::noc

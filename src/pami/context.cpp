@@ -1,0 +1,486 @@
+#include "pami/context.hpp"
+
+#include <cstring>
+#include <utility>
+
+#include "pami/machine.hpp"
+#include "pami/process.hpp"
+#include "util/error.hpp"
+
+namespace pgasq::pami {
+
+Context::Context(Process& process, int index)
+    : process_(process),
+      index_(index),
+      lock_(std::make_unique<sim::SimMutex>(process.machine().engine())),
+      arrivals_(std::make_unique<sim::WaitQueue>(process.machine().engine())) {}
+
+Machine& Context::machine() { return process_.machine(); }
+
+void Context::busy(Time t) { process_.busy(t); }
+
+Time Context::now() const { return process_.now(); }
+
+void Context::set_dispatch(DispatchId id, AmHandler handler) {
+  PGASQ_CHECK(handler != nullptr);
+  dispatch_[id] = std::move(handler);
+}
+
+// ---------------------------------------------------------------------------
+// Progress
+// ---------------------------------------------------------------------------
+
+std::size_t Context::advance() {
+  PGASQ_CHECK(machine().engine().current() != nullptr,
+              << "advance outside a fiber");
+  ++stats_.advance_calls;
+  if (items_.empty()) {
+    ++stats_.empty_advances;
+    busy(machine().params().advance_poll_cost);
+    return 0;
+  }
+  // Service the items present at entry (one bounded progress pass,
+  // like PAMI_Context_advance with a finite iteration count). Items
+  // arriving while we service — or posted by handlers — wait for the
+  // next call; blocking waits loop on advance() so they still drain.
+  const std::size_t batch = items_.size();
+  std::size_t n = 0;
+  while (n < batch && !items_.empty()) {
+    // Move the item out so handlers can post new items safely.
+    Item item = std::move(items_.front());
+    items_.pop_front();
+    stats_.total_service_delay += now() - item.posted_at;
+    process_item(item);
+    ++n;
+  }
+  // A second thread may be parked in advance_until on this context
+  // with a predicate our processing just satisfied (shared-context
+  // rho=1 configuration): let it re-check.
+  arrivals_->notify_all();
+  return n;
+}
+
+void Context::wait_for_work() {
+  if (!items_.empty()) return;
+  arrivals_->wait();
+}
+
+void Context::advance_until(const std::function<bool()>& pred) {
+  for (;;) {
+    advance();
+    if (pred()) return;
+    if (!items_.empty()) continue;  // work arrived while advancing
+    // Nothing to do: park until the next delivery wakes us. The
+    // predicate can only change through an item on this context (or a
+    // handler run by another thread that then posts here), so waiting
+    // is safe.
+    arrivals_->wait();
+  }
+}
+
+void Context::post(Item item) {
+  item.posted_at = now();
+  items_.push_back(std::move(item));
+  arrivals_->notify_all();
+}
+
+void Context::post_completion(Callback cb, Time cost) {
+  Item item;
+  item.kind = Item::Kind::kCompletion;
+  item.callback = std::move(cb);
+  item.cost = cost;
+  post(std::move(item));
+}
+
+void Context::post_am(DispatchId dispatch, AmMessage msg) {
+  Item item;
+  item.kind = Item::Kind::kAm;
+  item.dispatch = dispatch;
+  item.message = std::move(msg);
+  post(std::move(item));
+}
+
+void Context::post_rmw_service(std::int64_t* word, RmwOp op, std::int64_t operand,
+                               std::int64_t compare, Endpoint reply_to,
+                               RmwCallback reply_cb) {
+  Item item;
+  item.kind = Item::Kind::kRmwService;
+  item.word = word;
+  item.op = op;
+  item.operand = operand;
+  item.compare = compare;
+  item.reply_to = reply_to;
+  item.rmw_reply = std::move(reply_cb);
+  post(std::move(item));
+}
+
+namespace {
+std::int64_t apply_rmw(std::int64_t* word, RmwOp op, std::int64_t operand,
+                       std::int64_t compare) {
+  const std::int64_t old = *word;
+  switch (op) {
+    case RmwOp::kFetchAdd:
+    case RmwOp::kAdd:
+      *word = old + operand;
+      break;
+    case RmwOp::kSwap:
+      *word = operand;
+      break;
+    case RmwOp::kCompareSwap:
+      if (old == compare) *word = operand;
+      break;
+  }
+  return old;
+}
+}  // namespace
+
+void Context::process_item(Item& item) {
+  const auto& p = machine().params();
+  switch (item.kind) {
+    case Item::Kind::kCompletion: {
+      ++stats_.completions;
+      busy(item.cost);
+      if (item.callback) item.callback();
+      break;
+    }
+    case Item::Kind::kAm: {
+      ++stats_.ams_dispatched;
+      busy(p.o_am_dispatch);
+      const auto it = dispatch_.find(item.dispatch);
+      PGASQ_CHECK(it != dispatch_.end(),
+                  << "rank " << process_.rank() << " context " << index_
+                  << ": no handler for dispatch id " << item.dispatch);
+      it->second(*this, item.message);
+      break;
+    }
+    case Item::Kind::kRmwService: {
+      ++stats_.rmws_serviced;
+      busy(p.o_rmw_service);
+      const std::int64_t old = apply_rmw(item.word, item.op, item.operand, item.compare);
+      // NIC-level reply packet back to the requester; the requester
+      // sees the result when it next advances after arrival.
+      auto& net = machine().network();
+      const int here = process_.node();
+      const int dest_node = machine().mapping().node_of_rank(item.reply_to.rank);
+      const auto reply = net.control(here, dest_node, now());
+      Context& dest_ctx =
+          machine().process(item.reply_to.rank).context(item.reply_to.context);
+      RmwCallback cb = std::move(item.rmw_reply);
+      machine().engine().schedule_at(reply.arrive, [&dest_ctx, cb = std::move(cb),
+                                                    old, cost = p.o_completion] {
+        dest_ctx.post_completion([cb, old] { cb(old); }, cost);
+      });
+      break;
+    }
+    case Item::Kind::kGetRequest: {
+      // Fall-back get service: the target streams the data back,
+      // paying its own send overhead — the second "o" of Eq 8.
+      busy(p.o_send);
+      auto& net = machine().network();
+      const int here = process_.node();
+      const int dest_node = machine().mapping().node_of_rank(item.reply_to.rank);
+      // Read the data now (service time) and ship it.
+      std::vector<std::byte> staged(item.bytes);
+      std::memcpy(staged.data(), item.source_data, item.bytes);
+      const auto t = net.transfer(here, dest_node, item.bytes, now());
+      Context& dest_ctx =
+          machine().process(item.reply_to.rank).context(item.reply_to.context);
+      machine().engine().schedule_at(
+          t.arrive, [&dest_ctx, staged = std::move(staged),
+                     dst = item.requester_buffer, cb = std::move(item.callback),
+                     cost = p.o_completion]() mutable {
+            std::memcpy(dst, staged.data(), staged.size());
+            dest_ctx.post_completion(std::move(cb), cost);
+          });
+      break;
+    }
+    case Item::Kind::kPutData: {
+      // Non-RDMA put deposit: copy the payload into place, then ack.
+      busy(p.o_am_dispatch);
+      std::memcpy(item.deposit_to, item.deposit_data.data(), item.deposit_data.size());
+      if (item.remote_ack) item.remote_ack();
+      break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RDMA (one-sided)
+// ---------------------------------------------------------------------------
+
+void Context::rput(const MemoryRegion& local_mr, std::uint64_t loff,
+                   const MemoryRegion& remote_mr, std::uint64_t roff,
+                   std::uint64_t bytes, Callback on_local_done,
+                   Callback on_remote_ack) {
+  PGASQ_CHECK(local_mr.covers(local_mr.base + loff, bytes), << "rput source range");
+  PGASQ_CHECK(remote_mr.covers(remote_mr.base + roff, bytes), << "rput target range");
+  const auto& p = machine().params();
+  busy(p.o_send);
+  auto& net = machine().network();
+  const int src_node = process_.node();
+  const int dst_node = machine().mapping().node_of_rank(remote_mr.owner);
+  const auto t = net.transfer(src_node, dst_node, bytes, now());
+  // The NIC reads the source buffer during serialization; stage a copy
+  // now so the caller may reuse the buffer after local completion.
+  std::vector<std::byte> staged(bytes);
+  std::memcpy(staged.data(), local_mr.base + loff, bytes);
+  std::byte* dst = remote_mr.base + roff;
+  machine().engine().schedule_at(t.arrive, [staged = std::move(staged), dst]() mutable {
+    std::memcpy(dst, staged.data(), staged.size());
+  });
+  if (on_local_done) {
+    post_completion_at(t.inject_done + p.o_local_drain, std::move(on_local_done),
+                       p.o_completion);
+  }
+  if (on_remote_ack) {
+    const auto ack = net.control(dst_node, src_node, t.arrive);
+    post_completion_at(ack.arrive, std::move(on_remote_ack), 0);
+  }
+}
+
+void Context::rget(const MemoryRegion& local_mr, std::uint64_t loff,
+                   const MemoryRegion& remote_mr, std::uint64_t roff,
+                   std::uint64_t bytes, Callback on_done) {
+  PGASQ_CHECK(local_mr.covers(local_mr.base + loff, bytes), << "rget local range");
+  PGASQ_CHECK(remote_mr.covers(remote_mr.base + roff, bytes), << "rget remote range");
+  const auto& p = machine().params();
+  busy(p.o_send);
+  auto& net = machine().network();
+  const int src_node = process_.node();
+  const int dst_node = machine().mapping().node_of_rank(remote_mr.owner);
+  // Request descriptor travels to the target NIC...
+  const auto req = net.control(src_node, dst_node, now());
+  // ...which DMAs the data back with no target software involved.
+  const auto data = net.transfer(dst_node, src_node, bytes, req.arrive);
+  const std::byte* src = remote_mr.base + roff;
+  std::byte* dst = local_mr.base + loff;
+  auto staged = std::make_shared<std::vector<std::byte>>();
+  machine().engine().schedule_at(req.arrive, [staged, src, bytes] {
+    staged->assign(src, src + bytes);  // NIC reads target memory now
+  });
+  machine().engine().schedule_at(data.arrive, [this, staged, dst,
+                                               cb = std::move(on_done),
+                                               cost = p.o_completion]() mutable {
+    std::memcpy(dst, staged->data(), staged->size());
+    if (cb) post_completion(std::move(cb), cost);
+  });
+}
+
+void Context::rput_typed(const MemoryRegion& local_mr, const MemoryRegion& remote_mr,
+                         const std::vector<TypedChunk>& chunks,
+                         Callback on_local_done, Callback on_remote_ack) {
+  const auto& p = machine().params();
+  std::uint64_t total = 0;
+  for (const auto& c : chunks) {
+    PGASQ_CHECK(local_mr.covers(local_mr.base + c.local_offset, c.bytes));
+    PGASQ_CHECK(remote_mr.covers(remote_mr.base + c.remote_offset, c.bytes));
+    total += c.bytes;
+  }
+  // One descriptor covering the whole type map, plus a small per-chunk
+  // walk cost; the wire sees a single message with a gather/scatter
+  // efficiency factor.
+  busy(p.o_send + static_cast<Time>(chunks.size()) * p.typed_element_cost);
+  auto& net = machine().network();
+  const int src_node = process_.node();
+  const int dst_node = machine().mapping().node_of_rank(remote_mr.owner);
+  const auto wire_bytes =
+      static_cast<std::uint64_t>(static_cast<double>(total) * p.typed_wire_factor);
+  const auto t = net.transfer(src_node, dst_node, wire_bytes, now());
+  auto staged = std::make_shared<std::vector<std::byte>>(total);
+  std::uint64_t off = 0;
+  for (const auto& c : chunks) {
+    std::memcpy(staged->data() + off, local_mr.base + c.local_offset, c.bytes);
+    off += c.bytes;
+  }
+  std::byte* rbase = remote_mr.base;
+  machine().engine().schedule_at(t.arrive, [staged, rbase, chunks] {
+    std::uint64_t pos = 0;
+    for (const auto& c : chunks) {
+      std::memcpy(rbase + c.remote_offset, staged->data() + pos, c.bytes);
+      pos += c.bytes;
+    }
+  });
+  if (on_local_done) {
+    post_completion_at(t.inject_done + p.o_local_drain, std::move(on_local_done),
+                       p.o_completion);
+  }
+  if (on_remote_ack) {
+    const auto ack = net.control(dst_node, src_node, t.arrive);
+    post_completion_at(ack.arrive, std::move(on_remote_ack), 0);
+  }
+}
+
+void Context::rget_typed(const MemoryRegion& local_mr, const MemoryRegion& remote_mr,
+                         const std::vector<TypedChunk>& chunks, Callback on_done) {
+  const auto& p = machine().params();
+  std::uint64_t total = 0;
+  for (const auto& c : chunks) {
+    PGASQ_CHECK(local_mr.covers(local_mr.base + c.local_offset, c.bytes));
+    PGASQ_CHECK(remote_mr.covers(remote_mr.base + c.remote_offset, c.bytes));
+    total += c.bytes;
+  }
+  busy(p.o_send + static_cast<Time>(chunks.size()) * p.typed_element_cost);
+  auto& net = machine().network();
+  const int src_node = process_.node();
+  const int dst_node = machine().mapping().node_of_rank(remote_mr.owner);
+  const auto req = net.control(src_node, dst_node, now());
+  const auto wire_bytes =
+      static_cast<std::uint64_t>(static_cast<double>(total) * p.typed_wire_factor);
+  const auto data = net.transfer(dst_node, src_node, wire_bytes, req.arrive);
+  auto staged = std::make_shared<std::vector<std::byte>>(total);
+  const std::byte* rbase = remote_mr.base;
+  machine().engine().schedule_at(req.arrive, [staged, rbase, chunks] {
+    std::uint64_t pos = 0;
+    for (const auto& c : chunks) {
+      std::memcpy(staged->data() + pos, rbase + c.remote_offset, c.bytes);
+      pos += c.bytes;
+    }
+  });
+  std::byte* lbase = local_mr.base;
+  machine().engine().schedule_at(data.arrive, [this, staged, lbase, chunks,
+                                               cb = std::move(on_done),
+                                               cost = p.o_completion]() mutable {
+    std::uint64_t pos = 0;
+    for (const auto& c : chunks) {
+      std::memcpy(lbase + c.local_offset, staged->data() + pos, c.bytes);
+      pos += c.bytes;
+    }
+    if (cb) post_completion(std::move(cb), cost);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Two-sided / target-progress operations
+// ---------------------------------------------------------------------------
+
+void Context::send(Endpoint dest, DispatchId dispatch, std::vector<std::byte> header,
+                   std::vector<std::byte> payload, Callback on_local_done) {
+  PGASQ_CHECK(dest.rank >= 0 && dest.rank < machine().num_ranks());
+  const auto& p = machine().params();
+  busy(p.o_send);
+  auto& net = machine().network();
+  const int src_node = process_.node();
+  const int dst_node = machine().mapping().node_of_rank(dest.rank);
+  const std::uint64_t wire_bytes =
+      p.control_packet_bytes + header.size() + payload.size();
+  const auto t = net.transfer(src_node, dst_node, wire_bytes, now());
+  AmMessage msg;
+  msg.source = Endpoint{process_.rank(), index_};
+  msg.header = std::move(header);
+  msg.payload = std::move(payload);
+  msg.sent_at = now();
+  msg.arrived_at = t.arrive;
+  Context& dest_ctx = machine().process(dest.rank).context(dest.context);
+  machine().engine().schedule_at(
+      t.arrive, [&dest_ctx, dispatch, msg = std::move(msg)]() mutable {
+        dest_ctx.post_am(dispatch, std::move(msg));
+      });
+  if (on_local_done) {
+    post_completion_at(t.inject_done, std::move(on_local_done), p.o_completion);
+  }
+}
+
+void Context::put(Endpoint dest, const std::byte* local, std::byte* remote,
+                  std::uint64_t bytes, Callback on_local_done,
+                  Callback on_remote_done) {
+  const auto& p = machine().params();
+  busy(p.o_send);
+  auto& net = machine().network();
+  const int src_node = process_.node();
+  const int dst_node = machine().mapping().node_of_rank(dest.rank);
+  const auto t = net.transfer(src_node, dst_node, p.control_packet_bytes + bytes, now());
+  Item item;
+  item.kind = Item::Kind::kPutData;
+  item.deposit_to = remote;
+  item.deposit_data.assign(local, local + bytes);
+  Context& dest_ctx = machine().process(dest.rank).context(dest.context);
+  if (on_remote_done) {
+    // After the deposit is serviced, a NIC ack returns to us.
+    Context* self = this;
+    const Endpoint me{process_.rank(), index_};
+    item.remote_ack = [self, me, dest, cb = std::move(on_remote_done)]() mutable {
+      Machine& m = self->machine();
+      const int from = m.mapping().node_of_rank(dest.rank);
+      const int to = m.mapping().node_of_rank(me.rank);
+      const auto ack = m.network().control(from, to, self->machine().engine().now());
+      m.engine().schedule_at(ack.arrive, [self, cb = std::move(cb)]() mutable {
+        self->post_completion(std::move(cb), self->machine().params().o_completion);
+      });
+    };
+  }
+  machine().engine().schedule_at(t.arrive, [&dest_ctx, item = std::move(item)]() mutable {
+    dest_ctx.post(std::move(item));
+  });
+  if (on_local_done) {
+    post_completion_at(t.inject_done, std::move(on_local_done), p.o_completion);
+  }
+}
+
+void Context::get(Endpoint dest, std::byte* local, const std::byte* remote,
+                  std::uint64_t bytes, Callback on_done) {
+  const auto& p = machine().params();
+  busy(p.o_send);
+  auto& net = machine().network();
+  const int src_node = process_.node();
+  const int dst_node = machine().mapping().node_of_rank(dest.rank);
+  const auto req = net.control(src_node, dst_node, now());
+  Item item;
+  item.kind = Item::Kind::kGetRequest;
+  item.requester_buffer = local;
+  item.source_data = remote;
+  item.bytes = bytes;
+  item.reply_to = Endpoint{process_.rank(), index_};
+  item.callback = std::move(on_done);
+  Context& dest_ctx = machine().process(dest.rank).context(dest.context);
+  machine().engine().schedule_at(req.arrive, [&dest_ctx, item = std::move(item)]() mutable {
+    dest_ctx.post(std::move(item));
+  });
+}
+
+void Context::rmw(Endpoint dest, std::int64_t* remote_word, RmwOp op,
+                  std::int64_t operand, std::int64_t compare, RmwCallback on_done) {
+  PGASQ_CHECK(on_done != nullptr);
+  const auto& p = machine().params();
+  busy(p.o_send);
+  auto& net = machine().network();
+  const int src_node = process_.node();
+  const int dst_node = machine().mapping().node_of_rank(dest.rank);
+  const auto req = net.control(src_node, dst_node, now());
+
+  if (p.hardware_amo) {
+    // Gemini/InfiniBand-style NIC AMO: the target NIC applies the
+    // operation with no target software (ablation: bench_abl_hw_amo).
+    Context* self = this;
+    machine().engine().schedule_at(
+        req.arrive + p.hw_amo_service,
+        [self, remote_word, op, operand, compare, dst_node, src_node,
+         cb = std::move(on_done)]() mutable {
+          const std::int64_t old = apply_rmw(remote_word, op, operand, compare);
+          Machine& m = self->machine();
+          const auto reply = m.network().control(dst_node, src_node, m.engine().now());
+          m.engine().schedule_at(reply.arrive, [self, old, cb = std::move(cb)]() mutable {
+            self->post_completion([cb = std::move(cb), old] { cb(old); },
+                                  self->machine().params().o_completion);
+          });
+        });
+    return;
+  }
+
+  // BG/Q reality: serviced by target software at its next advance.
+  Context& dest_ctx = machine().process(dest.rank).context(dest.context);
+  const Endpoint me{process_.rank(), index_};
+  machine().engine().schedule_at(
+      req.arrive, [&dest_ctx, remote_word, op, operand, compare, me,
+                   cb = std::move(on_done)]() mutable {
+        dest_ctx.post_rmw_service(remote_word, op, operand, compare, me, std::move(cb));
+      });
+}
+
+void Context::post_completion_at(Time when, Callback cb, Time cost) {
+  PGASQ_CHECK(when >= now());
+  machine().engine().schedule_at(when, [this, cb = std::move(cb), cost]() mutable {
+    post_completion(std::move(cb), cost);
+  });
+}
+
+}  // namespace pgasq::pami

@@ -1,0 +1,59 @@
+#include "pami/machine.hpp"
+
+#include "util/error.hpp"
+
+namespace pgasq::pami {
+
+topo::Coord5 Machine::pick_dims(const MachineConfig& config) {
+  if (config.dims) return *config.dims;
+  PGASQ_CHECK(config.num_ranks >= 1);
+  PGASQ_CHECK(config.ranks_per_node >= 1);
+  PGASQ_CHECK(config.num_ranks % config.ranks_per_node == 0,
+              << "num_ranks " << config.num_ranks << " not divisible by ranks_per_node "
+              << config.ranks_per_node);
+  const int nodes = config.num_ranks / config.ranks_per_node;
+  if (topo::has_bgq_partition(nodes)) return topo::bgq_partition_dims(nodes);
+  return topo::balanced_dims(nodes);
+}
+
+Machine::Machine(MachineConfig config)
+    : config_(std::move(config)),
+      torus_(pick_dims(config_)),
+      mapping_(torus_, config_.ranks_per_node),
+      rng_(config_.seed) {
+  network_ = noc::make_network_model(config_.network_model, torus_, config_.params);
+  if (!config_.trace_json_path.empty()) {
+    trace_ = std::make_unique<sim::TraceRecorder>();
+    engine_.set_trace(trace_.get());
+  }
+  processes_.reserve(static_cast<std::size_t>(config_.num_ranks));
+  for (RankId r = 0; r < config_.num_ranks; ++r) {
+    processes_.push_back(
+        std::make_unique<Process>(*this, r, config_.max_memregions_per_rank));
+  }
+}
+
+Machine::~Machine() = default;
+
+Process& Machine::process(RankId rank) {
+  PGASQ_CHECK(rank >= 0 && rank < num_ranks(), << "rank " << rank);
+  return *processes_[static_cast<std::size_t>(rank)];
+}
+
+void Machine::run(std::function<void(Process&)> rank_main) {
+  for (RankId r = 0; r < num_ranks(); ++r) {
+    Process* proc = processes_[static_cast<std::size_t>(r)].get();
+    engine_.spawn("rank" + std::to_string(r), [rank_main, proc] { rank_main(*proc); },
+                  config_.fiber_stack_bytes);
+  }
+  engine_.run();
+  if (trace_ != nullptr) trace_->write_json(config_.trace_json_path);
+}
+
+sim::Fiber& Machine::spawn_thread(Process& process, const std::string& name,
+                                  std::function<void()> body) {
+  return engine_.spawn(name + "@rank" + std::to_string(process.rank()), std::move(body),
+                       config_.fiber_stack_bytes);
+}
+
+}  // namespace pgasq::pami

@@ -1,0 +1,82 @@
+// The simulated Blue Gene/Q partition: engine + torus + network model
+// + one Process per rank, with an SPMD launcher.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "noc/network.hpp"
+#include "noc/parameters.hpp"
+#include "pami/process.hpp"
+#include "sim/engine.hpp"
+#include "sim/trace.hpp"
+#include "topo/torus.hpp"
+#include "util/rng.hpp"
+
+namespace pgasq::pami {
+
+struct MachineConfig {
+  /// Total processes p (Table I). ranks_per_node is c.
+  int num_ranks = 2;
+  int ranks_per_node = 1;
+  /// "loggp" or "contention".
+  std::string network_model = "loggp";
+  noc::BgqParameters params{};
+  /// Torus shape override; otherwise the BG/Q partition table (or a
+  /// balanced factorization) picks the shape for num_ranks/ranks_per_node.
+  std::optional<topo::Coord5> dims;
+  /// Per-process PAMI memregion limit (at-scale registration failure).
+  std::size_t max_memregions_per_rank = static_cast<std::size_t>(-1);
+  std::size_t fiber_stack_bytes = 256 * 1024;
+  std::uint64_t seed = 42;
+  /// Non-empty: record a Chrome trace-event JSON of fiber activity in
+  /// virtual time and write it here when the run completes.
+  std::string trace_json_path;
+};
+
+class Machine {
+ public:
+  explicit Machine(MachineConfig config);
+  ~Machine();
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  sim::Engine& engine() { return engine_; }
+  noc::NetworkModel& network() { return *network_; }
+  const topo::Torus5D& torus() const { return torus_; }
+  const topo::RankMapping& mapping() const { return mapping_; }
+  const MachineConfig& config() const { return config_; }
+  const noc::BgqParameters& params() const { return config_.params; }
+
+  int num_ranks() const { return config_.num_ranks; }
+  Process& process(RankId rank);
+
+  /// Spawns one main fiber per rank running `rank_main`, then runs the
+  /// simulation to completion. Throws whatever a rank program threw.
+  void run(std::function<void(Process&)> rank_main);
+
+  /// Spawns an extra simulated SMT thread bound to `process`
+  /// (asynchronous progress threads use this).
+  sim::Fiber& spawn_thread(Process& process, const std::string& name,
+                           std::function<void()> body);
+
+  Rng& rng() { return rng_; }
+
+ private:
+  static topo::Coord5 pick_dims(const MachineConfig& config);
+
+  MachineConfig config_;
+  std::unique_ptr<sim::TraceRecorder> trace_;
+  sim::Engine engine_;
+  topo::Torus5D torus_;
+  topo::RankMapping mapping_;
+  std::unique_ptr<noc::NetworkModel> network_;
+  std::vector<std::unique_ptr<Process>> processes_;
+  Rng rng_;
+};
+
+}  // namespace pgasq::pami

@@ -1,0 +1,32 @@
+#include "pami/memregion.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace pgasq::pami {
+
+std::optional<MemoryRegion> RegionTable::create(std::byte* base, std::size_t size) {
+  PGASQ_CHECK(base != nullptr && size > 0);
+  if (regions_.size() >= max_regions_) return std::nullopt;
+  MemoryRegion r{owner_, base, size, next_id_++};
+  regions_.push_back(r);
+  return r;
+}
+
+void RegionTable::destroy(const MemoryRegion& region) {
+  const auto it = std::find_if(regions_.begin(), regions_.end(),
+                               [&](const MemoryRegion& r) { return r.id == region.id; });
+  PGASQ_CHECK(it != regions_.end(), << "destroy of unknown region id " << region.id);
+  regions_.erase(it);
+}
+
+std::optional<MemoryRegion> RegionTable::find(const std::byte* addr,
+                                              std::size_t bytes) const {
+  for (const auto& r : regions_) {
+    if (r.covers(addr, bytes)) return r;
+  }
+  return std::nullopt;
+}
+
+}  // namespace pgasq::pami

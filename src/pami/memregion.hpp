@@ -1,0 +1,62 @@
+// Memory regions for RDMA.
+//
+// RDMA put/get on BG/Q require both the source and the target buffer
+// to be covered by a registered memory region (S III-B). Region
+// metadata is small (gamma = 8 bytes) and size-independent, but
+// creation costs delta = 43 us and — at scale — may fail outright due
+// to memory constraints, which is why ARMCI keeps a remote-region
+// cache with an AM-served miss path. The simulator models creation
+// cost, a configurable per-process region limit, and space accounting.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "pami/types.hpp"
+
+namespace pgasq::pami {
+
+/// Handle to a registered region. Cheap value type (the "metadata" the
+/// paper says is independent of region size).
+struct MemoryRegion {
+  RankId owner = -1;
+  std::byte* base = nullptr;
+  std::size_t size = 0;
+  std::uint64_t id = 0;
+
+  bool valid() const { return base != nullptr; }
+  bool covers(const std::byte* addr, std::size_t bytes) const {
+    return addr >= base && addr + bytes <= base + size;
+  }
+};
+
+/// Per-process registration table.
+class RegionTable {
+ public:
+  explicit RegionTable(RankId owner, std::size_t max_regions)
+      : owner_(owner), max_regions_(max_regions) {}
+
+  /// Registers [base, base+size). Returns nullopt when the region
+  /// limit is reached (the at-scale failure mode the fall-back
+  /// protocol exists for). Does not charge time — the caller does.
+  std::optional<MemoryRegion> create(std::byte* base, std::size_t size);
+
+  /// Removes a registration.
+  void destroy(const MemoryRegion& region);
+
+  /// Finds a registered region covering [addr, addr+bytes).
+  std::optional<MemoryRegion> find(const std::byte* addr, std::size_t bytes) const;
+
+  std::size_t count() const { return regions_.size(); }
+  std::uint64_t created_total() const { return next_id_ - 1; }
+
+ private:
+  RankId owner_;
+  std::size_t max_regions_;
+  std::uint64_t next_id_ = 1;
+  std::vector<MemoryRegion> regions_;
+};
+
+}  // namespace pgasq::pami

@@ -1,0 +1,63 @@
+// Shared vocabulary types for the simulated PAMI layer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/time_types.hpp"
+
+namespace pgasq::pami {
+
+/// Global process (MPI-style) rank.
+using RankId = int;
+
+/// PAMI endpoint: addresses one communication context of one rank's
+/// client. Active messages and RMA target an endpoint, not a rank
+/// (S III-A1).
+struct Endpoint {
+  RankId rank = -1;
+  int context = 0;
+
+  bool operator==(const Endpoint&) const = default;
+};
+
+/// Completion callback, executed from PAMI_Context_advance on the
+/// thread that advances.
+using Callback = std::function<void()>;
+
+/// Read-modify-write operations. BG/Q PAMI exposes these but services
+/// them in software at the target — the hardware limitation S III-D is
+/// about; the simulator reproduces that (see BgqParameters::hardware_amo).
+enum class RmwOp {
+  kFetchAdd,  ///< returns old value, adds operand
+  kAdd,       ///< adds operand, no fetch
+  kSwap,      ///< returns old value, stores operand
+  kCompareSwap,  ///< if old == compare, store operand; returns old
+};
+
+/// Result delivered to an rmw completion callback.
+using RmwCallback = std::function<void(std::int64_t fetched)>;
+
+/// Active-message dispatch identifier, registered per context.
+using DispatchId = int;
+
+/// An active message as seen by the target's dispatch handler.
+struct AmMessage {
+  Endpoint source;               ///< reply address
+  std::vector<std::byte> header;
+  std::vector<std::byte> payload;
+  Time sent_at = 0;
+  Time arrived_at = 0;
+};
+
+/// One contiguous piece of a typed (strided) transfer: byte offsets
+/// are relative to the local / remote base addresses of the transfer.
+struct TypedChunk {
+  std::uint64_t local_offset;
+  std::uint64_t remote_offset;
+  std::uint64_t bytes;
+};
+
+}  // namespace pgasq::pami

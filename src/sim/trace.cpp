@@ -1,0 +1,87 @@
+#include "sim/trace.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace pgasq::sim {
+
+std::uint32_t TraceRecorder::register_track(const std::string& name) {
+  tracks_.push_back(name);
+  return static_cast<std::uint32_t>(tracks_.size() - 1);
+}
+
+void TraceRecorder::begin_slice(std::uint32_t track, Time at) {
+  if (events_.size() >= max_events_) {
+    truncated_ = true;
+    return;
+  }
+  events_.push_back(Event{'B', track, at, {}});
+}
+
+void TraceRecorder::end_slice(std::uint32_t track, Time at) {
+  if (events_.size() >= max_events_) {
+    truncated_ = true;
+    return;
+  }
+  events_.push_back(Event{'E', track, at, {}});
+}
+
+void TraceRecorder::instant(std::uint32_t track, const std::string& name, Time at) {
+  if (events_.size() >= max_events_) {
+    truncated_ = true;
+    return;
+  }
+  events_.push_back(Event{'i', track, at, name});
+}
+
+namespace {
+void append_escaped(std::ostringstream& os, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+}
+}  // namespace
+
+std::string TraceRecorder::to_json() const {
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  // Thread-name metadata so tracks show fiber names.
+  for (std::size_t t = 0; t < tracks_.size(); ++t) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << t
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+    append_escaped(os, tracks_[t]);
+    os << "\"}}";
+  }
+  for (const auto& e : events_) {
+    if (!first) os << ',';
+    first = false;
+    // ts is in microseconds of virtual time.
+    os << "{\"ph\":\"" << e.phase << "\",\"pid\":1,\"tid\":" << e.track
+       << ",\"ts\":" << to_us(e.at);
+    if (e.phase == 'i') {
+      os << ",\"s\":\"t\",\"name\":\"";
+      append_escaped(os, e.name);
+      os << "\"";
+    } else {
+      os << ",\"name\":\"run\"";
+    }
+    os << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+void TraceRecorder::write_json(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  PGASQ_CHECK(out.good(), << "cannot open trace file '" << path << "'");
+  out << to_json();
+  PGASQ_CHECK(out.good(), << "failed writing trace file '" << path << "'");
+}
+
+}  // namespace pgasq::sim

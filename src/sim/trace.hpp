@@ -1,0 +1,53 @@
+// Virtual-time execution tracing in Chrome trace-event format.
+//
+// When enabled (pami::MachineConfig::trace_json_path), the engine
+// records one duration span per fiber execution slice — who ran when
+// in virtual time — plus user instant markers. Load the resulting
+// JSON in chrome://tracing or Perfetto to see rank/async-thread
+// interleavings, counter convoys, and barrier waves.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/time_types.hpp"
+
+namespace pgasq::sim {
+
+class TraceRecorder {
+ public:
+  /// Caps memory: recording stops (silently) after this many events.
+  explicit TraceRecorder(std::size_t max_events = 1 << 20)
+      : max_events_(max_events) {}
+
+  /// A named track (one per fiber); returns a dense track id.
+  std::uint32_t register_track(const std::string& name);
+
+  void begin_slice(std::uint32_t track, Time at);
+  void end_slice(std::uint32_t track, Time at);
+  /// Instant marker on a track ("barrier release", "steal", ...).
+  void instant(std::uint32_t track, const std::string& name, Time at);
+
+  std::size_t event_count() const { return events_.size(); }
+  bool truncated() const { return truncated_; }
+
+  /// Serializes to Chrome trace-event JSON ({"traceEvents": [...]}).
+  std::string to_json() const;
+  /// Writes to_json() to a file; throws on I/O failure.
+  void write_json(const std::string& path) const;
+
+ private:
+  struct Event {
+    char phase;  // 'B', 'E', 'i'
+    std::uint32_t track;
+    Time at;
+    std::string name;  // instants only
+  };
+  std::size_t max_events_;
+  bool truncated_ = false;
+  std::vector<std::string> tracks_;
+  std::vector<Event> events_;
+};
+
+}  // namespace pgasq::sim

@@ -1,0 +1,81 @@
+#include "util/config.hpp"
+
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace pgasq {
+
+Config Config::from_args(int argc, char** argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    std::string tok = argv[i];
+    std::string body = tok;
+    if (body.rfind("--", 0) == 0) body = body.substr(2);
+    const auto eq = body.find('=');
+    if (eq == std::string::npos) {
+      if (tok.rfind("--", 0) == 0) {
+        // Bare flag: treat as boolean true.
+        cfg.set(body, "true");
+      } else {
+        cfg.positional_.push_back(tok);
+      }
+      continue;
+    }
+    cfg.set(body.substr(0, eq), body.substr(eq + 1));
+  }
+  return cfg;
+}
+
+void Config::set(const std::string& key, const std::string& value) {
+  PGASQ_CHECK(!key.empty());
+  values_[key] = value;
+}
+
+bool Config::has(const std::string& key) const { return values_.count(key) != 0; }
+
+std::optional<std::string> Config::find(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Config::get_string(const std::string& key, const std::string& fallback) const {
+  return find(key).value_or(fallback);
+}
+
+std::int64_t Config::get_int(const std::string& key, std::int64_t fallback) const {
+  const auto v = find(key);
+  if (!v) return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v->c_str(), &end, 0);
+  PGASQ_CHECK(end && *end == '\0', << "config key '" << key << "' is not an integer: " << *v);
+  return parsed;
+}
+
+double Config::get_double(const std::string& key, double fallback) const {
+  const auto v = find(key);
+  if (!v) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v->c_str(), &end);
+  PGASQ_CHECK(end && *end == '\0', << "config key '" << key << "' is not a number: " << *v);
+  return parsed;
+}
+
+bool Config::get_bool(const std::string& key, bool fallback) const {
+  const auto v = find(key);
+  if (!v) return fallback;
+  if (*v == "1" || *v == "true" || *v == "yes" || *v == "on") return true;
+  if (*v == "0" || *v == "false" || *v == "no" || *v == "off") return false;
+  PGASQ_CHECK(false, << "config key '" << key << "' is not a boolean: " << *v);
+  return fallback;
+}
+
+std::vector<std::string> Config::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [k, _] : values_) out.push_back(k);
+  return out;
+}
+
+}  // namespace pgasq

@@ -1,0 +1,58 @@
+// Error handling for the pgasq library.
+//
+// Internal invariant violations throw pgasq::Error with a formatted
+// message; API misuse by callers is reported the same way. The checks
+// stay enabled in release builds — this is a simulator whose value is
+// correctness of reported numbers, not raw speed.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pgasq {
+
+/// Exception thrown on any invariant violation or API misuse.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail(const char* cond, const char* file, int line,
+                              const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check failed: " << cond;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+// Builds the optional streamed message lazily only when a check fails.
+class MsgStream {
+ public:
+  template <typename T>
+  MsgStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+  std::string str() const { return os_.str(); }
+
+ private:
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace pgasq
+
+/// Always-on invariant check: PGASQ_CHECK(x > 0, "x was " << x);
+#define PGASQ_CHECK(cond, ...)                                              \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::pgasq::detail::fail(#cond, __FILE__, __LINE__,                      \
+                            (::pgasq::detail::MsgStream{} __VA_ARGS__).str()); \
+    }                                                                       \
+  } while (0)
+
+/// Marks unreachable code paths.
+#define PGASQ_UNREACHABLE(msg) \
+  ::pgasq::detail::fail("unreachable", __FILE__, __LINE__, msg)

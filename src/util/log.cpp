@@ -1,0 +1,43 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace pgasq {
+
+namespace {
+LogLevel g_level = LogLevel::kOff;
+
+const char* name_of(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void Logger::set_level(LogLevel level) { g_level = level; }
+LogLevel Logger::level() { return g_level; }
+
+void Logger::init_from_env() {
+  const char* env = std::getenv("PGASQ_LOG");
+  if (env == nullptr) return;
+  if (std::strcmp(env, "trace") == 0) g_level = LogLevel::kTrace;
+  else if (std::strcmp(env, "debug") == 0) g_level = LogLevel::kDebug;
+  else if (std::strcmp(env, "info") == 0) g_level = LogLevel::kInfo;
+  else if (std::strcmp(env, "warn") == 0) g_level = LogLevel::kWarn;
+  else if (std::strcmp(env, "error") == 0) g_level = LogLevel::kError;
+  else g_level = LogLevel::kOff;
+}
+
+void Logger::write(LogLevel level, const std::string& msg) {
+  std::fprintf(stderr, "[pgasq %s] %s\n", name_of(level), msg.c_str());
+}
+
+}  // namespace pgasq

@@ -1,0 +1,46 @@
+// Minimal leveled logging. Off by default (benchmark output must stay
+// clean); enabled per-run via Logger::set_level or PGASQ_LOG env var.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace pgasq {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+class Logger {
+ public:
+  /// Global threshold; messages below it are discarded.
+  static void set_level(LogLevel level);
+  static LogLevel level();
+  /// Reads PGASQ_LOG=trace|debug|info|warn|error|off once at startup.
+  static void init_from_env();
+
+  static void write(LogLevel level, const std::string& msg);
+};
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Logger::write(level_, os_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace pgasq
+
+#define PGASQ_LOG(level)                                   \
+  if (::pgasq::LogLevel::level < ::pgasq::Logger::level()) \
+    ;                                                      \
+  else                                                     \
+    ::pgasq::detail::LogLine(::pgasq::LogLevel::level)

@@ -1,0 +1,93 @@
+// Deterministic pseudo-random number generation.
+//
+// The simulator must be bit-reproducible across runs and platforms, so
+// we avoid std::mt19937/std::uniform_* (distribution algorithms are
+// implementation-defined) and carry our own xoshiro256** generator with
+// explicit, portable distribution code.
+#pragma once
+
+#include <cstdint>
+
+#include "util/error.hpp"
+
+namespace pgasq {
+
+/// SplitMix64 — used to seed xoshiro from a single 64-bit value.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference code).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& w : s_) w = splitmix64(sm);
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method
+  /// simplified: rejection on the multiply-high range).
+  std::uint64_t next_below(std::uint64_t bound) {
+    PGASQ_CHECK(bound > 0);
+    // Rejection sampling on the top bits; at most a few iterations.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = next_u64();
+      const __uint128_t m = static_cast<__uint128_t>(r) * bound;
+      if (static_cast<std::uint64_t>(m) >= threshold) {
+        return static_cast<std::uint64_t>(m >> 64);
+      }
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi) {
+    PGASQ_CHECK(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Exponentially distributed double with the given mean.
+  double next_exponential(double mean);
+
+  bool next_bool(double p_true = 0.5) { return next_double() < p_true; }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace pgasq
+
+#include <cmath>
+
+namespace pgasq {
+inline double Rng::next_exponential(double mean) {
+  // Inverse CDF; 1 - u avoids log(0).
+  return -mean * std::log(1.0 - next_double());
+}
+}  // namespace pgasq

@@ -1,0 +1,106 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace pgasq {
+
+void Accumulator::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void Accumulator::merge(const Accumulator& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double nt = na + nb;
+  mean_ += delta * nb / nt;
+  m2_ += other.m2_ + delta * delta * na * nb / nt;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Accumulator::reset() { *this = Accumulator{}; }
+
+double Accumulator::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+void Samples::add(double x) {
+  if (data_.size() >= capacity_) {
+    truncated_ = true;
+    return;
+  }
+  data_.push_back(x);
+  sorted_ = false;
+}
+
+double Samples::quantile(double q) const {
+  PGASQ_CHECK(q >= 0.0 && q <= 1.0, << "q=" << q);
+  PGASQ_CHECK(!data_.empty(), << "quantile of empty sample set");
+  if (!sorted_) {
+    std::sort(data_.begin(), data_.end());
+    sorted_ = true;
+  }
+  // Linear interpolation between closest ranks.
+  const double pos = q * static_cast<double>(data_.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, data_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return data_[lo] * (1.0 - frac) + data_[hi] * frac;
+}
+
+double Samples::mean() const {
+  if (data_.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : data_) s += v;
+  return s / static_cast<double>(data_.size());
+}
+
+void Log2Histogram::merge(const Log2Histogram& other) {
+  if (other.buckets_.size() > buckets_.size()) {
+    buckets_.resize(other.buckets_.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  total_ += other.total_;
+}
+
+void Log2Histogram::add(std::uint64_t value) {
+  const std::size_t idx = value == 0 ? 0 : static_cast<std::size_t>(std::bit_width(value));
+  if (idx >= buckets_.size()) buckets_.resize(idx + 1, 0);
+  ++buckets_[idx];
+  ++total_;
+}
+
+std::string Log2Histogram::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    const std::uint64_t lo = i == 0 ? 0 : (1ULL << (i - 1));
+    const std::uint64_t hi = i == 0 ? 1 : (1ULL << i);
+    os << "  [" << lo << ", " << hi << "): " << buckets_[i] << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace pgasq

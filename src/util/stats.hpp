@@ -1,0 +1,74 @@
+// Online statistics used throughout the benchmarks.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace pgasq {
+
+/// Streaming accumulator: count / mean / variance (Welford) / min / max.
+class Accumulator {
+ public:
+  void add(double x);
+  void merge(const Accumulator& other);
+  void reset();
+
+  std::size_t count() const { return n_; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-capacity reservoir of raw samples with exact quantiles.
+/// Keeps every sample up to `capacity`; callers size it for the run.
+class Samples {
+ public:
+  explicit Samples(std::size_t capacity = 1 << 20) : capacity_(capacity) {}
+
+  void add(double x);
+  std::size_t count() const { return data_.size(); }
+  bool truncated() const { return truncated_; }
+
+  /// Exact quantile over retained samples, q in [0, 1]. Sorts lazily.
+  double quantile(double q) const;
+  double median() const { return quantile(0.5); }
+  double mean() const;
+
+ private:
+  std::size_t capacity_;
+  bool truncated_ = false;
+  mutable bool sorted_ = false;
+  mutable std::vector<double> data_;
+};
+
+/// Log2-bucketed histogram for message-size style distributions.
+class Log2Histogram {
+ public:
+  void add(std::uint64_t value);
+  void merge(const Log2Histogram& other);
+  std::size_t bucket_count() const { return buckets_.size(); }
+  std::uint64_t bucket(std::size_t i) const { return buckets_[i]; }
+  std::uint64_t total() const { return total_; }
+  /// Renders "  [2^k, 2^k+1): count" lines.
+  std::string to_string() const;
+
+ private:
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace pgasq

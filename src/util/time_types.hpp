@@ -1,0 +1,43 @@
+// Virtual-time representation shared by the whole simulator.
+//
+// Simulated time is a signed 64-bit count of picoseconds. Picosecond
+// resolution is required because the calibrated BG/Q link inverse
+// bandwidth (G ~ 0.56 ns/byte) and per-hop latencies (35 ns) are
+// sub-nanosecond quantities that accumulate over megabyte transfers;
+// int64 ps still spans ~106 days of virtual time, far beyond any run.
+#pragma once
+
+#include <cstdint>
+
+namespace pgasq {
+
+/// Virtual time in picoseconds.
+using Time = std::int64_t;
+
+constexpr Time kPicosecond = 1;
+constexpr Time kNanosecond = 1000;
+constexpr Time kMicrosecond = 1000 * kNanosecond;
+constexpr Time kMillisecond = 1000 * kMicrosecond;
+constexpr Time kSecond = 1000 * kMillisecond;
+
+/// Converts a floating-point duration to Time (rounds to nearest ps).
+constexpr Time from_ns(double ns) { return static_cast<Time>(ns * 1e3 + 0.5); }
+constexpr Time from_us(double us) { return static_cast<Time>(us * 1e6 + 0.5); }
+constexpr Time from_ms(double ms) { return static_cast<Time>(ms * 1e9 + 0.5); }
+
+/// Converts Time to floating-point durations for reporting.
+constexpr double to_ns(Time t) { return static_cast<double>(t) / 1e3; }
+constexpr double to_us(Time t) { return static_cast<double>(t) / 1e6; }
+constexpr double to_ms(Time t) { return static_cast<double>(t) / 1e9; }
+constexpr double to_s(Time t) { return static_cast<double>(t) / 1e12; }
+
+namespace literals {
+constexpr Time operator""_ps(unsigned long long v) { return static_cast<Time>(v); }
+constexpr Time operator""_ns(unsigned long long v) { return static_cast<Time>(v) * kNanosecond; }
+constexpr Time operator""_us(unsigned long long v) { return static_cast<Time>(v) * kMicrosecond; }
+constexpr Time operator""_ms(unsigned long long v) { return static_cast<Time>(v) * kMillisecond; }
+constexpr Time operator""_ns(long double v) { return from_ns(static_cast<double>(v)); }
+constexpr Time operator""_us(long double v) { return from_us(static_cast<double>(v)); }
+}  // namespace literals
+
+}  // namespace pgasq

@@ -1,0 +1,176 @@
+// The application proxies: SCF task arithmetic, workload determinism,
+// and the qualitative Fig 9 / Fig 11 relationships at test scale.
+#include <gtest/gtest.h>
+
+#include "apps/counter_kernel.hpp"
+#include "apps/scf.hpp"
+#include "core/comm.hpp"
+
+namespace pgasq::apps {
+namespace {
+
+armci::WorldConfig make_cfg(int ranks, armci::ProgressMode mode,
+                            int contexts = 1) {
+  armci::WorldConfig cfg;
+  cfg.machine.num_ranks = ranks;
+  cfg.armci.progress = mode;
+  cfg.armci.contexts_per_rank = contexts;
+  return cfg;
+}
+
+TEST(ScfMath, TaskBlocksCoverUpperTriangleExactlyOnce) {
+  const std::int64_t nblk = 9;
+  const std::int64_t ntasks = nblk * (nblk + 1) / 2;
+  std::set<std::pair<std::int64_t, std::int64_t>> seen;
+  for (std::int64_t t = 0; t < ntasks; ++t) {
+    const auto [bi, bj] = scf_task_blocks(t, nblk);
+    EXPECT_LE(bi, bj);
+    EXPECT_GE(bi, 0);
+    EXPECT_LT(bj, nblk);
+    EXPECT_TRUE(seen.insert({bi, bj}).second) << "duplicate task " << t;
+  }
+  EXPECT_EQ(static_cast<std::int64_t>(seen.size()), ntasks);
+  EXPECT_THROW(scf_task_blocks(ntasks, nblk), Error);
+}
+
+TEST(ScfMath, TasksPerIterationMatchesBlockCount) {
+  ScfConfig cfg;
+  cfg.nbf = 644;
+  cfg.block = 7;
+  const std::int64_t nblk = (644 + 6) / 7;  // 92
+  EXPECT_EQ(scf_tasks_per_iteration(cfg), nblk * (nblk + 1) / 2);
+}
+
+TEST(ScfMath, TaskTimesDeterministicAndJitterBounded) {
+  ScfConfig cfg;
+  cfg.mean_task_compute = from_us(1000);
+  cfg.jitter = 0.5;
+  for (std::int64_t t = 0; t < 200; ++t) {
+    const Time a = scf_task_time(cfg, 1, t);
+    const Time b = scf_task_time(cfg, 1, t);
+    EXPECT_EQ(a, b);
+    EXPECT_GE(a, from_us(500));
+    EXPECT_LE(a, from_us(1500));
+  }
+  // Different iterations see different times (new integral screening).
+  EXPECT_NE(scf_task_time(cfg, 0, 5), scf_task_time(cfg, 1, 5));
+}
+
+TEST(Scf, AllTasksExecutedOnceAndChecksumStableAcrossP) {
+  ScfConfig scf;
+  scf.nbf = 28;
+  scf.block = 4;
+  scf.iterations = 2;
+  scf.mean_task_compute = from_us(40);
+  double checksum4 = 0;
+  {
+    armci::World world(make_cfg(4, armci::ProgressMode::kDefault));
+    const auto r = run_scf(world, scf);
+    EXPECT_EQ(r.tasks_executed,
+              static_cast<std::uint64_t>(2 * scf_tasks_per_iteration(scf)));
+    checksum4 = r.fock_checksum;
+  }
+  {
+    armci::World world(make_cfg(7, armci::ProgressMode::kDefault));
+    const auto r = run_scf(world, scf);
+    EXPECT_NEAR(r.fock_checksum, checksum4, 1e-9)
+        << "Fock result must not depend on process count";
+  }
+}
+
+TEST(Scf, AsyncThreadReducesWallAndCounterTime) {
+  ScfConfig scf;
+  scf.nbf = 40;
+  scf.block = 4;
+  scf.iterations = 1;
+  scf.mean_task_compute = from_us(800);
+  armci::World d_world(make_cfg(8, armci::ProgressMode::kDefault));
+  const auto d = run_scf(d_world, scf);
+  armci::World at_world(make_cfg(8, armci::ProgressMode::kAsyncThread, 2));
+  const auto at = run_scf(at_world, scf);
+  EXPECT_LT(at.wall_time, d.wall_time) << "AT must beat Default";
+  EXPECT_LT(at.counter_time, d.counter_time / 2)
+      << "counter time must collapse under AT";
+  EXPECT_NEAR(d.fock_checksum, at.fock_checksum, 1e-9);
+}
+
+TEST(Scf, NoForcedFencesUnderPerRegionTracking) {
+  ScfConfig scf;
+  scf.nbf = 24;
+  scf.block = 4;
+  scf.iterations = 1;
+  scf.mean_task_compute = from_us(50);
+  armci::WorldConfig cfg = make_cfg(4, armci::ProgressMode::kDefault);
+  cfg.armci.consistency = armci::ConsistencyMode::kPerRegion;
+  armci::World world(cfg);
+  const auto r = run_scf(world, scf);
+  EXPECT_EQ(r.forced_fences, 0u)
+      << "D reads and F accs are distinct structures (S III-E)";
+}
+
+TEST(Scf, PurificationSweepsRunAndStayDeterministic) {
+  ScfConfig scf;
+  scf.nbf = 24;
+  scf.block = 4;
+  scf.iterations = 2;
+  scf.mean_task_compute = from_us(40);
+  scf.purification_sweeps = 2;
+  armci::World a(make_cfg(4, armci::ProgressMode::kDefault));
+  const auto ra = run_scf(a, scf);
+  armci::World b(make_cfg(4, armci::ProgressMode::kAsyncThread, 2));
+  const auto rb = run_scf(b, scf);
+  EXPECT_NEAR(ra.fock_checksum, rb.fock_checksum, 1e-9);
+  EXPECT_NEAR(ra.final_energy, rb.final_energy, 1e-9);
+  // Purification changes the density between iterations, so the
+  // energy must differ from the no-purification run.
+  ScfConfig plain = scf;
+  plain.purification_sweeps = 0;
+  armci::World c(make_cfg(4, armci::ProgressMode::kDefault));
+  const auto rc = run_scf(c, plain);
+  EXPECT_NE(ra.final_energy, rc.final_energy);
+}
+
+TEST(CounterKernel, IdleHomeComparableAcrossModes) {
+  CounterKernelConfig kcfg;
+  kcfg.ops_per_rank = 6;
+  armci::World d(make_cfg(8, armci::ProgressMode::kDefault));
+  const auto rd = run_counter_kernel(d, kcfg);
+  armci::World at(make_cfg(8, armci::ProgressMode::kAsyncThread, 2));
+  const auto rat = run_counter_kernel(at, kcfg);
+  EXPECT_EQ(rd.final_value, 7 * 6);
+  EXPECT_EQ(rat.final_value, 7 * 6);
+  // Paper: D and AT comparable when home makes progress (within 2x).
+  EXPECT_LT(rat.avg_latency_us, rd.avg_latency_us * 2.0);
+  EXPECT_LT(rd.avg_latency_us, rat.avg_latency_us * 2.0);
+}
+
+TEST(CounterKernel, ComputingHomePunishesDefaultOnly) {
+  CounterKernelConfig kcfg;
+  kcfg.ops_per_rank = 6;
+  kcfg.home_computes = true;
+  armci::World d(make_cfg(8, armci::ProgressMode::kDefault));
+  const auto rd = run_counter_kernel(d, kcfg);
+  armci::World at(make_cfg(8, armci::ProgressMode::kAsyncThread, 2));
+  const auto rat = run_counter_kernel(at, kcfg);
+  // Default-mode latency is dominated by the 300us compute chunk.
+  EXPECT_GT(rd.avg_latency_us, 100.0);
+  EXPECT_LT(rat.avg_latency_us, 30.0);
+}
+
+TEST(CounterKernel, HardwareAmoFlattensLatency) {
+  CounterKernelConfig kcfg;
+  kcfg.ops_per_rank = 4;
+  armci::WorldConfig small = make_cfg(4, armci::ProgressMode::kAsyncThread, 2);
+  small.machine.params.hardware_amo = true;
+  armci::WorldConfig big = make_cfg(64, armci::ProgressMode::kAsyncThread, 2);
+  big.machine.params.hardware_amo = true;
+  armci::World ws(small);
+  armci::World wb(big);
+  const double lat_small = run_counter_kernel(ws, kcfg).avg_latency_us;
+  const double lat_big = run_counter_kernel(wb, kcfg).avg_latency_us;
+  EXPECT_LT(lat_big, lat_small * 4.0)
+      << "NIC AMO latency must grow sublinearly with p";
+}
+
+}  // namespace
+}  // namespace pgasq::apps

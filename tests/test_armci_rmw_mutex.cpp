@@ -1,0 +1,170 @@
+// Atomic memory operations and ARMCI mutexes: fetch-and-add / swap /
+// compare-and-swap correctness under concurrency, AMO ordering
+// properties, and mutual exclusion via the CAS-based lock protocol.
+#include <gtest/gtest.h>
+
+#include "core/comm.hpp"
+
+namespace pgasq::armci {
+namespace {
+
+WorldConfig make_cfg(int ranks, ProgressMode mode = ProgressMode::kDefault) {
+  WorldConfig cfg;
+  cfg.machine.num_ranks = ranks;
+  cfg.armci.progress = mode;
+  if (mode == ProgressMode::kAsyncThread) cfg.armci.contexts_per_rank = 2;
+  return cfg;
+}
+
+class RmwModes : public ::testing::TestWithParam<ProgressMode> {};
+
+TEST_P(RmwModes, FetchAddFromAllRanksYieldsUniqueTickets) {
+  World world(make_cfg(8, GetParam()));
+  std::vector<std::int64_t> tickets;
+  world.spmd([&](Comm& comm) {
+    auto& mem = comm.malloc_collective(8);
+    if (comm.rank() == 0) *reinterpret_cast<std::int64_t*>(mem.local(0)) = 0;
+    comm.barrier();
+    for (int i = 0; i < 4; ++i) {
+      tickets.push_back(comm.fetch_add(mem.at(0), 1));
+    }
+    comm.barrier();
+    if (comm.rank() == 0) {
+      EXPECT_EQ(comm.fetch_add(mem.at(0), 0), 32);
+    }
+    comm.barrier();
+  });
+  std::sort(tickets.begin(), tickets.end());
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    EXPECT_EQ(tickets[i], static_cast<std::int64_t>(i)) << "duplicate or gap";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, RmwModes,
+                         ::testing::Values(ProgressMode::kDefault,
+                                           ProgressMode::kAsyncThread));
+
+TEST(Rmw, SwapReturnsOldValue) {
+  World world(make_cfg(2));
+  world.spmd([](Comm& comm) {
+    auto& mem = comm.malloc_collective(8);
+    if (comm.rank() == 1) *reinterpret_cast<std::int64_t*>(mem.local(1)) = 77;
+    comm.barrier();
+    if (comm.rank() == 0) {
+      EXPECT_EQ(comm.swap(mem.at(1), 5), 77);
+      EXPECT_EQ(comm.swap(mem.at(1), 6), 5);
+    }
+    comm.barrier();
+  });
+}
+
+TEST(Rmw, CompareSwapSemantics) {
+  World world(make_cfg(2));
+  world.spmd([](Comm& comm) {
+    auto& mem = comm.malloc_collective(8);
+    comm.barrier();
+    if (comm.rank() == 0) {
+      EXPECT_EQ(comm.compare_swap(mem.at(1), 0, 42), 0);   // succeeds
+      EXPECT_EQ(comm.compare_swap(mem.at(1), 0, 99), 42);  // fails, returns 42
+      EXPECT_EQ(comm.compare_swap(mem.at(1), 42, 7), 42);  // succeeds
+      EXPECT_EQ(comm.fetch_add(mem.at(1), 0), 7);
+    }
+    comm.barrier();
+  });
+}
+
+TEST(Rmw, MisalignedTargetRejected) {
+  World world(make_cfg(2));
+  world.spmd([](Comm& comm) {
+    auto& mem = comm.malloc_collective(64);
+    if (comm.rank() == 0) {
+      EXPECT_THROW(comm.fetch_add(mem.at(1).offset(3), 1), Error);
+    }
+    comm.barrier();
+  });
+}
+
+TEST(Rmw, HardwareAmoProducesSameValues) {
+  WorldConfig cfg = make_cfg(8);
+  cfg.machine.params.hardware_amo = true;
+  World world(cfg);
+  world.spmd([](Comm& comm) {
+    auto& mem = comm.malloc_collective(8);
+    comm.barrier();
+    for (int i = 0; i < 4; ++i) comm.fetch_add(mem.at(0), 2);
+    comm.barrier();
+    if (comm.rank() == 0) {
+      EXPECT_EQ(comm.fetch_add(mem.at(0), 0), 64);
+    }
+    comm.barrier();
+  });
+}
+
+class MutexModes : public ::testing::TestWithParam<ProgressMode> {};
+
+TEST_P(MutexModes, MutualExclusionAcrossRanks) {
+  World world(make_cfg(6, GetParam()));
+  int in_section = 0;
+  int max_in_section = 0;
+  long long sum = 0;
+  world.spmd([&](Comm& comm) {
+    MutexSet mutexes = comm.create_mutexes(2);
+    comm.barrier();
+    for (int round = 0; round < 3; ++round) {
+      comm.lock(mutexes, 0, /*owner=*/0);
+      ++in_section;
+      max_in_section = std::max(max_in_section, in_section);
+      comm.compute(from_us(30));  // hold across virtual time
+      sum += 1;
+      --in_section;
+      comm.unlock(mutexes, 0, /*owner=*/0);
+    }
+    comm.barrier();
+  });
+  EXPECT_EQ(max_in_section, 1) << "two ranks inside the critical section";
+  EXPECT_EQ(sum, 18);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, MutexModes,
+                         ::testing::Values(ProgressMode::kDefault,
+                                           ProgressMode::kAsyncThread));
+
+TEST(Mutex, IndependentMutexesDoNotInterfere) {
+  World world(make_cfg(4));
+  world.spmd([](Comm& comm) {
+    MutexSet mutexes = comm.create_mutexes(4);
+    comm.barrier();
+    // Each rank takes its own mutex; no blocking possible.
+    const Time t0 = comm.now();
+    comm.lock(mutexes, comm.rank(), 0);
+    comm.unlock(mutexes, comm.rank(), 0);
+    EXPECT_LT(comm.now() - t0, from_ms(1));
+    comm.barrier();
+  });
+}
+
+TEST(Mutex, UnlockOfUnheldRejected) {
+  World world(make_cfg(2));
+  EXPECT_THROW(world.spmd([](Comm& comm) {
+                 MutexSet m = comm.create_mutexes(1);
+                 comm.barrier();
+                 if (comm.rank() == 0) comm.unlock(m, 0, 1);
+                 comm.barrier();
+               }),
+               Error);
+}
+
+TEST(Rmw, CounterTimeAccounted) {
+  World world(make_cfg(4));
+  world.spmd([](Comm& comm) {
+    auto& mem = comm.malloc_collective(8);
+    comm.barrier();
+    for (int i = 0; i < 3; ++i) comm.fetch_add(mem.at(0), 1);
+    EXPECT_GT(comm.stats().time_in_rmw, 0);
+    EXPECT_EQ(comm.stats().rmws, 3u);
+    comm.barrier();
+  });
+}
+
+}  // namespace
+}  // namespace pgasq::armci

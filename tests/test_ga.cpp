@@ -1,0 +1,184 @@
+// Global Arrays layer: distribution arithmetic, patch operations
+// across block boundaries, accumulate, and the shared counter.
+#include <gtest/gtest.h>
+
+#include "core/comm.hpp"
+#include "ga/global_array.hpp"
+
+namespace pgasq::ga {
+namespace {
+
+armci::WorldConfig make_cfg(int ranks) {
+  armci::WorldConfig cfg;
+  cfg.machine.num_ranks = ranks;
+  return cfg;
+}
+
+TEST(Distribution, RangesPartitionTheMatrix) {
+  for (int p : {1, 2, 4, 6, 16}) {
+    Distribution2D dist(p, 37, 53);
+    EXPECT_EQ(dist.grid_rows() * dist.grid_cols(), p);
+    // Row ranges tile [0, rows) exactly.
+    std::int64_t expect_lo = 0;
+    for (int gr = 0; gr < dist.grid_rows(); ++gr) {
+      const auto [lo, hi] = dist.row_range(gr);
+      EXPECT_EQ(lo, expect_lo);
+      EXPECT_GT(hi, lo);
+      expect_lo = hi;
+    }
+    EXPECT_EQ(expect_lo, 37);
+    std::int64_t col_lo = 0;
+    for (int gc = 0; gc < dist.grid_cols(); ++gc) {
+      const auto [lo, hi] = dist.col_range(gc);
+      EXPECT_EQ(lo, col_lo);
+      col_lo = hi;
+    }
+    EXPECT_EQ(col_lo, 53);
+  }
+}
+
+TEST(Distribution, OwnerConsistentWithRanges) {
+  Distribution2D dist(6, 40, 40);
+  for (std::int64_t i = 0; i < 40; i += 3) {
+    for (std::int64_t j = 0; j < 40; j += 3) {
+      const armci::RankId r = dist.owner(i, j);
+      const int gr = r / dist.grid_cols();
+      const int gc = r % dist.grid_cols();
+      const auto [rlo, rhi] = dist.row_range(gr);
+      const auto [clo, chi] = dist.col_range(gc);
+      EXPECT_GE(i, rlo);
+      EXPECT_LT(i, rhi);
+      EXPECT_GE(j, clo);
+      EXPECT_LT(j, chi);
+    }
+  }
+}
+
+TEST(Distribution, UnevenBlocksHandled) {
+  // 10 rows across 3 grid rows: 4, 3, 3.
+  Distribution2D dist(3, 10, 10);
+  ASSERT_EQ(dist.grid_rows(), 1);  // 3 = 1 x 3 grid
+  ASSERT_EQ(dist.grid_cols(), 3);
+  const auto [c0lo, c0hi] = dist.col_range(0);
+  EXPECT_EQ(c0hi - c0lo, 4);
+  const auto [c2lo, c2hi] = dist.col_range(2);
+  EXPECT_EQ(c2hi - c2lo, 3);
+}
+
+TEST(GlobalArrayTest, FillAndReadBack) {
+  armci::World world(make_cfg(4));
+  world.spmd([](armci::Comm& comm) {
+    GlobalArray a(comm, 20, 20);
+    a.fill_local([](std::int64_t i, std::int64_t j) {
+      return static_cast<double>(i) + 0.01 * static_cast<double>(j);
+    });
+    a.sync();
+    // Sample elements owned by various ranks.
+    for (std::int64_t i = 0; i < 20; i += 7) {
+      for (std::int64_t j = 0; j < 20; j += 7) {
+        EXPECT_DOUBLE_EQ(a.read_element(i, j), i + 0.01 * j);
+      }
+    }
+    comm.barrier();
+  });
+}
+
+TEST(GlobalArrayTest, PutPatchSpanningFourOwners) {
+  armci::World world(make_cfg(4));
+  world.spmd([](armci::Comm& comm) {
+    GlobalArray a(comm, 16, 16);  // 2x2 grid -> blocks of 8x8
+    a.fill_local(0.0);
+    a.sync();
+    if (comm.rank() == 0) {
+      std::vector<double> patch(8 * 8);
+      for (int k = 0; k < 64; ++k) patch[static_cast<std::size_t>(k)] = k + 1;
+      a.put(4, 12, 4, 12, patch.data(), 8);  // spans all 4 owners
+      comm.fence_all();
+      std::vector<double> back(8 * 8, -1);
+      a.get(4, 12, 4, 12, back.data(), 8);
+      EXPECT_EQ(back, patch);
+      // Outside the patch untouched.
+      EXPECT_DOUBLE_EQ(a.read_element(0, 0), 0.0);
+      EXPECT_DOUBLE_EQ(a.read_element(15, 15), 0.0);
+      EXPECT_DOUBLE_EQ(a.read_element(3, 4), 0.0);
+    }
+    comm.barrier();
+  });
+}
+
+TEST(GlobalArrayTest, AccumulateFromAllRanksSums) {
+  armci::World world(make_cfg(4));
+  world.spmd([](armci::Comm& comm) {
+    GlobalArray a(comm, 12, 12);
+    a.fill_local(0.0);
+    a.sync();
+    std::vector<double> ones(12 * 12, 1.0);
+    a.acc(0.5, 0, 12, 0, 12, ones.data(), 12);
+    a.sync();  // barrier includes fence_all
+    EXPECT_DOUBLE_EQ(a.read_element(5, 5), 0.5 * comm.nprocs());
+    comm.barrier();
+  });
+}
+
+TEST(GlobalArrayTest, GetWithWideLeadingDimension) {
+  armci::World world(make_cfg(2));
+  world.spmd([](armci::Comm& comm) {
+    GlobalArray a(comm, 10, 10);
+    a.fill_local([](std::int64_t i, std::int64_t j) { return 100.0 * i + j; });
+    a.sync();
+    std::vector<double> buf(4 * 20, -1.0);
+    a.get(2, 6, 3, 7, buf.data(), 20);  // ld larger than patch width
+    for (int r = 0; r < 4; ++r) {
+      for (int c = 0; c < 4; ++c) {
+        EXPECT_DOUBLE_EQ(buf[static_cast<std::size_t>(r * 20 + c)],
+                         100.0 * (2 + r) + (3 + c));
+      }
+      EXPECT_DOUBLE_EQ(buf[static_cast<std::size_t>(r * 20 + 4)], -1.0);
+    }
+    comm.barrier();
+  });
+}
+
+TEST(GlobalArrayTest, PatchValidationRejectsBadRanges) {
+  armci::World world(make_cfg(2));
+  EXPECT_THROW(world.spmd([](armci::Comm& comm) {
+                 GlobalArray a(comm, 8, 8);
+                 double buf[4];
+                 a.get(6, 10, 0, 2, buf, 2);  // rhi beyond matrix
+               }),
+               Error);
+}
+
+TEST(SharedCounterTest, MonotoneUniqueAcrossRanksAndReset) {
+  armci::World world(make_cfg(6));
+  std::vector<std::int64_t> seen;
+  world.spmd([&](armci::Comm& comm) {
+    SharedCounter counter(comm);
+    comm.barrier();
+    for (int i = 0; i < 5; ++i) seen.push_back(counter.next());
+    comm.barrier();
+    EXPECT_EQ(counter.read(), 30);
+    counter.reset();
+    EXPECT_EQ(counter.read(), 0);
+    comm.barrier();
+  });
+  std::sort(seen.begin(), seen.end());
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i], static_cast<std::int64_t>(i));
+  }
+}
+
+TEST(SharedCounterTest, NonZeroHomeRank) {
+  armci::World world(make_cfg(4));
+  world.spmd([](armci::Comm& comm) {
+    SharedCounter counter(comm, /*home=*/2);
+    comm.barrier();
+    counter.next();
+    comm.barrier();
+    EXPECT_EQ(counter.read(), comm.nprocs());
+    comm.barrier();
+  });
+}
+
+}  // namespace
+}  // namespace pgasq::ga

@@ -1,0 +1,335 @@
+// Unit tests for the simulated PAMI layer: object lifecycle costs,
+// memory regions, RDMA one-sidedness, the advance-gated delivery of
+// active messages and rmw (the paper's core mechanic), and ordering.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "pami/machine.hpp"
+#include "util/error.hpp"
+
+namespace pgasq::pami {
+namespace {
+
+MachineConfig two_ranks() {
+  MachineConfig cfg;
+  cfg.num_ranks = 2;
+  cfg.ranks_per_node = 1;
+  return cfg;
+}
+
+/// Rank program harness: runs `rank0` and `rank1` bodies.
+void run_pair(MachineConfig cfg, std::function<void(Process&)> rank0,
+              std::function<void(Process&)> rank1) {
+  Machine machine(cfg);
+  machine.run([&](Process& p) {
+    p.create_client();
+    p.create_context();
+    (p.rank() == 0 ? rank0 : rank1)(p);
+  });
+}
+
+TEST(Process, CreationCostsChargedToVirtualTime) {
+  Machine machine(two_ranks());
+  const auto& p = machine.params();
+  machine.run([&](Process& proc) {
+    if (proc.rank() != 0) return;
+    Time t0 = proc.now();
+    proc.create_client();
+    EXPECT_EQ(proc.now() - t0, p.client_create);
+    t0 = proc.now();
+    proc.create_context();
+    EXPECT_EQ(proc.now() - t0, p.context_create);
+    t0 = proc.now();
+    proc.create_endpoint(1, 0);
+    EXPECT_EQ(proc.now() - t0, p.endpoint_create);
+    std::byte buf[64];
+    t0 = proc.now();
+    auto r = proc.create_memregion(buf, sizeof buf);
+    EXPECT_EQ(proc.now() - t0, p.memregion_create);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(proc.space().memregions, 1u);
+    EXPECT_EQ(proc.space().contexts, 1u);
+    EXPECT_EQ(proc.space().endpoints, 1u);
+  });
+}
+
+TEST(Process, ContextBeforeClientRejected) {
+  Machine machine(two_ranks());
+  EXPECT_THROW(machine.run([&](Process& proc) { proc.create_context(); }), Error);
+}
+
+TEST(RegionTable, LimitProducesFailureNotThrow) {
+  MachineConfig cfg = two_ranks();
+  cfg.max_memregions_per_rank = 2;
+  Machine machine(cfg);
+  machine.run([&](Process& proc) {
+    std::byte a[16], b[16], c[16];
+    EXPECT_TRUE(proc.create_memregion(a, 16).has_value());
+    EXPECT_TRUE(proc.create_memregion(b, 16).has_value());
+    EXPECT_FALSE(proc.create_memregion(c, 16).has_value());  // at limit
+    // Destroy one, and capacity frees up.
+    proc.destroy_memregion(*proc.regions().find(a, 16));
+    EXPECT_TRUE(proc.create_memregion(c, 16).has_value());
+  });
+}
+
+TEST(RegionTable, FindRequiresFullCoverage) {
+  RegionTable table(0, 10);
+  std::byte buf[128];
+  auto r = table.create(buf, 64);
+  ASSERT_TRUE(r);
+  EXPECT_TRUE(table.find(buf, 64).has_value());
+  EXPECT_TRUE(table.find(buf + 10, 54).has_value());
+  EXPECT_FALSE(table.find(buf + 10, 64).has_value());  // runs past end
+  EXPECT_FALSE(table.find(buf + 64, 1).has_value());
+}
+
+TEST(Rdma, PutDataNotVisibleBeforeArrival) {
+  std::vector<double> src(8, 3.25), dst(8, 0.0);
+  run_pair(
+      two_ranks(),
+      [&](Process& p) {
+        auto lmr = p.create_memregion(src.data(), sizeof(double) * 8);
+        auto rmr = MemoryRegion{1, reinterpret_cast<std::byte*>(dst.data()),
+                                sizeof(double) * 8, 99};
+        bool done = false;
+        p.context(0).rput(*lmr, 0, rmr, 0, sizeof(double) * 8,
+                          [&done] { done = true; });
+        // Immediately after initiation the remote memory is untouched.
+        EXPECT_EQ(dst[0], 0.0);
+        p.context(0).advance_until([&done] { return done; });
+        // Local completion can precede remote arrival; wait for wire.
+        p.busy(from_us(10));
+        EXPECT_EQ(dst[0], 3.25);
+      },
+      [](Process& p) { p.busy(from_us(50)); });
+}
+
+TEST(Rdma, GetCompletesWithoutTargetAdvance) {
+  // The target NEVER advances its context; RDMA get must still work —
+  // that is what "truly one-sided" means (S III-C1).
+  std::vector<int> remote_data(64, 7), local(64, 0);
+  run_pair(
+      two_ranks(),
+      [&](Process& p) {
+        auto lmr = p.create_memregion(local.data(), sizeof(int) * 64);
+        auto rmr = MemoryRegion{1, reinterpret_cast<std::byte*>(remote_data.data()),
+                                sizeof(int) * 64, 42};
+        bool done = false;
+        p.context(0).rget(*lmr, 0, rmr, 0, sizeof(int) * 64, [&] { done = true; });
+        p.context(0).advance_until([&] { return done; });
+        EXPECT_EQ(local[13], 7);
+      },
+      [](Process& p) { p.busy(from_us(200)); /* computes, never advances */ });
+}
+
+TEST(Am, DeliveredOnlyWhenTargetAdvances) {
+  bool handled = false;
+  Time handled_at = 0;
+  Time sent_at = 0;
+  run_pair(
+      two_ranks(),
+      [&](Process& p) {
+        sent_at = p.now();
+        p.context(0).send(Endpoint{1, 0}, 5, {}, {}, nullptr);
+        p.busy(from_us(500));
+      },
+      [&](Process& p) {
+        p.context(0).set_dispatch(5, [&](Context&, const AmMessage& msg) {
+          handled = true;
+          handled_at = p.now();
+          EXPECT_EQ(msg.source.rank, 0);
+        });
+        // Compute for a long time before making progress.
+        p.busy(from_us(300));
+        EXPECT_FALSE(handled) << "AM must not run without advance";
+        p.context(0).advance();
+        EXPECT_TRUE(handled);
+        // Service happened after the compute phase, not at arrival.
+        EXPECT_GE(handled_at - sent_at, from_us(300));
+      });
+}
+
+TEST(Am, PayloadIntegrity) {
+  std::vector<std::byte> got;
+  run_pair(
+      two_ranks(),
+      [&](Process& p) {
+        std::vector<std::byte> payload(1000);
+        for (std::size_t i = 0; i < payload.size(); ++i) {
+          payload[i] = static_cast<std::byte>(i % 251);
+        }
+        std::vector<std::byte> header{std::byte{0xAB}};
+        p.context(0).send(Endpoint{1, 0}, 9, header, payload, nullptr);
+        p.busy(from_us(100));
+      },
+      [&](Process& p) {
+        p.context(0).set_dispatch(9, [&](Context&, const AmMessage& msg) {
+          EXPECT_EQ(msg.header[0], std::byte{0xAB});
+          got = msg.payload;
+        });
+        p.context(0).advance_until([&] { return !got.empty(); });
+        ASSERT_EQ(got.size(), 1000u);
+        for (std::size_t i = 0; i < got.size(); ++i) {
+          EXPECT_EQ(got[i], static_cast<std::byte>(i % 251));
+        }
+      });
+}
+
+TEST(Rmw, SoftwareServiceRequiresTargetProgress) {
+  std::int64_t counter = 100;
+  Time reply_at = 0;
+  run_pair(
+      two_ranks(),
+      [&](Process& p) {
+        std::int64_t fetched = -1;
+        p.context(0).rmw(Endpoint{1, 0}, &counter, RmwOp::kFetchAdd, 5, 0,
+                         [&](std::int64_t old) {
+                           fetched = old;
+                           reply_at = p.now();
+                         });
+        p.context(0).advance_until([&] { return fetched >= 0; });
+        EXPECT_EQ(fetched, 100);
+        EXPECT_EQ(counter, 105);
+        // Serviced only after the target's 400us compute.
+        EXPECT_GE(reply_at, from_us(400));
+      },
+      [&](Process& p) {
+        p.busy(from_us(400));
+        p.context(0).advance();  // services the rmw now
+      });
+}
+
+TEST(Rmw, HardwareAmoBypassesTargetSoftware) {
+  MachineConfig cfg = two_ranks();
+  cfg.params.hardware_amo = true;
+  std::int64_t counter = 10;
+  run_pair(
+      cfg,
+      [&](Process& p) {
+        std::int64_t fetched = -1;
+        const Time t0 = p.now();
+        p.context(0).rmw(Endpoint{1, 0}, &counter, RmwOp::kFetchAdd, 1, 0,
+                         [&](std::int64_t old) { fetched = old; });
+        p.context(0).advance_until([&] { return fetched >= 0; });
+        EXPECT_EQ(fetched, 10);
+        // Completed in wire time, far below the target's 400us nap.
+        EXPECT_LT(p.now() - t0, from_us(50));
+      },
+      [](Process& p) { p.busy(from_us(400)); });
+}
+
+TEST(Rmw, AllOperationsApplyCorrectly) {
+  std::int64_t word = 7;
+  run_pair(
+      two_ranks(),
+      [&](Process& p) {
+        int done = 0;
+        auto issue = [&](RmwOp op, std::int64_t operand, std::int64_t compare,
+                         std::int64_t expect_old) {
+          std::int64_t fetched = -1;
+          p.context(0).rmw(Endpoint{1, 0}, &word, op, operand, compare,
+                           [&](std::int64_t old) {
+                             fetched = old;
+                             ++done;
+                           });
+          p.context(0).advance_until([&] { return fetched != -1; });
+          EXPECT_EQ(fetched, expect_old);
+        };
+        issue(RmwOp::kFetchAdd, 3, 0, 7);     // 7 -> 10
+        issue(RmwOp::kSwap, 20, 0, 10);       // 10 -> 20
+        issue(RmwOp::kCompareSwap, 5, 20, 20);  // matches -> 5
+        issue(RmwOp::kCompareSwap, 9, 999, 5);  // no match, stays 5
+        issue(RmwOp::kAdd, 1, 0, 5);          // 5 -> 6
+        EXPECT_EQ(done, 5);
+      },
+      [&](Process& p) {
+        // Service loop until the word reaches its final value.
+        p.context(0).advance_until([&] { return word == 6; });
+      });
+}
+
+TEST(Ordering, PutsToSameTargetArriveInOrder) {
+  // A 1MB put followed by a 16B put: the small one must not overtake.
+  std::vector<std::byte> big(1 << 20, std::byte{1});
+  std::array<std::byte, 16> small{};
+  std::vector<std::byte> target(1 << 20, std::byte{0});
+  run_pair(
+      two_ranks(),
+      [&](Process& p) {
+        auto mr_big = p.create_memregion(big.data(), big.size());
+        auto mr_small = p.create_memregion(small.data(), small.size());
+        auto rmr = MemoryRegion{1, target.data(), target.size(), 1};
+        int done = 0;
+        p.context(0).rput(*mr_big, 0, rmr, 0, big.size(), [&] { ++done; });
+        small[0] = std::byte{2};
+        p.context(0).rput(*mr_small, 0, rmr, 0, 16, [&] { ++done; });
+        p.context(0).advance_until([&] { return done == 2; });
+        p.busy(from_ms(2));  // let both arrive
+        EXPECT_EQ(target[0], std::byte{2}) << "small put overtaken or lost";
+        EXPECT_EQ(target[17], std::byte{1});
+      },
+      [](Process& p) { p.busy(from_ms(3)); });
+}
+
+TEST(ContextStats, ServiceDelayAndCounts) {
+  run_pair(
+      two_ranks(),
+      [&](Process& p) {
+        p.context(0).send(Endpoint{1, 0}, 1, {}, {}, nullptr);
+        p.busy(from_us(100));
+      },
+      [&](Process& p) {
+        p.context(0).set_dispatch(1, [](Context&, const AmMessage&) {});
+        p.busy(from_us(50));
+        p.context(0).advance();
+        const auto& s = p.context(0).stats();
+        EXPECT_EQ(s.ams_dispatched, 1u);
+        EXPECT_GT(s.total_service_delay, 0);
+        EXPECT_GE(s.advance_calls, 1u);
+      });
+}
+
+TEST(Advance, BatchBoundedBySnapshot) {
+  // Items posted by a handler are not serviced in the same advance.
+  run_pair(
+      two_ranks(),
+      [&](Process& p) {
+        p.context(0).send(Endpoint{1, 0}, 1, {}, {}, nullptr);
+        p.busy(from_us(200));
+      },
+      [&](Process& p) {
+        int handled = 0;
+        p.context(0).set_dispatch(1, [&](Context& ctx, const AmMessage&) {
+          ++handled;
+          if (handled == 1) ctx.post_completion([] {}, 0);
+        });
+        p.busy(from_us(100));
+        const std::size_t first = p.context(0).advance();
+        EXPECT_EQ(first, 1u);               // only the AM
+        EXPECT_TRUE(p.context(0).has_work());  // the posted completion waits
+        const std::size_t second = p.context(0).advance();
+        EXPECT_EQ(second, 1u);
+      });
+}
+
+TEST(Machine, DimsPickedFromPartitionTable) {
+  MachineConfig cfg;
+  cfg.num_ranks = 2048;
+  cfg.ranks_per_node = 16;
+  Machine machine(cfg);
+  EXPECT_EQ(machine.torus().num_nodes(), 128);
+  EXPECT_EQ(machine.torus().dims(), (topo::Coord5{2, 2, 4, 4, 2}));
+  EXPECT_EQ(machine.mapping().num_ranks(), 2048);
+}
+
+TEST(Machine, IndivisibleRanksRejected) {
+  MachineConfig cfg;
+  cfg.num_ranks = 10;
+  cfg.ranks_per_node = 4;
+  EXPECT_THROW(Machine{cfg}, Error);
+}
+
+}  // namespace
+}  // namespace pgasq::pami

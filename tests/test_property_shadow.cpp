@@ -1,0 +1,190 @@
+// Property test: a randomized storm of one-sided operations checked
+// against a shadow reference model.
+//
+// Every rank owns a disjoint WRITER SLICE inside every target's slab
+// (so cross-rank writes never overlap) and mirrors each of its own
+// operations into a local reference copy. Within a slice the generator
+// respects ARMCI's location-consistency contract: reads may follow
+// writes freely (the runtime fences internally), but switching between
+// put-style and accumulate-style writes to the same bytes requires a
+// fence — the same rule applications follow. After a global fence +
+// barrier the remote memory must equal the reference bytes exactly.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "core/comm.hpp"
+#include "core/strided.hpp"
+#include "util/rng.hpp"
+
+namespace pgasq::armci {
+namespace {
+
+constexpr std::size_t kSliceDoubles = 64;
+constexpr std::size_t kSliceBytes = kSliceDoubles * sizeof(double);
+
+struct StormParams {
+  int ranks;
+  ProgressMode mode;
+  std::uint64_t seed;
+  /// rho; 1 with kAsyncThread exercises the shared-context lock path.
+  int contexts = 1;
+};
+
+class OpStorm : public ::testing::TestWithParam<StormParams> {};
+
+TEST_P(OpStorm, RemoteMemoryMatchesShadowModel) {
+  const StormParams sp = GetParam();
+  WorldConfig cfg;
+  cfg.machine.num_ranks = sp.ranks;
+  cfg.armci.progress = sp.mode;
+  cfg.armci.contexts_per_rank = sp.contexts;
+  World world(cfg);
+  world.spmd([sp](Comm& comm) {
+    const int me = comm.rank();
+    const int p = comm.nprocs();
+    // Slab per rank: p slices of kSliceBytes; writer w owns slice w.
+    auto& mem = comm.malloc_collective(kSliceBytes * static_cast<std::size_t>(p));
+    comm.barrier();
+
+    // Shadow model: my expected contents of my slice on every target.
+    std::vector<std::vector<double>> shadow(
+        static_cast<std::size_t>(p), std::vector<double>(kSliceDoubles, 0.0));
+    // Last write kind per target slice; switching kinds needs a fence.
+    enum class Kind { kNone, kPut, kAcc };
+    std::vector<Kind> last(static_cast<std::size_t>(p), Kind::kNone);
+
+    Rng rng(sp.seed * 977 + static_cast<std::uint64_t>(me));
+    auto slice_ptr = [&](int target) {
+      return mem.at(target, kSliceBytes * static_cast<std::size_t>(me));
+    };
+
+    std::vector<double> scratch(kSliceDoubles);
+    for (int op = 0; op < 120; ++op) {
+      const int target = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(p)));
+      auto& ref = shadow[static_cast<std::size_t>(target)];
+      const std::size_t off =
+          static_cast<std::size_t>(rng.next_below(kSliceDoubles - 4));
+      const std::size_t len =
+          1 + static_cast<std::size_t>(rng.next_below(
+                  std::min<std::uint64_t>(kSliceDoubles - off, 16)));
+      switch (rng.next_below(5)) {
+        case 0: {  // contiguous put
+          if (last[static_cast<std::size_t>(target)] == Kind::kAcc) {
+            comm.fence(target);
+          }
+          last[static_cast<std::size_t>(target)] = Kind::kPut;
+          for (std::size_t i = 0; i < len; ++i) {
+            scratch[i] = static_cast<double>(rng.next_in(-1000, 1000));
+            ref[off + i] = scratch[i];
+          }
+          comm.put(scratch.data(), slice_ptr(target).offset(
+                                       static_cast<std::ptrdiff_t>(off * 8)),
+                   len * 8);
+          break;
+        }
+        case 1: {  // accumulate
+          if (last[static_cast<std::size_t>(target)] == Kind::kPut) {
+            comm.fence(target);
+          }
+          last[static_cast<std::size_t>(target)] = Kind::kAcc;
+          const double alpha = static_cast<double>(rng.next_in(1, 3));
+          for (std::size_t i = 0; i < len; ++i) {
+            scratch[i] = static_cast<double>(rng.next_in(-50, 50));
+            ref[off + i] += alpha * scratch[i];
+          }
+          comm.acc(alpha, scratch.data(),
+                   slice_ptr(target).offset(static_cast<std::ptrdiff_t>(off * 8)),
+                   len);
+          break;
+        }
+        case 2: {  // strided put of 2 rows inside the slice
+          if (off + 20 >= kSliceDoubles) break;
+          if (last[static_cast<std::size_t>(target)] == Kind::kAcc) {
+            comm.fence(target);
+          }
+          last[static_cast<std::size_t>(target)] = Kind::kPut;
+          for (int i = 0; i < 8; ++i) {
+            scratch[static_cast<std::size_t>(i)] =
+                static_cast<double>(rng.next_in(0, 99));
+          }
+          // Two rows of 4 doubles, remote pitch 10 doubles.
+          for (int r = 0; r < 2; ++r) {
+            for (int c = 0; c < 4; ++c) {
+              ref[off + static_cast<std::size_t>(r) * 10 +
+                  static_cast<std::size_t>(c)] =
+                  scratch[static_cast<std::size_t>(r * 4 + c)];
+            }
+          }
+          comm.put_strided(
+              scratch.data(),
+              slice_ptr(target).offset(static_cast<std::ptrdiff_t>(off * 8)),
+              StridedSpec::rect2d(2, 4 * 8, 4 * 8, 10 * 8));
+          break;
+        }
+        case 3: {  // mid-storm read-back of a random window
+          std::vector<double> got(len, 1e300);
+          comm.get(slice_ptr(target).offset(static_cast<std::ptrdiff_t>(off * 8)),
+                   got.data(), len * 8);
+          for (std::size_t i = 0; i < len; ++i) {
+            ASSERT_DOUBLE_EQ(got[i], ref[off + i])
+                << "rank " << me << " target " << target << " op " << op
+                << " offset " << off + i;
+          }
+          break;
+        }
+        case 4: {  // vector put of 3 scattered doubles
+          if (off + 12 >= kSliceDoubles) break;
+          if (last[static_cast<std::size_t>(target)] == Kind::kAcc) {
+            comm.fence(target);
+          }
+          last[static_cast<std::size_t>(target)] = Kind::kPut;
+          Comm::VectorDescriptor d;
+          d.segment_bytes = 8;
+          for (int s = 0; s < 3; ++s) {
+            scratch[static_cast<std::size_t>(s)] =
+                static_cast<double>(rng.next_in(100, 999));
+            ref[off + static_cast<std::size_t>(4 * s)] =
+                scratch[static_cast<std::size_t>(s)];
+            d.local.push_back(
+                reinterpret_cast<std::byte*>(&scratch[static_cast<std::size_t>(s)]));
+            d.remote.push_back(slice_ptr(target).addr + (off + 4 * static_cast<std::size_t>(s)) * 8);
+          }
+          comm.put_v(target, d);
+          break;
+        }
+      }
+    }
+    comm.fence_all();
+    comm.barrier();
+
+    // Final verification: every slice equals its shadow.
+    for (int target = 0; target < p; ++target) {
+      std::vector<double> got(kSliceDoubles);
+      comm.get(slice_ptr(target), got.data(), kSliceBytes);
+      for (std::size_t i = 0; i < kSliceDoubles; ++i) {
+        ASSERT_DOUBLE_EQ(got[i], shadow[static_cast<std::size_t>(target)][i])
+            << "rank " << me << " slice@" << target << " dbl " << i;
+      }
+    }
+    comm.barrier();
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Storms, OpStorm,
+    ::testing::Values(StormParams{2, ProgressMode::kDefault, 1, 1},
+                      StormParams{5, ProgressMode::kDefault, 2, 1},
+                      StormParams{8, ProgressMode::kDefault, 3, 1},
+                      StormParams{4, ProgressMode::kAsyncThread, 4, 2},
+                      StormParams{8, ProgressMode::kAsyncThread, 5, 2},
+                      StormParams{3, ProgressMode::kAsyncThread, 6, 2},
+                      // Shared-context configurations (rho = 1 with an
+                      // async thread): both threads funnel through one
+                      // context lock.
+                      StormParams{4, ProgressMode::kAsyncThread, 7, 1},
+                      StormParams{6, ProgressMode::kAsyncThread, 8, 1}));
+
+}  // namespace
+}  // namespace pgasq::armci

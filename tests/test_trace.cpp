@@ -1,0 +1,71 @@
+// Execution tracing: recorder mechanics and the end-to-end JSON dump
+// from a traced World run.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/comm.hpp"
+#include "sim/trace.hpp"
+
+namespace pgasq {
+namespace {
+
+TEST(TraceRecorder, RecordsSlicesAndInstants) {
+  sim::TraceRecorder trace;
+  const auto t0 = trace.register_track("rank0");
+  const auto t1 = trace.register_track("async@rank0");
+  trace.begin_slice(t0, from_us(1));
+  trace.instant(t0, "nxtval", from_us(2));
+  trace.end_slice(t0, from_us(3));
+  trace.begin_slice(t1, from_us(3));
+  trace.end_slice(t1, from_us(4));
+  EXPECT_EQ(trace.event_count(), 5u);
+  const std::string json = trace.to_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("async@rank0"), std::string::npos);
+  EXPECT_NE(json.find("nxtval"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"E\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":2"), std::string::npos);
+}
+
+TEST(TraceRecorder, EscapesAndCaps) {
+  sim::TraceRecorder trace(/*max_events=*/2);
+  const auto t = trace.register_track("weird\"name\\x");
+  trace.begin_slice(t, 0);
+  trace.end_slice(t, 1);
+  trace.instant(t, "dropped", 2);  // over the cap
+  EXPECT_TRUE(trace.truncated());
+  EXPECT_EQ(trace.event_count(), 2u);
+  EXPECT_NE(trace.to_json().find("weird\\\"name\\\\x"), std::string::npos);
+}
+
+TEST(TraceIntegration, WorldRunWritesChromeJson) {
+  const std::string path = "/tmp/pgasq_trace_test.json";
+  std::remove(path.c_str());
+  armci::WorldConfig cfg;
+  cfg.machine.num_ranks = 4;
+  cfg.machine.trace_json_path = path;
+  cfg.armci.progress = armci::ProgressMode::kAsyncThread;
+  cfg.armci.contexts_per_rank = 2;
+  armci::World world(cfg);
+  world.spmd([](armci::Comm& comm) {
+    auto& mem = comm.malloc_collective(64);
+    comm.fetch_add(mem.at(0), 1);
+    comm.barrier();
+  });
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "trace file missing";
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string json = ss.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("rank3"), std::string::npos);
+  EXPECT_NE(json.find("async@rank0"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace pgasq

@@ -1,0 +1,162 @@
+// World-level behaviour: barriers, collective allocation, statistics
+// aggregation, determinism across runs, and progress-mode plumbing.
+#include <gtest/gtest.h>
+
+#include "core/comm.hpp"
+
+namespace pgasq::armci {
+namespace {
+
+WorldConfig make_cfg(int ranks) {
+  WorldConfig cfg;
+  cfg.machine.num_ranks = ranks;
+  return cfg;
+}
+
+TEST(WorldTest, BarrierAlignsVirtualTime) {
+  World world(make_cfg(4));
+  std::vector<Time> after;
+  world.spmd([&](Comm& comm) {
+    comm.compute(from_us(100) * (comm.rank() + 1));  // skewed arrival
+    comm.barrier();
+    after.push_back(comm.now());
+    comm.barrier();
+  });
+  ASSERT_EQ(after.size(), 4u);
+  for (const Time t : after) EXPECT_EQ(t, after[0]);
+}
+
+TEST(WorldTest, BarrierCostsAtLeastHardwareLatency) {
+  World world(make_cfg(2));
+  world.spmd([&](Comm& comm) {
+    comm.barrier();  // align
+    const Time t0 = comm.now();
+    comm.barrier();
+    EXPECT_GE(comm.now() - t0,
+              comm.process().machine().params().barrier_latency);
+  });
+}
+
+TEST(WorldTest, CollectiveMallocGivesDistinctSlabsAndRegions) {
+  World world(make_cfg(3));
+  world.spmd([](Comm& comm) {
+    auto& a = comm.malloc_collective(1024);
+    auto& b = comm.malloc_collective(2048);
+    EXPECT_NE(&a, &b);
+    EXPECT_EQ(a.bytes_per_rank(), 1024u);
+    EXPECT_EQ(b.bytes_per_rank(), 2048u);
+    for (int r = 0; r < comm.nprocs(); ++r) {
+      EXPECT_NE(a.at(r).addr, nullptr);
+      EXPECT_TRUE(a.region_of(r).valid());
+      EXPECT_TRUE(a.contains(r, a.at(r).addr, 1024));
+      EXPECT_FALSE(a.contains(r, b.at(r).addr, 1));
+      for (int q = 0; q < r; ++q) EXPECT_NE(a.at(r).addr, a.at(q).addr);
+    }
+    comm.barrier();
+  });
+  EXPECT_EQ(world.heaps().size(), 2u);
+}
+
+TEST(WorldTest, MismatchedCollectiveSizeRejected) {
+  World world(make_cfg(2));
+  EXPECT_THROW(world.spmd([](Comm& comm) {
+                 comm.malloc_collective(comm.rank() == 0 ? 100 : 200);
+               }),
+               Error);
+}
+
+TEST(WorldTest, FreeCollectiveReleasesRegions) {
+  World world(make_cfg(2));
+  world.spmd([](Comm& comm) {
+    const auto regions_before = comm.process().space().memregions;
+    auto& mem = comm.malloc_collective(512);
+    EXPECT_EQ(comm.process().space().memregions, regions_before + 1);
+    comm.free_collective(mem);
+    EXPECT_EQ(comm.process().space().memregions, regions_before);
+    EXPECT_TRUE(mem.freed());
+  });
+}
+
+TEST(WorldTest, StatsAggregateAcrossRanks) {
+  World world(make_cfg(4));
+  world.spmd([](Comm& comm) {
+    auto& mem = comm.malloc_collective(256);
+    std::byte buf[64]{};
+    const int peer = (comm.rank() + 1) % comm.nprocs();
+    comm.put(buf, mem.at(peer), 64);
+    comm.barrier();
+  });
+  const CommStats total = world.total_stats();
+  EXPECT_EQ(total.puts, 4u);
+  EXPECT_EQ(total.bytes_put, 4u * 64u);
+  EXPECT_EQ(world.stats(0).puts, 1u);
+  EXPECT_GT(world.elapsed(), 0);
+}
+
+TEST(WorldTest, DeterministicAcrossIdenticalRuns) {
+  auto run_once = [] {
+    World world(make_cfg(8));
+    world.spmd([](Comm& comm) {
+      auto& mem = comm.malloc_collective(4096);
+      std::vector<double> v(32, 1.0);
+      for (int i = 0; i < 4; ++i) {
+        comm.acc(1.0, v.data(), mem.at((comm.rank() + i + 1) % comm.nprocs()), 32);
+        comm.fetch_add(mem.at(0), 1);
+      }
+      comm.barrier();
+    });
+    return world.elapsed();
+  };
+  const Time a = run_once();
+  const Time b = run_once();
+  EXPECT_EQ(a, b) << "simulation must be bit-reproducible";
+}
+
+TEST(WorldTest, AsyncModeUsesSecondContextForService) {
+  WorldConfig cfg = make_cfg(2);
+  cfg.armci.progress = ProgressMode::kAsyncThread;
+  cfg.armci.contexts_per_rank = 2;
+  World world(cfg);
+  world.spmd([](Comm& comm) {
+    EXPECT_EQ(comm.main_context().index(), 0);
+    EXPECT_EQ(comm.service_context().index(), 1);
+    auto& mem = comm.malloc_collective(64);
+    std::vector<double> v(4, 1.0);
+    if (comm.rank() == 0) {
+      comm.acc(1.0, v.data(), mem.at(1), 4);
+      comm.fence_all();
+    }
+    comm.barrier();
+  });
+  // Rank 1's accumulate was dispatched on its context 1 by the async
+  // thread, not context 0.
+  const auto& p1_ctx1 = world.machine().process(1).context(1);
+  EXPECT_EQ(p1_ctx1.stats().ams_dispatched, 1u);
+}
+
+TEST(WorldTest, SingleRankWorldWorks) {
+  World world(make_cfg(1));
+  world.spmd([](Comm& comm) {
+    auto& mem = comm.malloc_collective(128);
+    double v = 3.5;
+    comm.put(&v, mem.at(0), sizeof v);
+    comm.fence(0);
+    double back = 0;
+    comm.get(mem.at(0), &back, sizeof back);
+    EXPECT_DOUBLE_EQ(back, 3.5);
+    EXPECT_EQ(comm.fetch_add(mem.at(0).offset(64), 5), 0);
+    comm.barrier();
+  });
+}
+
+TEST(WorldTest, SecondSpmdRejected) {
+  // A World hosts exactly one SPMD program: PAMI clients are created
+  // once per process lifetime.
+  World world(make_cfg(2));
+  world.spmd([](Comm& comm) { comm.barrier(); });
+  EXPECT_GT(world.elapsed(), 0);
+  EXPECT_THROW(world.spmd([](Comm&) {}), Error);
+}
+
+}  // namespace
+}  // namespace pgasq::armci
