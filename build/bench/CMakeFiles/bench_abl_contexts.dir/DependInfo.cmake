@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_abl_contexts.cpp" "bench/CMakeFiles/bench_abl_contexts.dir/bench_abl_contexts.cpp.o" "gcc" "bench/CMakeFiles/bench_abl_contexts.dir/bench_abl_contexts.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/pgasq_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/ga/CMakeFiles/pgasq_ga.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pgasq_armci.dir/DependInfo.cmake"
+  "/root/repo/build/src/pami/CMakeFiles/pgasq_pami.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pgasq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/pgasq_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/pgasq_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pgasq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_contexts.dir/bench_abl_contexts.cpp.o"
+  "CMakeFiles/bench_abl_contexts.dir/bench_abl_contexts.cpp.o.d"
+  "bench_abl_contexts"
+  "bench_abl_contexts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_contexts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

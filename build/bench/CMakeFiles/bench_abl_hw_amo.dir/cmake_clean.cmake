@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_hw_amo.dir/bench_abl_hw_amo.cpp.o"
+  "CMakeFiles/bench_abl_hw_amo.dir/bench_abl_hw_amo.cpp.o.d"
+  "bench_abl_hw_amo"
+  "bench_abl_hw_amo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_hw_amo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_netmodel.dir/bench_abl_netmodel.cpp.o"
+  "CMakeFiles/bench_abl_netmodel.dir/bench_abl_netmodel.cpp.o.d"
+  "bench_abl_netmodel"
+  "bench_abl_netmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_netmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_strided_protocol.dir/bench_abl_strided_protocol.cpp.o"
+  "CMakeFiles/bench_abl_strided_protocol.dir/bench_abl_strided_protocol.cpp.o.d"
+  "bench_abl_strided_protocol"
+  "bench_abl_strided_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_strided_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

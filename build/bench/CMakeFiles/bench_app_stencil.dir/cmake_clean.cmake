@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_app_stencil.dir/bench_app_stencil.cpp.o"
+  "CMakeFiles/bench_app_stencil.dir/bench_app_stencil.cpp.o.d"
+  "bench_app_stencil"
+  "bench_app_stencil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_app_stencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_scf.dir/bench_fig11_scf.cpp.o"
+  "CMakeFiles/bench_fig11_scf.dir/bench_fig11_scf.cpp.o.d"
+  "bench_fig11_scf"
+  "bench_fig11_scf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_scf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

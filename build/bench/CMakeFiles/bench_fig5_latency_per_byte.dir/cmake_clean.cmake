@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_latency_per_byte.dir/bench_fig5_latency_per_byte.cpp.o"
+  "CMakeFiles/bench_fig5_latency_per_byte.dir/bench_fig5_latency_per_byte.cpp.o.d"
+  "bench_fig5_latency_per_byte"
+  "bench_fig5_latency_per_byte.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_latency_per_byte.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

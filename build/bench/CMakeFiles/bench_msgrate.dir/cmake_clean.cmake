@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_msgrate.dir/bench_msgrate.cpp.o"
+  "CMakeFiles/bench_msgrate.dir/bench_msgrate.cpp.o.d"
+  "bench_msgrate"
+  "bench_msgrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_msgrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

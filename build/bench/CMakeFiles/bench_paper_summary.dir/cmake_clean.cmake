@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_paper_summary.dir/bench_paper_summary.cpp.o"
+  "CMakeFiles/bench_paper_summary.dir/bench_paper_summary.cpp.o.d"
+  "bench_paper_summary"
+  "bench_paper_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_paper_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_simcore_gbench.dir/bench_simcore_gbench.cpp.o"
+  "CMakeFiles/bench_simcore_gbench.dir/bench_simcore_gbench.cpp.o.d"
+  "bench_simcore_gbench"
+  "bench_simcore_gbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_simcore_gbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

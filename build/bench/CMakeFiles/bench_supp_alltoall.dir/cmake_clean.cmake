@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_supp_alltoall.dir/bench_supp_alltoall.cpp.o"
+  "CMakeFiles/bench_supp_alltoall.dir/bench_supp_alltoall.cpp.o.d"
+  "bench_supp_alltoall"
+  "bench_supp_alltoall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_supp_alltoall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_supp_ppn.dir/bench_supp_ppn.cpp.o"
+  "CMakeFiles/bench_supp_ppn.dir/bench_supp_ppn.cpp.o.d"
+  "bench_supp_ppn"
+  "bench_supp_ppn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_supp_ppn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

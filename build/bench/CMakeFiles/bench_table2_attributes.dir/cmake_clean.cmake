@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_attributes.dir/bench_table2_attributes.cpp.o"
+  "CMakeFiles/bench_table2_attributes.dir/bench_table2_attributes.cpp.o.d"
+  "bench_table2_attributes"
+  "bench_table2_attributes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_attributes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

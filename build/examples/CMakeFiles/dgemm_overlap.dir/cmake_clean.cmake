@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgemm_overlap.dir/dgemm_overlap.cpp.o"
+  "CMakeFiles/dgemm_overlap.dir/dgemm_overlap.cpp.o.d"
+  "dgemm_overlap"
+  "dgemm_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgemm_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

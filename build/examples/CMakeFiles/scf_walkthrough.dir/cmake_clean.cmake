@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scf_walkthrough.dir/scf_walkthrough.cpp.o"
+  "CMakeFiles/scf_walkthrough.dir/scf_walkthrough.cpp.o.d"
+  "scf_walkthrough"
+  "scf_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scf_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

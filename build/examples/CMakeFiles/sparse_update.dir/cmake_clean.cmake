@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_update.dir/sparse_update.cpp.o"
+  "CMakeFiles/sparse_update.dir/sparse_update.cpp.o.d"
+  "sparse_update"
+  "sparse_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

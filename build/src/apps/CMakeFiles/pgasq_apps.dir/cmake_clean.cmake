@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgasq_apps.dir/counter_kernel.cpp.o"
+  "CMakeFiles/pgasq_apps.dir/counter_kernel.cpp.o.d"
+  "CMakeFiles/pgasq_apps.dir/scf.cpp.o"
+  "CMakeFiles/pgasq_apps.dir/scf.cpp.o.d"
+  "CMakeFiles/pgasq_apps.dir/stencil.cpp.o"
+  "CMakeFiles/pgasq_apps.dir/stencil.cpp.o.d"
+  "libpgasq_apps.a"
+  "libpgasq_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgasq_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

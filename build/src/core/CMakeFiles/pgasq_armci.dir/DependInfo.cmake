@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/caches.cpp" "src/core/CMakeFiles/pgasq_armci.dir/caches.cpp.o" "gcc" "src/core/CMakeFiles/pgasq_armci.dir/caches.cpp.o.d"
+  "/root/repo/src/core/comm.cpp" "src/core/CMakeFiles/pgasq_armci.dir/comm.cpp.o" "gcc" "src/core/CMakeFiles/pgasq_armci.dir/comm.cpp.o.d"
+  "/root/repo/src/core/consistency.cpp" "src/core/CMakeFiles/pgasq_armci.dir/consistency.cpp.o" "gcc" "src/core/CMakeFiles/pgasq_armci.dir/consistency.cpp.o.d"
+  "/root/repo/src/core/globalmem.cpp" "src/core/CMakeFiles/pgasq_armci.dir/globalmem.cpp.o" "gcc" "src/core/CMakeFiles/pgasq_armci.dir/globalmem.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/pgasq_armci.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/pgasq_armci.dir/report.cpp.o.d"
+  "/root/repo/src/core/strided.cpp" "src/core/CMakeFiles/pgasq_armci.dir/strided.cpp.o" "gcc" "src/core/CMakeFiles/pgasq_armci.dir/strided.cpp.o.d"
+  "/root/repo/src/core/world.cpp" "src/core/CMakeFiles/pgasq_armci.dir/world.cpp.o" "gcc" "src/core/CMakeFiles/pgasq_armci.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pami/CMakeFiles/pgasq_pami.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pgasq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/pgasq_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/pgasq_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pgasq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgasq_armci.dir/caches.cpp.o"
+  "CMakeFiles/pgasq_armci.dir/caches.cpp.o.d"
+  "CMakeFiles/pgasq_armci.dir/comm.cpp.o"
+  "CMakeFiles/pgasq_armci.dir/comm.cpp.o.d"
+  "CMakeFiles/pgasq_armci.dir/consistency.cpp.o"
+  "CMakeFiles/pgasq_armci.dir/consistency.cpp.o.d"
+  "CMakeFiles/pgasq_armci.dir/globalmem.cpp.o"
+  "CMakeFiles/pgasq_armci.dir/globalmem.cpp.o.d"
+  "CMakeFiles/pgasq_armci.dir/report.cpp.o"
+  "CMakeFiles/pgasq_armci.dir/report.cpp.o.d"
+  "CMakeFiles/pgasq_armci.dir/strided.cpp.o"
+  "CMakeFiles/pgasq_armci.dir/strided.cpp.o.d"
+  "CMakeFiles/pgasq_armci.dir/world.cpp.o"
+  "CMakeFiles/pgasq_armci.dir/world.cpp.o.d"
+  "libpgasq_armci.a"
+  "libpgasq_armci.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgasq_armci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

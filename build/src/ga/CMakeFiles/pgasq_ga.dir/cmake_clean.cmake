@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgasq_ga.dir/collectives.cpp.o"
+  "CMakeFiles/pgasq_ga.dir/collectives.cpp.o.d"
+  "CMakeFiles/pgasq_ga.dir/dgemm.cpp.o"
+  "CMakeFiles/pgasq_ga.dir/dgemm.cpp.o.d"
+  "CMakeFiles/pgasq_ga.dir/global_array.cpp.o"
+  "CMakeFiles/pgasq_ga.dir/global_array.cpp.o.d"
+  "CMakeFiles/pgasq_ga.dir/matrix_ops.cpp.o"
+  "CMakeFiles/pgasq_ga.dir/matrix_ops.cpp.o.d"
+  "libpgasq_ga.a"
+  "libpgasq_ga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgasq_ga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

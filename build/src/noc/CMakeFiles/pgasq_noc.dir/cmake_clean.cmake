@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgasq_noc.dir/network.cpp.o"
+  "CMakeFiles/pgasq_noc.dir/network.cpp.o.d"
+  "libpgasq_noc.a"
+  "libpgasq_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgasq_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgasq_pami.dir/context.cpp.o"
+  "CMakeFiles/pgasq_pami.dir/context.cpp.o.d"
+  "CMakeFiles/pgasq_pami.dir/machine.cpp.o"
+  "CMakeFiles/pgasq_pami.dir/machine.cpp.o.d"
+  "CMakeFiles/pgasq_pami.dir/memregion.cpp.o"
+  "CMakeFiles/pgasq_pami.dir/memregion.cpp.o.d"
+  "CMakeFiles/pgasq_pami.dir/process.cpp.o"
+  "CMakeFiles/pgasq_pami.dir/process.cpp.o.d"
+  "libpgasq_pami.a"
+  "libpgasq_pami.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgasq_pami.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgasq_sim.dir/engine.cpp.o"
+  "CMakeFiles/pgasq_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/pgasq_sim.dir/fiber.cpp.o"
+  "CMakeFiles/pgasq_sim.dir/fiber.cpp.o.d"
+  "CMakeFiles/pgasq_sim.dir/sync.cpp.o"
+  "CMakeFiles/pgasq_sim.dir/sync.cpp.o.d"
+  "CMakeFiles/pgasq_sim.dir/trace.cpp.o"
+  "CMakeFiles/pgasq_sim.dir/trace.cpp.o.d"
+  "libpgasq_sim.a"
+  "libpgasq_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgasq_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

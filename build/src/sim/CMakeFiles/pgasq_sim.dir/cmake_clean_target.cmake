@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpgasq_sim.a"
+)

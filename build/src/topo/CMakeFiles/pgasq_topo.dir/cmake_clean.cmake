@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgasq_topo.dir/torus.cpp.o"
+  "CMakeFiles/pgasq_topo.dir/torus.cpp.o.d"
+  "libpgasq_topo.a"
+  "libpgasq_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgasq_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgasq_util.dir/config.cpp.o"
+  "CMakeFiles/pgasq_util.dir/config.cpp.o.d"
+  "CMakeFiles/pgasq_util.dir/log.cpp.o"
+  "CMakeFiles/pgasq_util.dir/log.cpp.o.d"
+  "CMakeFiles/pgasq_util.dir/stats.cpp.o"
+  "CMakeFiles/pgasq_util.dir/stats.cpp.o.d"
+  "CMakeFiles/pgasq_util.dir/table.cpp.o"
+  "CMakeFiles/pgasq_util.dir/table.cpp.o.d"
+  "libpgasq_util.a"
+  "libpgasq_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgasq_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

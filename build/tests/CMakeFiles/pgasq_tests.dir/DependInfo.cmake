@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_apps.cpp" "tests/CMakeFiles/pgasq_tests.dir/test_apps.cpp.o" "gcc" "tests/CMakeFiles/pgasq_tests.dir/test_apps.cpp.o.d"
+  "/root/repo/tests/test_apps_stencil.cpp" "tests/CMakeFiles/pgasq_tests.dir/test_apps_stencil.cpp.o" "gcc" "tests/CMakeFiles/pgasq_tests.dir/test_apps_stencil.cpp.o.d"
+  "/root/repo/tests/test_armci_acc_types.cpp" "tests/CMakeFiles/pgasq_tests.dir/test_armci_acc_types.cpp.o" "gcc" "tests/CMakeFiles/pgasq_tests.dir/test_armci_acc_types.cpp.o.d"
+  "/root/repo/tests/test_armci_consistency.cpp" "tests/CMakeFiles/pgasq_tests.dir/test_armci_consistency.cpp.o" "gcc" "tests/CMakeFiles/pgasq_tests.dir/test_armci_consistency.cpp.o.d"
+  "/root/repo/tests/test_armci_contig.cpp" "tests/CMakeFiles/pgasq_tests.dir/test_armci_contig.cpp.o" "gcc" "tests/CMakeFiles/pgasq_tests.dir/test_armci_contig.cpp.o.d"
+  "/root/repo/tests/test_armci_notify.cpp" "tests/CMakeFiles/pgasq_tests.dir/test_armci_notify.cpp.o" "gcc" "tests/CMakeFiles/pgasq_tests.dir/test_armci_notify.cpp.o.d"
+  "/root/repo/tests/test_armci_rmw_mutex.cpp" "tests/CMakeFiles/pgasq_tests.dir/test_armci_rmw_mutex.cpp.o" "gcc" "tests/CMakeFiles/pgasq_tests.dir/test_armci_rmw_mutex.cpp.o.d"
+  "/root/repo/tests/test_armci_strided.cpp" "tests/CMakeFiles/pgasq_tests.dir/test_armci_strided.cpp.o" "gcc" "tests/CMakeFiles/pgasq_tests.dir/test_armci_strided.cpp.o.d"
+  "/root/repo/tests/test_armci_vector.cpp" "tests/CMakeFiles/pgasq_tests.dir/test_armci_vector.cpp.o" "gcc" "tests/CMakeFiles/pgasq_tests.dir/test_armci_vector.cpp.o.d"
+  "/root/repo/tests/test_caches.cpp" "tests/CMakeFiles/pgasq_tests.dir/test_caches.cpp.o" "gcc" "tests/CMakeFiles/pgasq_tests.dir/test_caches.cpp.o.d"
+  "/root/repo/tests/test_ga.cpp" "tests/CMakeFiles/pgasq_tests.dir/test_ga.cpp.o" "gcc" "tests/CMakeFiles/pgasq_tests.dir/test_ga.cpp.o.d"
+  "/root/repo/tests/test_ga_collectives.cpp" "tests/CMakeFiles/pgasq_tests.dir/test_ga_collectives.cpp.o" "gcc" "tests/CMakeFiles/pgasq_tests.dir/test_ga_collectives.cpp.o.d"
+  "/root/repo/tests/test_ga_dgemm.cpp" "tests/CMakeFiles/pgasq_tests.dir/test_ga_dgemm.cpp.o" "gcc" "tests/CMakeFiles/pgasq_tests.dir/test_ga_dgemm.cpp.o.d"
+  "/root/repo/tests/test_ga_gather_scatter.cpp" "tests/CMakeFiles/pgasq_tests.dir/test_ga_gather_scatter.cpp.o" "gcc" "tests/CMakeFiles/pgasq_tests.dir/test_ga_gather_scatter.cpp.o.d"
+  "/root/repo/tests/test_ga_matrix_ops.cpp" "tests/CMakeFiles/pgasq_tests.dir/test_ga_matrix_ops.cpp.o" "gcc" "tests/CMakeFiles/pgasq_tests.dir/test_ga_matrix_ops.cpp.o.d"
+  "/root/repo/tests/test_misc_paths.cpp" "tests/CMakeFiles/pgasq_tests.dir/test_misc_paths.cpp.o" "gcc" "tests/CMakeFiles/pgasq_tests.dir/test_misc_paths.cpp.o.d"
+  "/root/repo/tests/test_noc.cpp" "tests/CMakeFiles/pgasq_tests.dir/test_noc.cpp.o" "gcc" "tests/CMakeFiles/pgasq_tests.dir/test_noc.cpp.o.d"
+  "/root/repo/tests/test_pami.cpp" "tests/CMakeFiles/pgasq_tests.dir/test_pami.cpp.o" "gcc" "tests/CMakeFiles/pgasq_tests.dir/test_pami.cpp.o.d"
+  "/root/repo/tests/test_pami_typed.cpp" "tests/CMakeFiles/pgasq_tests.dir/test_pami_typed.cpp.o" "gcc" "tests/CMakeFiles/pgasq_tests.dir/test_pami_typed.cpp.o.d"
+  "/root/repo/tests/test_property_shadow.cpp" "tests/CMakeFiles/pgasq_tests.dir/test_property_shadow.cpp.o" "gcc" "tests/CMakeFiles/pgasq_tests.dir/test_property_shadow.cpp.o.d"
+  "/root/repo/tests/test_report.cpp" "tests/CMakeFiles/pgasq_tests.dir/test_report.cpp.o" "gcc" "tests/CMakeFiles/pgasq_tests.dir/test_report.cpp.o.d"
+  "/root/repo/tests/test_scale_smoke.cpp" "tests/CMakeFiles/pgasq_tests.dir/test_scale_smoke.cpp.o" "gcc" "tests/CMakeFiles/pgasq_tests.dir/test_scale_smoke.cpp.o.d"
+  "/root/repo/tests/test_sim_engine.cpp" "tests/CMakeFiles/pgasq_tests.dir/test_sim_engine.cpp.o" "gcc" "tests/CMakeFiles/pgasq_tests.dir/test_sim_engine.cpp.o.d"
+  "/root/repo/tests/test_sim_sync.cpp" "tests/CMakeFiles/pgasq_tests.dir/test_sim_sync.cpp.o" "gcc" "tests/CMakeFiles/pgasq_tests.dir/test_sim_sync.cpp.o.d"
+  "/root/repo/tests/test_smoke.cpp" "tests/CMakeFiles/pgasq_tests.dir/test_smoke.cpp.o" "gcc" "tests/CMakeFiles/pgasq_tests.dir/test_smoke.cpp.o.d"
+  "/root/repo/tests/test_strided_multilevel.cpp" "tests/CMakeFiles/pgasq_tests.dir/test_strided_multilevel.cpp.o" "gcc" "tests/CMakeFiles/pgasq_tests.dir/test_strided_multilevel.cpp.o.d"
+  "/root/repo/tests/test_topo.cpp" "tests/CMakeFiles/pgasq_tests.dir/test_topo.cpp.o" "gcc" "tests/CMakeFiles/pgasq_tests.dir/test_topo.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/pgasq_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/pgasq_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/pgasq_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/pgasq_tests.dir/test_util.cpp.o.d"
+  "/root/repo/tests/test_world.cpp" "tests/CMakeFiles/pgasq_tests.dir/test_world.cpp.o" "gcc" "tests/CMakeFiles/pgasq_tests.dir/test_world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/pgasq_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/ga/CMakeFiles/pgasq_ga.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pgasq_armci.dir/DependInfo.cmake"
+  "/root/repo/build/src/pami/CMakeFiles/pgasq_pami.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pgasq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/pgasq_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/pgasq_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pgasq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
