@@ -12,6 +12,7 @@
 
 #include "core/comm.hpp"
 #include "core/world.hpp"
+#include "fault/fault.hpp"
 #include "util/config.hpp"
 #include "util/error.hpp"
 #include "util/table.hpp"
@@ -45,6 +46,7 @@ inline armci::WorldConfig make_world_config(const Config& cli, int default_ranks
     cfg.armci.consistency = armci::ConsistencyMode::kPerRegion;
   }
   cfg.machine.params.hardware_amo = cli.get_bool("hardware_amo", false);
+  cfg.machine.fault = fault::FaultPlan::from_config(cli);
   return cfg;
 }
 

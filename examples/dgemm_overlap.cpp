@@ -13,6 +13,7 @@
 
 #include "core/comm.hpp"
 #include "ga/global_array.hpp"
+#include "fault/fault.hpp"
 #include "util/config.hpp"
 
 using namespace pgasq;
@@ -27,6 +28,7 @@ int main(int argc, char** argv) {
                               ? armci::ConsistencyMode::kPerTarget
                               : armci::ConsistencyMode::kPerRegion;
 
+  cfg.machine.fault = fault::FaultPlan::from_config(cli);
   armci::World world(cfg);
   double checksum = 0.0;
   Time wall = 0;

@@ -11,6 +11,7 @@
 
 #include "core/comm.hpp"
 #include "core/strided.hpp"
+#include "fault/fault.hpp"
 #include "util/config.hpp"
 
 using namespace pgasq;
@@ -22,6 +23,7 @@ int main(int argc, char** argv) {
   const std::int64_t tile = cli.get_int("tile", 64);
   const int steps = static_cast<int>(cli.get_int("steps", 4));
 
+  cfg.machine.fault = fault::FaultPlan::from_config(cli);
   armci::World world(cfg);
   Time wall = 0;
   double sample = 0.0;

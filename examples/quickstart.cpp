@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/comm.hpp"
+#include "fault/fault.hpp"
 #include "util/config.hpp"
 
 using namespace pgasq;
@@ -23,6 +24,7 @@ int main(int argc, char** argv) {
     cfg.armci.contexts_per_rank = 2;
   }
 
+  cfg.machine.fault = fault::FaultPlan::from_config(cli);
   armci::World world(cfg);
   world.spmd([](armci::Comm& comm) {
     const int me = comm.rank();

@@ -8,6 +8,7 @@
 
 #include "apps/scf.hpp"
 #include "core/comm.hpp"
+#include "fault/fault.hpp"
 #include "util/config.hpp"
 
 using namespace pgasq;
@@ -22,6 +23,7 @@ apps::ScfResult run_mode(const Config& cli, armci::ProgressMode mode,
       static_cast<int>(cli.get_int("ranks_per_node", cfg.machine.num_ranks >= 16 ? 16 : 1));
   cfg.armci.progress = mode;
   cfg.armci.contexts_per_rank = mode == armci::ProgressMode::kAsyncThread ? 2 : 1;
+  cfg.machine.fault = fault::FaultPlan::from_config(cli);
   armci::World world(cfg);
   return apps::run_scf(world, scf);
 }

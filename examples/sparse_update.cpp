@@ -12,6 +12,7 @@
 #include "core/report.hpp"
 #include "ga/collectives.hpp"
 #include "ga/global_array.hpp"
+#include "fault/fault.hpp"
 #include "util/config.hpp"
 #include "util/rng.hpp"
 
@@ -25,6 +26,7 @@ int main(int argc, char** argv) {
   const int updates = static_cast<int>(cli.get_int("updates", 200));
   const int batch = static_cast<int>(cli.get_int("batch", 24));
 
+  cfg.machine.fault = fault::FaultPlan::from_config(cli);
   armci::World world(cfg);
   double total = 0.0;
   double expected = 0.0;

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/comm.hpp"
+#include "fault/fault.hpp"
 #include "util/config.hpp"
 #include "util/rng.hpp"
 
@@ -41,6 +42,7 @@ int main(int argc, char** argv) {
   // Skew: the first quarter of ranks hold 4x the work of the rest.
   const std::int64_t capacity = 4 * tasks_per_rank;
 
+  cfg.machine.fault = fault::FaultPlan::from_config(cli);
   armci::World world(cfg);
   Time wall = 0;
   std::int64_t executed_total = 0;

@@ -202,6 +202,12 @@ void Comm::finalize() {
   // Fold cache counters into the exported statistics.
   stats_.region_cache_hits = region_cache_->hits();
   stats_.region_cache_misses = region_cache_->misses();
+  // Fold per-context fault-recovery counters likewise.
+  for (int i = 0; i < options().contexts_per_rank; ++i) {
+    const auto& cs = process_.context(i).stats();
+    stats_.retransmits += cs.retransmits;
+    stats_.retransmit_backoff += cs.retransmit_backoff;
+  }
 }
 
 void Comm::register_dispatch(pami::Context& ctx) {
@@ -309,8 +315,23 @@ void Comm::start_async_thread() {
   async_running_ = true;
   pami::Context* ctx = &service_context();
   const Time wake = process_.machine().params().async_wake_latency;
-  process_.machine().spawn_thread(process_, "async", [this, ctx, wake] {
+  fault::Injector* inj = process_.machine().injector();
+  process_.machine().spawn_thread(process_, "async", [this, ctx, wake, inj] {
+    sim::Engine& eng = process_.machine().engine();
     while (async_running_) {
+      if (inj != nullptr) {
+        // Progress-stall injection: this fiber stops advancing for the
+        // window; queued requests sit until it resumes, so forward
+        // progress must come from advance_until on the main thread.
+        const Time until = inj->stalled_until(static_cast<int>(rank()), eng.now());
+        if (until > eng.now()) {
+          stats_.progress_stall_time += until - eng.now();
+          ++stats_.progress_stalls;
+          inj->record_stall(eng.now(), until);
+          eng.sleep_until(until);
+          continue;
+        }
+      }
       locked_advance(*ctx);
       if (!async_running_) break;
       if (!ctx->has_work()) {
@@ -1127,12 +1148,11 @@ void Comm::on_vector_write(pami::Context& ctx, const pami::AmMessage& msg) {
   auto* closure = static_cast<AckClosure*>(h.ack);
   auto& m = process_.machine();
   const int src_node = m.mapping().node_of_rank(msg.source.rank);
-  const auto ack = m.network().control(process_.node(), src_node, now());
+  const auto ack = ctx.wire_control(process_.node(), src_node, now(), "write ack");
   m.engine().schedule_at(ack.arrive, [closure] {
     closure->source->write_acked_from_wire(closure->key);
     delete closure;
   });
-  (void)ctx;
 }
 
 void Comm::on_vector_get_request(pami::Context& ctx, const pami::AmMessage& msg) {
@@ -1314,12 +1334,11 @@ void Comm::on_acc_message(pami::Context& ctx, const pami::AmMessage& msg) {
   auto* closure = static_cast<AckClosure*>(h.ack);
   auto& m = process_.machine();
   const int src_node = m.mapping().node_of_rank(msg.source.rank);
-  const auto ack = m.network().control(process_.node(), src_node, now());
+  const auto ack = ctx.wire_control(process_.node(), src_node, now(), "write ack");
   m.engine().schedule_at(ack.arrive, [closure] {
     closure->source->write_acked_from_wire(closure->key);
     delete closure;
   });
-  (void)ctx;
 }
 
 void Comm::write_acked_from_wire(const ConflictTracker::Key& key) {
@@ -1373,12 +1392,11 @@ void Comm::on_strided_put(pami::Context& ctx, const pami::AmMessage& msg) {
   auto* closure = static_cast<AckClosure*>(h.ack);
   auto& m = process_.machine();
   const int src_node = m.mapping().node_of_rank(msg.source.rank);
-  const auto ack = m.network().control(process_.node(), src_node, now());
+  const auto ack = ctx.wire_control(process_.node(), src_node, now(), "write ack");
   m.engine().schedule_at(ack.arrive, [closure] {
     closure->source->write_acked_from_wire(closure->key);
     delete closure;
   });
-  (void)ctx;
 }
 
 void Comm::on_strided_get_request(pami::Context& ctx, const pami::AmMessage& msg) {
@@ -1445,6 +1463,10 @@ void CommStats::merge(const CommStats& o) {
   fence_calls += o.fence_calls;
   forced_fences += o.forced_fences;
   endpoints_created += o.endpoints_created;
+  retransmits += o.retransmits;
+  retransmit_backoff += o.retransmit_backoff;
+  progress_stalls += o.progress_stalls;
+  progress_stall_time += o.progress_stall_time;
   time_in_get += o.time_in_get;
   time_in_put += o.time_in_put;
   time_in_acc += o.time_in_acc;

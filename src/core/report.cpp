@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "fault/fault.hpp"
 #include "util/table.hpp"
 
 namespace pgasq::armci {
@@ -63,6 +64,23 @@ std::string render_report(const World& world, const ReportOptions& options) {
   times.row().add(std::string("barrier")).add(to_s(s.time_in_barrier), 4);
   times.row().add(std::string("wait (nb handles)")).add(to_s(s.time_in_wait), 4);
   os << times.to_string();
+
+  if (const fault::Injector* inj = world.machine().injector()) {
+    const fault::FaultStats& f = inj->stats();
+    os << '\n';
+    Table faults({"fault injection & recovery", "value"});
+    faults.row().add(std::string("packets dropped")).add(f.packets_dropped);
+    faults.row().add(std::string("packets corrupted (CRC)")).add(f.packets_corrupted);
+    faults.row().add(std::string("retransmits")).add(s.retransmits);
+    faults.row().add(std::string("backoff seconds (sum over ranks)"))
+        .add(to_s(s.retransmit_backoff), 4);
+    faults.row().add(std::string("reroutes around failed links")).add(f.reroutes);
+    faults.row().add(std::string("rerouted extra hops")).add(f.rerouted_extra_hops);
+    faults.row().add(std::string("degraded-link transfers")).add(f.degraded_transfers);
+    faults.row().add(std::string("progress stalls ridden out")).add(f.progress_stalls);
+    faults.row().add(std::string("stall seconds")).add(to_s(f.stall_time), 4);
+    os << faults.to_string();
+  }
 
   if (options.include_histograms && s.put_sizes.total() + s.get_sizes.total() > 0) {
     os << "\nput sizes (log2 buckets):\n" << s.put_sizes.to_string();

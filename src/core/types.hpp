@@ -112,6 +112,13 @@ struct CommStats {
   std::uint64_t fence_calls = 0, forced_fences = 0;
   // Endpoints.
   std::uint64_t endpoints_created = 0;
+  // Fault recovery (all zero unless a fault plan is active): wire legs
+  // re-sent after ack timeout, virtual time spent waiting out those
+  // timeouts, and async-progress stalls ridden out by this rank.
+  std::uint64_t retransmits = 0;
+  Time retransmit_backoff = 0;
+  std::uint64_t progress_stalls = 0;
+  Time progress_stall_time = 0;
   // Blocking time by category (virtual time).
   Time time_in_get = 0, time_in_put = 0, time_in_acc = 0;
   Time time_in_rmw = 0, time_in_fence = 0, time_in_barrier = 0, time_in_wait = 0;

@@ -1,0 +1,227 @@
+// Deterministic fault injection for the simulated interconnect.
+//
+// The paper's subsystem assumes BG/Q's lossless deterministic-routed
+// torus; this module lets the reproduction degrade that assumption on
+// purpose. A FaultPlan describes *what* goes wrong — per-link hard
+// failure or bandwidth-degradation windows, probabilistic packet drop
+// and corruption, async-progress stall windows — and an Injector turns
+// the plan into reproducible decisions: every random draw comes from a
+// dedicated xoshiro stream seeded by `fault.seed`, and every window is
+// expressed in virtual time, so two runs with the same plan fault the
+// same packets at the same picoseconds.
+//
+// Recovery lives in the layers above: topo::Torus5D::route_avoiding
+// routes around failed links, noc::NetworkModel consults the injector
+// per transfer, and pami::Context retransmits dropped packets under an
+// ack/timeout protocol with capped exponential backoff. When a
+// context's retry budget is exhausted the failure escalates as a typed
+// pgasq::FaultError instead of hanging the simulation.
+//
+// Zero-cost guarantee: when FaultPlan::enabled() is false, no Injector
+// is constructed and every fault hook compares one pointer against
+// nullptr — timings are bit-identical to a build without this module.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "topo/torus.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/time_types.hpp"
+
+namespace pgasq {
+class Config;
+
+/// Escalated fault: a wire leg exhausted its context's retry budget
+/// (or the fabric is partitioned beyond route-around). Carries the
+/// operation and link context so callers can report what died where.
+class FaultError : public Error {
+ public:
+  FaultError(std::string operation, int src_node, int dst_node,
+             std::uint64_t retries, const std::string& what)
+      : Error(what),
+        operation_(std::move(operation)),
+        src_node_(src_node),
+        dst_node_(dst_node),
+        retries_(retries) {}
+
+  const std::string& operation() const { return operation_; }
+  int src_node() const { return src_node_; }
+  int dst_node() const { return dst_node_; }
+  std::uint64_t retries() const { return retries_; }
+
+ private:
+  std::string operation_;
+  int src_node_;
+  int dst_node_;
+  std::uint64_t retries_;
+};
+
+namespace sim {
+class TraceRecorder;
+}
+
+namespace fault {
+
+/// Sentinel for "window never closes".
+inline constexpr Time kForever = std::numeric_limits<Time>::max();
+
+/// One faulty physical link. `dir` selects the directed half:
+/// +1 / -1 fault only that direction out of `node`; 0 faults the cable
+/// between `node` and its +1 neighbour in `dim` in both directions.
+struct LinkFaultSpec {
+  int node = 0;
+  int dim = 0;
+  int dir = 0;
+  /// Fraction of nominal link bandwidth available inside the window:
+  /// 0 = hard failure (traffic must route around), (0,1) = degraded.
+  double capacity = 0.0;
+  Time begin = 0;
+  Time end = kForever;
+};
+
+/// The async-progress fiber of `rank` stops advancing in [begin, end).
+struct StallSpec {
+  int rank = 0;
+  Time begin = 0;
+  Time end = 0;
+};
+
+/// Everything that will go wrong in a run, declared up front.
+struct FaultPlan {
+  /// Seed of the injector's private RNG stream (`fault.seed`).
+  std::uint64_t seed = 1;
+  /// Per-packet loss probability in the fabric (`fault.drop_prob`).
+  double drop_prob = 0.0;
+  /// Per-packet CRC-corruption probability (`fault.corrupt_prob`).
+  /// Detected at the receiver and treated as a loss — data is never
+  /// silently delivered wrong.
+  double corrupt_prob = 0.0;
+  std::vector<LinkFaultSpec> link_faults;
+  std::vector<StallSpec> stalls;
+
+  // --- Ack/timeout/retransmit protocol (pami::Context) ------------------
+  /// Sender declares a packet lost this long after it drained without
+  /// an ack (`fault.ack_timeout_us`).
+  Time ack_timeout = from_us(10);
+  /// Timeout multiplier per consecutive retransmit of the same leg,
+  /// capped at `max_backoff` (`fault.backoff_factor`).
+  double backoff_factor = 2.0;
+  Time max_backoff = from_us(320);
+  /// Total retransmits a single context may spend before escalating to
+  /// FaultError (`fault.retry_budget`).
+  std::uint64_t retry_budget = 64;
+
+  /// True when any fault is configured; a disabled plan constructs no
+  /// injector and perturbs nothing.
+  bool enabled() const {
+    return drop_prob > 0.0 || corrupt_prob > 0.0 || !link_faults.empty() ||
+           !stalls.empty();
+  }
+
+  /// Parses the `fault.*` keys of a Config:
+  ///   fault.seed, fault.drop_prob, fault.corrupt_prob,
+  ///   fault.link_fail   = "node:dim:dir[:from_us:until_us]",...
+  ///   fault.link_degrade= "node:dim:dir:capacity[:from_us:until_us]",...
+  ///   fault.stall       = "rank:from_us:until_us",...
+  ///   fault.ack_timeout_us, fault.backoff_factor, fault.max_backoff_us,
+  ///   fault.retry_budget
+  /// where dir is '+', '-' or '*' (both directions of the cable).
+  static FaultPlan from_config(const Config& cfg);
+};
+
+/// Counters aggregated by the injector across the whole machine; the
+/// communication report renders them next to the paper-figure tables.
+struct FaultStats {
+  std::uint64_t packets_dropped = 0;
+  std::uint64_t packets_corrupted = 0;
+  std::uint64_t retransmits = 0;
+  Time backoff_time = 0;
+  std::uint64_t reroutes = 0;
+  std::uint64_t rerouted_extra_hops = 0;
+  std::uint64_t degraded_transfers = 0;
+  std::uint64_t progress_stalls = 0;
+  Time stall_time = 0;
+};
+
+/// Outcome of one packet's trip through the fabric.
+enum class PacketFate { kDelivered, kDropped, kCorrupted };
+
+/// Turns a FaultPlan into deterministic per-packet / per-link / per-
+/// fiber decisions and accounts every injected and recovered fault.
+class Injector {
+ public:
+  Injector(FaultPlan plan, const topo::Torus5D& torus);
+  Injector(const Injector&) = delete;
+  Injector& operator=(const Injector&) = delete;
+
+  const FaultPlan& plan() const { return plan_; }
+  const FaultStats& stats() const { return stats_; }
+
+  /// Mirrors injected/recovered faults as instant markers on a
+  /// dedicated "faults" trace track (chrome://tracing / Perfetto).
+  void set_trace(sim::TraceRecorder* trace);
+
+  // --- Packet fate ------------------------------------------------------
+  /// Rolls drop/corruption for one packet injected at `now`. Consumes
+  /// RNG only when a loss probability is configured, so plans that only
+  /// fail links stay on the untouched random stream.
+  PacketFate roll_packet(Time now);
+
+  // --- Link failure windows --------------------------------------------
+  bool has_link_faults() const { return !by_link_.empty(); }
+  /// Hard failure: the link cannot carry traffic at `now`.
+  bool link_blocked(const topo::Link& link, Time now) const;
+  /// Usable fraction of nominal bandwidth at `now` (1.0 = healthy,
+  /// 0.0 = hard-failed).
+  double link_capacity(const topo::Link& link, Time now) const;
+  bool route_blocked(const std::vector<topo::Link>& route, Time now) const;
+
+  // --- Progress stalls --------------------------------------------------
+  /// End of the stall window covering (rank, now); returns `now` when
+  /// the rank's progress fiber is free to advance.
+  Time stalled_until(int rank, Time now) const;
+  void record_stall(Time from, Time until);
+
+  // --- Recovery accounting (called by noc / pami) -----------------------
+  void record_retransmit(Time backoff, Time now);
+  void record_reroute(std::size_t extra_hops, Time now);
+  void record_degraded_transfer(Time now);
+
+  /// Pairwise in-order delivery under retransmission: deterministic
+  /// routing guarantees per-(src,dst) packet order on healthy BG/Q, and
+  /// the recovery protocol preserves it with sequence numbers — a
+  /// retransmitted packet holds later ones at the receiver until the
+  /// gap fills. Returns `arrive` clamped to the pair's reorder floor;
+  /// only a retransmitted packet raises that floor (clean traffic must
+  /// not, because replies are timed ahead of wall-clock and would drag
+  /// every later packet on the pair out to their arrival).
+  Time in_order_arrival(int src_node, int dst_node, Time arrive, bool retransmitted);
+
+ private:
+  struct Window {
+    Time begin;
+    Time end;
+    double capacity;
+  };
+  void mark(const char* name, Time at);
+
+  FaultPlan plan_;
+  const topo::Torus5D& torus_;
+  Rng rng_;
+  /// Directed-link index -> fault windows affecting it.
+  std::unordered_map<int, std::vector<Window>> by_link_;
+  /// (src_node, dst_node) -> reorder floor: the latest arrival of a
+  /// retransmitted packet, which later packets may not undercut.
+  std::unordered_map<std::uint64_t, Time> last_arrival_;
+  FaultStats stats_;
+  sim::TraceRecorder* trace_ = nullptr;
+  std::uint32_t track_ = 0;
+};
+
+}  // namespace fault
+}  // namespace pgasq

@@ -1,5 +1,7 @@
 #include "noc/network.hpp"
 
+#include <algorithm>
+#include <array>
 #include <string>
 
 #include "util/error.hpp"
@@ -38,17 +40,53 @@ Transfer NetworkModel::shm_transfer(std::uint64_t bytes, Time start) const {
   return Transfer{done, done};
 }
 
+void NetworkModel::roll_fate(Transfer& t, Time at) {
+  if (injector_ == nullptr) return;
+  t.dropped = injector_->roll_packet(at) != fault::PacketFate::kDelivered;
+}
+
+std::vector<topo::Link> NetworkModel::faulted_route(int src_node, int dst_node,
+                                                    Time at, double* min_capacity) {
+  auto route = torus_.route_avoiding(src_node, dst_node, [&](const topo::Link& l) {
+    return injector_->link_blocked(l, at);
+  });
+  const int nominal = torus_.hop_distance(src_node, dst_node);
+  if (route.size() > static_cast<std::size_t>(nominal)) {
+    injector_->record_reroute(route.size() - static_cast<std::size_t>(nominal), at);
+  }
+  double cap = 1.0;
+  for (const auto& l : route) cap = std::min(cap, injector_->link_capacity(l, at));
+  if (cap < 1.0) injector_->record_degraded_transfer(at);
+  *min_capacity = cap;
+  return route;
+}
+
 Transfer LogGPModel::transfer(int src_node, int dst_node, std::uint64_t bytes,
                               Time start, TransferOptions opts) {
   account(bytes);
   if (src_node == dst_node) return shm_transfer(bytes, start);
-  const Time ser = serialization(bytes, opts);
+  Time ser = serialization(bytes, opts);
+  Time fly;
+  if (injector_ != nullptr && injector_->has_link_faults()) {
+    // A failed link stretches the path (dimension-order route-around);
+    // a degraded link throttles the end-to-end cut-through stream to
+    // the slowest link on the path.
+    double cap = 1.0;
+    const auto route = faulted_route(src_node, dst_node, start, &cap);
+    fly = params_.wire_base_latency +
+          static_cast<Time>(route.size()) * params_.hop_latency;
+    if (cap < 1.0) ser = static_cast<Time>(static_cast<double>(ser) / cap);
+  } else {
+    fly = flight(src_node, dst_node);
+  }
   const Time begin = claim_injection(src_node, start, ser);
   const Time inject_done = begin + ser;
   // Cut-through: the head races ahead while the tail serializes, so
   // arrival is serialization + flight, not store-and-forward per hop.
-  const Time arrive = inject_done + flight(src_node, dst_node);
-  return Transfer{inject_done, arrive};
+  const Time arrive = inject_done + fly;
+  Transfer t{inject_done, arrive};
+  roll_fate(t, begin);
+  return t;
 }
 
 Transfer LinkContentionModel::transfer(int src_node, int dst_node,
@@ -62,23 +100,42 @@ Transfer LinkContentionModel::transfer(int src_node, int dst_node,
   // occupied for the full serialization time (the worm's body).
   Time head = claim_injection(src_node, start, ser);
   Time inject_done = start;
-  std::array<int, topo::kDims> order{0, 1, 2, 3, 4};
-  if (params_.dynamic_routing) {
-    // Rotate the dimension order per message — a cheap, deterministic
-    // stand-in for adaptive minimal routing.
-    const int shift = static_cast<int>(messages_sent() % topo::kDims);
-    for (int i = 0; i < topo::kDims; ++i) order[static_cast<std::size_t>(i)] = (i + shift) % topo::kDims;
+  std::vector<topo::Link> route;
+  const bool faulty = injector_ != nullptr && injector_->has_link_faults();
+  double path_capacity = 1.0;
+  if (faulty) {
+    route = faulted_route(src_node, dst_node, start, &path_capacity);
+  } else {
+    std::array<int, topo::kDims> order{0, 1, 2, 3, 4};
+    if (params_.dynamic_routing) {
+      // Rotate the dimension order per message — a cheap, deterministic
+      // stand-in for adaptive minimal routing.
+      const int shift = static_cast<int>(messages_sent() % topo::kDims);
+      for (int i = 0; i < topo::kDims; ++i) order[static_cast<std::size_t>(i)] = (i + shift) % topo::kDims;
+    }
+    route = torus_.route_ordered(src_node, dst_node, order);
   }
-  const auto route = torus_.route_ordered(src_node, dst_node, order);
   PGASQ_CHECK(!route.empty());
   for (std::size_t i = 0; i < route.size(); ++i) {
-    auto& free_at = link_free_[static_cast<std::size_t>(torus_.link_index(route[i]))];
+    const auto& link = route[i];
+    auto& free_at = link_free_[static_cast<std::size_t>(torus_.link_index(link))];
+    // A degraded link drains the worm's body proportionally slower.
+    Time occupy = ser;
+    if (faulty) {
+      const double cap = injector_->link_capacity(link, start);
+      if (cap < 1.0) occupy = static_cast<Time>(static_cast<double>(ser) / cap);
+    }
     head = std::max(head, free_at) + params_.hop_latency;
-    free_at = head + ser;
-    if (i == 0) inject_done = head + ser;  // source link drained
+    free_at = head + occupy;
+    if (i == 0) inject_done = head + occupy;  // source link drained
   }
-  const Time arrive = head + ser + params_.wire_base_latency;
-  return Transfer{inject_done, arrive};
+  const Time tail = faulty && path_capacity < 1.0
+                        ? static_cast<Time>(static_cast<double>(ser) / path_capacity)
+                        : ser;
+  const Time arrive = head + tail + params_.wire_base_latency;
+  Transfer t{inject_done, arrive};
+  roll_fate(t, inject_done);
+  return t;
 }
 
 std::unique_ptr<NetworkModel> make_network_model(const std::string& name,

@@ -20,6 +20,7 @@
 #include <memory>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "noc/parameters.hpp"
 #include "topo/torus.hpp"
 #include "util/time_types.hpp"
@@ -30,6 +31,11 @@ namespace pgasq::noc {
 struct Transfer {
   Time inject_done;  ///< source link drained; safe for local-completion
   Time arrive;       ///< last byte at destination NIC
+  /// Fault injection only: the packet was lost in the fabric (dropped
+  /// outright or CRC-rejected by the receiver). The times above are
+  /// where it *would* have drained/arrived; the pami layer's
+  /// ack/timeout/retransmit protocol decides what happens next.
+  bool dropped = false;
 };
 
 /// Options for a single transfer.
@@ -61,6 +67,12 @@ class NetworkModel {
   const topo::Torus5D& torus() const { return torus_; }
   const BgqParameters& params() const { return params_; }
 
+  /// Attaches (or detaches, with nullptr) a fault injector. Not owned.
+  /// With no injector every fault hook is a single null check and the
+  /// timings are bit-identical to the fault-free model.
+  void set_injector(fault::Injector* injector) { injector_ = injector; }
+  fault::Injector* injector() const { return injector_; }
+
   /// Total messages / bytes injected (diagnostics & tests).
   std::uint64_t messages_sent() const { return messages_; }
   std::uint64_t bytes_sent() const { return bytes_; }
@@ -69,6 +81,13 @@ class NetworkModel {
   Time serialization(std::uint64_t bytes, TransferOptions opts) const;
   Time flight(int src_node, int dst_node) const;
   Transfer shm_transfer(std::uint64_t bytes, Time start) const;
+  /// Rolls packet loss/corruption for a transfer injected at `at`.
+  void roll_fate(Transfer& t, Time at);
+  /// Route under active link faults: dimension-order when healthy,
+  /// shortest route-around otherwise (recorded in the fault stats);
+  /// `min_capacity` receives the worst degradation factor on the path.
+  std::vector<topo::Link> faulted_route(int src_node, int dst_node, Time at,
+                                        double* min_capacity);
   void account(std::uint64_t bytes) {
     ++messages_;
     bytes_ += bytes;
@@ -83,6 +102,7 @@ class NetworkModel {
 
   const topo::Torus5D& torus_;
   BgqParameters params_;
+  fault::Injector* injector_ = nullptr;
 
  private:
   std::uint64_t messages_ = 0;

@@ -1,6 +1,7 @@
 #include "pami/context.hpp"
 
 #include <cstring>
+#include <sstream>
 #include <utility>
 
 #include "pami/machine.hpp"
@@ -16,6 +17,49 @@ Context::Context(Process& process, int index)
       arrivals_(std::make_unique<sim::WaitQueue>(process.machine().engine())) {}
 
 Machine& Context::machine() { return process_.machine(); }
+
+noc::Transfer Context::wire_transfer(int src_node, int dst_node, std::uint64_t bytes,
+                                     Time at, noc::TransferOptions opts,
+                                     const char* what) {
+  auto& net = machine().network();
+  noc::Transfer t = net.transfer(src_node, dst_node, bytes, at, opts);
+  fault::Injector* inj = machine().injector();
+  if (inj == nullptr) return t;
+  const fault::FaultPlan& plan = inj->plan();
+  Time timeout = plan.ack_timeout;
+  const bool retransmitted = t.dropped;
+  while (t.dropped) {
+    // The expected ack never came: declare the packet lost `timeout`
+    // after it drained, re-inject, and widen the timeout (capped).
+    ++stats_.retransmits;
+    if (++retries_used_ > plan.retry_budget) {
+      std::ostringstream os;
+      os << "fault: retry budget (" << plan.retry_budget << ") exhausted on rank "
+         << process_.rank() << " context " << index_ << " during " << what
+         << " from node " << src_node << " to node " << dst_node
+         << " (raise fault.retry_budget or lower fault.drop_prob)";
+      throw FaultError(what, src_node, dst_node, retries_used_ - 1, os.str());
+    }
+    const Time resend_at = t.inject_done + timeout;
+    stats_.retransmit_backoff += timeout;
+    inj->record_retransmit(timeout, resend_at);
+    timeout = std::min(
+        static_cast<Time>(static_cast<double>(timeout) * plan.backoff_factor),
+        plan.max_backoff);
+    t = net.transfer(src_node, dst_node, bytes, resend_at, opts);
+  }
+  // Sequence numbers hold retransmission-reordered packets at the
+  // receiver so pairwise delivery order survives recovery — the
+  // ordering guarantee ARMCI's consistency layer is built on.
+  t.arrive = inj->in_order_arrival(src_node, dst_node, t.arrive, retransmitted);
+  return t;
+}
+
+noc::Transfer Context::wire_control(int src_node, int dst_node, Time at,
+                                    const char* what) {
+  return wire_transfer(src_node, dst_node, machine().params().control_packet_bytes,
+                       at, noc::TransferOptions{.is_control = true}, what);
+}
 
 void Context::busy(Time t) { process_.busy(t); }
 
@@ -159,10 +203,9 @@ void Context::process_item(Item& item) {
       const std::int64_t old = apply_rmw(item.word, item.op, item.operand, item.compare);
       // NIC-level reply packet back to the requester; the requester
       // sees the result when it next advances after arrival.
-      auto& net = machine().network();
       const int here = process_.node();
       const int dest_node = machine().mapping().node_of_rank(item.reply_to.rank);
-      const auto reply = net.control(here, dest_node, now());
+      const auto reply = wire_control(here, dest_node, now(), "rmw reply");
       Context& dest_ctx =
           machine().process(item.reply_to.rank).context(item.reply_to.context);
       RmwCallback cb = std::move(item.rmw_reply);
@@ -176,13 +219,12 @@ void Context::process_item(Item& item) {
       // Fall-back get service: the target streams the data back,
       // paying its own send overhead — the second "o" of Eq 8.
       busy(p.o_send);
-      auto& net = machine().network();
       const int here = process_.node();
       const int dest_node = machine().mapping().node_of_rank(item.reply_to.rank);
       // Read the data now (service time) and ship it.
       std::vector<std::byte> staged(item.bytes);
       std::memcpy(staged.data(), item.source_data, item.bytes);
-      const auto t = net.transfer(here, dest_node, item.bytes, now());
+      const auto t = wire_transfer(here, dest_node, item.bytes, now(), {}, "get reply");
       Context& dest_ctx =
           machine().process(item.reply_to.rank).context(item.reply_to.context);
       machine().engine().schedule_at(
@@ -216,10 +258,9 @@ void Context::rput(const MemoryRegion& local_mr, std::uint64_t loff,
   PGASQ_CHECK(remote_mr.covers(remote_mr.base + roff, bytes), << "rput target range");
   const auto& p = machine().params();
   busy(p.o_send);
-  auto& net = machine().network();
   const int src_node = process_.node();
   const int dst_node = machine().mapping().node_of_rank(remote_mr.owner);
-  const auto t = net.transfer(src_node, dst_node, bytes, now());
+  const auto t = wire_transfer(src_node, dst_node, bytes, now(), {}, "rput data");
   // The NIC reads the source buffer during serialization; stage a copy
   // now so the caller may reuse the buffer after local completion.
   std::vector<std::byte> staged(bytes);
@@ -233,7 +274,7 @@ void Context::rput(const MemoryRegion& local_mr, std::uint64_t loff,
                        p.o_completion);
   }
   if (on_remote_ack) {
-    const auto ack = net.control(dst_node, src_node, t.arrive);
+    const auto ack = wire_control(dst_node, src_node, t.arrive, "rput ack");
     post_completion_at(ack.arrive, std::move(on_remote_ack), 0);
   }
 }
@@ -245,13 +286,12 @@ void Context::rget(const MemoryRegion& local_mr, std::uint64_t loff,
   PGASQ_CHECK(remote_mr.covers(remote_mr.base + roff, bytes), << "rget remote range");
   const auto& p = machine().params();
   busy(p.o_send);
-  auto& net = machine().network();
   const int src_node = process_.node();
   const int dst_node = machine().mapping().node_of_rank(remote_mr.owner);
   // Request descriptor travels to the target NIC...
-  const auto req = net.control(src_node, dst_node, now());
+  const auto req = wire_control(src_node, dst_node, now(), "rget request");
   // ...which DMAs the data back with no target software involved.
-  const auto data = net.transfer(dst_node, src_node, bytes, req.arrive);
+  const auto data = wire_transfer(dst_node, src_node, bytes, req.arrive, {}, "rget data");
   const std::byte* src = remote_mr.base + roff;
   std::byte* dst = local_mr.base + loff;
   auto staged = std::make_shared<std::vector<std::byte>>();
@@ -280,12 +320,12 @@ void Context::rput_typed(const MemoryRegion& local_mr, const MemoryRegion& remot
   // walk cost; the wire sees a single message with a gather/scatter
   // efficiency factor.
   busy(p.o_send + static_cast<Time>(chunks.size()) * p.typed_element_cost);
-  auto& net = machine().network();
   const int src_node = process_.node();
   const int dst_node = machine().mapping().node_of_rank(remote_mr.owner);
   const auto wire_bytes =
       static_cast<std::uint64_t>(static_cast<double>(total) * p.typed_wire_factor);
-  const auto t = net.transfer(src_node, dst_node, wire_bytes, now());
+  const auto t =
+      wire_transfer(src_node, dst_node, wire_bytes, now(), {}, "rput typed data");
   auto staged = std::make_shared<std::vector<std::byte>>(total);
   std::uint64_t off = 0;
   for (const auto& c : chunks) {
@@ -305,7 +345,7 @@ void Context::rput_typed(const MemoryRegion& local_mr, const MemoryRegion& remot
                        p.o_completion);
   }
   if (on_remote_ack) {
-    const auto ack = net.control(dst_node, src_node, t.arrive);
+    const auto ack = wire_control(dst_node, src_node, t.arrive, "rput typed ack");
     post_completion_at(ack.arrive, std::move(on_remote_ack), 0);
   }
 }
@@ -320,13 +360,13 @@ void Context::rget_typed(const MemoryRegion& local_mr, const MemoryRegion& remot
     total += c.bytes;
   }
   busy(p.o_send + static_cast<Time>(chunks.size()) * p.typed_element_cost);
-  auto& net = machine().network();
   const int src_node = process_.node();
   const int dst_node = machine().mapping().node_of_rank(remote_mr.owner);
-  const auto req = net.control(src_node, dst_node, now());
+  const auto req = wire_control(src_node, dst_node, now(), "rget typed request");
   const auto wire_bytes =
       static_cast<std::uint64_t>(static_cast<double>(total) * p.typed_wire_factor);
-  const auto data = net.transfer(dst_node, src_node, wire_bytes, req.arrive);
+  const auto data =
+      wire_transfer(dst_node, src_node, wire_bytes, req.arrive, {}, "rget typed data");
   auto staged = std::make_shared<std::vector<std::byte>>(total);
   const std::byte* rbase = remote_mr.base;
   machine().engine().schedule_at(req.arrive, [staged, rbase, chunks] {
@@ -358,12 +398,11 @@ void Context::send(Endpoint dest, DispatchId dispatch, std::vector<std::byte> he
   PGASQ_CHECK(dest.rank >= 0 && dest.rank < machine().num_ranks());
   const auto& p = machine().params();
   busy(p.o_send);
-  auto& net = machine().network();
   const int src_node = process_.node();
   const int dst_node = machine().mapping().node_of_rank(dest.rank);
   const std::uint64_t wire_bytes =
       p.control_packet_bytes + header.size() + payload.size();
-  const auto t = net.transfer(src_node, dst_node, wire_bytes, now());
+  const auto t = wire_transfer(src_node, dst_node, wire_bytes, now(), {}, "active message");
   AmMessage msg;
   msg.source = Endpoint{process_.rank(), index_};
   msg.header = std::move(header);
@@ -385,10 +424,10 @@ void Context::put(Endpoint dest, const std::byte* local, std::byte* remote,
                   Callback on_remote_done) {
   const auto& p = machine().params();
   busy(p.o_send);
-  auto& net = machine().network();
   const int src_node = process_.node();
   const int dst_node = machine().mapping().node_of_rank(dest.rank);
-  const auto t = net.transfer(src_node, dst_node, p.control_packet_bytes + bytes, now());
+  const auto t = wire_transfer(src_node, dst_node, p.control_packet_bytes + bytes,
+                               now(), {}, "put data");
   Item item;
   item.kind = Item::Kind::kPutData;
   item.deposit_to = remote;
@@ -402,7 +441,7 @@ void Context::put(Endpoint dest, const std::byte* local, std::byte* remote,
       Machine& m = self->machine();
       const int from = m.mapping().node_of_rank(dest.rank);
       const int to = m.mapping().node_of_rank(me.rank);
-      const auto ack = m.network().control(from, to, self->machine().engine().now());
+      const auto ack = self->wire_control(from, to, m.engine().now(), "put ack");
       m.engine().schedule_at(ack.arrive, [self, cb = std::move(cb)]() mutable {
         self->post_completion(std::move(cb), self->machine().params().o_completion);
       });
@@ -420,10 +459,9 @@ void Context::get(Endpoint dest, std::byte* local, const std::byte* remote,
                   std::uint64_t bytes, Callback on_done) {
   const auto& p = machine().params();
   busy(p.o_send);
-  auto& net = machine().network();
   const int src_node = process_.node();
   const int dst_node = machine().mapping().node_of_rank(dest.rank);
-  const auto req = net.control(src_node, dst_node, now());
+  const auto req = wire_control(src_node, dst_node, now(), "get request");
   Item item;
   item.kind = Item::Kind::kGetRequest;
   item.requester_buffer = local;
@@ -442,10 +480,9 @@ void Context::rmw(Endpoint dest, std::int64_t* remote_word, RmwOp op,
   PGASQ_CHECK(on_done != nullptr);
   const auto& p = machine().params();
   busy(p.o_send);
-  auto& net = machine().network();
   const int src_node = process_.node();
   const int dst_node = machine().mapping().node_of_rank(dest.rank);
-  const auto req = net.control(src_node, dst_node, now());
+  const auto req = wire_control(src_node, dst_node, now(), "rmw request");
 
   if (p.hardware_amo) {
     // Gemini/InfiniBand-style NIC AMO: the target NIC applies the
@@ -457,7 +494,8 @@ void Context::rmw(Endpoint dest, std::int64_t* remote_word, RmwOp op,
          cb = std::move(on_done)]() mutable {
           const std::int64_t old = apply_rmw(remote_word, op, operand, compare);
           Machine& m = self->machine();
-          const auto reply = m.network().control(dst_node, src_node, m.engine().now());
+          const auto reply =
+              self->wire_control(dst_node, src_node, m.engine().now(), "rmw hw reply");
           m.engine().schedule_at(reply.arrive, [self, old, cb = std::move(cb)]() mutable {
             self->post_completion([cb = std::move(cb), old] { cb(old); },
                                   self->machine().params().o_completion);

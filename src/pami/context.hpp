@@ -24,6 +24,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "noc/network.hpp"
 #include "pami/memregion.hpp"
 #include "pami/types.hpp"
 #include "sim/sync.hpp"
@@ -48,6 +49,11 @@ struct ContextStats {
   /// Sum over serviced items of (service start - arrival): how long
   /// requests sat waiting for somebody to advance.
   Time total_service_delay = 0;
+  /// Fault recovery (nonzero only under an active fault plan): wire
+  /// legs re-sent by this context's ack/timeout protocol, and the
+  /// virtual time its operations spent waiting out those timeouts.
+  std::uint64_t retransmits = 0;
+  Time retransmit_backoff = 0;
 };
 
 class Context {
@@ -154,6 +160,22 @@ class Context {
                         std::int64_t compare, Endpoint reply_to,
                         RmwCallback reply_cb);
 
+  // --- Wire legs with fault recovery --------------------------------------
+
+  /// Times one transfer (or control packet) from src to dst. Under an
+  /// active fault injector this is the ack/timeout/retransmit protocol
+  /// — a dropped or corrupted attempt is detected by ack timeout and
+  /// re-sent with capped exponential backoff, drawing on this
+  /// context's retry budget; exhausting the budget throws
+  /// pgasq::FaultError naming `what` and the link. Without an injector
+  /// it is exactly one network call. Layers above that time their own
+  /// wire legs (e.g. AM-handler acks in core::Comm) must come through
+  /// here rather than noc::NetworkModel so their packets share the
+  /// recovery protocol.
+  noc::Transfer wire_transfer(int src_node, int dst_node, std::uint64_t bytes,
+                              Time at, noc::TransferOptions opts, const char* what);
+  noc::Transfer wire_control(int src_node, int dst_node, Time at, const char* what);
+
  private:
   struct Item {
     enum class Kind { kCompletion, kAm, kRmwService, kGetRequest, kPutData };
@@ -196,6 +218,8 @@ class Context {
   std::unique_ptr<sim::SimMutex> lock_;
   std::unique_ptr<sim::WaitQueue> arrivals_;
   ContextStats stats_;
+  /// Lifetime retransmits charged against the fault plan's retry budget.
+  std::uint64_t retries_used_ = 0;
 };
 
 }  // namespace pgasq::pami

@@ -26,6 +26,11 @@ Machine::Machine(MachineConfig config)
     trace_ = std::make_unique<sim::TraceRecorder>();
     engine_.set_trace(trace_.get());
   }
+  if (config_.fault.enabled()) {
+    injector_ = std::make_unique<fault::Injector>(config_.fault, torus_);
+    injector_->set_trace(trace_.get());
+    network_->set_injector(injector_.get());
+  }
   processes_.reserve(static_cast<std::size_t>(config_.num_ranks));
   for (RankId r = 0; r < config_.num_ranks; ++r) {
     processes_.push_back(

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "noc/network.hpp"
 #include "noc/parameters.hpp"
 #include "pami/process.hpp"
@@ -33,6 +34,9 @@ struct MachineConfig {
   std::size_t max_memregions_per_rank = static_cast<std::size_t>(-1);
   std::size_t fiber_stack_bytes = 256 * 1024;
   std::uint64_t seed = 42;
+  /// Fault-injection plan (disabled by default: a disabled plan builds
+  /// no injector and leaves every timing bit-identical).
+  fault::FaultPlan fault{};
   /// Non-empty: record a Chrome trace-event JSON of fiber activity in
   /// virtual time and write it here when the run completes.
   std::string trace_json_path;
@@ -47,6 +51,9 @@ class Machine {
 
   sim::Engine& engine() { return engine_; }
   noc::NetworkModel& network() { return *network_; }
+  /// Active fault injector, or nullptr when the fault plan is disabled.
+  fault::Injector* injector() { return injector_.get(); }
+  const fault::Injector* injector() const { return injector_.get(); }
   const topo::Torus5D& torus() const { return torus_; }
   const topo::RankMapping& mapping() const { return mapping_; }
   const MachineConfig& config() const { return config_; }
@@ -75,6 +82,7 @@ class Machine {
   topo::Torus5D torus_;
   topo::RankMapping mapping_;
   std::unique_ptr<noc::NetworkModel> network_;
+  std::unique_ptr<fault::Injector> injector_;
   std::vector<std::unique_ptr<Process>> processes_;
   Rng rng_;
 };

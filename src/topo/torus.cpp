@@ -92,6 +92,59 @@ std::vector<Link> Torus5D::route_ordered(
   return links;
 }
 
+std::vector<Link> Torus5D::route_avoiding(
+    int src, int dst, const std::function<bool(const Link&)>& blocked) const {
+  if (src == dst) return {};
+  // Fast path: the deterministic dimension-order route, untouched.
+  std::vector<Link> nominal = route(src, dst);
+  const bool nominal_ok =
+      std::none_of(nominal.begin(), nominal.end(),
+                   [&](const Link& l) { return blocked(l); });
+  if (nominal_ok) return nominal;
+  // Route-around: BFS over nodes skipping blocked links. The queue is
+  // FIFO and neighbours are enumerated in (dim, +1 then -1) order, so
+  // the chosen shortest path is a deterministic function of the
+  // blocked set — no RNG, no iteration-order dependence.
+  std::vector<Link> via(static_cast<std::size_t>(num_nodes_),
+                        Link{-1, -1, -1, 0});
+  std::vector<int> frontier{src};
+  via[static_cast<std::size_t>(src)] = Link{src, src, 0, 1};  // visited marker
+  bool found = false;
+  while (!frontier.empty() && !found) {
+    std::vector<int> next_frontier;
+    for (const int node : frontier) {
+      const Coord5 c = coord_of(node);
+      for (int d = 0; d < kDims && !found; ++d) {
+        if (dims_[d] == 1) continue;
+        for (const int dir : {1, -1}) {
+          Coord5 nc = c;
+          nc[d] = (c[d] + dir + dims_[d]) % dims_[d];
+          const int neighbour = node_of(nc);
+          if (via[static_cast<std::size_t>(neighbour)].from_node != -1) continue;
+          const Link hop{node, neighbour, d, dir};
+          if (blocked(hop)) continue;
+          via[static_cast<std::size_t>(neighbour)] = hop;
+          if (neighbour == dst) {
+            found = true;
+            break;
+          }
+          next_frontier.push_back(neighbour);
+        }
+      }
+      if (found) break;
+    }
+    frontier = std::move(next_frontier);
+  }
+  PGASQ_CHECK(found, << "route_avoiding: no route from node " << src << " to node "
+                     << dst << " — the blocked links partition the torus");
+  std::vector<Link> path;
+  for (int node = dst; node != src; node = via[static_cast<std::size_t>(node)].from_node) {
+    path.push_back(via[static_cast<std::size_t>(node)]);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
 int Torus5D::link_index(const Link& link) const {
   PGASQ_CHECK(link.from_node >= 0 && link.from_node < num_nodes_);
   PGASQ_CHECK(link.dim >= 0 && link.dim < kDims);

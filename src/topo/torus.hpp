@@ -12,6 +12,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -58,6 +59,15 @@ class Torus5D {
   /// `dim_order` must be a permutation of {0..4}.
   std::vector<Link> route_ordered(int src, int dst,
                                   const std::array<int, kDims>& dim_order) const;
+
+  /// Fault-tolerant dimension-order route: takes the deterministic
+  /// route when none of its links satisfy `blocked`; otherwise finds a
+  /// shortest route around the blocked links (deterministic BFS whose
+  /// neighbour enumeration follows dimension order, so healthy runs
+  /// and degraded runs stay bit-reproducible). Throws pgasq::Error
+  /// when the blocked links disconnect src from dst.
+  std::vector<Link> route_avoiding(
+      int src, int dst, const std::function<bool(const Link&)>& blocked) const;
 
   /// Dense id for a directed link: node * 10 + dim * 2 + (dir<0).
   int link_index(const Link& link) const;

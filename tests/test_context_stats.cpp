@@ -1,0 +1,124 @@
+// Direct unit tests for Context::advance() progress statistics:
+// empty_advances accounting and the total_service_delay accumulator
+// (the raw material of the Fig 9 / Fig 11 progress analyses).
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "pami/machine.hpp"
+
+namespace pgasq::pami {
+namespace {
+
+MachineConfig two_ranks() {
+  MachineConfig cfg;
+  cfg.num_ranks = 2;
+  cfg.ranks_per_node = 1;
+  return cfg;
+}
+
+void run_pair(MachineConfig cfg, std::function<void(Process&)> rank0,
+              std::function<void(Process&)> rank1) {
+  Machine machine(cfg);
+  machine.run([&](Process& p) {
+    p.create_client();
+    p.create_context();
+    (p.rank() == 0 ? rank0 : rank1)(p);
+  });
+}
+
+TEST(ContextStats, EmptyAdvancesCounted) {
+  run_pair(
+      two_ranks(),
+      [](Process& p) {
+        Context& ctx = p.context(0);
+        EXPECT_EQ(ctx.advance(), 0u);
+        EXPECT_EQ(ctx.advance(), 0u);
+        EXPECT_EQ(ctx.advance(), 0u);
+        const ContextStats& s = ctx.stats();
+        EXPECT_EQ(s.advance_calls, 3u);
+        EXPECT_EQ(s.empty_advances, 3u);
+        EXPECT_EQ(s.completions, 0u);
+        EXPECT_EQ(s.total_service_delay, 0);
+      },
+      [](Process&) {});
+}
+
+TEST(ContextStats, NonEmptyAdvanceNotCountedEmpty) {
+  run_pair(
+      two_ranks(),
+      [](Process& p) {
+        p.context(0).send(Endpoint{1, 0}, 3, {}, {}, nullptr);
+        p.busy(from_us(100));
+      },
+      [](Process& p) {
+        Context& ctx = p.context(0);
+        ctx.set_dispatch(3, [](Context&, const AmMessage&) {});
+        p.busy(from_us(50));
+        EXPECT_EQ(ctx.advance(), 1u);
+        const ContextStats& s = ctx.stats();
+        EXPECT_EQ(s.advance_calls, 1u);
+        EXPECT_EQ(s.empty_advances, 0u);
+        EXPECT_EQ(s.ams_dispatched, 1u);
+      });
+}
+
+TEST(ContextStats, ServiceDelayGrowsWithNeglect) {
+  // The same AM serviced after a longer compute phase must report a
+  // larger service delay: delay = service start - arrival.
+  Time short_delay = 0;
+  Time long_delay = 0;
+  for (const Time nap : {from_us(50), from_us(400)}) {
+    Time* out = (nap == from_us(50)) ? &short_delay : &long_delay;
+    run_pair(
+        two_ranks(),
+        [](Process& p) {
+          p.context(0).send(Endpoint{1, 0}, 3, {}, {}, nullptr);
+          p.busy(from_us(500));
+        },
+        [out, nap](Process& p) {
+          p.context(0).set_dispatch(3, [](Context&, const AmMessage&) {});
+          p.busy(nap);
+          p.context(0).advance();
+          *out = p.context(0).stats().total_service_delay;
+        });
+  }
+  EXPECT_GT(short_delay, 0);
+  // 350us more neglect is 350us more delay (minus jitter-free arrival).
+  EXPECT_GE(long_delay - short_delay, from_us(300));
+}
+
+TEST(ContextStats, ServiceDelayMonotoneAcrossAdvances) {
+  // total_service_delay is a running sum: each advance that services a
+  // waiting item strictly increases it, and no advance decreases it.
+  run_pair(
+      two_ranks(),
+      [](Process& p) {
+        for (int i = 0; i < 3; ++i) {
+          p.context(0).send(Endpoint{1, 0}, 3, {}, {}, nullptr);
+          p.busy(from_us(100));
+        }
+      },
+      [](Process& p) {
+        Context& ctx = p.context(0);
+        ctx.set_dispatch(3, [](Context&, const AmMessage&) {});
+        std::vector<Time> snapshots{ctx.stats().total_service_delay};
+        for (int round = 0; round < 3; ++round) {
+          p.busy(from_us(120));
+          const std::size_t serviced = ctx.advance();
+          const Time now_total = ctx.stats().total_service_delay;
+          EXPECT_GE(now_total, snapshots.back())
+              << "service delay went backwards on round " << round;
+          if (serviced > 0) {
+            EXPECT_GT(now_total, snapshots.back())
+                << "serviced a waiting item with zero recorded delay";
+          }
+          snapshots.push_back(now_total);
+        }
+        EXPECT_EQ(ctx.stats().ams_dispatched, 3u);
+      });
+}
+
+}  // namespace
+}  // namespace pgasq::pami

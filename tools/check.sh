@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Gate script: the tree must build and pass ctest twice — a plain
+# RelWithDebInfo build, then an UndefinedBehaviorSanitizer build
+# (PGASQ_SANITIZE=undefined). Run from anywhere; builds live in
+# build-check/ and build-check-ubsan/ at the repo root.
+#
+# Usage: tools/check.sh [--asan]
+#   --asan  additionally run an AddressSanitizer pass (slower; fiber
+#           switches are ASan-annotated via sim/fiber.hpp).
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 4)"
+run_asan=0
+[[ "${1:-}" == "--asan" ]] && run_asan=1
+
+pass() {
+  local dir="$1"; shift
+  echo "=== configure+build+test: ${dir} ($*)" >&2
+  cmake -B "${repo}/${dir}" -S "${repo}" "$@" >/dev/null
+  cmake --build "${repo}/${dir}" -j "${jobs}"
+  ctest --test-dir "${repo}/${dir}" --output-on-failure -j "${jobs}"
+}
+
+pass build-check
+pass build-check-ubsan -DPGASQ_SANITIZE=undefined \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+if [[ "${run_asan}" == 1 ]]; then
+  pass build-check-asan -DPGASQ_SANITIZE=address
+fi
+
+echo "=== all checks passed" >&2
