@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
               to_us(scf.mean_task_compute));
 
   Table table({"procs", "mode", "wall_ms", "counter_s(sum)", "get_s(sum)",
-               "tasks", "checksum"});
+               "reduce_s(sum)", "tasks", "checksum"});
   const int max_ranks = static_cast<int>(cli.get_int("max_ranks", 4096));
   const int min_ranks = static_cast<int>(cli.get_int("min_ranks", 1024));
   double d_wall = 0.0;
@@ -44,6 +44,7 @@ int main(int argc, char** argv) {
           .add(to_ms(r.wall_time), 2)
           .add(to_s(r.counter_time), 3)
           .add(to_s(r.get_time), 3)
+          .add(to_s(r.reduce_time), 3)
           .add(static_cast<long long>(r.tasks_executed))
           .add(r.fock_checksum, 6);
       if (mode.name == "D") {

@@ -47,6 +47,14 @@ inline armci::WorldConfig make_world_config(const Config& cli, int default_ranks
   }
   cfg.machine.params.hardware_amo = cli.get_bool("hardware_amo", false);
   cfg.machine.fault = fault::FaultPlan::from_config(cli);
+  // Collectives-engine knobs ride through opaquely: every "--coll.*"
+  // key is handed to coll::CollConfig with the prefix stripped, e.g.
+  // --coll.algo.allreduce=torus-ring or --coll.hw=0.
+  for (const std::string& key : cli.keys()) {
+    if (key.rfind("coll.", 0) == 0) {
+      cfg.armci.coll.emplace_back(key.substr(5), cli.get_string(key, ""));
+    }
+  }
   return cfg;
 }
 

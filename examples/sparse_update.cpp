@@ -27,6 +27,13 @@ int main(int argc, char** argv) {
   const int batch = static_cast<int>(cli.get_int("batch", 24));
 
   cfg.machine.fault = fault::FaultPlan::from_config(cli);
+  // --coll.* keys reach the collectives engine with the prefix
+  // stripped, e.g. --coll.algo.allreduce=torus-ring (docs/collectives.md).
+  for (const std::string& key : cli.keys()) {
+    if (key.rfind("coll.", 0) == 0) {
+      cfg.armci.coll.emplace_back(key.substr(5), cli.get_string(key, ""));
+    }
+  }
   armci::World world(cfg);
   double total = 0.0;
   double expected = 0.0;

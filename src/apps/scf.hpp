@@ -53,6 +53,11 @@ struct ScfResult {
   Time get_time = 0;
   Time acc_time = 0;
   Time barrier_time = 0;
+  /// Sum over ranks of time inside the per-iteration energy reduction
+  /// (and any other data-moving engine collectives in the SCF region;
+  /// barriers are excluded — their cost is load-imbalance wait,
+  /// already visible in barrier_time).
+  Time reduce_time = 0;
   std::uint64_t tasks_executed = 0;
   std::uint64_t forced_fences = 0;
   /// Deterministic Fock-matrix checksum (mode/p independent).

@@ -1,0 +1,381 @@
+// Software collective schedules on the torus. Every function here
+// opens its own transport epoch (begin_data_op) sized to its exact
+// slot needs; slot indices are allocated in the same deterministic
+// order on every rank, which is what matches a sender's write to the
+// receiver's wait.
+#include <algorithm>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "coll/coll.hpp"
+#include "util/error.hpp"
+
+namespace pgasq::coll {
+
+namespace {
+int ceil_log2(int p) {
+  int rounds = 0;
+  while ((1 << rounds) < p) ++rounds;
+  return rounds;
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Broadcast
+// ---------------------------------------------------------------------------
+
+void CollEngine::bcast_binomial(std::byte* data, std::size_t bytes, int root) {
+  begin_data_op(bytes, 1);
+  const int p = geometry_.p, me = comm_.rank();
+  const int vr = (me - root + p) % p;
+  int mask = 1;
+  while (mask < p) {
+    if (vr & mask) {
+      std::memcpy(data, recv_wait(0, bytes), bytes);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (vr + mask < p) send((vr + mask + root) % p, 0, data, bytes);
+    mask >>= 1;
+  }
+}
+
+void CollEngine::bcast_ring(std::byte* data, std::size_t bytes, int root) {
+  // Dimension-ordered chain tree: the root fires a chain down every
+  // torus ring it sits on; each filled rank extends its own chain and
+  // starts chains in all higher dimensions. Every hop is a nearest-
+  // neighbour transfer, so large payloads ride the full 2 GB/s links
+  // instead of the tree's long routes.
+  begin_data_op(bytes, 1);
+  const std::vector<int> mine = digits_of(comm_.rank());
+  const std::vector<int> rootd = digits_of(root);
+  const int dims = static_cast<int>(rings_.size());
+  int k = -1;  // highest ring on which I differ from the root
+  for (int d = 0; d < dims; ++d) {
+    if (mine[d] != rootd[d]) k = d;
+  }
+  if (k >= 0) std::memcpy(data, recv_wait(0, bytes), bytes);
+  if (k >= 0) {
+    const int m = rings_[k].size;
+    const int next_digit = (mine[k] + 1) % m;
+    if (next_digit != rootd[k]) {
+      std::vector<int> child = mine;
+      child[k] = next_digit;
+      send(rank_of_digits(child), 0, data, bytes);
+    }
+  }
+  for (int d = k + 1; d < dims; ++d) {
+    if (rings_[d].size <= 1) continue;
+    std::vector<int> child = mine;
+    child[d] = (mine[d] + 1) % rings_[d].size;
+    send(rank_of_digits(child), 0, data, bytes);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reduce / allreduce
+// ---------------------------------------------------------------------------
+
+void CollEngine::reduce_binomial(double* x, std::size_t n, int root) {
+  const int p = geometry_.p, me = comm_.rank();
+  const int rounds = ceil_log2(p);
+  begin_data_op(n * 8, static_cast<std::size_t>(rounds));
+  const int vr = (me - root + p) % p;
+  for (int r = 0; r < rounds; ++r) {
+    const int mask = 1 << r;
+    if (vr & mask) {
+      send(((vr - mask) + root) % p, static_cast<std::size_t>(r), x, n * 8);
+      break;  // handed the partial to the parent; done
+    }
+    if (vr + mask < p) {
+      const auto* in =
+          reinterpret_cast<const double*>(recv_wait(static_cast<std::size_t>(r), n * 8));
+      for (std::size_t i = 0; i < n; ++i) x[i] += in[i];
+    }
+  }
+}
+
+void CollEngine::allreduce_recdbl(double* x, std::size_t n) {
+  const int p = geometry_.p, me = comm_.rank();
+  int pof2 = 1;
+  while (pof2 * 2 <= p) pof2 *= 2;
+  const int rem = p - pof2;
+  const int rounds = ceil_log2(pof2);
+  // Slots: 0 = pre-fold, 1+r = exchange rounds, 1+rounds = post-fold.
+  begin_data_op(n * 8, static_cast<std::size_t>(rounds) + 2);
+
+  // Non-power-of-two fold (MPICH): the first 2*rem ranks pair up; odd
+  // ranks lend their contribution to the even partner and sit out.
+  int vr;
+  if (me < 2 * rem) {
+    if (me % 2 == 1) {
+      send(me - 1, 0, x, n * 8);
+      vr = -1;
+    } else {
+      const auto* in = reinterpret_cast<const double*>(recv_wait(0, n * 8));
+      for (std::size_t i = 0; i < n; ++i) x[i] += in[i];
+      vr = me / 2;
+    }
+  } else {
+    vr = me - rem;
+  }
+
+  if (vr >= 0) {
+    for (int r = 0; r < rounds; ++r) {
+      const int pvr = vr ^ (1 << r);
+      const int partner = pvr < rem ? pvr * 2 : pvr + rem;
+      send(partner, static_cast<std::size_t>(1 + r), x, n * 8);
+      const auto* in = reinterpret_cast<const double*>(
+          recv_wait(static_cast<std::size_t>(1 + r), n * 8));
+      // Partners compute a+b and b+a: bitwise equal, so all
+      // participants converge on one identical vector.
+      for (std::size_t i = 0; i < n; ++i) x[i] += in[i];
+    }
+  }
+
+  if (me < 2 * rem) {
+    if (me % 2 == 0) {
+      send(me + 1, static_cast<std::size_t>(1 + rounds), x, n * 8);
+    } else {
+      std::memcpy(x, recv_wait(static_cast<std::size_t>(1 + rounds), n * 8), n * 8);
+    }
+  }
+}
+
+void CollEngine::allreduce_ring(double* x, std::size_t n) {
+  // Bucket allreduce over the torus rings: a ring reduce-scatter per
+  // dimension going "down" (each level shrinks the live segment by the
+  // ring extent), then ring allgathers back "up" in reverse order.
+  // Every transfer is a ±1 neighbour hop; total traffic per rank is
+  // ~2n doubles regardless of p — the bandwidth-optimal schedule.
+  const int dims = static_cast<int>(rings_.size());
+  PGASQ_CHECK(dims > 0);
+
+  // Uniform per-level segment capacities: every member of a ring sees
+  // the same [lo, hi) segment, and chunk boundaries derive from the
+  // level capacity (not the actual segment length), so sender and
+  // receiver always agree on chunk extents even with remainders.
+  std::vector<std::size_t> cap(static_cast<std::size_t>(dims) + 1);
+  cap[0] = n;
+  for (int d = 0; d < dims; ++d) {
+    cap[d + 1] = (cap[d] + static_cast<std::size_t>(rings_[d].size) - 1) /
+                 static_cast<std::size_t>(rings_[d].size);
+  }
+  std::size_t total_slots = 0;
+  for (const RingDim& ring : rings_) {
+    total_slots += 2 * static_cast<std::size_t>(ring.size - 1);
+  }
+  begin_data_op(cap[1] * 8, std::max<std::size_t>(total_slots, 1));
+
+  std::vector<std::pair<std::size_t, std::size_t>> seg(
+      static_cast<std::size_t>(dims) + 1);
+  seg[0] = {0, n};
+  std::size_t slot = 0;
+
+  auto chunk = [&](int d, int k) {
+    const auto [lo, hi] = seg[d];
+    const std::size_t a = std::min(lo + static_cast<std::size_t>(k) * cap[d + 1], hi);
+    const std::size_t b = std::min(a + cap[d + 1], hi);
+    return std::pair<std::size_t, std::size_t>(a, b);
+  };
+
+  // Down: reduce-scatter within each ring. After m-1 steps member g
+  // owns the fully combined chunk (g+1) mod m, which becomes the
+  // segment the next (deeper) ring works on.
+  for (int d = 0; d < dims; ++d) {
+    const RingDim& ring = rings_[d];
+    const int m = ring.size, g = ring.digit;
+    for (int s = 0; s < m - 1; ++s) {
+      const auto [sa, sb] = chunk(d, (g - s + m) % m);
+      send(ring.next, slot, x + sa, (sb - sa) * 8);
+      const auto [ra, rb] = chunk(d, (g - s - 1 + m) % m);
+      const auto* in = reinterpret_cast<const double*>(recv_wait(slot, (rb - ra) * 8));
+      for (std::size_t i = 0; i < rb - ra; ++i) x[ra + i] += in[i];
+      ++slot;
+    }
+    seg[d + 1] = chunk(d, (g + 1) % m);
+  }
+
+  // Up: ring allgather per dimension in reverse, reassembling each
+  // level's segment from its members' owned chunks.
+  for (int d = dims - 1; d >= 0; --d) {
+    const RingDim& ring = rings_[d];
+    const int m = ring.size, g = ring.digit;
+    for (int s = 0; s < m - 1; ++s) {
+      const auto [sa, sb] = chunk(d, (g + 1 - s + 2 * m) % m);
+      send(ring.next, slot, x + sa, (sb - sa) * 8);
+      const auto [ra, rb] = chunk(d, (g - s + 2 * m) % m);
+      const auto* in = reinterpret_cast<const double*>(recv_wait(slot, (rb - ra) * 8));
+      std::memcpy(x + ra, in, (rb - ra) * 8);
+      ++slot;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Allgather
+// ---------------------------------------------------------------------------
+
+void CollEngine::allgather_recdbl(const std::byte* in, std::size_t bytes,
+                                  std::byte* out) {
+  const int p = geometry_.p, me = comm_.rank();
+  const int rounds = ceil_log2(p);
+  begin_data_op(static_cast<std::size_t>(p / 2) * bytes,
+                static_cast<std::size_t>(rounds));
+  std::memcpy(out + static_cast<std::size_t>(me) * bytes, in, bytes);
+  for (int r = 0; r < rounds; ++r) {
+    const int partner = me ^ (1 << r);
+    const std::size_t count = static_cast<std::size_t>(1) << r;
+    const std::size_t base = static_cast<std::size_t>(me & ~((1 << r) - 1));
+    const std::size_t pbase = static_cast<std::size_t>(partner & ~((1 << r) - 1));
+    send(partner, static_cast<std::size_t>(r), out + base * bytes, count * bytes);
+    std::memcpy(out + pbase * bytes,
+                recv_wait(static_cast<std::size_t>(r), count * bytes), count * bytes);
+  }
+}
+
+void CollEngine::allgather_ring(const std::byte* in, std::size_t bytes,
+                                std::byte* out) {
+  // Member-block forwarding around the rank ring. Under the ABCDET
+  // mapping consecutive ranks pack a node (T) before stepping to the
+  // torus neighbour, so each hop is local or nearest-neighbour.
+  const int p = geometry_.p, me = comm_.rank();
+  begin_data_op(bytes, static_cast<std::size_t>(p - 1));
+  std::memcpy(out + static_cast<std::size_t>(me) * bytes, in, bytes);
+  const int next = (me + 1) % p, prev = (me - 1 + p) % p;
+  for (int s = 0; s < p - 1; ++s) {
+    const int send_block = (me - s + p) % p;
+    send(next, static_cast<std::size_t>(s),
+         out + static_cast<std::size_t>(send_block) * bytes, bytes);
+    const int recv_block = (prev - s + p) % p;
+    std::memcpy(out + static_cast<std::size_t>(recv_block) * bytes,
+                recv_wait(static_cast<std::size_t>(s), bytes), bytes);
+  }
+}
+
+void CollEngine::allgather_binomial(const std::byte* in, std::size_t bytes,
+                                    std::byte* out) {
+  // Gather contiguous subtree blocks up the binomial tree rooted at 0,
+  // then broadcast the assembled result down the same tree. Latency-
+  // optimal; total traffic is p*bytes*log(p), so the selection table
+  // only picks it for small gathers.
+  const int p = geometry_.p, me = comm_.rank();
+  const int rounds = ceil_log2(p);
+  begin_data_op(static_cast<std::size_t>(p) * bytes,
+                static_cast<std::size_t>(rounds) + 1);
+  std::memcpy(out + static_cast<std::size_t>(me) * bytes, in, bytes);
+  int count = 1, mask = 1, r = 0;
+  while (mask < p) {
+    if (me & mask) {
+      send(me - mask, static_cast<std::size_t>(r),
+           out + static_cast<std::size_t>(me) * bytes,
+           static_cast<std::size_t>(count) * bytes);
+      break;
+    }
+    const int src = me + mask;
+    if (src < p) {
+      const int scount = std::min(mask, p - src);
+      std::memcpy(out + static_cast<std::size_t>(src) * bytes,
+                  recv_wait(static_cast<std::size_t>(r),
+                            static_cast<std::size_t>(scount) * bytes),
+                  static_cast<std::size_t>(scount) * bytes);
+      count += scount;
+    }
+    mask <<= 1;
+    ++r;
+  }
+  // Binomial broadcast of the full buffer from rank 0, slot `rounds`.
+  const std::size_t full = static_cast<std::size_t>(p) * bytes;
+  int bmask = 1;
+  while (bmask < p) {
+    if (me & bmask) {
+      std::memcpy(out, recv_wait(static_cast<std::size_t>(rounds), full), full);
+      break;
+    }
+    bmask <<= 1;
+  }
+  bmask >>= 1;
+  while (bmask > 0) {
+    if (me + bmask < p) {
+      send(me + bmask, static_cast<std::size_t>(rounds), out, full);
+    }
+    bmask >>= 1;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Alltoall
+// ---------------------------------------------------------------------------
+
+void CollEngine::alltoall_pairwise_xor(const std::byte* in, std::size_t bytes,
+                                       std::byte* out) {
+  // XOR-pairwise schedule (power-of-two p): step s pairs rank r with
+  // r^s, so at every step the whole machine exchanges in disjoint
+  // pairs. Slot index = source rank; all sends are issued non-blocking
+  // so injection overlaps across steps.
+  const int p = geometry_.p, me = comm_.rank();
+  begin_data_op(bytes, static_cast<std::size_t>(p));
+  std::memcpy(out + static_cast<std::size_t>(me) * bytes,
+              in + static_cast<std::size_t>(me) * bytes, bytes);
+  std::byte* stage =
+      grow_local(stage_all_, stage_cap_, static_cast<std::size_t>(p) * slot_bytes_);
+  armci::Handle handle;
+  for (int s = 1; s < p; ++s) {
+    const int partner = me ^ s;
+    send_nb(partner, static_cast<std::size_t>(me),
+            in + static_cast<std::size_t>(partner) * bytes, bytes,
+            stage + static_cast<std::size_t>(s) * slot_bytes_, handle);
+  }
+  for (int s = 1; s < p; ++s) {
+    const int partner = me ^ s;
+    std::memcpy(out + static_cast<std::size_t>(partner) * bytes,
+                recv_wait(static_cast<std::size_t>(partner), bytes), bytes);
+  }
+  comm_.wait(handle);
+}
+
+void CollEngine::alltoall_torus(const std::byte* in, std::size_t bytes,
+                                std::byte* out) {
+  // Torus-hop-ordered schedule: targets sorted nearest-first, so
+  // neighbour exchanges drain off the links before long-haul routes
+  // pile contention onto the shared dimension-order paths. Works for
+  // any p; slot index = source rank keeps matching order-independent.
+  const int p = geometry_.p, me = comm_.rank();
+  begin_data_op(bytes, static_cast<std::size_t>(p));
+  std::memcpy(out + static_cast<std::size_t>(me) * bytes,
+              in + static_cast<std::size_t>(me) * bytes, bytes);
+  const pami::Machine& machine = comm_.world().machine();
+  const topo::Torus5D& torus = machine.torus();
+  const topo::RankMapping& map = machine.mapping();
+  const int my_node = map.node_of_rank(me);
+  std::vector<std::pair<int, int>> order;  // (hops, target)
+  order.reserve(static_cast<std::size_t>(p) - 1);
+  for (int off = 1; off < p; ++off) {
+    const int target = (me + off) % p;
+    order.emplace_back(torus.hop_distance(my_node, map.node_of_rank(target)), target);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::byte* stage =
+      grow_local(stage_all_, stage_cap_, static_cast<std::size_t>(p) * slot_bytes_);
+  armci::Handle handle;
+  std::size_t area = 0;
+  for (const auto& [hops, target] : order) {
+    send_nb(target, static_cast<std::size_t>(me),
+            in + static_cast<std::size_t>(target) * bytes, bytes,
+            stage + area * slot_bytes_, handle);
+    ++area;
+  }
+  for (int off = 1; off < p; ++off) {
+    const int source = (me - off + p) % p;
+    std::memcpy(out + static_cast<std::size_t>(source) * bytes,
+                recv_wait(static_cast<std::size_t>(source), bytes), bytes);
+  }
+  comm_.wait(handle);
+}
+
+}  // namespace pgasq::coll

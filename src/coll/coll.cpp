@@ -1,0 +1,550 @@
+#include "coll/coll.hpp"
+
+#include <bit>
+#include <cstring>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace pgasq::coll {
+
+namespace {
+
+// Scratch arena layout: a fixed barrier-word region at the base (its
+// words live at stable addresses forever, so software-barrier flags
+// stay monotone across data-op epochs), data slots after it.
+constexpr std::size_t kBarrierWords = 64;
+constexpr std::size_t kBarrierBytes = kBarrierWords * 8;
+constexpr std::size_t kInitialDataBytes = 4096;
+
+// Barrier-word assignments (disjoint per schedule, so mixing schedules
+// across invocations is safe).
+constexpr int kDissemWord0 = 0;    // dissemination round r -> word r
+constexpr int kTreeUpWord0 = 20;   // child joining via bit k -> word 20+k
+constexpr int kTreeDownWord = 40;  // release signal (one per rank)
+constexpr int kRingTokenWord = 48;
+constexpr int kRingReleaseWord = 49;
+
+}  // namespace
+
+/// Cross-rank state of the hardware collective-logic model, owned by
+/// World::coll_shared(). One invocation is in flight at a time (engine
+/// ops are strictly ordered); `generation` counts completed ones.
+struct HwShared {
+  explicit HwShared(int p) : contrib(static_cast<std::size_t>(p)) {}
+  std::uint64_t generation = 0;
+  int arrived = 0;
+  std::vector<std::vector<std::byte>> contrib;  // per source rank
+  std::vector<std::byte> result;
+};
+
+// ---------------------------------------------------------------------------
+// Per-(op, algorithm) accounting
+// ---------------------------------------------------------------------------
+
+class CollEngine::OpTimer {
+ public:
+  OpTimer(CollEngine& e, Op op, Algo algo, std::uint64_t bytes)
+      : e_(e),
+        op_(static_cast<int>(op)),
+        algo_(static_cast<int>(algo)),
+        bytes_(bytes),
+        t0_(e.comm_.now()) {
+    if (e_.trace_ != nullptr) {
+      e_.trace_->instant(e_.track_,
+                         std::string(op_name(op)) + "/" + algo_name(algo), t0_);
+      e_.trace_->begin_slice(e_.track_, t0_);
+    }
+  }
+
+  ~OpTimer() {
+    const Time t1 = e_.comm_.now();
+    armci::CollStats& s = e_.comm_.coll_stats();
+    ++s.count[op_][algo_];
+    s.bytes[op_][algo_] += bytes_;
+    s.time[op_][algo_] += t1 - t0_;
+    if (e_.trace_ != nullptr) e_.trace_->end_slice(e_.track_, t1);
+  }
+
+  OpTimer(const OpTimer&) = delete;
+  OpTimer& operator=(const OpTimer&) = delete;
+
+ private:
+  CollEngine& e_;
+  int op_, algo_;
+  std::uint64_t bytes_;
+  Time t0_;
+};
+
+// ---------------------------------------------------------------------------
+// Lifecycle
+// ---------------------------------------------------------------------------
+
+CollEngine& CollEngine::of(armci::Comm& comm) {
+  std::shared_ptr<void>& slot = comm.coll_slot();
+  if (!slot) slot = std::make_shared<CollEngine>(comm);
+  return *static_cast<CollEngine*>(slot.get());
+}
+
+CollEngine::CollEngine(armci::Comm& comm)
+    : comm_(comm), config_(CollConfig::from_options(comm.options())) {
+  pami::Machine& machine = comm.world().machine();
+  const topo::Torus5D& torus = machine.torus();
+  const topo::RankMapping& map = machine.mapping();
+  const int p = comm.nprocs();
+  PGASQ_CHECK(map.num_ranks() == p);
+
+  geometry_.p = p;
+  geometry_.pow2 = std::has_single_bit(static_cast<unsigned>(p));
+  geometry_.diameter = torus.diameter();
+  const fault::Injector* injector = machine.injector();
+  geometry_.link_faults = injector != nullptr && injector->has_link_faults();
+
+  const int me = comm.rank();
+  const int node = map.node_of_rank(me);
+  const int slot = map.slot_of_rank(me);
+  const topo::Coord5 coord = torus.coord_of(node);
+  for (int d = 0; d < topo::kDims; ++d) {
+    const int m = torus.dims()[d];
+    if (m <= 1) continue;
+    topo::Coord5 up = coord, down = coord;
+    up[d] = (coord[d] + 1) % m;
+    down[d] = (coord[d] - 1 + m) % m;
+    rings_.push_back({d, m, coord[d], map.rank_of(torus.node_of(up), slot),
+                      map.rank_of(torus.node_of(down), slot)});
+  }
+  if (map.ranks_per_node() > 1) {
+    const int m = map.ranks_per_node();
+    rings_.push_back({-1, m, slot, map.rank_of(node, (slot + 1) % m),
+                      map.rank_of(node, (slot - 1 + m) % m)});
+  }
+  geometry_.torus_dims = static_cast<int>(rings_.size());
+
+  std::shared_ptr<void>& shared = comm.world().coll_shared();
+  if (!shared) shared = std::make_shared<HwShared>(p);
+  hw_ = std::static_pointer_cast<HwShared>(shared);
+
+  if ((trace_ = machine.engine().trace()) != nullptr) {
+    track_ = trace_->register_track("coll/r" + std::to_string(me));
+  }
+
+  // Collective: every rank constructs its engine at the same program
+  // point, so the arena rendezvous lines up. The barrier hook is
+  // installed only afterwards — the allocation's internal barriers
+  // must not dispatch into a half-built engine.
+  ensure_scratch(kInitialDataBytes);
+  comm.set_barrier_hook([this] {
+    if (in_alloc_) {
+      comm_.barrier_hw();
+      return;
+    }
+    barrier();
+  });
+}
+
+CollEngine::~CollEngine() = default;
+
+// ---------------------------------------------------------------------------
+// Scratch arena & slot transport
+// ---------------------------------------------------------------------------
+
+bool CollEngine::ensure_scratch(std::size_t data_bytes) {
+  const std::size_t needed = kBarrierBytes + data_bytes;
+  if (scratch_ != nullptr && scratch_->bytes_per_rank() >= needed) return false;
+  in_alloc_ = true;
+  std::size_t capacity = kBarrierBytes + kInitialDataBytes;
+  if (scratch_ != nullptr) {
+    capacity = scratch_->bytes_per_rank();
+    // free/malloc rendezvous below drain every in-flight slot write
+    // before the old arena goes away (their barriers fence first).
+    comm_.free_collective(*scratch_);
+    ++comm_.coll_stats().scratch_reallocs;
+  }
+  while (capacity < needed) capacity *= 2;
+  scratch_ = &comm_.malloc_collective(capacity);
+  in_alloc_ = false;
+  // The fresh arena is zero-filled: software-barrier flags restart
+  // from zero (every rank reallocates at this same collective point),
+  // and any slot layout finds clean flag words.
+  barrier_seq_ = 0;
+  layout_ = 0;
+  return true;
+}
+
+void CollEngine::begin_data_op(std::size_t slot_payload, std::size_t n_slots) {
+  PGASQ_CHECK(n_slots > 0);
+  slot_bytes_ = 8 + ((slot_payload + 7) & ~std::size_t{7});
+  n_slots_ = n_slots;
+  const bool grew = ensure_scratch(slot_bytes_ * n_slots);
+  ++epoch_;
+  if (grew) {
+    layout_ = slot_bytes_;
+    return;  // the reallocation's own rendezvous isolated this epoch
+  }
+  if (layout_ != slot_bytes_) {
+    // Flag words move when the slot pitch changes; stale payload bytes
+    // from the old layout could alias the new flag positions. Quiesce,
+    // wipe, and only then let anyone inject the new epoch.
+    comm_.barrier_hw();
+    std::memset(scratch_->local(comm_.rank()) + kBarrierBytes, 0,
+                scratch_->bytes_per_rank() - kBarrierBytes);
+    comm_.barrier_hw();
+    layout_ = slot_bytes_;
+  } else {
+    // Same layout: flags are epoch-monotone, but invocation N+1 slot
+    // writes must not land while a skewed rank still polls epoch N
+    // (retransmit backoff can delay its message arbitrarily). The
+    // rendezvous guarantees all epoch-N traffic delivered first.
+    comm_.barrier_hw();
+  }
+}
+
+void CollEngine::poll() {
+  comm_.progress();
+  comm_.compute(from_ns(200));
+}
+
+std::byte* CollEngine::grow_local(std::byte*& buf, std::size_t& capacity,
+                                  std::size_t need) {
+  if (capacity >= need) return buf;
+  std::size_t grown = capacity == 0 ? 4096 : capacity * 2;
+  while (grown < need) grown *= 2;
+  if (buf != nullptr) comm_.free_local(buf);
+  buf = static_cast<std::byte*>(comm_.malloc_local(grown));
+  capacity = grown;
+  return buf;
+}
+
+void CollEngine::send(int to, std::size_t slot, const void* data,
+                      std::size_t bytes) {
+  PGASQ_CHECK(slot < n_slots_ && bytes + 8 <= slot_bytes_);
+  std::byte* stage = grow_local(send_buf_, send_cap_, 8 + bytes);
+  std::memcpy(stage, &epoch_, 8);
+  if (bytes > 0) std::memcpy(stage + 8, data, bytes);
+  // One put carries flag + payload: the simulator delivers it in a
+  // single atomic copy, so a raised flag implies a complete payload.
+  comm_.put(stage, scratch_->at(to, kBarrierBytes + slot * slot_bytes_),
+            8 + bytes);
+}
+
+void CollEngine::send_nb(int to, std::size_t slot, const void* data,
+                         std::size_t bytes, std::byte* stage,
+                         armci::Handle& handle) {
+  PGASQ_CHECK(slot < n_slots_ && bytes + 8 <= slot_bytes_);
+  std::memcpy(stage, &epoch_, 8);
+  if (bytes > 0) std::memcpy(stage + 8, data, bytes);
+  comm_.nb_put(stage, scratch_->at(to, kBarrierBytes + slot * slot_bytes_),
+               8 + bytes, handle);
+}
+
+const std::byte* CollEngine::recv_wait(std::size_t slot, std::size_t bytes) {
+  PGASQ_CHECK(slot < n_slots_ && bytes + 8 <= slot_bytes_);
+  std::byte* base =
+      scratch_->local(comm_.rank()) + kBarrierBytes + slot * slot_bytes_;
+  const volatile std::uint64_t* flag =
+      reinterpret_cast<const volatile std::uint64_t*>(base);
+  while (*flag < epoch_) poll();
+  PGASQ_CHECK(*flag == epoch_,
+              << "collective slot " << slot << " flagged epoch " << *flag
+              << ", expected " << epoch_);
+  return base + 8;
+}
+
+void CollEngine::put_word(int to, int word, std::uint64_t value) {
+  std::byte* stage = grow_local(send_buf_, send_cap_, 8);
+  std::memcpy(stage, &value, 8);
+  comm_.put(stage, scratch_->at(to, static_cast<std::size_t>(word) * 8), 8);
+}
+
+void CollEngine::wait_word(int word, std::uint64_t at_least) {
+  const volatile std::uint64_t* w = reinterpret_cast<const volatile std::uint64_t*>(
+      scratch_->local(comm_.rank()) + static_cast<std::size_t>(word) * 8);
+  while (*w < at_least) poll();
+}
+
+// ---------------------------------------------------------------------------
+// Barrier schedules
+// ---------------------------------------------------------------------------
+
+void CollEngine::barrier() {
+  const Algo algo = config_.choose(Op::kBarrier, 0, geometry_);
+  OpTimer timer(*this, Op::kBarrier, algo, 0);
+  run_barrier(algo);
+}
+
+void CollEngine::run_barrier(Algo algo) {
+  if (geometry_.p == 1) return;
+  if (algo == Algo::kHw) {
+    comm_.barrier_hw();  // the global-interrupt network (fences first)
+    return;
+  }
+  comm_.fence_all();
+  ++barrier_seq_;
+  switch (algo) {
+    case Algo::kRecdbl:
+      barrier_dissemination();
+      break;
+    case Algo::kBinomial:
+      barrier_tree();
+      break;
+    case Algo::kTorusRing:
+      barrier_ring();
+      break;
+    default:
+      PGASQ_CHECK(false, << "bad barrier algorithm");
+  }
+}
+
+void CollEngine::barrier_dissemination() {
+  const int p = geometry_.p, me = comm_.rank();
+  for (int r = 0; (1 << r) < p; ++r) {
+    PGASQ_CHECK(r < kTreeUpWord0 - kDissemWord0);
+    put_word((me + (1 << r)) % p, kDissemWord0 + r, barrier_seq_);
+    wait_word(kDissemWord0 + r, barrier_seq_);
+  }
+}
+
+void CollEngine::barrier_tree() {
+  const int p = geometry_.p, me = comm_.rank();
+  // Gather up the binomial tree rooted at 0: absorb each child
+  // (me + 2^k, arriving on its own word), then report to the parent.
+  int mask = 1;
+  while (mask < p) {
+    if (me & mask) {
+      put_word(me - mask, kTreeUpWord0 + std::countr_zero(static_cast<unsigned>(mask)),
+               barrier_seq_);
+      break;
+    }
+    if (me + mask < p) {
+      wait_word(kTreeUpWord0 + std::countr_zero(static_cast<unsigned>(mask)),
+                barrier_seq_);
+    }
+    mask <<= 1;
+  }
+  // Release back down the same tree.
+  if (me != 0) wait_word(kTreeDownWord, barrier_seq_);
+  const int limit = me == 0 ? p : (me & -me);
+  for (int m = 1; m < limit; m <<= 1) {
+    if (me + m < p) put_word(me + m, kTreeDownWord, barrier_seq_);
+  }
+}
+
+void CollEngine::barrier_ring() {
+  const int p = geometry_.p, me = comm_.rank();
+  // A token circulates 0 -> 1 -> ... -> p-1 -> 0, then a release pass
+  // chases it. O(p) latency: the ablation baseline.
+  if (me == 0) {
+    put_word(1, kRingTokenWord, barrier_seq_);
+    wait_word(kRingTokenWord, barrier_seq_);
+    put_word(1, kRingReleaseWord, barrier_seq_);
+  } else {
+    wait_word(kRingTokenWord, barrier_seq_);
+    put_word((me + 1) % p, kRingTokenWord, barrier_seq_);
+    wait_word(kRingReleaseWord, barrier_seq_);
+    if (me != p - 1) put_word(me + 1, kRingReleaseWord, barrier_seq_);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Hardware collective-logic model
+// ---------------------------------------------------------------------------
+
+Time CollEngine::hw_latency(std::size_t bytes) const {
+  // Arm/fire + an up-and-down sweep of the embedded spanning tree +
+  // streaming the payload through the combine logic at ~2 GB/s.
+  return from_ns(config_.hw_startup_us * 1000.0 +
+                 2.0 * geometry_.diameter * config_.hw_hop_ns +
+                 static_cast<double>(bytes) / config_.hw_gbps);
+}
+
+void CollEngine::hw_rendezvous(const void* contribution, std::size_t bytes,
+                               std::size_t model_bytes,
+                               const std::function<void(HwShared&)>& fold) {
+  HwShared& hw = *hw_;
+  const std::uint64_t generation = hw.generation;
+  auto& mine = hw.contrib[static_cast<std::size_t>(comm_.rank())];
+  if (bytes > 0) {
+    const auto* src = static_cast<const std::byte*>(contribution);
+    mine.assign(src, src + bytes);
+  } else {
+    mine.clear();
+  }
+  if (++hw.arrived == geometry_.p) {
+    hw.arrived = 0;
+    fold(hw);  // rank-order deterministic, independent of arrival order
+    std::shared_ptr<HwShared> shared = hw_;
+    comm_.world().machine().engine().schedule_after(
+        hw_latency(model_bytes), [shared] { ++shared->generation; });
+  }
+  while (hw.generation == generation) poll();
+}
+
+void CollEngine::hw_broadcast(std::byte* data, std::size_t bytes, int root) {
+  const bool is_root = comm_.rank() == root;
+  hw_rendezvous(is_root ? data : nullptr, is_root ? bytes : 0, bytes,
+                [root](HwShared& hw) {
+                  hw.result = hw.contrib[static_cast<std::size_t>(root)];
+                });
+  if (!is_root) std::memcpy(data, hw_->result.data(), bytes);
+}
+
+void CollEngine::hw_reduce_sum(double* x, std::size_t n, int root, bool all) {
+  const int p = geometry_.p;
+  hw_rendezvous(x, n * 8, n * 8, [n, p](HwShared& hw) {
+    hw.result.assign(n * 8, std::byte{0});
+    auto* out = reinterpret_cast<double*>(hw.result.data());
+    for (int r = 0; r < p; ++r) {
+      const auto* c = reinterpret_cast<const double*>(hw.contrib[r].data());
+      for (std::size_t i = 0; i < n; ++i) out[i] += c[i];
+    }
+  });
+  if (all || comm_.rank() == root) std::memcpy(x, hw_->result.data(), n * 8);
+}
+
+// ---------------------------------------------------------------------------
+// Public collective operations
+// ---------------------------------------------------------------------------
+
+void CollEngine::broadcast(void* data, std::size_t bytes, armci::RankId root) {
+  PGASQ_CHECK(data != nullptr && bytes > 0 && root >= 0 && root < geometry_.p);
+  if (geometry_.p == 1) return;
+  const Algo algo = config_.choose(Op::kBroadcast, bytes, geometry_);
+  OpTimer timer(*this, Op::kBroadcast, algo, bytes);
+  auto* d = static_cast<std::byte*>(data);
+  switch (algo) {
+    case Algo::kBinomial:
+      bcast_binomial(d, bytes, root);
+      break;
+    case Algo::kTorusRing:
+      bcast_ring(d, bytes, root);
+      break;
+    case Algo::kHw:
+      hw_broadcast(d, bytes, root);
+      break;
+    default:
+      PGASQ_CHECK(false, << "bad broadcast algorithm");
+  }
+}
+
+void CollEngine::reduce_sum(double* x, std::size_t n, armci::RankId root) {
+  PGASQ_CHECK(x != nullptr && n > 0 && root >= 0 && root < geometry_.p);
+  if (geometry_.p == 1) return;
+  const Algo algo = config_.choose(Op::kReduce, n * 8, geometry_);
+  OpTimer timer(*this, Op::kReduce, algo, n * 8);
+  switch (algo) {
+    case Algo::kBinomial:
+      reduce_binomial(x, n, root);
+      break;
+    case Algo::kTorusRing:
+      allreduce_ring(x, n);  // every rank ends with the result; fine
+      break;
+    case Algo::kHw:
+      hw_reduce_sum(x, n, root, /*all=*/false);
+      break;
+    default:
+      PGASQ_CHECK(false, << "bad reduce algorithm");
+  }
+}
+
+void CollEngine::allreduce_sum(double* x, std::size_t n) {
+  PGASQ_CHECK(x != nullptr && n > 0);
+  if (geometry_.p == 1) return;
+  const Algo algo = config_.choose(Op::kAllreduce, n * 8, geometry_);
+  OpTimer timer(*this, Op::kAllreduce, algo, n * 8);
+  switch (algo) {
+    case Algo::kBinomial:
+      reduce_binomial(x, n, 0);
+      bcast_binomial(reinterpret_cast<std::byte*>(x), n * 8, 0);
+      break;
+    case Algo::kRecdbl:
+      allreduce_recdbl(x, n);
+      break;
+    case Algo::kTorusRing:
+      allreduce_ring(x, n);
+      break;
+    case Algo::kHw:
+      hw_reduce_sum(x, n, 0, /*all=*/true);
+      break;
+    default:
+      PGASQ_CHECK(false, << "bad allreduce algorithm");
+  }
+}
+
+void CollEngine::allgather(const void* in, std::size_t bytes, void* out) {
+  PGASQ_CHECK(in != nullptr && out != nullptr && bytes > 0);
+  auto* o = static_cast<std::byte*>(out);
+  const auto* i = static_cast<const std::byte*>(in);
+  if (geometry_.p == 1) {
+    std::memcpy(o, i, bytes);
+    return;
+  }
+  const Algo algo = config_.choose(Op::kAllgather, bytes, geometry_);
+  OpTimer timer(*this, Op::kAllgather, algo, bytes);
+  switch (algo) {
+    case Algo::kBinomial:
+      allgather_binomial(i, bytes, o);
+      break;
+    case Algo::kRecdbl:
+      allgather_recdbl(i, bytes, o);
+      break;
+    case Algo::kTorusRing:
+      allgather_ring(i, bytes, o);
+      break;
+    default:
+      PGASQ_CHECK(false, << "bad allgather algorithm");
+  }
+}
+
+void CollEngine::alltoall(const void* in, std::size_t bytes, void* out) {
+  PGASQ_CHECK(in != nullptr && out != nullptr && bytes > 0);
+  auto* o = static_cast<std::byte*>(out);
+  const auto* i = static_cast<const std::byte*>(in);
+  if (geometry_.p == 1) {
+    std::memcpy(o, i, bytes);
+    return;
+  }
+  const Algo algo = config_.choose(Op::kAlltoall, bytes, geometry_);
+  OpTimer timer(*this, Op::kAlltoall, algo, bytes);
+  switch (algo) {
+    case Algo::kRecdbl:
+      alltoall_pairwise_xor(i, bytes, o);
+      break;
+    case Algo::kTorusRing:
+      alltoall_torus(i, bytes, o);
+      break;
+    default:
+      PGASQ_CHECK(false, << "bad alltoall algorithm");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Geometry helpers
+// ---------------------------------------------------------------------------
+
+std::vector<int> CollEngine::digits_of(int rank) const {
+  const pami::Machine& machine = comm_.world().machine();
+  const topo::RankMapping& map = machine.mapping();
+  const topo::Coord5 c = machine.torus().coord_of(map.node_of_rank(rank));
+  std::vector<int> digits(rings_.size());
+  for (std::size_t i = 0; i < rings_.size(); ++i) {
+    digits[i] =
+        rings_[i].torus_dim >= 0 ? c[rings_[i].torus_dim] : map.slot_of_rank(rank);
+  }
+  return digits;
+}
+
+int CollEngine::rank_of_digits(const std::vector<int>& digits) const {
+  const pami::Machine& machine = comm_.world().machine();
+  topo::Coord5 c{};
+  int slot = 0;
+  for (std::size_t i = 0; i < rings_.size(); ++i) {
+    if (rings_[i].torus_dim >= 0) {
+      c[rings_[i].torus_dim] = digits[i];
+    } else {
+      slot = digits[i];
+    }
+  }
+  return machine.mapping().rank_of(machine.torus().node_of(c), slot);
+}
+
+}  // namespace pgasq::coll

@@ -1,0 +1,178 @@
+// CollEngine — topology-aware collective operations for the ARMCI
+// runtime.
+//
+// One engine attaches lazily to each rank's Comm (in the Comm's opaque
+// coll slot) the first time a collective is invoked; creation is itself
+// collective, so the attach happens at the same program point on every
+// rank. The engine owns
+//
+//   * a persistent scratch arena (one collective allocation, grown
+//     geometrically) instead of the malloc/free-per-call pattern —
+//     on BG/Q every registration costs a ~43 us memregion_create
+//     (Table I), so reusing the arena is itself a measurable win;
+//   * a slot/flag transport on that arena: each message is one put of
+//     [flag word | payload], delivered atomically by the simulator,
+//     with per-invocation-unique slots and an epoch-monotone flag so
+//     fault-induced skew (retransmit backoff) can never alias a stale
+//     message into the current invocation;
+//   * software schedules on the torus — binomial/dissemination trees,
+//     recursive doubling with the non-power-of-two fold, and
+//     per-torus-dimension ring (bucket) pipelines driven by
+//     topo::Torus5D neighbour geometry;
+//   * a calibrated model of the BG/Q collective-logic hardware
+//     (kHw): contributions combine in rank order at a shared
+//     rendezvous and every participant releases after
+//     startup + 2 * diameter * hop + bytes / 2 GB/s, the way the
+//     real spanning-tree logic behaves (S II-A);
+//   * the selection table (selection.hpp) choosing between all of the
+//     above per invocation, and per-(op, algorithm) statistics that
+//     core renders into the communication report.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "coll/selection.hpp"
+#include "core/comm.hpp"
+#include "sim/trace.hpp"
+
+namespace pgasq::coll {
+
+struct HwShared;
+
+class CollEngine {
+ public:
+  /// The engine attached to `comm`, created (collectively!) on first
+  /// use. All ranks must make their first engine-backed call at the
+  /// same collective program point.
+  static CollEngine& of(armci::Comm& comm);
+
+  explicit CollEngine(armci::Comm& comm);
+  ~CollEngine();
+  CollEngine(const CollEngine&) = delete;
+  CollEngine& operator=(const CollEngine&) = delete;
+
+  // --- Collective operations (all ranks must call, in order) -----------------
+
+  void barrier();
+  /// Root's buffer replicated everywhere.
+  void broadcast(void* data, std::size_t bytes, armci::RankId root);
+  /// Elementwise sum of every rank's x[0..n); result lands at root
+  /// (other ranks' buffers are unspecified afterwards).
+  void reduce_sum(double* x, std::size_t n, armci::RankId root);
+  /// Elementwise sum, result replicated (bitwise identically) on every
+  /// rank regardless of the algorithm chosen.
+  void allreduce_sum(double* x, std::size_t n);
+  /// Every rank contributes `bytes`; out[r*bytes ..] receives rank r's
+  /// contribution. `out` is p * bytes.
+  void allgather(const void* in, std::size_t bytes, void* out);
+  /// Personalized exchange: in[r*bytes ..] goes to rank r, which
+  /// stores it at out[me*bytes ..]. Both buffers are p * bytes.
+  void alltoall(const void* in, std::size_t bytes, void* out);
+
+  // --- Introspection ----------------------------------------------------------
+
+  const CollConfig& config() const { return config_; }
+  const Geometry& geometry() const { return geometry_; }
+  /// What the selection table would run for `op` on `bytes` of payload.
+  Algo algo_for(Op op, std::uint64_t bytes) const {
+    return config_.choose(op, bytes, geometry_);
+  }
+
+ private:
+  /// One ring the torus decomposes this clique into: a torus dimension
+  /// of extent > 1, or the within-node T dimension.
+  struct RingDim {
+    int torus_dim;  ///< 0..4, or -1 for T
+    int size;       ///< ring extent m
+    int digit;      ///< my position on the ring
+    int next;       ///< rank one step in +1 direction
+    int prev;       ///< rank one step in -1 direction
+  };
+
+  class OpTimer;
+
+  // Scratch arena & slot transport (coll.cpp).
+  bool ensure_scratch(std::size_t data_bytes);
+  /// Opens a data-moving invocation: sizes the slot layout, isolates
+  /// it from the previous epoch (hardware-barrier rendezvous, zeroing
+  /// the arena when the layout changed), and advances the epoch.
+  void begin_data_op(std::size_t slot_payload, std::size_t n_slots);
+  void send(int to, std::size_t slot, const void* data, std::size_t bytes);
+  /// Non-blocking send for all-to-all overlap; `stage` must stay live
+  /// (8 + bytes capacity) until the handle completes.
+  void send_nb(int to, std::size_t slot, const void* data, std::size_t bytes,
+               std::byte* stage, armci::Handle& handle);
+  /// Blocks until this epoch's message lands in `slot`; returns its
+  /// payload (valid until the next invocation).
+  const std::byte* recv_wait(std::size_t slot, std::size_t bytes);
+
+  // Barrier-word transport (fixed region at the base of the arena).
+  void put_word(int to, int word, std::uint64_t value);
+  void wait_word(int word, std::uint64_t at_least);
+
+  // Barrier schedules (coll.cpp).
+  void run_barrier(Algo algo);
+  void barrier_dissemination();
+  void barrier_tree();
+  void barrier_ring();
+
+  // Software data schedules (algorithms.cpp).
+  void bcast_binomial(std::byte* data, std::size_t bytes, int root);
+  void bcast_ring(std::byte* data, std::size_t bytes, int root);
+  void reduce_binomial(double* x, std::size_t n, int root);
+  void allreduce_recdbl(double* x, std::size_t n);
+  void allreduce_ring(double* x, std::size_t n);
+  void allgather_binomial(const std::byte* in, std::size_t bytes, std::byte* out);
+  void allgather_recdbl(const std::byte* in, std::size_t bytes, std::byte* out);
+  void allgather_ring(const std::byte* in, std::size_t bytes, std::byte* out);
+  void alltoall_pairwise_xor(const std::byte* in, std::size_t bytes, std::byte* out);
+  void alltoall_torus(const std::byte* in, std::size_t bytes, std::byte* out);
+
+  // Hardware collective-logic model (coll.cpp).
+  void hw_broadcast(std::byte* data, std::size_t bytes, int root);
+  void hw_reduce_sum(double* x, std::size_t n, int root, bool all);
+  /// Rendezvous: contribute `bytes` of data, the last arrival runs
+  /// `fold` (rank-order deterministic), and every participant releases
+  /// after the modelled latency for `model_bytes`.
+  void hw_rendezvous(const void* contribution, std::size_t bytes,
+                     std::size_t model_bytes,
+                     const std::function<void(HwShared&)>& fold);
+  Time hw_latency(std::size_t bytes) const;
+
+  // Geometry helpers.
+  std::vector<int> digits_of(int rank) const;
+  int rank_of_digits(const std::vector<int>& digits) const;
+  void poll();
+
+  armci::Comm& comm_;
+  CollConfig config_;
+  Geometry geometry_;
+  std::vector<RingDim> rings_;
+  std::shared_ptr<HwShared> hw_;
+
+  armci::GlobalMem* scratch_ = nullptr;
+  std::size_t layout_ = 0;  ///< slot_bytes the arena is currently keyed to
+  std::size_t slot_bytes_ = 0;
+  std::size_t n_slots_ = 0;
+  std::uint64_t epoch_ = 0;       ///< flag value of the open invocation
+  std::uint64_t barrier_seq_ = 0; ///< software-barrier flag value
+  bool in_alloc_ = false;  ///< inside malloc/free_collective: the
+                           ///< barrier hook must not re-enter the engine
+  /// Registered (malloc_local) staging buffers so collective messages
+  /// take the RDMA path: a reusable one for blocking sends (rput
+  /// snapshots the source at injection) and a per-message area for
+  /// the non-blocking all-to-all fan-out.
+  std::byte* grow_local(std::byte*& buf, std::size_t& capacity, std::size_t need);
+  std::byte* send_buf_ = nullptr;
+  std::size_t send_cap_ = 0;
+  std::byte* stage_all_ = nullptr;
+  std::size_t stage_cap_ = 0;
+
+  sim::TraceRecorder* trace_ = nullptr;
+  std::uint32_t track_ = 0;
+};
+
+}  // namespace pgasq::coll

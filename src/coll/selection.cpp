@@ -1,0 +1,162 @@
+#include "coll/selection.hpp"
+
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace pgasq::coll {
+
+const char* op_name(Op op) {
+  return armci::kCollOpNames[static_cast<int>(op)];
+}
+
+const char* algo_name(Algo algo) {
+  PGASQ_CHECK(algo != Algo::kAuto);
+  return armci::kCollAlgoNames[static_cast<int>(algo)];
+}
+
+Algo parse_algo(const std::string& name) {
+  if (name == "auto") return Algo::kAuto;
+  for (int a = 0; a < armci::CollStats::kAlgos; ++a) {
+    if (name == armci::kCollAlgoNames[a]) return static_cast<Algo>(a);
+  }
+  PGASQ_CHECK(false, << "unknown collective algorithm '" << name << "'");
+  return Algo::kAuto;
+}
+
+namespace {
+
+double parse_double(const std::string& key, const std::string& value) {
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  PGASQ_CHECK(end != value.c_str() && *end == '\0' && v >= 0.0,
+              << "coll." << key << " = '" << value << "' is not a number");
+  return v;
+}
+
+std::uint64_t parse_u64(const std::string& key, const std::string& value) {
+  const double v = parse_double(key, value);
+  return static_cast<std::uint64_t>(v);
+}
+
+/// coll.algo.<op> keys address ops by their report name.
+int op_index(const std::string& name) {
+  for (int op = 0; op < armci::CollStats::kOps; ++op) {
+    if (name == armci::kCollOpNames[op]) return op;
+  }
+  return -1;
+}
+
+}  // namespace
+
+CollConfig CollConfig::from_options(const armci::Options& options) {
+  CollConfig c;
+  for (const auto& [key, value] : options.coll) {
+    if (key.rfind("algo.", 0) == 0) {
+      const int op = op_index(key.substr(5));
+      PGASQ_CHECK(op >= 0, << "coll." << key << ": unknown collective");
+      c.force[op] = parse_algo(value);
+    } else if (key == "hw") {
+      c.hw_enabled = value != "0";
+    } else if (key == "hw_gbps") {
+      c.hw_gbps = parse_double(key, value);
+    } else if (key == "hw_hop_ns") {
+      c.hw_hop_ns = parse_double(key, value);
+    } else if (key == "hw_startup_us") {
+      c.hw_startup_us = parse_double(key, value);
+    } else if (key == "small_bytes") {
+      c.small_bytes = parse_u64(key, value);
+    } else if (key == "ring_min_bytes") {
+      c.ring_min_bytes = parse_u64(key, value);
+    } else if (key == "ring_min_ranks") {
+      c.ring_min_ranks = static_cast<int>(parse_u64(key, value));
+    } else {
+      PGASQ_CHECK(false, << "unknown option coll." << key);
+    }
+  }
+  return c;
+}
+
+Algo CollConfig::choose(Op op, std::uint64_t bytes, const Geometry& g) const {
+  const Algo forced = force[static_cast<int>(op)];
+  if (forced != Algo::kAuto) return normalize(op, forced, g);
+
+  const bool hw = hw_enabled && !g.link_faults;
+  const bool ring =
+      g.p >= ring_min_ranks && bytes >= ring_min_bytes && g.torus_dims > 0;
+  Algo pick = Algo::kBinomial;
+  switch (op) {
+    case Op::kBarrier:
+      // The global-interrupt network is the barrier on BG/Q.
+      pick = hw ? Algo::kHw : Algo::kRecdbl;
+      break;
+    // For the combine/replicate collectives the collective logic wins
+    // at every size in our calibration (startup ~2 us vs log2(p)
+    // software rounds; 2 GB/s streaming vs multi-pass software), just
+    // as BG/Q routes MPI_COMM_WORLD collectives over the collective
+    // network at all sizes (S II-A). The size/geometry thresholds
+    // pick the *software* schedule when hw is unavailable (disabled,
+    // or deselected by a link-fault plan).
+    case Op::kBroadcast:
+      pick = hw                  ? Algo::kHw
+             : bytes < small_bytes ? Algo::kBinomial
+             : ring              ? Algo::kTorusRing
+                                 : Algo::kBinomial;
+      break;
+    case Op::kReduce:
+      pick = hw ? Algo::kHw : Algo::kBinomial;
+      break;
+    case Op::kAllreduce:
+      pick = hw                  ? Algo::kHw
+             : bytes < small_bytes ? Algo::kRecdbl
+             : ring              ? Algo::kTorusRing
+                                 : Algo::kRecdbl;
+      break;
+    case Op::kAllgather:
+      // Total result is p * bytes: bandwidth schedules win early.
+      pick = (g.pow2 && bytes * static_cast<std::uint64_t>(g.p) < ring_min_bytes)
+                 ? Algo::kRecdbl
+                 : Algo::kTorusRing;
+      break;
+    case Op::kAlltoall:
+      pick = Algo::kTorusRing;
+      break;
+  }
+  return normalize(op, pick, g);
+}
+
+Algo CollConfig::normalize(Op op, Algo algo, const Geometry& g) const {
+  PGASQ_CHECK(algo != Algo::kAuto);
+  if (g.p == 1) return algo;  // every algorithm degenerates to a no-op
+  // The hardware model moves no torus packets, so it cannot honour a
+  // fault plan that fails links; route those runs through software.
+  if (algo == Algo::kHw && (!hw_enabled || g.link_faults)) {
+    algo = op == Op::kBarrier || op == Op::kAllreduce ? Algo::kRecdbl
+                                                      : Algo::kBinomial;
+  }
+  switch (op) {
+    case Op::kBarrier:
+      return algo;  // all four exist
+    case Op::kBroadcast:
+      // No halving/doubling broadcast; the tree is the latency algo.
+      return algo == Algo::kRecdbl ? Algo::kBinomial : algo;
+    case Op::kReduce:
+      if (algo == Algo::kRecdbl) return Algo::kBinomial;
+      return algo;
+    case Op::kAllreduce:
+      return algo;  // recdbl carries the non-power-of-two fold step
+    case Op::kAllgather:
+      if (algo == Algo::kHw) return Algo::kTorusRing;
+      if (algo == Algo::kRecdbl && !g.pow2) return Algo::kTorusRing;
+      return algo;
+    case Op::kAlltoall:
+      // Personalized exchange has no combine: hardware logic and trees
+      // do not apply; pow2 XOR-pairing needs pow2.
+      if (algo == Algo::kHw || algo == Algo::kBinomial) return Algo::kTorusRing;
+      if (algo == Algo::kRecdbl && !g.pow2) return Algo::kTorusRing;
+      return algo;
+  }
+  return algo;
+}
+
+}  // namespace pgasq::coll

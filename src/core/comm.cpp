@@ -195,6 +195,11 @@ void Comm::init() {
 
 void Comm::finalize() {
   barrier();
+  // Detach the collectives engine (if one attached) before teardown:
+  // its destructor deregisters from the cross-rank shared state, and
+  // no barrier may dispatch through it past this point.
+  barrier_hook_ = nullptr;
+  coll_slot_.reset();
   if (async_running_) {
     async_running_ = false;
     service_context().post_completion([] {}, 0);
@@ -485,6 +490,15 @@ void Comm::fence_all() {
 
 void Comm::barrier() {
   const Time t0 = now();
+  if (barrier_hook_) {
+    barrier_hook_();
+  } else {
+    barrier_hw();
+  }
+  stats_.time_in_barrier += now() - t0;
+}
+
+void Comm::barrier_hw() {
   fence_all();
   auto& b = world_.barrier_;
   const std::uint64_t generation = b.generation;
@@ -500,7 +514,6 @@ void Comm::barrier() {
         });
   }
   progress_until([&b, generation] { return b.generation != generation; });
-  stats_.time_in_barrier += now() - t0;
 }
 
 // ---------------------------------------------------------------------------
@@ -1477,6 +1490,42 @@ void CommStats::merge(const CommStats& o) {
   put_sizes.merge(o.put_sizes);
   get_sizes.merge(o.get_sizes);
   acc_sizes.merge(o.acc_sizes);
+  coll.merge(o.coll);
+}
+
+std::uint64_t CollStats::total_ops() const {
+  std::uint64_t n = 0;
+  for (const auto& per_op : count) {
+    for (const std::uint64_t c : per_op) n += c;
+  }
+  return n;
+}
+
+Time CollStats::total_time() const {
+  Time t = 0;
+  for (const auto& per_op : time) {
+    for (const Time dt : per_op) t += dt;
+  }
+  return t;
+}
+
+Time CollStats::data_time() const {
+  Time t = 0;
+  for (int op = 1; op < kOps; ++op) {  // 0 = barrier
+    for (const Time dt : time[op]) t += dt;
+  }
+  return t;
+}
+
+void CollStats::merge(const CollStats& o) {
+  for (int op = 0; op < kOps; ++op) {
+    for (int a = 0; a < kAlgos; ++a) {
+      count[op][a] += o.count[op][a];
+      bytes[op][a] += o.bytes[op][a];
+      time[op][a] += o.time[op][a];
+    }
+  }
+  scratch_reallocs += o.scratch_reallocs;
 }
 
 }  // namespace pgasq::armci

@@ -180,8 +180,15 @@ class Comm {
   void fence(RankId target);
   /// ARMCI_AllFence.
   void fence_all();
-  /// ARMCI_Barrier (allfence + hardware barrier).
+  /// ARMCI_Barrier. Routes through the collectives engine once one is
+  /// attached (BG/Q's in-fabric barrier stays the default algorithm);
+  /// before that it is allfence + the hardware barrier directly.
   void barrier();
+  /// The in-fabric (GI network) barrier mechanics: allfence + arrival
+  /// counting + the modelled release latency, with no engine dispatch
+  /// and no blocking-time accounting. The collectives subsystem's
+  /// kHardware barrier and its internal rendezvous call this.
+  void barrier_hw();
 
   // --- Mutexes ------------------------------------------------------------------
 
@@ -197,6 +204,17 @@ class Comm {
   const EndpointCache& endpoint_cache() const { return *endpoint_cache_; }
   const ConflictTracker& conflict_tracker() const { return *tracker_; }
   const Options& options() const { return world_.options(); }
+
+  // --- Collectives-subsystem attachment (src/coll) ----------------------------
+
+  /// Opaque per-rank slot owned by coll::CollEngine (core never looks
+  /// inside; reset at finalize so the engine detaches before teardown).
+  std::shared_ptr<void>& coll_slot() { return coll_slot_; }
+  /// Installed by the engine: when set, barrier() dispatches through
+  /// the engine's algorithm selection instead of calling barrier_hw().
+  void set_barrier_hook(std::function<void()> hook) { barrier_hook_ = std::move(hook); }
+  /// Collective counters, written by the engine.
+  CollStats& coll_stats() { return stats_.coll; }
 
   /// Context the main thread initiates on and advances.
   pami::Context& main_context() { return process_.context(0); }
@@ -292,6 +310,8 @@ class Comm {
   std::vector<LocalAllocation> local_allocations_;
   /// Cumulative notifications received, by producer rank.
   std::vector<std::uint64_t> notifications_;
+  std::shared_ptr<void> coll_slot_;
+  std::function<void()> barrier_hook_;
 };
 
 }  // namespace pgasq::armci

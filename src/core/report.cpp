@@ -65,6 +65,27 @@ std::string render_report(const World& world, const ReportOptions& options) {
   times.row().add(std::string("wait (nb handles)")).add(to_s(s.time_in_wait), 4);
   os << times.to_string();
 
+  if (s.coll.total_ops() > 0) {
+    os << '\n';
+    Table coll({"collective", "algorithm", "count", "payload", "seconds"});
+    for (int op = 0; op < CollStats::kOps; ++op) {
+      for (int a = 0; a < CollStats::kAlgos; ++a) {
+        if (s.coll.count[op][a] == 0) continue;
+        coll.row()
+            .add(std::string(kCollOpNames[op]))
+            .add(std::string(kCollAlgoNames[a]))
+            .add(s.coll.count[op][a])
+            .add(human_bytes(s.coll.bytes[op][a]))
+            .add(to_s(s.coll.time[op][a]), 4);
+      }
+    }
+    if (s.coll.scratch_reallocs > 0) {
+      coll.row().add(std::string("(scratch grows)")).add(std::string("-"))
+          .add(s.coll.scratch_reallocs).add(std::string("-")).add(std::string("-"));
+    }
+    os << coll.to_string();
+  }
+
   if (const fault::Injector* inj = world.machine().injector()) {
     const fault::FaultStats& f = inj->stats();
     os << '\n';

@@ -5,6 +5,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "pami/types.hpp"
@@ -67,6 +69,11 @@ struct Options {
   /// Cache endpoints for the communication clique (zeta) instead of
   /// re-creating one per operation.
   bool cache_endpoints = true;
+  /// Raw key/value configuration for the collectives subsystem
+  /// (src/coll), the "coll." CLI keys with the prefix stripped —
+  /// e.g. {"algo.allreduce", "torus-ring"} or {"hw", "0"}. Core
+  /// carries them opaquely; coll::CollConfig::from_options parses.
+  std::vector<std::pair<std::string, std::string>> coll;
 };
 
 /// Completion state shared between a Handle and in-flight callbacks.
@@ -92,6 +99,36 @@ class Handle {
  private:
   std::shared_ptr<HandleState> state_;
 };
+
+/// Collective-operation statistics, written by the collectives
+/// subsystem (src/coll) and folded into the communication report.
+/// Indexed [op][algo]; the name tables below give the meaning of each
+/// index. Core only carries and renders these — the engine that fills
+/// them lives above this layer.
+struct CollStats {
+  static constexpr int kOps = 6;    ///< barrier..alltoall, see kCollOpNames
+  static constexpr int kAlgos = 4;  ///< binomial..hw, see kCollAlgoNames
+
+  std::uint64_t count[kOps][kAlgos] = {};
+  /// Payload bytes handed to the collective (not wire bytes).
+  std::uint64_t bytes[kOps][kAlgos] = {};
+  /// Virtual time the rank spent inside the collective.
+  Time time[kOps][kAlgos] = {};
+  /// Times the engine's persistent scratch heap had to grow.
+  std::uint64_t scratch_reallocs = 0;
+
+  std::uint64_t total_ops() const;
+  Time total_time() const;
+  /// Time in data-moving collectives only (total minus the barrier
+  /// row, whose cost is mostly arrival wait, i.e. load imbalance).
+  Time data_time() const;
+  void merge(const CollStats& o);
+};
+
+inline constexpr const char* kCollOpNames[CollStats::kOps] = {
+    "barrier", "broadcast", "reduce", "allreduce", "allgather", "alltoall"};
+inline constexpr const char* kCollAlgoNames[CollStats::kAlgos] = {
+    "binomial", "recdbl", "torus-ring", "hw"};
 
 /// Per-rank operation statistics; the benchmark harness aggregates
 /// these into the paper's tables.
@@ -122,6 +159,8 @@ struct CommStats {
   // Blocking time by category (virtual time).
   Time time_in_get = 0, time_in_put = 0, time_in_acc = 0;
   Time time_in_rmw = 0, time_in_fence = 0, time_in_barrier = 0, time_in_wait = 0;
+  // Collective-engine counters (all zero until src/coll is used).
+  CollStats coll;
   // Message-size distributions (log2 buckets) — the "large percentile
   // of message size used in real applications" evidence of S IV-A.
   Log2Histogram put_sizes, get_sizes, acc_sizes;

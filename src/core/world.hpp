@@ -49,6 +49,11 @@ class World {
   /// freed-but-kept to keep addresses stable.
   const std::vector<std::unique_ptr<GlobalMem>>& heaps() const { return heaps_; }
 
+  /// Opaque cross-rank slot owned by the collectives subsystem
+  /// (src/coll): the hardware-collective arrival/combine rendezvous
+  /// shared by every rank's engine. Created by the first engine.
+  std::shared_ptr<void>& coll_shared() { return coll_shared_; }
+
  private:
   friend class Comm;
 
@@ -67,6 +72,7 @@ class World {
   std::vector<std::unique_ptr<GlobalMem>> heaps_;  // indexed by collective seq
   std::uint64_t next_mem_id_ = 1;
   std::vector<Comm*> comms_;
+  std::shared_ptr<void> coll_shared_;
   std::vector<CommStats> final_stats_;
   Time elapsed_ = 0;
   bool spmd_ran_ = false;

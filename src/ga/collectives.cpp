@@ -1,96 +1,18 @@
 #include "ga/collectives.hpp"
 
-#include <bit>
-#include <cstring>
-#include <vector>
-
+#include "coll/coll.hpp"
 #include "util/error.hpp"
 
 namespace pgasq::ga {
 
-namespace {
-
-/// Spins (politely: one progress pass + a short model delay per poll)
-/// until the flag, written by a remote accumulate, reaches `expected`.
-/// Works in both progress modes: in Default mode the progress() call
-/// itself services the incoming accumulate; with an async thread the
-/// flag flips underneath us.
-void wait_flag(Comm& comm, const volatile double* flag, double expected) {
-  while (*flag < expected) {
-    comm.progress();
-    comm.compute(from_ns(200));
-  }
-}
-
-/// Recursive-doubling allreduce for power-of-two p. Round r partners
-/// exchange partial sums via accumulate into per-round scratch slots.
-void gop_recursive_doubling(Comm& comm, double* x, std::size_t n, int rounds) {
-  // Scratch layout per rank: rounds * (n data + 1 flag) doubles.
-  const std::size_t slot = n + 1;
-  armci::GlobalMem& scratch =
-      comm.malloc_collective(sizeof(double) * slot * static_cast<std::size_t>(rounds));
-  auto* mine = reinterpret_cast<double*>(scratch.local(comm.rank()));
-  std::memset(mine, 0, sizeof(double) * slot * static_cast<std::size_t>(rounds));
-  comm.barrier();
-  std::vector<double> message(slot);
-  for (int r = 0; r < rounds; ++r) {
-    const int partner = comm.rank() ^ (1 << r);
-    std::memcpy(message.data(), x, sizeof(double) * n);
-    message[n] = 1.0;  // the flag rides in the same accumulate: ordered
-    comm.acc(1.0, message.data(),
-             scratch.at(partner, sizeof(double) * slot * static_cast<std::size_t>(r)),
-             slot);
-    const volatile double* flag = mine + slot * static_cast<std::size_t>(r) + n;
-    wait_flag(comm, flag, 1.0);
-    const double* incoming = mine + slot * static_cast<std::size_t>(r);
-    for (std::size_t i = 0; i < n; ++i) x[i] += incoming[i];
-  }
-  comm.fence_all();
-  comm.free_collective(scratch);
-}
-
-/// Gather-to-root + broadcast for arbitrary p.
-void gop_central(Comm& comm, double* x, std::size_t n) {
-  const std::size_t slot = n + 1;
-  armci::GlobalMem& scratch = comm.malloc_collective(sizeof(double) * slot);
-  auto* mine = reinterpret_cast<double*>(scratch.local(comm.rank()));
-  std::memset(mine, 0, sizeof(double) * slot);
-  comm.barrier();
-  std::vector<double> message(slot);
-  std::memcpy(message.data(), x, sizeof(double) * n);
-  message[n] = 1.0;
-  // Everyone (root included) accumulates into root's scratch.
-  comm.acc(1.0, message.data(), scratch.at(0), slot);
-  if (comm.rank() == 0) {
-    wait_flag(comm, mine + n, static_cast<double>(comm.nprocs()));
-    std::memcpy(x, mine, sizeof(double) * n);
-    // Broadcast the result (puts) and release everyone (flag acc).
-    std::vector<double> result(slot);
-    std::memcpy(result.data(), x, sizeof(double) * n);
-    result[n] = static_cast<double>(comm.nprocs()) + 1.0;
-    for (int t = 1; t < comm.nprocs(); ++t) {
-      comm.put(result.data(), scratch.at(t), sizeof(double) * slot);
-    }
-    comm.fence_all();
-  } else {
-    wait_flag(comm, mine + n, static_cast<double>(comm.nprocs()) + 1.0);
-    std::memcpy(x, mine, sizeof(double) * n);
-  }
-  comm.barrier();
-  comm.free_collective(scratch);
-}
-
-}  // namespace
-
 void gop_sum(Comm& comm, double* x, std::size_t n) {
   PGASQ_CHECK(x != nullptr && n > 0);
-  const auto p = static_cast<unsigned>(comm.nprocs());
-  if (p == 1) return;
-  if (std::has_single_bit(p)) {
-    gop_recursive_doubling(comm, x, n, std::countr_zero(p));
-  } else {
-    gop_central(comm, x, n);
-  }
+  // GA_Dgop("+") rides the collectives engine: algorithm selection
+  // (tree / recursive doubling / torus ring / hardware logic) per
+  // message size and geometry, persistent scratch instead of a
+  // malloc/free per call, and any process count — the old fallback
+  // serialized non-power-of-two cliques through a gather at rank 0.
+  coll::CollEngine::of(comm).allreduce_sum(x, n);
 }
 
 double element_sum(GlobalArray& a) {

@@ -1,12 +1,12 @@
 // Collective reductions over the one-sided runtime.
 //
 // NWChem's SCF loop ends every iteration with global reductions
-// (energy, convergence norms). GA implements these on top of ARMCI
-// one-sided primitives; we do the same: a recursive-doubling
-// allreduce built from accumulates (associative, so partial sums
-// combine in any arrival order) with flag words for pairwise
-// synchronization, falling back to a gather-to-root scheme for
-// non-power-of-two process counts.
+// (energy, convergence norms). These now route through the
+// topology-aware collectives engine (coll::CollEngine, see
+// docs/collectives.md), which picks among binomial trees, recursive
+// doubling, torus bucket rings, and the BG/Q collective-logic model
+// per invocation — replacing the seed's generic recursive doubling
+// and its gather-to-root serialization at non-power-of-two counts.
 #pragma once
 
 #include <cstddef>

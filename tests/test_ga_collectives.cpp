@@ -1,6 +1,6 @@
-// Global reductions: gop_sum (both the recursive-doubling and
-// gather-to-root algorithms), dot, and element_sum — including
-// determinism across progress modes and process counts.
+// Global reductions: gop_sum (now backed by coll::CollEngine), dot,
+// and element_sum — including determinism across progress modes and
+// process counts. The engine itself is covered in test_collectives.cpp.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -41,8 +41,8 @@ TEST_P(GopRanks, SumsVectorsAcrossRanks) {
   });
 }
 
-// 4 and 8 exercise recursive doubling; 3, 6 the central fallback;
-// 1 the trivial path.
+// 4 and 8 exercise plain recursive doubling; 3 and 6 its
+// non-power-of-two fold; 1 the trivial path.
 INSTANTIATE_TEST_SUITE_P(Sizes, GopRanks, ::testing::Values(1, 3, 4, 6, 8));
 
 TEST(Gop, AsyncThreadModeAgrees) {
