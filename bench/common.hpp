@@ -13,6 +13,7 @@
 #include "core/comm.hpp"
 #include "core/world.hpp"
 #include "fault/fault.hpp"
+#include "ft/recovery.hpp"
 #include "util/config.hpp"
 #include "util/error.hpp"
 #include "util/table.hpp"
@@ -47,6 +48,11 @@ inline armci::WorldConfig make_world_config(const Config& cli, int default_ranks
   }
   cfg.machine.params.hardware_amo = cli.get_bool("hardware_amo", false);
   cfg.machine.fault = fault::FaultPlan::from_config(cli);
+  // Fail-stop detection knobs (--ft.heartbeat_period_us etc.); inert
+  // unless the fault plan also schedules node deaths. The checkpoint
+  // cadence (--ft.checkpoint_interval) is app-level — benches that run
+  // SCF pick it up from the same parse via ft::RuntimeConfig.
+  cfg.machine.ft = ft::RuntimeConfig::from_config(cli).liveness;
   // Collectives-engine knobs ride through opaquely: every "--coll.*"
   // key is handed to coll::CollConfig with the prefix stripped, e.g.
   // --coll.algo.allreduce=torus-ring or --coll.hw=0.

@@ -9,6 +9,7 @@
 #include "apps/scf.hpp"
 #include "core/comm.hpp"
 #include "fault/fault.hpp"
+#include "ft/recovery.hpp"
 #include "util/config.hpp"
 
 using namespace pgasq;
@@ -24,6 +25,9 @@ apps::ScfResult run_mode(const Config& cli, armci::ProgressMode mode,
   cfg.armci.progress = mode;
   cfg.armci.contexts_per_rank = mode == armci::ProgressMode::kAsyncThread ? 2 : 1;
   cfg.machine.fault = fault::FaultPlan::from_config(cli);
+  // Fail-stop knobs: with --fault.node_fail=node:at_us scheduled, the
+  // run checkpoints and survives the death (docs/faults.md).
+  cfg.machine.ft = ft::RuntimeConfig::from_config(cli).liveness;
   armci::World world(cfg);
   return apps::run_scf(world, scf);
 }
@@ -37,6 +41,8 @@ int main(int argc, char** argv) {
   scf.block = cli.get_int("block", 8);
   scf.iterations = static_cast<int>(cli.get_int("iterations", 2));
   scf.mean_task_compute = from_us(cli.get_double("task_us", 2000.0));
+  scf.ft_checkpoint_interval =
+      ft::RuntimeConfig::from_config(cli).checkpoint_interval;
 
   std::printf("SCF Fock build (Fig 10): %lld basis functions, %lld-wide blocks,\n"
               "%lld tasks/iteration, %d iterations, ~%.0f us per task\n\n",

@@ -1,10 +1,12 @@
 #include "apps/scf.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <vector>
 
 #include "coll/coll.hpp"
 #include "core/comm.hpp"
+#include "ft/recovery.hpp"
 #include "ga/collectives.hpp"
 #include "ga/dgemm.hpp"
 #include "ga/global_array.hpp"
@@ -43,6 +45,165 @@ Time scf_task_time(const ScfConfig& config, int iteration, std::int64_t task) {
   return static_cast<Time>(static_cast<double>(config.mean_task_compute) * factor);
 }
 
+namespace {
+
+/// Fail-stop SCF body: the same Fock build wrapped in the
+/// checkpoint / recover / rollback protocol of ft::Runtime. Kept as a
+/// separate function (entered only when the machine has a health
+/// monitor, i.e. the fault plan schedules node deaths) so the plain
+/// path below stays instruction-identical for fault-free runs.
+void run_scf_ft(armci::Comm& comm, const ScfConfig& config, ScfResult& result,
+                Time& t_start, Time& t_end) {
+  PGASQ_CHECK(config.purification_sweeps == 0,
+              << "purification is not supported under fail-stop faults");
+  const std::int64_t nblk = (config.nbf + config.block - 1) / config.block;
+  const std::int64_t ntasks = scf_tasks_per_iteration(config);
+
+  std::unique_ptr<ga::GlobalArray> density, fock, scratch;
+  std::unique_ptr<ga::SharedCounter> counter;
+  // (Re)creates the arrays and the load-balance counter over `members`
+  // — the full clique up front, the survivor clique after a shrink.
+  // Old arrays are dropped without reuse: straggler traffic from the
+  // dead epoch can only land in the superseded allocations.
+  auto build = [&](const std::vector<int>& members) {
+    const bool full = static_cast<int>(members.size()) == comm.nprocs();
+    auto mk = [&] {
+      return full ? std::make_unique<ga::GlobalArray>(comm, config.nbf, config.nbf)
+                  : std::make_unique<ga::GlobalArray>(comm, config.nbf, config.nbf,
+                                                      members);
+    };
+    density = mk();
+    fock = mk();
+    scratch = mk();
+    counter = std::make_unique<ga::SharedCounter>(comm, members.front());
+  };
+  auto fill_initial = [&] {
+    density->fill_local([](std::int64_t i, std::int64_t j) {
+      return 1.0 / static_cast<double>(1 + i + j);
+    });
+    fock->fill_local(0.0);
+    density->sync();
+  };
+
+  std::vector<int> everyone(static_cast<std::size_t>(comm.nprocs()));
+  for (int r = 0; r < comm.nprocs(); ++r) everyone[static_cast<std::size_t>(r)] = r;
+  build(everyone);
+  fill_initial();
+  coll::CollEngine::of(comm);
+
+  ft::RuntimeConfig rt_config;
+  rt_config.checkpoint_interval = config.ft_checkpoint_interval;
+  ft::Runtime rt(comm, rt_config, {density.get(), fock.get()});
+
+  const armci::CommStats before = comm.stats();
+  if (comm.rank() == 0) t_start = comm.now();
+
+  std::vector<double> dij(static_cast<std::size_t>(config.block * config.block));
+  std::vector<double> dji(dij.size());
+  std::vector<double> fbuf(dij.size());
+
+  // Returns false when this rank itself died. Loops because another
+  // node can die while the survivors are still re-synchronizing.
+  auto recover_and_rebuild = [&]() -> bool {
+    while (true) {
+      try {
+        if (!rt.recover()) return false;
+        build(rt.members());
+        if (rt.restart_iter() == 0) {
+          fill_initial();
+        } else {
+          rt.restore({density.get(), fock.get()});
+        }
+        return true;
+      } catch (const ft::PeerDeadError&) {
+        continue;
+      }
+    }
+  };
+
+  int iter = 0;
+  while (iter < config.iterations) {
+    try {
+      rt.checkpoint(iter, {density.get(), fock.get()});
+      counter->reset();
+      for (std::int64_t task = counter->next(); task < ntasks;
+           task = counter->next()) {
+        const auto [bi, bj] = scf_task_blocks(task, nblk);
+        const std::int64_t rlo = bi * config.block;
+        const std::int64_t rhi = std::min(config.nbf, rlo + config.block);
+        const std::int64_t clo = bj * config.block;
+        const std::int64_t chi = std::min(config.nbf, clo + config.block);
+        const std::int64_t nr = rhi - rlo;
+        const std::int64_t nc = chi - clo;
+
+        armci::Handle h;
+        density->nb_get(rlo, rhi, clo, chi, dij.data(), nc, h);
+        density->nb_get(clo, chi, rlo, rhi, dji.data(), nr, h);
+        comm.wait(h);
+
+        comm.compute(scf_task_time(config, iter, task));
+
+        for (std::int64_t r = 0; r < nr; ++r) {
+          for (std::int64_t c = 0; c < nc; ++c) {
+            fbuf[static_cast<std::size_t>(r * nc + c)] =
+                0.5 * dij[static_cast<std::size_t>(r * nc + c)] +
+                0.25 * dji[static_cast<std::size_t>(c * nr + r)];
+          }
+        }
+        fock->acc(1.0, rlo, rhi, clo, chi, fbuf.data(), nc);
+        if (bi != bj) {
+          std::vector<double> ft(static_cast<std::size_t>(nr * nc));
+          for (std::int64_t r = 0; r < nr; ++r) {
+            for (std::int64_t c = 0; c < nc; ++c) {
+              ft[static_cast<std::size_t>(c * nr + r)] =
+                  fbuf[static_cast<std::size_t>(r * nc + c)];
+            }
+          }
+          fock->acc(1.0, clo, chi, rlo, rhi, ft.data(), nr);
+        }
+        ++result.tasks_executed;
+      }
+      comm.barrier();
+      ga::symmetrize(*fock, *scratch);
+      const double energy = ga::element_sum(*fock);
+      if (comm.rank() == rt.members().front() &&
+          iter == config.iterations - 1) {
+        result.final_energy = energy;
+      }
+      ++iter;
+    } catch (const ft::PeerDeadError&) {
+      if (!recover_and_rebuild()) return;  // this rank is the casualty
+      // Roll back to the agreed checkpoint's iteration (0 = cold
+      // restart from the refilled initial state).
+      iter = rt.restart_iter();
+    }
+  }
+
+  // End-of-run results are taken on the lowest surviving rank: rank 0
+  // may be among the dead.
+  if (comm.rank() == rt.members().front()) {
+    t_end = comm.now();
+    double sum = 0.0;
+    for (std::int64_t i = 0; i < config.nbf; i += 97) {
+      sum += fock->read_element(i, i);
+      if (i + 1 < config.nbf) sum += fock->read_element(i, i + 1);
+    }
+    result.fock_checksum = sum;
+  }
+  comm.barrier();
+
+  const armci::CommStats& after = comm.stats();
+  result.counter_time += after.time_in_rmw - before.time_in_rmw;
+  result.get_time += (after.time_in_get - before.time_in_get) +
+                     (after.time_in_wait - before.time_in_wait);
+  result.acc_time += after.time_in_acc - before.time_in_acc;
+  result.barrier_time += after.time_in_barrier - before.time_in_barrier;
+  result.reduce_time += after.coll.data_time() - before.coll.data_time();
+  result.forced_fences += after.forced_fences - before.forced_fences;
+}
+
+}  // namespace
+
 ScfResult run_scf(armci::World& world, const ScfConfig& config) {
   PGASQ_CHECK(config.nbf >= config.block && config.block >= 1);
   PGASQ_CHECK(config.iterations >= 1);
@@ -54,6 +215,12 @@ ScfResult run_scf(armci::World& world, const ScfConfig& config) {
   Time t_end = 0;
 
   world.spmd([&](armci::Comm& comm) {
+    if (comm.ft_monitor() != nullptr) {
+      // Node deaths are scheduled: take the fail-stop body. The plain
+      // path below never pays for fault tolerance.
+      run_scf_ft(comm, config, result, t_start, t_end);
+      return;
+    }
     ga::GlobalArray density(comm, config.nbf, config.nbf);
     ga::GlobalArray fock(comm, config.nbf, config.nbf);
     ga::GlobalArray scratch(comm, config.nbf, config.nbf);

@@ -35,6 +35,11 @@ struct ScfConfig {
   /// identical workload.
   double jitter = 0.5;
   std::uint64_t seed = 12345;
+  /// Checkpoint cadence for fail-stop runs (ft::Runtime): the fault-
+  /// tolerant SCF body checkpoints density+Fock every N iterations.
+  /// Ignored (and the FT body never taken) when the fault plan
+  /// schedules no node deaths.
+  int ft_checkpoint_interval = 1;
   /// McWeeny purification sweeps applied to the (scaled) Fock matrix
   /// after each build: D' = 3D^2 - 2D^3 via distributed dgemm — the
   /// linear-scaling-SCF stand-in for the diagonalization step. 0

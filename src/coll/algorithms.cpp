@@ -27,7 +27,7 @@ int ceil_log2(int p) {
 
 void CollEngine::bcast_binomial(std::byte* data, std::size_t bytes, int root) {
   begin_data_op(bytes, 1);
-  const int p = geometry_.p, me = comm_.rank();
+  const int p = geometry_.p, me = me_;
   const int vr = (me - root + p) % p;
   int mask = 1;
   while (mask < p) {
@@ -81,7 +81,7 @@ void CollEngine::bcast_ring(std::byte* data, std::size_t bytes, int root) {
 // ---------------------------------------------------------------------------
 
 void CollEngine::reduce_binomial(double* x, std::size_t n, int root) {
-  const int p = geometry_.p, me = comm_.rank();
+  const int p = geometry_.p, me = me_;
   const int rounds = ceil_log2(p);
   begin_data_op(n * 8, static_cast<std::size_t>(rounds));
   const int vr = (me - root + p) % p;
@@ -100,7 +100,7 @@ void CollEngine::reduce_binomial(double* x, std::size_t n, int root) {
 }
 
 void CollEngine::allreduce_recdbl(double* x, std::size_t n) {
-  const int p = geometry_.p, me = comm_.rank();
+  const int p = geometry_.p, me = me_;
   int pof2 = 1;
   while (pof2 * 2 <= p) pof2 *= 2;
   const int rem = p - pof2;
@@ -222,7 +222,7 @@ void CollEngine::allreduce_ring(double* x, std::size_t n) {
 
 void CollEngine::allgather_recdbl(const std::byte* in, std::size_t bytes,
                                   std::byte* out) {
-  const int p = geometry_.p, me = comm_.rank();
+  const int p = geometry_.p, me = me_;
   const int rounds = ceil_log2(p);
   begin_data_op(static_cast<std::size_t>(p / 2) * bytes,
                 static_cast<std::size_t>(rounds));
@@ -243,7 +243,7 @@ void CollEngine::allgather_ring(const std::byte* in, std::size_t bytes,
   // Member-block forwarding around the rank ring. Under the ABCDET
   // mapping consecutive ranks pack a node (T) before stepping to the
   // torus neighbour, so each hop is local or nearest-neighbour.
-  const int p = geometry_.p, me = comm_.rank();
+  const int p = geometry_.p, me = me_;
   begin_data_op(bytes, static_cast<std::size_t>(p - 1));
   std::memcpy(out + static_cast<std::size_t>(me) * bytes, in, bytes);
   const int next = (me + 1) % p, prev = (me - 1 + p) % p;
@@ -263,7 +263,7 @@ void CollEngine::allgather_binomial(const std::byte* in, std::size_t bytes,
   // then broadcast the assembled result down the same tree. Latency-
   // optimal; total traffic is p*bytes*log(p), so the selection table
   // only picks it for small gathers.
-  const int p = geometry_.p, me = comm_.rank();
+  const int p = geometry_.p, me = me_;
   const int rounds = ceil_log2(p);
   begin_data_op(static_cast<std::size_t>(p) * bytes,
                 static_cast<std::size_t>(rounds) + 1);
@@ -313,25 +313,31 @@ void CollEngine::allgather_binomial(const std::byte* in, std::size_t bytes,
 
 void CollEngine::alltoall_pairwise_xor(const std::byte* in, std::size_t bytes,
                                        std::byte* out) {
-  // XOR-pairwise schedule (power-of-two p): step s pairs rank r with
-  // r^s, so at every step the whole machine exchanges in disjoint
-  // pairs. Slot index = source rank; all sends are issued non-blocking
-  // so injection overlaps across steps.
-  const int p = geometry_.p, me = comm_.rank();
+  // XOR-pairwise schedule: step s pairs rank r with r^s, so at every
+  // step the machine exchanges in disjoint pairs. For non-power-of-two
+  // p the steps run to the next power of two and a rank sits a step
+  // out when its partner would fall past p — every unordered pair
+  // {a, b} still meets exactly once, at s = a^b. Slot index = source
+  // rank; all sends are issued non-blocking so injection overlaps
+  // across steps.
+  const int p = geometry_.p, me = me_;
+  const int lim = 1 << ceil_log2(p);
   begin_data_op(bytes, static_cast<std::size_t>(p));
   std::memcpy(out + static_cast<std::size_t>(me) * bytes,
               in + static_cast<std::size_t>(me) * bytes, bytes);
   std::byte* stage =
-      grow_local(stage_all_, stage_cap_, static_cast<std::size_t>(p) * slot_bytes_);
+      grow_local(stage_all_, stage_cap_, static_cast<std::size_t>(lim) * slot_bytes_);
   armci::Handle handle;
-  for (int s = 1; s < p; ++s) {
+  for (int s = 1; s < lim; ++s) {
     const int partner = me ^ s;
+    if (partner >= p) continue;
     send_nb(partner, static_cast<std::size_t>(me),
             in + static_cast<std::size_t>(partner) * bytes, bytes,
             stage + static_cast<std::size_t>(s) * slot_bytes_, handle);
   }
-  for (int s = 1; s < p; ++s) {
+  for (int s = 1; s < lim; ++s) {
     const int partner = me ^ s;
+    if (partner >= p) continue;
     std::memcpy(out + static_cast<std::size_t>(partner) * bytes,
                 recv_wait(static_cast<std::size_t>(partner), bytes), bytes);
   }

@@ -1,5 +1,6 @@
 #include "coll/coll.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cstring>
 #include <string>
@@ -86,37 +87,54 @@ CollEngine& CollEngine::of(armci::Comm& comm) {
   return *static_cast<CollEngine*>(slot.get());
 }
 
-CollEngine::CollEngine(armci::Comm& comm)
-    : comm_(comm), config_(CollConfig::from_options(comm.options())) {
+CollEngine::CollEngine(armci::Comm& comm) : CollEngine(comm, std::vector<int>{}) {}
+
+CollEngine::CollEngine(armci::Comm& comm, std::vector<int> members)
+    : comm_(comm),
+      config_(CollConfig::from_options(comm.options())),
+      members_(std::move(members)) {
   pami::Machine& machine = comm.world().machine();
   const topo::Torus5D& torus = machine.torus();
   const topo::RankMapping& map = machine.mapping();
-  const int p = comm.nprocs();
-  PGASQ_CHECK(map.num_ranks() == p);
+  const bool shrunk = !members_.empty();
+  const int p = shrunk ? static_cast<int>(members_.size()) : comm.nprocs();
+  if (!shrunk) PGASQ_CHECK(map.num_ranks() == p);
 
   geometry_.p = p;
   geometry_.pow2 = std::has_single_bit(static_cast<unsigned>(p));
   geometry_.diameter = torus.diameter();
+  geometry_.shrunk = shrunk;
   const fault::Injector* injector = machine.injector();
   geometry_.link_faults = injector != nullptr && injector->has_link_faults();
 
   const int me = comm.rank();
-  const int node = map.node_of_rank(me);
-  const int slot = map.slot_of_rank(me);
-  const topo::Coord5 coord = torus.coord_of(node);
-  for (int d = 0; d < topo::kDims; ++d) {
-    const int m = torus.dims()[d];
-    if (m <= 1) continue;
-    topo::Coord5 up = coord, down = coord;
-    up[d] = (coord[d] + 1) % m;
-    down[d] = (coord[d] - 1 + m) % m;
-    rings_.push_back({d, m, coord[d], map.rank_of(torus.node_of(up), slot),
-                      map.rank_of(torus.node_of(down), slot)});
-  }
-  if (map.ranks_per_node() > 1) {
-    const int m = map.ranks_per_node();
-    rings_.push_back({-1, m, slot, map.rank_of(node, (slot + 1) % m),
-                      map.rank_of(node, (slot - 1 + m) % m)});
+  me_ = me;
+  if (shrunk) {
+    // A survivor clique has no clean torus decomposition: schedules
+    // address members by list position and the ring / hardware
+    // algorithms stay unselectable (torus_dims == 0).
+    const auto it = std::find(members_.begin(), members_.end(), me);
+    PGASQ_CHECK(it != members_.end(),
+                << "rank " << me << " is not a member of the shrunk clique");
+    me_ = static_cast<int>(it - members_.begin());
+  } else {
+    const int node = map.node_of_rank(me);
+    const int slot = map.slot_of_rank(me);
+    const topo::Coord5 coord = torus.coord_of(node);
+    for (int d = 0; d < topo::kDims; ++d) {
+      const int m = torus.dims()[d];
+      if (m <= 1) continue;
+      topo::Coord5 up = coord, down = coord;
+      up[d] = (coord[d] + 1) % m;
+      down[d] = (coord[d] - 1 + m) % m;
+      rings_.push_back({d, m, coord[d], map.rank_of(torus.node_of(up), slot),
+                        map.rank_of(torus.node_of(down), slot)});
+    }
+    if (map.ranks_per_node() > 1) {
+      const int m = map.ranks_per_node();
+      rings_.push_back({-1, m, slot, map.rank_of(node, (slot + 1) % m),
+                        map.rank_of(node, (slot - 1 + m) % m)});
+    }
   }
   geometry_.torus_dims = static_cast<int>(rings_.size());
 
@@ -143,6 +161,17 @@ CollEngine::CollEngine(armci::Comm& comm)
 }
 
 CollEngine::~CollEngine() = default;
+
+void CollEngine::rebuild_shrunk(armci::Comm& comm, std::vector<int> members) {
+  // Detach first: the replacement engine's collective allocation
+  // barriers must not dispatch into the old (pre-shrink) engine, and
+  // the old engine must not deregister shared state after the new one
+  // registered. The old arena stays freed-but-kept, so straggler slot
+  // writes from the dead epoch land in dead memory.
+  comm.set_barrier_hook(nullptr);
+  comm.coll_slot().reset();
+  comm.coll_slot() = std::make_shared<CollEngine>(comm, std::move(members));
+}
 
 // ---------------------------------------------------------------------------
 // Scratch arena & slot transport
@@ -223,7 +252,7 @@ void CollEngine::send(int to, std::size_t slot, const void* data,
   if (bytes > 0) std::memcpy(stage + 8, data, bytes);
   // One put carries flag + payload: the simulator delivers it in a
   // single atomic copy, so a raised flag implies a complete payload.
-  comm_.put(stage, scratch_->at(to, kBarrierBytes + slot * slot_bytes_),
+  comm_.put(stage, scratch_->at(wrank(to), kBarrierBytes + slot * slot_bytes_),
             8 + bytes);
 }
 
@@ -233,7 +262,7 @@ void CollEngine::send_nb(int to, std::size_t slot, const void* data,
   PGASQ_CHECK(slot < n_slots_ && bytes + 8 <= slot_bytes_);
   std::memcpy(stage, &epoch_, 8);
   if (bytes > 0) std::memcpy(stage + 8, data, bytes);
-  comm_.nb_put(stage, scratch_->at(to, kBarrierBytes + slot * slot_bytes_),
+  comm_.nb_put(stage, scratch_->at(wrank(to), kBarrierBytes + slot * slot_bytes_),
                8 + bytes, handle);
 }
 
@@ -253,7 +282,7 @@ const std::byte* CollEngine::recv_wait(std::size_t slot, std::size_t bytes) {
 void CollEngine::put_word(int to, int word, std::uint64_t value) {
   std::byte* stage = grow_local(send_buf_, send_cap_, 8);
   std::memcpy(stage, &value, 8);
-  comm_.put(stage, scratch_->at(to, static_cast<std::size_t>(word) * 8), 8);
+  comm_.put(stage, scratch_->at(wrank(to), static_cast<std::size_t>(word) * 8), 8);
 }
 
 void CollEngine::wait_word(int word, std::uint64_t at_least) {
@@ -296,7 +325,7 @@ void CollEngine::run_barrier(Algo algo) {
 }
 
 void CollEngine::barrier_dissemination() {
-  const int p = geometry_.p, me = comm_.rank();
+  const int p = geometry_.p, me = me_;
   for (int r = 0; (1 << r) < p; ++r) {
     PGASQ_CHECK(r < kTreeUpWord0 - kDissemWord0);
     put_word((me + (1 << r)) % p, kDissemWord0 + r, barrier_seq_);
@@ -305,7 +334,7 @@ void CollEngine::barrier_dissemination() {
 }
 
 void CollEngine::barrier_tree() {
-  const int p = geometry_.p, me = comm_.rank();
+  const int p = geometry_.p, me = me_;
   // Gather up the binomial tree rooted at 0: absorb each child
   // (me + 2^k, arriving on its own word), then report to the parent.
   int mask = 1;
@@ -330,7 +359,7 @@ void CollEngine::barrier_tree() {
 }
 
 void CollEngine::barrier_ring() {
-  const int p = geometry_.p, me = comm_.rank();
+  const int p = geometry_.p, me = me_;
   // A token circulates 0 -> 1 -> ... -> p-1 -> 0, then a release pass
   // chases it. O(p) latency: the ablation baseline.
   if (me == 0) {
@@ -360,6 +389,9 @@ Time CollEngine::hw_latency(std::size_t bytes) const {
 void CollEngine::hw_rendezvous(const void* contribution, std::size_t bytes,
                                std::size_t model_bytes,
                                const std::function<void(HwShared&)>& fold) {
+  // The hardware combine logic spans the whole partition; a shrunk
+  // clique must never be routed here (selection guarantees this).
+  PGASQ_CHECK(!geometry_.shrunk, << "hw collective on a shrunk clique");
   HwShared& hw = *hw_;
   const std::uint64_t generation = hw.generation;
   auto& mine = hw.contrib[static_cast<std::size_t>(comm_.rank())];

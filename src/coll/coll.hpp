@@ -50,9 +50,21 @@ class CollEngine {
   static CollEngine& of(armci::Comm& comm);
 
   explicit CollEngine(armci::Comm& comm);
+  /// Shrunk-clique engine (fail-stop recovery): schedules run over
+  /// `members` (ascending surviving world ranks) only. Members address
+  /// each other by member-list position; the torus ring and hardware
+  /// collective-logic schedules are unselectable (a survivor set has
+  /// no clean torus decomposition).
+  CollEngine(armci::Comm& comm, std::vector<int> members);
   ~CollEngine();
   CollEngine(const CollEngine&) = delete;
   CollEngine& operator=(const CollEngine&) = delete;
+
+  /// Replaces `comm`'s attached engine with a fresh one over the
+  /// surviving `members` (fail-stop communicator shrink). The old
+  /// engine's arena is dropped freed-but-kept, so in-flight slot
+  /// writes from the previous epoch land in dead memory harmlessly.
+  static void rebuild_shrunk(armci::Comm& comm, std::vector<int> members);
 
   // --- Collective operations (all ranks must call, in order) -----------------
 
@@ -150,6 +162,16 @@ class CollEngine {
   armci::Comm& comm_;
   CollConfig config_;
   Geometry geometry_;
+  /// Empty in full-clique mode; else the surviving world ranks this
+  /// engine schedules over.
+  std::vector<int> members_;
+  /// This rank's schedule position: comm_.rank() in full mode, the
+  /// member-list index after a shrink.
+  int me_ = 0;
+  /// World rank behind schedule position `v`.
+  int wrank(int v) const {
+    return members_.empty() ? v : members_[static_cast<std::size_t>(v)];
+  }
   std::vector<RingDim> rings_;
   std::shared_ptr<HwShared> hw_;
 

@@ -81,7 +81,7 @@ Algo CollConfig::choose(Op op, std::uint64_t bytes, const Geometry& g) const {
   const Algo forced = force[static_cast<int>(op)];
   if (forced != Algo::kAuto) return normalize(op, forced, g);
 
-  const bool hw = hw_enabled && !g.link_faults;
+  const bool hw = hw_enabled && !g.link_faults && !g.shrunk;
   const bool ring =
       g.p >= ring_min_ranks && bytes >= ring_min_bytes && g.torus_dims > 0;
   Algo pick = Algo::kBinomial;
@@ -129,10 +129,28 @@ Algo CollConfig::normalize(Op op, Algo algo, const Geometry& g) const {
   PGASQ_CHECK(algo != Algo::kAuto);
   if (g.p == 1) return algo;  // every algorithm degenerates to a no-op
   // The hardware model moves no torus packets, so it cannot honour a
-  // fault plan that fails links; route those runs through software.
-  if (algo == Algo::kHw && (!hw_enabled || g.link_faults)) {
+  // fault plan that fails links; and it spans the whole partition, so
+  // a shrunk survivor clique cannot ride it either. Route through
+  // software in both cases.
+  if (algo == Algo::kHw && (!hw_enabled || g.link_faults || g.shrunk)) {
     algo = op == Op::kBarrier || op == Op::kAllreduce ? Algo::kRecdbl
                                                       : Algo::kBinomial;
+  }
+  // The ring schedules need the full per-dimension torus rings; a
+  // shrunk clique reports torus_dims == 0.
+  if (algo == Algo::kTorusRing && g.torus_dims == 0) {
+    switch (op) {
+      case Op::kBarrier:
+      case Op::kAllreduce:
+        algo = Algo::kRecdbl;
+        break;
+      case Op::kAlltoall:
+        algo = Algo::kRecdbl;  // pairwise-xor handles any p
+        break;
+      default:
+        algo = Algo::kBinomial;
+        break;
+    }
   }
   switch (op) {
     case Op::kBarrier:
@@ -147,13 +165,17 @@ Algo CollConfig::normalize(Op op, Algo algo, const Geometry& g) const {
       return algo;  // recdbl carries the non-power-of-two fold step
     case Op::kAllgather:
       if (algo == Algo::kHw) return Algo::kTorusRing;
-      if (algo == Algo::kRecdbl && !g.pow2) return Algo::kTorusRing;
+      if (algo == Algo::kRecdbl && !g.pow2) {
+        return g.torus_dims > 0 ? Algo::kTorusRing : Algo::kBinomial;
+      }
       return algo;
     case Op::kAlltoall:
       // Personalized exchange has no combine: hardware logic and trees
-      // do not apply; pow2 XOR-pairing needs pow2.
-      if (algo == Algo::kHw || algo == Algo::kBinomial) return Algo::kTorusRing;
-      if (algo == Algo::kRecdbl && !g.pow2) return Algo::kTorusRing;
+      // do not apply. XOR-pairing covers any p (non-pow2 ranks sit out
+      // the steps whose partner falls past p).
+      if (algo == Algo::kHw || algo == Algo::kBinomial) {
+        return g.torus_dims > 0 ? Algo::kTorusRing : Algo::kRecdbl;
+      }
       return algo;
   }
   return algo;

@@ -44,11 +44,16 @@ Algo parse_algo(const std::string& name);
 
 /// Participant-geometry facts the selection table keys on.
 struct Geometry {
-  int p = 1;               ///< participants (always the whole clique)
+  int p = 1;               ///< participants (whole clique, or survivors)
   bool pow2 = false;       ///< p is a power of two
   int torus_dims = 0;      ///< torus dimensions of extent > 1 (incl. T)
   int diameter = 0;        ///< network diameter in hops
   bool link_faults = false;  ///< fault plan disables specific links
+  /// Fail-stop communicator shrink: participants are a survivor subset
+  /// of the clique. The hardware collective logic (which spans the
+  /// whole partition) and the torus ring schedules (which need the
+  /// full per-dimension rings) are unselectable.
+  bool shrunk = false;
 };
 
 /// Tunables + per-op forced algorithms, parsed from the raw `coll.*`

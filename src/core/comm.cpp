@@ -1,7 +1,9 @@
 #include "core/comm.hpp"
 
 #include <cstring>
+#include <sstream>
 
+#include "ft/liveness.hpp"
 #include "util/error.hpp"
 
 namespace pgasq::armci {
@@ -184,6 +186,7 @@ void Comm::init() {
       std::make_unique<RegionCache>(opt.region_cache_capacity, opt.region_cache_policy);
   tracker_ = std::make_unique<ConflictTracker>(opt.consistency, nprocs());
   notifications_.assign(static_cast<std::size_t>(nprocs()), 0);
+  monitor_ = process_.machine().monitor();
 
   process_.create_client();
   for (int i = 0; i < opt.contexts_per_rank; ++i) {
@@ -194,7 +197,9 @@ void Comm::init() {
 }
 
 void Comm::finalize() {
-  barrier();
+  // A rank whose node was declared dead must not synchronize with the
+  // survivors — it just tears down.
+  if (!ft_failed_) barrier();
   // Detach the collectives engine (if one attached) before teardown:
   // its destructor deregisters from the cross-rank shared state, and
   // no barrier may dispatch through it past this point.
@@ -309,11 +314,57 @@ void Comm::progress_until(const std::function<bool()>& pred) {
       ctx.advance();
       if (pred()) return;
     }
+    // A declared node death may have made this predicate unsatisfiable
+    // — unwind to the recovery runtime rather than park forever.
+    ft_check();
     if (ctx.has_work()) continue;
     // Park (lock released) until the next delivery; every event this
     // predicate can depend on arrives as an item on this context.
     ctx.wait_for_work();
   }
+}
+
+void Comm::ft_check() {
+  if (monitor_ == nullptr || ft_failed_) return;
+  monitor_->probe(now());
+  if (monitor_->node_declared_dead(process_.node())) {
+    std::ostringstream os;
+    os << "rank " << rank() << " lives on node " << process_.node()
+       << ", declared dead at epoch " << monitor_->epoch();
+    throw ft::PeerDeadError("self", process_.node(), process_.node(),
+                            monitor_->epoch(), os.str());
+  }
+  if (monitor_->epoch() != ft_acked_epoch_) {
+    std::ostringstream os;
+    os << "liveness epoch moved " << ft_acked_epoch_ << " -> " << monitor_->epoch()
+       << " under rank " << rank() << "; unwinding blocked work for recovery";
+    throw ft::PeerDeadError("epoch-change", process_.node(), process_.node(),
+                            monitor_->epoch(), os.str());
+  }
+}
+
+void Comm::ft_accept_epoch() {
+  if (monitor_ != nullptr) ft_acked_epoch_ = monitor_->epoch();
+}
+
+void Comm::ft_quiesce() {
+  tracker_->reset_outstanding();
+  implicit_ = Handle{};
+}
+
+void Comm::ft_align_collectives() {
+  barrier_hw();
+  next_collective_seq_ = world_.collective_seq_high_water();
+  barrier_hw();
+}
+
+void Comm::ft_poke() {
+  // A tick can land while this rank is still creating its PAMI
+  // objects (init runs for milliseconds of virtual time) — nothing to
+  // wake yet.
+  if (process_.num_contexts() <= service_context_index_) return;
+  main_context().post_completion([] {}, 0);
+  if (service_context_index_ != 0) service_context().post_completion([] {}, 0);
 }
 
 void Comm::start_async_thread() {
@@ -337,7 +388,13 @@ void Comm::start_async_thread() {
           continue;
         }
       }
-      locked_advance(*ctx);
+      try {
+        locked_advance(*ctx);
+      } catch (const ft::PeerDeadError&) {
+        // A serviced request (e.g. a get-reply) targeted a dead peer.
+        // The progress thread itself must survive: recovery is driven
+        // by the main thread's abort, not by this fiber.
+      }
       if (!async_running_) break;
       if (!ctx->has_work()) {
         ctx->wait_for_work();
@@ -395,19 +452,26 @@ std::optional<pami::MemoryRegion> Comm::resolve_remote_region(RankId target,
   //    to make progress — another reason the async thread matters).
   ++stats_.region_queries_sent;
   ensure_endpoint(target, service_context_index_);
-  RegionReplyBox box;
+  // The cookie keeps the rendezvous box alive until the reply lands
+  // even if a fail-stop abort unwinds this frame first; the reply
+  // handler releases it.
+  auto box = std::make_shared<RegionReplyBox>();
+  auto* cookie = new std::shared_ptr<RegionReplyBox>(box);
   std::vector<std::byte> header;
-  append_pod(header, RegionQueryHeader{addr, bytes, &box});
-  {
+  append_pod(header, RegionQueryHeader{addr, bytes, cookie});
+  try {
     ProgressGuard guard(needs_context_lock(), main_context(),
                         process_.machine().params().context_lock_cost);
     main_context().send(service_endpoint(target), kDispatchRegionQuery,
                         std::move(header), {}, nullptr);
+  } catch (...) {
+    delete cookie;  // the query never left this rank; no reply will come
+    throw;
   }
-  progress_until([&box] { return box.done; });
-  if (!box.found) return std::nullopt;
-  region_cache_->insert(target, box.region);
-  return box.region;
+  progress_until([box] { return box->done; });
+  if (!box->found) return std::nullopt;
+  region_cache_->insert(target, box->region);
+  return box->region;
 }
 
 std::uint64_t Comm::known_region_id(RankId target, const std::byte* addr,
@@ -502,7 +566,11 @@ void Comm::barrier_hw() {
   fence_all();
   auto& b = world_.barrier_;
   const std::uint64_t generation = b.generation;
-  if (++b.arrived == static_cast<std::size_t>(world_.num_ranks())) {
+  // Under fail-stop recovery the rendezvous completes once every
+  // *declared-live* rank arrives (dead ranks never will).
+  const auto target = static_cast<std::size_t>(
+      monitor_ != nullptr ? monitor_->live_rank_count() : world_.num_ranks());
+  if (++b.arrived >= target) {
     b.arrived = 0;
     World* w = &world_;
     world_.machine().engine().schedule_after(
@@ -1221,21 +1289,22 @@ std::int64_t Comm::fetch_add(RemotePtr counter, std::int64_t delta) {
   maybe_fence_before_read(counter.rank,
                           known_region_id(counter.rank, counter.addr, 8));
   ensure_endpoint(counter.rank, service_context_index_);
-  bool done = false;
-  std::int64_t result = 0;
+  // Heap-shared completion box: a fail-stop abort can unwind this frame
+  // while the reply event is still in flight.
+  auto box = std::make_shared<std::pair<bool, std::int64_t>>(false, 0);
   {
     ProgressGuard guard(needs_context_lock(), main_context(),
                         process_.machine().params().context_lock_cost);
     main_context().rmw(service_endpoint(counter.rank), checked_word(counter),
                        pami::RmwOp::kFetchAdd, delta, 0,
-                       [&done, &result](std::int64_t old) {
-                         result = old;
-                         done = true;
+                       [box](std::int64_t old) {
+                         box->second = old;
+                         box->first = true;
                        });
   }
-  progress_until([&done] { return done; });
+  progress_until([box] { return box->first; });
   stats_.time_in_rmw += now() - t0;
-  return result;
+  return box->second;
 }
 
 std::int64_t Comm::swap(RemotePtr word, std::int64_t value) {
@@ -1243,21 +1312,20 @@ std::int64_t Comm::swap(RemotePtr word, std::int64_t value) {
   const Time t0 = now();
   maybe_fence_before_read(word.rank, known_region_id(word.rank, word.addr, 8));
   ensure_endpoint(word.rank, service_context_index_);
-  bool done = false;
-  std::int64_t result = 0;
+  auto box = std::make_shared<std::pair<bool, std::int64_t>>(false, 0);
   {
     ProgressGuard guard(needs_context_lock(), main_context(),
                         process_.machine().params().context_lock_cost);
     main_context().rmw(service_endpoint(word.rank), checked_word(word),
                        pami::RmwOp::kSwap, value, 0,
-                       [&done, &result](std::int64_t old) {
-                         result = old;
-                         done = true;
+                       [box](std::int64_t old) {
+                         box->second = old;
+                         box->first = true;
                        });
   }
-  progress_until([&done] { return done; });
+  progress_until([box] { return box->first; });
   stats_.time_in_rmw += now() - t0;
-  return result;
+  return box->second;
 }
 
 std::int64_t Comm::compare_swap(RemotePtr word, std::int64_t compare,
@@ -1266,21 +1334,20 @@ std::int64_t Comm::compare_swap(RemotePtr word, std::int64_t compare,
   const Time t0 = now();
   maybe_fence_before_read(word.rank, known_region_id(word.rank, word.addr, 8));
   ensure_endpoint(word.rank, service_context_index_);
-  bool done = false;
-  std::int64_t result = 0;
+  auto box = std::make_shared<std::pair<bool, std::int64_t>>(false, 0);
   {
     ProgressGuard guard(needs_context_lock(), main_context(),
                         process_.machine().params().context_lock_cost);
     main_context().rmw(service_endpoint(word.rank), checked_word(word),
                        pami::RmwOp::kCompareSwap, value, compare,
-                       [&done, &result](std::int64_t old) {
-                         result = old;
-                         done = true;
+                       [box](std::int64_t old) {
+                         box->second = old;
+                         box->first = true;
                        });
   }
-  progress_until([&done] { return done; });
+  progress_until([box] { return box->first; });
   stats_.time_in_rmw += now() - t0;
-  return result;
+  return box->second;
 }
 
 // ---------------------------------------------------------------------------
@@ -1373,10 +1440,11 @@ void Comm::on_region_query(pami::Context& ctx, const pami::AmMessage& msg) {
 void Comm::on_region_reply(pami::Context& ctx, const pami::AmMessage& msg) {
   const std::byte* p = msg.header.data();
   const auto h = read_pod<RegionReplyHeader>(p);
-  auto* box = static_cast<RegionReplyBox*>(h.box);
-  box->found = h.found;
-  box->region = h.region;
-  box->done = true;
+  auto* cookie = static_cast<std::shared_ptr<RegionReplyBox>*>(h.box);
+  (*cookie)->found = h.found;
+  (*cookie)->region = h.region;
+  (*cookie)->done = true;
+  delete cookie;
   (void)ctx;
 }
 

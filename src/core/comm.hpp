@@ -30,6 +30,10 @@
 #include "pami/context.hpp"
 #include "pami/process.hpp"
 
+namespace pgasq::ft {
+class HealthMonitor;
+}  // namespace pgasq::ft
+
 namespace pgasq::armci {
 
 /// A set of ARMCI mutexes: `count` lock words hosted on every rank.
@@ -160,7 +164,10 @@ class Comm {
   /// One explicit progress-engine call (what a Default-mode
   /// application must sprinkle into compute phases to service remote
   /// requests, S III-D).
-  void progress() { locked_advance(main_context()); }
+  void progress() {
+    ft_check();
+    locked_advance(main_context());
+  }
   /// Waits for local completion of all implicit non-blocking ops.
   void wait_all();
 
@@ -216,6 +223,39 @@ class Comm {
   /// Collective counters, written by the engine.
   CollStats& coll_stats() { return stats_.coll; }
 
+  // --- Fail-stop fault tolerance (src/ft) --------------------------------------
+
+  /// The machine's health monitor, or nullptr when the fault plan
+  /// schedules no node deaths (the zero-cost default).
+  ft::HealthMonitor* ft_monitor() { return monitor_; }
+  /// Last liveness epoch this rank acknowledged. Every blocking
+  /// progress loop unwinds with PeerDeadError while the monitor's
+  /// epoch is ahead of this.
+  std::uint64_t ft_epoch_acked() const { return ft_acked_epoch_; }
+  /// Acknowledges the current epoch (recovery runtime, after catching
+  /// the abort and before re-synchronizing survivors).
+  void ft_accept_epoch();
+  /// True once this rank's own node was declared dead: all collectives
+  /// are skipped and finalize() tears down without synchronizing.
+  bool ft_failed() const { return ft_failed_; }
+  void ft_mark_failed() { ft_failed_ = true; }
+  /// Abandons in-flight state that can never complete after a peer
+  /// died: forgets tracked writes (dead-peer acks never come) and
+  /// detaches the implicit handle.
+  void ft_quiesce();
+  /// Re-aligns the collective-allocation sequence across survivors: an
+  /// abort can interrupt ranks at different allocation counts, after
+  /// which "the same" malloc_collective would address different heaps.
+  /// Rendezvous, fast-forward to the world-wide high-water mark (frozen
+  /// while every survivor sits between the two rendezvous), rendezvous
+  /// again. Collective over live ranks.
+  void ft_align_collectives();
+  /// Posts a no-op completion so this rank's parked progress loops
+  /// re-evaluate their predicates (epoch listeners and the heartbeat
+  /// tick use this to wake fibers blocked on work that died with a
+  /// peer).
+  void ft_poke();
+
   /// Context the main thread initiates on and advances.
   pami::Context& main_context() { return process_.context(0); }
   /// Context remote requests are serviced on (context 1 when the
@@ -230,6 +270,10 @@ class Comm {
   void locked_advance(pami::Context& ctx);
   void progress_until(const std::function<bool()>& pred);
   void start_async_thread();
+  /// Throws PeerDeadError when the liveness epoch moved past the last
+  /// acknowledged one (or this rank's own node died). One pointer
+  /// check when no monitor exists.
+  void ft_check();
 
   // Endpoint / region resolution.
   void ensure_endpoint(RankId target, int context);
@@ -292,6 +336,9 @@ class Comm {
 
   World& world_;
   pami::Process& process_;
+  ft::HealthMonitor* monitor_ = nullptr;
+  std::uint64_t ft_acked_epoch_ = 0;
+  bool ft_failed_ = false;
   int service_context_index_ = 0;
   bool async_running_ = false;
   std::uint64_t next_collective_seq_ = 0;

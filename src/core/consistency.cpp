@@ -1,5 +1,7 @@
 #include "core/consistency.hpp"
 
+#include <algorithm>
+
 #include "util/error.hpp"
 
 namespace pgasq::armci {
@@ -20,10 +22,11 @@ ConflictTracker::Key ConflictTracker::on_write_initiated(RankId target,
   if (mode_ == ConsistencyMode::kPerRegion) {
     ++per_region_[pack(target, region_id)];
   }
-  return Key{target, region_id};
+  return Key{target, region_id, gen_};
 }
 
 void ConflictTracker::on_write_acked(const Key& key) {
+  if (key.gen != gen_) return;  // write forgotten by reset_outstanding()
   auto& t = per_target_.at(static_cast<std::size_t>(key.target));
   PGASQ_CHECK(t > 0, << "write ack underflow for target " << key.target);
   --t;
@@ -36,6 +39,13 @@ void ConflictTracker::on_write_acked(const Key& key) {
                 << key.region_id);
     if (--it->second == 0) per_region_.erase(it);
   }
+}
+
+void ConflictTracker::reset_outstanding() {
+  std::fill(per_target_.begin(), per_target_.end(), 0);
+  per_region_.clear();
+  total_ = 0;
+  ++gen_;
 }
 
 bool ConflictTracker::read_requires_fence(RankId target,

@@ -42,6 +42,9 @@ class ConflictTracker {
   struct Key {
     RankId target;
     std::uint64_t region_id;
+    /// Quiesce generation the write was initiated in; acks from an
+    /// earlier generation are stale and ignored.
+    std::uint64_t gen = 0;
   };
 
   /// Records an initiated write; returns the key the eventual ack must
@@ -49,6 +52,11 @@ class ConflictTracker {
   Key on_write_initiated(RankId target, std::uint64_t region_id);
   /// Records a write acknowledgement.
   void on_write_acked(const Key& key);
+
+  /// Forgets every in-flight write and bumps the quiesce generation
+  /// (fail-stop recovery: writes toward a dead peer will never ack, and
+  /// late acks from before the quiesce must not debit new writes).
+  void reset_outstanding();
 
   /// True if a read of (target, region_id) conflicts with outstanding
   /// writes under the configured mode — the caller must fence first.
@@ -76,6 +84,7 @@ class ConflictTracker {
   /// Outstanding write count per (target, region) — per-region mode.
   std::unordered_map<std::uint64_t, std::uint64_t> per_region_;
   std::uint64_t total_ = 0;
+  std::uint64_t gen_ = 0;
 };
 
 }  // namespace pgasq::armci

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "fault/fault.hpp"
+#include "ft/liveness.hpp"
 #include "util/table.hpp"
 
 namespace pgasq::armci {
@@ -100,7 +101,28 @@ std::string render_report(const World& world, const ReportOptions& options) {
     faults.row().add(std::string("degraded-link transfers")).add(f.degraded_transfers);
     faults.row().add(std::string("progress stalls ridden out")).add(f.progress_stalls);
     faults.row().add(std::string("stall seconds")).add(to_s(f.stall_time), 4);
+    faults.row().add(std::string("ranks per node (blast radius)"))
+        .add(world.machine().mapping().ranks_per_node());
     os << faults.to_string();
+  }
+
+  if (const ft::HealthMonitor* mon = world.machine().monitor()) {
+    const ft::FtStats& f = mon->stats();
+    os << '\n';
+    Table ft({"fail-stop recovery", "value"});
+    ft.row().add(std::string("node deaths declared")).add(f.detections);
+    ft.row().add(std::string("detection delay seconds (sum)"))
+        .add(to_s(f.detection_delay), 6);
+    ft.row().add(std::string("ranks lost")).add(f.ranks_lost);
+    ft.row().add(std::string("ops quarantined (dead peers)")).add(f.quarantined_ops);
+    ft.row().add(std::string("checkpoints committed")).add(f.checkpoints);
+    ft.row().add(std::string("checkpoint bytes to buddies"))
+        .add(human_bytes(f.checkpoint_bytes));
+    ft.row().add(std::string("rollbacks")).add(f.rollbacks);
+    ft.row().add(std::string("survivor ranks rolled back (sum)"))
+        .add(f.rollback_ranks);
+    ft.row().add(std::string("recovery seconds")).add(to_s(f.recovery_time), 6);
+    os << ft.to_string();
   }
 
   if (options.include_histograms && s.put_sizes.total() + s.get_sizes.total() > 0) {

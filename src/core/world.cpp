@@ -1,6 +1,9 @@
 #include "core/world.hpp"
 
+#include <memory>
+
 #include "core/comm.hpp"
+#include "ft/liveness.hpp"
 #include "util/error.hpp"
 
 namespace pgasq::armci {
@@ -17,6 +20,7 @@ void World::spmd(std::function<void(Comm&)> body) {
   PGASQ_CHECK(!spmd_ran_, << "a World hosts exactly one SPMD program; "
                              "construct a new World for another run");
   spmd_ran_ = true;
+  if (machine_.monitor() != nullptr) start_heartbeat();
   machine_.run([this, &body](pami::Process& process) {
     Comm comm(*this, process);
     comms_[static_cast<std::size_t>(process.rank())] = &comm;
@@ -27,6 +31,49 @@ void World::spmd(std::function<void(Comm&)> body) {
     comms_[static_cast<std::size_t>(process.rank())] = nullptr;
   });
   elapsed_ = machine_.engine().now();
+}
+
+void World::start_heartbeat() {
+  ft::HealthMonitor* mon = machine_.monitor();
+  // Declaration invalidates any in-flight hardware-barrier rendezvous:
+  // dead ranks may be counted in `arrived`, and the live target just
+  // shrank. Survivors blocked in that barrier unwind via ft_check and
+  // re-arrive after recovery, so resetting the count is safe.
+  mon->add_epoch_listener([this] {
+    barrier_.arrived = 0;
+    for (Comm* c : comms_) {
+      if (c != nullptr) c->ft_poke();
+    }
+  });
+  // The heartbeat tick: keeps virtual time advancing while a scheduled
+  // death has not been declared yet (every application fiber may be
+  // parked on work that died with the node), probes for silent nodes,
+  // and wakes parked fibers so they observe epoch changes. Stops once
+  // every death is declared and every surviving rank acknowledged the
+  // epoch — or when the program finished — so the run still drains.
+  sim::Engine& eng = machine_.engine();
+  const Time period = mon->config().heartbeat_period;
+  // The tick closure lives in the World (not in a self-capturing
+  // shared_ptr — that would be a retain cycle): each scheduled copy
+  // only borrows `this`, which outlives the engine run.
+  heartbeat_tick_ = [this, mon, &eng, period] {
+    bool any_comm = false;
+    bool all_acked = true;
+    for (Comm* c : comms_) {
+      if (c == nullptr) continue;
+      any_comm = true;
+      if (!c->ft_failed() && c->ft_epoch_acked() != mon->epoch()) all_acked = false;
+    }
+    if (!any_comm) return;  // ranks all finished; let the engine drain
+    mon->probe(eng.now());
+    for (Comm* c : comms_) {
+      if (c != nullptr) c->ft_poke();
+    }
+    if (mon->deaths_pending() || !all_acked) {
+      eng.schedule_after(period, heartbeat_tick_);
+    }
+  };
+  eng.schedule_after(period, heartbeat_tick_);
 }
 
 const CommStats& World::stats(RankId rank) const {

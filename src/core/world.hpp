@@ -66,12 +66,21 @@ class World {
   /// later callers validate the size matches.
   GlobalMem& ensure_heap(std::uint64_t seq, std::size_t bytes_per_rank);
 
+  /// First collective sequence number no rank has allocated yet (the
+  /// fail-stop recovery alignment point, see Comm::ft_align_collectives).
+  std::uint64_t collective_seq_high_water() const { return heaps_.size(); }
+
+  /// Installs the fail-stop epoch listener and schedules the heartbeat
+  /// tick (only called when the machine built a health monitor).
+  void start_heartbeat();
+
   WorldConfig config_;
   pami::Machine machine_;
   BarrierState barrier_;
   std::vector<std::unique_ptr<GlobalMem>> heaps_;  // indexed by collective seq
   std::uint64_t next_mem_id_ = 1;
   std::vector<Comm*> comms_;
+  std::function<void()> heartbeat_tick_;  // owned here; copies borrow `this`
   std::shared_ptr<void> coll_shared_;
   std::vector<CommStats> final_stats_;
   Time elapsed_ = 0;

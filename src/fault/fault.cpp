@@ -94,6 +94,10 @@ LinkFaultSpec parse_link_spec(const std::string& spec, bool with_capacity,
 }  // namespace
 
 FaultPlan FaultPlan::from_config(const Config& cfg) {
+  cfg.reject_unknown("fault",
+                     {"seed", "drop_prob", "corrupt_prob", "link_fail",
+                      "link_degrade", "stall", "node_fail", "ack_timeout_us",
+                      "backoff_factor", "max_backoff_us", "retry_budget"});
   FaultPlan plan;
   plan.seed = static_cast<std::uint64_t>(cfg.get_int("fault.seed", 1));
   plan.drop_prob = cfg.get_double("fault.drop_prob", 0.0);
@@ -131,6 +135,19 @@ FaultPlan FaultPlan::from_config(const Config& cfg) {
       s.end = from_us(parse_double(f[2], "fault.stall"));
       PGASQ_CHECK(s.begin < s.end, << "fault.stall: empty window in '" << spec << "'");
       plan.stalls.push_back(s);
+    }
+  }
+
+  const std::string node_fails = cfg.get_string("fault.node_fail", "");
+  if (!node_fails.empty()) {
+    for (const auto& spec : split(node_fails, ',')) {
+      const auto f = split(spec, ':');
+      PGASQ_CHECK(f.size() == 2,
+                  << "fault.node_fail: expected node:at_us in '" << spec << "'");
+      NodeFailSpec n;
+      n.node = parse_int(f[0], "fault.node_fail");
+      n.at = from_us(parse_double(f[1], "fault.node_fail"));
+      plan.node_fails.push_back(n);
     }
   }
 
@@ -183,6 +200,26 @@ Injector::Injector(FaultPlan plan, const topo::Torus5D& torus)
   for (const auto& s : plan_.stalls) {
     PGASQ_CHECK(s.rank >= 0, << "fault: stall rank " << s.rank);
   }
+  for (const auto& n : plan_.node_fails) {
+    PGASQ_CHECK(n.node >= 0 && n.node < torus_.num_nodes(),
+                << "fault: node_fail node " << n.node << " out of range");
+    PGASQ_CHECK(n.at >= 0, << "fault: node_fail time for node " << n.node);
+  }
+}
+
+bool Injector::node_dead(int node, Time now) const {
+  for (const auto& n : plan_.node_fails) {
+    if (n.node == node && n.at <= now) return true;
+  }
+  return false;
+}
+
+Time Injector::node_fail_time(int node) const {
+  Time at = kForever;
+  for (const auto& n : plan_.node_fails) {
+    if (n.node == node) at = std::min(at, n.at);
+  }
+  return at;
 }
 
 void Injector::set_trace(sim::TraceRecorder* trace) {

@@ -91,6 +91,15 @@ struct StallSpec {
   Time end = 0;
 };
 
+/// Fail-stop node death: at virtual time `at` the node stops executing
+/// and all ten of its links go dark, taking every rank it hosts with
+/// it. Detection and recovery live in src/ft/ (health monitor,
+/// checkpoint/shrink); the injector only holds the ground truth.
+struct NodeFailSpec {
+  int node = 0;
+  Time at = 0;
+};
+
 /// Everything that will go wrong in a run, declared up front.
 struct FaultPlan {
   /// Seed of the injector's private RNG stream (`fault.seed`).
@@ -103,6 +112,10 @@ struct FaultPlan {
   double corrupt_prob = 0.0;
   std::vector<LinkFaultSpec> link_faults;
   std::vector<StallSpec> stalls;
+  /// Fail-stop node deaths (`fault.node_fail`). A dead node black-holes
+  /// every transfer that starts or ends on it and blocks all its links
+  /// for through-traffic.
+  std::vector<NodeFailSpec> node_fails;
 
   // --- Ack/timeout/retransmit protocol (pami::Context) ------------------
   /// Sender declares a packet lost this long after it drained without
@@ -120,7 +133,7 @@ struct FaultPlan {
   /// injector and perturbs nothing.
   bool enabled() const {
     return drop_prob > 0.0 || corrupt_prob > 0.0 || !link_faults.empty() ||
-           !stalls.empty();
+           !stalls.empty() || !node_fails.empty();
   }
 
   /// Parses the `fault.*` keys of a Config:
@@ -128,9 +141,12 @@ struct FaultPlan {
   ///   fault.link_fail   = "node:dim:dir[:from_us:until_us]",...
   ///   fault.link_degrade= "node:dim:dir:capacity[:from_us:until_us]",...
   ///   fault.stall       = "rank:from_us:until_us",...
+  ///   fault.node_fail   = "node:at_us",...
   ///   fault.ack_timeout_us, fault.backoff_factor, fault.max_backoff_us,
   ///   fault.retry_budget
   /// where dir is '+', '-' or '*' (both directions of the cable).
+  /// Misspelled fault.* keys are rejected with a typo suggestion
+  /// (Config::reject_unknown).
   static FaultPlan from_config(const Config& cfg);
 };
 
@@ -180,6 +196,15 @@ class Injector {
   /// 0.0 = hard-failed).
   double link_capacity(const topo::Link& link, Time now) const;
   bool route_blocked(const std::vector<topo::Link>& route, Time now) const;
+
+  // --- Fail-stop node deaths (ground truth) -----------------------------
+  bool has_node_fails() const { return !plan_.node_fails.empty(); }
+  /// True once `node`'s fail-stop time has passed. This is the fabric's
+  /// ground truth; the *declared* liveness view ranks act on lives in
+  /// ft::HealthMonitor and lags by the detection delay.
+  bool node_dead(int node, Time now) const;
+  /// Virtual time `node` dies, or kForever when it never does.
+  Time node_fail_time(int node) const;
 
   // --- Progress stalls --------------------------------------------------
   /// End of the stall window covering (rank, now); returns `now` when

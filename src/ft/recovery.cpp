@@ -1,0 +1,235 @@
+#include "ft/recovery.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "coll/coll.hpp"
+#include "util/error.hpp"
+
+namespace pgasq::ft {
+
+RuntimeConfig RuntimeConfig::from_config(const Config& cfg) {
+  cfg.reject_unknown("ft", {"checkpoint_interval", "suspect_acks",
+                            "heartbeat_period_us", "heartbeat_timeout_us"});
+  RuntimeConfig c;
+  c.checkpoint_interval =
+      static_cast<int>(cfg.get_int("ft.checkpoint_interval", 1));
+  c.liveness.suspect_acks = static_cast<std::uint64_t>(
+      cfg.get_int("ft.suspect_acks",
+                  static_cast<std::int64_t>(c.liveness.suspect_acks)));
+  c.liveness.heartbeat_period =
+      from_us(cfg.get_double("ft.heartbeat_period_us", 50.0));
+  c.liveness.heartbeat_timeout =
+      from_us(cfg.get_double("ft.heartbeat_timeout_us", 200.0));
+  PGASQ_CHECK(c.liveness.heartbeat_timeout >= c.liveness.heartbeat_period,
+              << "ft.heartbeat_timeout_us must be >= ft.heartbeat_period_us");
+  return c;
+}
+
+namespace {
+
+/// Largest single-rank shard of a rows x cols array over any process
+/// grid with q participants.
+std::size_t max_shard_bytes(int q, std::int64_t rows, std::int64_t cols) {
+  const ga::Distribution2D dist(q, rows, cols);
+  std::size_t best = 0;
+  for (int gr = 0; gr < dist.grid_rows(); ++gr) {
+    const auto [rlo, rhi] = dist.row_range(gr);
+    for (int gc = 0; gc < dist.grid_cols(); ++gc) {
+      const auto [clo, chi] = dist.col_range(gc);
+      const std::size_t bytes = static_cast<std::size_t>(rhi - rlo) *
+                                static_cast<std::size_t>(chi - clo) *
+                                sizeof(double);
+      best = std::max(best, bytes);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Runtime::Runtime(armci::Comm& comm, RuntimeConfig config,
+                 const std::vector<ga::GlobalArray*>& arrays)
+    : comm_(comm), config_(config), monitor_(comm.ft_monitor()) {
+  members_.resize(static_cast<std::size_t>(comm.nprocs()));
+  for (int r = 0; r < comm.nprocs(); ++r) members_[static_cast<std::size_t>(r)] = r;
+  for (const ga::GlobalArray* a : arrays) shapes_.emplace_back(a->rows(), a->cols());
+  if (monitor_ == nullptr) return;  // inert: fault-free path untouched
+
+  // Size each per-array shard slot for the worst membership the fault
+  // plan can leave behind: losing a node takes all its ranks, so the
+  // smallest possible survivor clique is p - deaths * ranks_per_node.
+  const int p = comm.nprocs();
+  const int worst_loss = static_cast<int>(monitor_->scheduled_deaths()) *
+                         monitor_->mapping().ranks_per_node();
+  const int q_min = std::max(1, p - worst_loss);
+  for (const auto& [rows, cols] : shapes_) {
+    std::size_t best = 0;
+    for (int q = q_min; q <= p; ++q) {
+      best = std::max(best, max_shard_bytes(q, rows, cols));
+    }
+    max_shard_.push_back(best);
+  }
+  std::size_t area = 0;
+  for (const std::size_t s : max_shard_) area += s;
+  // One collective allocation while every world rank is still alive;
+  // the double-buffered own/incoming areas are carved out of it. With
+  // no arrays to protect (barrier-only workloads) there is no arena.
+  if (area != 0) arena_ = &comm.malloc_collective(4 * area);
+}
+
+std::size_t Runtime::own_offset(std::size_t array, int buf) const {
+  std::size_t area = 0, pre = 0;
+  for (std::size_t i = 0; i < max_shard_.size(); ++i) {
+    if (i < array) pre += max_shard_[i];
+    area += max_shard_[i];
+  }
+  return static_cast<std::size_t>(buf) * area + pre;
+}
+
+std::size_t Runtime::in_offset(std::size_t array, int buf) const {
+  std::size_t area = 0;
+  for (const std::size_t s : max_shard_) area += s;
+  return 2 * area + own_offset(array, buf);
+}
+
+bool Runtime::should_checkpoint(int iter) const {
+  return enabled() && config_.checkpoint_interval > 0 && iter > 0 &&
+         iter % config_.checkpoint_interval == 0;
+}
+
+void Runtime::checkpoint(int iter, const std::vector<ga::GlobalArray*>& arrays) {
+  if (!should_checkpoint(iter)) return;
+  PGASQ_CHECK(arrays.size() == shapes_.size());
+  const int b = (iter / config_.checkpoint_interval) % 2;
+
+  // Invalidate-before-write: a death between the two barriers leaves
+  // this buffer uncommitted on EVERY survivor, so agreement falls back
+  // to the other buffer (or to a cold restart).
+  committed_[b] = 0;
+  comm_.barrier();
+
+  const armci::RankId me = comm_.rank();
+  const int v = arrays.empty() ? 0 : arrays[0]->distribution().vrank_of(me);
+  const armci::RankId buddy =
+      members_[(static_cast<std::size_t>(v) + 1) % members_.size()];
+  for (std::size_t i = 0; i < arrays.size(); ++i) {
+    ga::GlobalArray& a = *arrays[i];
+    const auto [rlo, rhi] = a.local_rows();
+    const auto [clo, chi] = a.local_cols();
+    const std::size_t bytes = static_cast<std::size_t>(rhi - rlo) *
+                              static_cast<std::size_t>(chi - clo) *
+                              sizeof(double);
+    if (bytes == 0) continue;
+    PGASQ_CHECK(bytes <= max_shard_[i]);
+    std::memcpy(arena_->local(me) + own_offset(i, b), a.local_data(), bytes);
+    if (buddy == me) {
+      std::memcpy(arena_->local(me) + in_offset(i, b), a.local_data(), bytes);
+    } else {
+      comm_.put(a.local_data(), arena_->at(buddy, in_offset(i, b)), bytes);
+      monitor_->stats().checkpoint_bytes += bytes;
+    }
+  }
+  comm_.fence_all();
+  comm_.barrier();
+
+  committed_[b] = iter;
+  ckpt_members_[b] = members_;
+  if (me == members_.front()) ++monitor_->stats().checkpoints;
+}
+
+bool Runtime::buffer_valid(int buf) const {
+  if (committed_[buf] == 0) return false;
+  const std::vector<int>& old = ckpt_members_[buf];
+  for (std::size_t ov = 0; ov < old.size(); ++ov) {
+    const int owner = old[ov];
+    const int buddy = old[(ov + 1) % old.size()];
+    if (monitor_->rank_declared_dead(owner) &&
+        monitor_->rank_declared_dead(buddy)) {
+      return false;  // this shard died with both of its holders
+    }
+  }
+  return true;
+}
+
+bool Runtime::recover() {
+  if (monitor_ == nullptr) return true;
+  const Time t0 = comm_.now();
+  if (monitor_->rank_declared_dead(comm_.rank())) {
+    comm_.ft_mark_failed();
+    return false;
+  }
+
+  comm_.ft_accept_epoch();
+  comm_.ft_quiesce();
+  // The abort can interrupt survivors at different points of the
+  // collective-allocation sequence; re-align before the engine rebuild
+  // and the arrays allocate anything.
+  comm_.ft_align_collectives();
+  members_ = monitor_->live_ranks();
+  coll::CollEngine::rebuild_shrunk(comm_, members_);
+  // First survivor rendezvous on the shrunk clique. A further death
+  // here throws PeerDeadError again; the caller re-enters recover().
+  comm_.barrier();
+
+  // Agreement needs no messages: commit metadata is written in
+  // lockstep between barriers, so every survivor holds identical
+  // committed_/ckpt_members_ and picks the same buffer.
+  agreed_buf_ = -1;
+  restart_iter_ = 0;
+  for (int b = 0; b < 2; ++b) {
+    if (buffer_valid(b) && committed_[b] > restart_iter_) {
+      restart_iter_ = committed_[b];
+      agreed_buf_ = b;
+    }
+  }
+
+  if (comm_.rank() == members_.front()) {
+    FtStats& s = monitor_->stats();
+    ++s.rollbacks;
+    s.rollback_ranks += members_.size();
+    s.recovery_time += comm_.now() - t0;
+  }
+  return true;
+}
+
+void Runtime::restore(const std::vector<ga::GlobalArray*>& arrays) {
+  if (monitor_ == nullptr || agreed_buf_ < 0 || restart_iter_ == 0) return;
+  PGASQ_CHECK(arrays.size() == shapes_.size());
+  const int b = agreed_buf_;
+  const std::vector<int>& old = ckpt_members_[b];
+  const armci::RankId me = comm_.rank();
+
+  for (std::size_t i = 0; i < arrays.size(); ++i) {
+    const auto [rows, cols] = shapes_[i];
+    const ga::Distribution2D dist(static_cast<int>(old.size()), rows, cols);
+    for (std::size_t ov = 0; ov < old.size(); ++ov) {
+      const int owner = old[ov];
+      const int buddy = old[(ov + 1) % old.size()];
+      // Prefer the owner's pristine copy; fall back to the buddy's.
+      armci::RankId holder;
+      std::size_t offset;
+      if (!monitor_->rank_declared_dead(owner)) {
+        holder = owner;
+        offset = own_offset(i, b);
+      } else {
+        PGASQ_CHECK(!monitor_->rank_declared_dead(buddy));
+        holder = buddy;
+        offset = in_offset(i, b);
+      }
+      if (holder != me) continue;
+      const int gr = static_cast<int>(ov) / dist.grid_cols();
+      const int gc = static_cast<int>(ov) % dist.grid_cols();
+      const auto [rlo, rhi] = dist.row_range(gr);
+      const auto [clo, chi] = dist.col_range(gc);
+      if (rhi == rlo || chi == clo) continue;
+      const double* shard =
+          reinterpret_cast<const double*>(arena_->local(me) + offset);
+      arrays[i]->put(rlo, rhi, clo, chi, shard, chi - clo);
+    }
+  }
+  comm_.fence_all();
+  comm_.barrier();
+}
+
+}  // namespace pgasq::ft

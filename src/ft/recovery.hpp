@@ -1,0 +1,125 @@
+// Fail-stop recovery runtime: coordinated checkpoint, communicator
+// shrink, and rollback for applications built on GlobalArray.
+//
+// The protocol (classic coordinated checkpoint/restart, shrunk-world
+// variant):
+//
+//  * Checkpoint — at a barrier-consistent point every member saves its
+//    own array shards into a double-buffered arena carved out of ONE
+//    collective allocation made up front (all world ranks participate
+//    before any death), and ships a copy to its buddy (the next member
+//    cyclically) over ordinary ARMCI puts, so every shard survives any
+//    single node loss. Commit metadata is invalidate-before-write:
+//    both steps sit between barriers, so a death mid-checkpoint leaves
+//    that buffer uncommitted on every survivor and agreement falls
+//    back to the other buffer.
+//
+//  * Recovery — a declared death unwinds every survivor's blocked
+//    operation with PeerDeadError (see ft/liveness.hpp). Each survivor
+//    calls Runtime::recover(): acknowledge the epoch, quiesce stale
+//    write tracking, rendezvous with the other survivors on the
+//    live-aware hardware barrier, rebuild the collectives engine over
+//    the survivor clique, and agree (deterministically, from lockstep
+//    per-rank metadata — no messages needed) on the newest checkpoint
+//    buffer whose every shard is still held by a live rank.
+//
+//  * Restore — arrays are REBUILT as fresh member-mode collective
+//    allocations (stale in-flight traffic from the dead epoch lands in
+//    the old, freed-but-kept memory, never in the new arrays); each
+//    survivor pushes the shards it holds (its own, plus its dead
+//    predecessor's buddy copy) into the new distribution with ga::put.
+//
+// A rank whose own node is declared dead gets `false` from recover()
+// and must simply return from the SPMD body (finalize skips the
+// closing barrier for it).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/comm.hpp"
+#include "ft/liveness.hpp"
+#include "ga/global_array.hpp"
+#include "util/config.hpp"
+
+namespace pgasq::ft {
+
+/// `ft.*` configuration (see RuntimeConfig::from_config).
+struct RuntimeConfig {
+  /// Checkpoint every N application iterations (at the top of
+  /// iteration i > 0 with i % N == 0); <= 0 disables checkpointing
+  /// (recovery then restarts from the initial state).
+  int checkpoint_interval = 1;
+  /// Detection knobs, forwarded into pami::MachineConfig::ft.
+  LivenessConfig liveness{};
+
+  /// Parses ft.checkpoint_interval / ft.suspect_acks /
+  /// ft.heartbeat_period_us / ft.heartbeat_timeout_us, rejecting
+  /// unknown ft.* keys with a typo suggestion.
+  static RuntimeConfig from_config(const Config& cfg);
+};
+
+/// Per-rank recovery driver. Construct it (collectively, all world
+/// ranks, before any scheduled death) right after the application's
+/// arrays; it is inert (enabled() == false) when the machine has no
+/// health monitor, so the fault-free path stays bit-identical.
+class Runtime {
+ public:
+  /// `arrays` fixes the checkpointed shapes (the arena is sized for
+  /// the worst surviving membership up front); later calls pass the
+  /// current array objects, which change across rebuilds.
+  Runtime(armci::Comm& comm, RuntimeConfig config,
+          const std::vector<ga::GlobalArray*>& arrays);
+
+  bool enabled() const { return monitor_ != nullptr; }
+  /// Current members (all world ranks until a shrink).
+  const std::vector<int>& members() const { return members_; }
+
+  /// True when iteration `iter` opens with a checkpoint.
+  bool should_checkpoint(int iter) const;
+  /// Coordinated checkpoint of `arrays` (same shapes as at
+  /// construction) labelled with `iter`. Collective over members();
+  /// no-op unless should_checkpoint(iter).
+  void checkpoint(int iter, const std::vector<ga::GlobalArray*>& arrays);
+
+  /// Call after catching PeerDeadError. Returns false when this rank
+  /// itself is the casualty (the caller must return from the SPMD
+  /// body); otherwise re-synchronizes the survivors, shrinks the
+  /// collectives engine, and computes the rollback point.
+  bool recover();
+  /// Iteration to resume from after recover(): the agreed checkpoint's
+  /// label, or 0 (re-run from the initial state) when no complete
+  /// checkpoint survived.
+  int restart_iter() const { return restart_iter_; }
+  /// Pushes the agreed checkpoint into freshly rebuilt member-mode
+  /// `arrays` (collective over members()). No-op when restart_iter()
+  /// is 0 — the caller refills initial state instead.
+  void restore(const std::vector<ga::GlobalArray*>& arrays);
+
+ private:
+  std::size_t own_offset(std::size_t array, int buf) const;
+  std::size_t in_offset(std::size_t array, int buf) const;
+  bool buffer_valid(int buf) const;
+
+  armci::Comm& comm_;
+  RuntimeConfig config_;
+  HealthMonitor* monitor_ = nullptr;
+  std::vector<int> members_;
+  /// Checkpointed array shapes (rows, cols), fixed at construction.
+  std::vector<std::pair<std::int64_t, std::int64_t>> shapes_;
+  /// Worst-case shard bytes per array over any surviving membership.
+  std::vector<std::size_t> max_shard_;
+  /// The double-buffered checkpoint arena (one slab per world rank):
+  /// [own b0 | own b1 | incoming b0 | incoming b1], each area holding
+  /// one fixed-offset shard per array.
+  armci::GlobalMem* arena_ = nullptr;
+  /// Commit metadata, ordinary per-rank members: every member runs the
+  /// same checkpoint/recovery sequence, so these are lockstep-identical
+  /// across survivors and agreement needs no cross-rank reads.
+  int committed_[2] = {0, 0};           ///< iteration label; 0 = invalid
+  std::vector<int> ckpt_members_[2];    ///< membership when written
+  int restart_iter_ = 0;
+  int agreed_buf_ = -1;
+};
+
+}  // namespace pgasq::ft

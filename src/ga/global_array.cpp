@@ -35,6 +35,28 @@ Distribution2D::Distribution2D(int num_ranks, std::int64_t rows, std::int64_t co
   pc_ = pc;
 }
 
+Distribution2D::Distribution2D(std::vector<int> members, std::int64_t rows,
+                               std::int64_t cols)
+    : rows_(rows), cols_(cols), members_(std::move(members)) {
+  PGASQ_CHECK(!members_.empty() && rows >= 1 && cols >= 1);
+  const auto [pr, pc] = process_grid(static_cast<int>(members_.size()));
+  pr_ = pr;
+  pc_ = pc;
+}
+
+int Distribution2D::vrank_of(RankId world) const {
+  if (members_.empty()) return world;
+  const auto it = std::find(members_.begin(), members_.end(), world);
+  PGASQ_CHECK(it != members_.end(), << "rank " << world << " is not a member of this "
+                                    << "shrunk distribution");
+  return static_cast<int>(it - members_.begin());
+}
+
+bool Distribution2D::is_member(RankId world) const {
+  if (members_.empty()) return world >= 0 && world < pr_ * pc_;
+  return std::find(members_.begin(), members_.end(), world) != members_.end();
+}
+
 std::pair<std::int64_t, std::int64_t> Distribution2D::row_range(int gr) const {
   PGASQ_CHECK(gr >= 0 && gr < pr_);
   return block_range(rows_, pr_, gr);
@@ -72,26 +94,36 @@ RankId Distribution2D::owner(std::int64_t i, std::int64_t j) const {
 }
 
 std::pair<std::int64_t, std::int64_t> Distribution2D::local_shape(RankId r) const {
-  const int gr = r / pc_;
-  const int gc = r % pc_;
+  const int v = vrank_of(r);
+  const int gr = v / pc_;
+  const int gc = v % pc_;
   const auto [rlo, rhi] = row_range(gr);
   const auto [clo, chi] = col_range(gc);
   return {rhi - rlo, chi - clo};
 }
 
 GlobalArray::GlobalArray(Comm& comm, std::int64_t rows, std::int64_t cols)
-    : comm_(comm), dist_(comm.nprocs(), rows, cols) {
+    : GlobalArray(comm, rows, cols, std::vector<int>{}) {}
+
+GlobalArray::GlobalArray(Comm& comm, std::int64_t rows, std::int64_t cols,
+                         std::vector<int> members)
+    : comm_(comm),
+      dist_(members.empty() ? Distribution2D(comm.nprocs(), rows, cols)
+                            : Distribution2D(std::move(members), rows, cols)) {
   const auto [lr, lc] = dist_.local_shape(comm.rank());
   local_rows_n_ = lr;
   local_cols_n_ = lc;
   // Every rank allocates the largest block so the collective slab size
   // is uniform (GA does the same with its mirrored max-block layout).
   std::size_t max_bytes = 0;
-  for (int r = 0; r < comm.nprocs(); ++r) {
-    const auto [mr, mc] = dist_.local_shape(r);
-    max_bytes = std::max(max_bytes,
-                         static_cast<std::size_t>(mr) * static_cast<std::size_t>(mc) *
-                             sizeof(double));
+  for (int gr = 0; gr < dist_.grid_rows(); ++gr) {
+    for (int gc = 0; gc < dist_.grid_cols(); ++gc) {
+      const auto [brlo, brhi] = dist_.row_range(gr);
+      const auto [bclo, bchi] = dist_.col_range(gc);
+      max_bytes = std::max(max_bytes, static_cast<std::size_t>(brhi - brlo) *
+                                          static_cast<std::size_t>(bchi - bclo) *
+                                          sizeof(double));
+    }
   }
   PGASQ_CHECK(max_bytes > 0, << "array smaller than the process grid");
   mem_ = &comm.malloc_collective(max_bytes);
@@ -102,11 +134,11 @@ double* GlobalArray::local_data() {
 }
 
 std::pair<std::int64_t, std::int64_t> GlobalArray::local_rows() const {
-  return dist_.row_range(comm_.rank() / dist_.grid_cols());
+  return dist_.row_range(dist_.vrank_of(comm_.rank()) / dist_.grid_cols());
 }
 
 std::pair<std::int64_t, std::int64_t> GlobalArray::local_cols() const {
-  return dist_.col_range(comm_.rank() % dist_.grid_cols());
+  return dist_.col_range(dist_.vrank_of(comm_.rank()) % dist_.grid_cols());
 }
 
 void GlobalArray::fill_local(double value) {
@@ -236,8 +268,8 @@ armci::RemotePtr GlobalArray::element_ptr(std::int64_t i, std::int64_t j) const 
   PGASQ_CHECK(i >= 0 && i < rows() && j >= 0 && j < cols(),
               << "element (" << i << "," << j << ")");
   const RankId owner = dist_.owner(i, j);
-  const int gr = owner / dist_.grid_cols();
-  const int gc = owner % dist_.grid_cols();
+  const int gr = dist_.vrank_of(owner) / dist_.grid_cols();
+  const int gc = dist_.vrank_of(owner) % dist_.grid_cols();
   const std::int64_t rlo = dist_.row_range(gr).first;
   const std::int64_t clo = dist_.col_range(gc).first;
   const std::int64_t ocols = dist_.local_shape(owner).second;

@@ -19,10 +19,16 @@ using armci::Comm;
 using armci::Handle;
 using armci::RankId;
 
-/// 2-D block distribution over a near-square process grid.
+/// 2-D block distribution over a near-square process grid. The grid is
+/// normally the full clique [0, p); after a fail-stop communicator
+/// shrink it can instead cover an explicit member list of surviving
+/// world ranks (grid positions — "virtual ranks" — map to members).
 class Distribution2D {
  public:
   Distribution2D(int num_ranks, std::int64_t rows, std::int64_t cols);
+  /// Member-list mode: the grid covers `members` (ascending world
+  /// ranks) instead of the full clique.
+  Distribution2D(std::vector<int> members, std::int64_t rows, std::int64_t cols);
 
   int grid_rows() const { return pr_; }
   int grid_cols() const { return pc_; }
@@ -36,7 +42,15 @@ class Distribution2D {
   RankId owner(std::int64_t i, std::int64_t j) const;
   int grid_row_of(std::int64_t i) const;
   int grid_col_of(std::int64_t j) const;
-  RankId rank_of(int gr, int gc) const { return gr * pc_ + gc; }
+  /// World rank at grid cell (gr, gc).
+  RankId rank_of(int gr, int gc) const {
+    const int v = gr * pc_ + gc;
+    return members_.empty() ? v : members_[static_cast<std::size_t>(v)];
+  }
+  /// Grid position ("virtual rank") of a participating world rank.
+  int vrank_of(RankId world) const;
+  /// True when `world` participates in the grid.
+  bool is_member(RankId world) const;
 
   /// Local shape of rank r's block (may be 0 x n for ranks past the
   /// grid when p is not a perfect grid — we require p == pr*pc).
@@ -45,6 +59,9 @@ class Distribution2D {
  private:
   std::int64_t rows_, cols_;
   int pr_, pc_;
+  /// Empty in full-clique mode; else ascending world ranks, one per
+  /// grid position.
+  std::vector<int> members_;
 };
 
 /// Block-distributed dense matrix of double.
@@ -52,6 +69,11 @@ class GlobalArray {
  public:
   /// Collective. Every rank must call with identical arguments.
   GlobalArray(Comm& comm, std::int64_t rows, std::int64_t cols);
+  /// Member-mode collective (fail-stop communicator shrink): only the
+  /// surviving `members` participate and hold blocks; every member
+  /// must call with identical arguments.
+  GlobalArray(Comm& comm, std::int64_t rows, std::int64_t cols,
+              std::vector<int> members);
 
   std::int64_t rows() const { return dist_.rows(); }
   std::int64_t cols() const { return dist_.cols(); }

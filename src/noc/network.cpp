@@ -45,10 +45,29 @@ void NetworkModel::roll_fate(Transfer& t, Time at) {
   t.dropped = injector_->roll_packet(at) != fault::PacketFate::kDelivered;
 }
 
+Transfer NetworkModel::dead_node_transfer(int src_node, int dst_node,
+                                          std::uint64_t bytes, Time start,
+                                          TransferOptions opts) {
+  // A live source still serializes the doomed packet (and occupies its
+  // NIC); a dead source injects nothing but the would-be times keep the
+  // caller's timeout arithmetic uniform.
+  const Time ser = serialization(bytes, opts);
+  const Time begin = injector_->node_dead(src_node, start)
+                         ? start
+                         : claim_injection(src_node, start, ser);
+  const Time inject_done = begin + ser;
+  Transfer t{inject_done, inject_done + flight(src_node, dst_node)};
+  t.dropped = true;
+  return t;
+}
+
 std::vector<topo::Link> NetworkModel::faulted_route(int src_node, int dst_node,
                                                     Time at, double* min_capacity) {
   auto route = torus_.route_avoiding(src_node, dst_node, [&](const topo::Link& l) {
-    return injector_->link_blocked(l, at);
+    // A fail-stopped node takes all ten of its links with it: through
+    // traffic must route around the dead router.
+    return injector_->link_blocked(l, at) || injector_->node_dead(l.from_node, at) ||
+           injector_->node_dead(l.to_node, at);
   });
   const int nominal = torus_.hop_distance(src_node, dst_node);
   if (route.size() > static_cast<std::size_t>(nominal)) {
@@ -64,10 +83,14 @@ std::vector<topo::Link> NetworkModel::faulted_route(int src_node, int dst_node,
 Transfer LogGPModel::transfer(int src_node, int dst_node, std::uint64_t bytes,
                               Time start, TransferOptions opts) {
   account(bytes);
+  if (dead_endpoint(src_node, dst_node, start)) {
+    return dead_node_transfer(src_node, dst_node, bytes, start, opts);
+  }
   if (src_node == dst_node) return shm_transfer(bytes, start);
   Time ser = serialization(bytes, opts);
   Time fly;
-  if (injector_ != nullptr && injector_->has_link_faults()) {
+  if (injector_ != nullptr &&
+      (injector_->has_link_faults() || injector_->has_node_fails())) {
     // A failed link stretches the path (dimension-order route-around);
     // a degraded link throttles the end-to-end cut-through stream to
     // the slowest link on the path.
@@ -93,6 +116,9 @@ Transfer LinkContentionModel::transfer(int src_node, int dst_node,
                                        std::uint64_t bytes, Time start,
                                        TransferOptions opts) {
   account(bytes);
+  if (dead_endpoint(src_node, dst_node, start)) {
+    return dead_node_transfer(src_node, dst_node, bytes, start, opts);
+  }
   if (src_node == dst_node) return shm_transfer(bytes, start);
   const Time ser = serialization(bytes, opts);
   // Wormhole approximation: the message head moves link by link,
@@ -101,7 +127,8 @@ Transfer LinkContentionModel::transfer(int src_node, int dst_node,
   Time head = claim_injection(src_node, start, ser);
   Time inject_done = start;
   std::vector<topo::Link> route;
-  const bool faulty = injector_ != nullptr && injector_->has_link_faults();
+  const bool faulty = injector_ != nullptr &&
+                      (injector_->has_link_faults() || injector_->has_node_fails());
   double path_capacity = 1.0;
   if (faulty) {
     route = faulted_route(src_node, dst_node, start, &path_capacity);

@@ -83,6 +83,17 @@ class NetworkModel {
   Transfer shm_transfer(std::uint64_t bytes, Time start) const;
   /// Rolls packet loss/corruption for a transfer injected at `at`.
   void roll_fate(Transfer& t, Time at);
+  /// True when the transfer touches a fail-stopped node at `at`.
+  bool dead_endpoint(int src_node, int dst_node, Time at) const {
+    return injector_ != nullptr && injector_->has_node_fails() &&
+           (injector_->node_dead(src_node, at) || injector_->node_dead(dst_node, at));
+  }
+  /// Black hole: a packet to/from a dead node is never delivered. The
+  /// returned times are where it would have drained/arrived, so the
+  /// pami retransmit protocol can run its ack timeouts and the health
+  /// monitor can convert the missed acks into a death declaration.
+  Transfer dead_node_transfer(int src_node, int dst_node, std::uint64_t bytes,
+                              Time start, TransferOptions opts);
   /// Route under active link faults: dimension-order when healthy,
   /// shortest route-around otherwise (recorded in the fault stats);
   /// `min_capacity` receives the worst degradation factor on the path.

@@ -4,11 +4,27 @@
 #include <sstream>
 #include <utility>
 
+#include "ft/liveness.hpp"
 #include "pami/machine.hpp"
 #include "pami/process.hpp"
 #include "util/error.hpp"
 
 namespace pgasq::pami {
+
+namespace {
+/// "rank 3" / "ranks 12-15": the ranks a node hosts, for fault
+/// messages — FaultError carries node ids but users think in ranks.
+std::string node_ranks_str(const topo::RankMapping& map, int node) {
+  const int c = map.ranks_per_node();
+  std::ostringstream os;
+  if (c == 1) {
+    os << "rank " << map.rank_of(node, 0);
+  } else {
+    os << "ranks " << map.rank_of(node, 0) << "-" << map.rank_of(node, c - 1);
+  }
+  return os.str();
+}
+}  // namespace
 
 Context::Context(Process& process, int index)
     : process_(process),
@@ -22,25 +38,65 @@ noc::Transfer Context::wire_transfer(int src_node, int dst_node, std::uint64_t b
                                      Time at, noc::TransferOptions opts,
                                      const char* what) {
   auto& net = machine().network();
+  ft::HealthMonitor* mon = machine().monitor();
+  if (mon != nullptr) {
+    // Quarantine: an op against a declared-dead endpoint fails fast
+    // with the typed error instead of hanging or burning retry budget.
+    const int dead = mon->node_declared_dead(src_node)   ? src_node
+                     : mon->node_declared_dead(dst_node) ? dst_node
+                                                         : -1;
+    if (dead >= 0) {
+      ++mon->stats().quarantined_ops;
+      std::ostringstream os;
+      os << "ft: " << what << " from node " << src_node << " to node " << dst_node
+         << " refused — node " << dead << " ("
+         << node_ranks_str(machine().mapping(), dead) << ") is declared dead";
+      throw ft::PeerDeadError(what, src_node, dst_node, mon->epoch(), os.str());
+    }
+  }
   noc::Transfer t = net.transfer(src_node, dst_node, bytes, at, opts);
   fault::Injector* inj = machine().injector();
   if (inj == nullptr) return t;
   const fault::FaultPlan& plan = inj->plan();
   Time timeout = plan.ack_timeout;
   const bool retransmitted = t.dropped;
+  std::uint64_t spent = 0;
   while (t.dropped) {
     // The expected ack never came: declare the packet lost `timeout`
     // after it drained, re-inject, and widen the timeout (capped).
+    const Time timeout_at = t.inject_done + timeout;
+    if (mon != nullptr) {
+      // Report the missed ack against the fail-stopped endpoint (if
+      // any); the suspect_acks'th miss declares it dead. The retries a
+      // doomed leg burned are refunded — fail-stop escalates as
+      // PeerDeadError, not as transient-budget exhaustion.
+      const int suspect = inj->node_dead(dst_node, timeout_at)   ? dst_node
+                          : inj->node_dead(src_node, timeout_at) ? src_node
+                                                                 : -1;
+      if (suspect >= 0 && mon->report_timeout(suspect, timeout_at)) {
+        retries_used_ -= spent;
+        stats_.retransmits -= spent;
+        std::ostringstream os;
+        os << "ft: " << what << " from node " << src_node << " to node " << dst_node
+           << " lost its peer — node " << suspect << " ("
+           << node_ranks_str(machine().mapping(), suspect)
+           << ") declared dead after missed acks";
+        throw ft::PeerDeadError(what, src_node, dst_node, mon->epoch(), os.str());
+      }
+    }
     ++stats_.retransmits;
+    ++spent;
     if (++retries_used_ > plan.retry_budget) {
       std::ostringstream os;
       os << "fault: retry budget (" << plan.retry_budget << ") exhausted on rank "
          << process_.rank() << " context " << index_ << " during " << what
-         << " from node " << src_node << " to node " << dst_node
-         << " (raise fault.retry_budget or lower fault.drop_prob)";
+         << " from node " << src_node << " ("
+         << node_ranks_str(machine().mapping(), src_node) << ") to node " << dst_node
+         << " (" << node_ranks_str(machine().mapping(), dst_node)
+         << ") (raise fault.retry_budget or lower fault.drop_prob)";
       throw FaultError(what, src_node, dst_node, retries_used_ - 1, os.str());
     }
-    const Time resend_at = t.inject_done + timeout;
+    const Time resend_at = timeout_at;
     stats_.retransmit_backoff += timeout;
     inj->record_retransmit(timeout, resend_at);
     timeout = std::min(

@@ -30,6 +30,9 @@ Machine::Machine(MachineConfig config)
     injector_ = std::make_unique<fault::Injector>(config_.fault, torus_);
     injector_->set_trace(trace_.get());
     network_->set_injector(injector_.get());
+    if (injector_->has_node_fails()) {
+      monitor_ = std::make_unique<ft::HealthMonitor>(config_.ft, *injector_, mapping_);
+    }
   }
   processes_.reserve(static_cast<std::size_t>(config_.num_ranks));
   for (RankId r = 0; r < config_.num_ranks; ++r) {

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "fault/fault.hpp"
+#include "ft/liveness.hpp"
 #include "noc/network.hpp"
 #include "noc/parameters.hpp"
 #include "pami/process.hpp"
@@ -37,6 +38,9 @@ struct MachineConfig {
   /// Fault-injection plan (disabled by default: a disabled plan builds
   /// no injector and leaves every timing bit-identical).
   fault::FaultPlan fault{};
+  /// Fail-stop detection knobs; consulted only when the fault plan
+  /// schedules node deaths (otherwise no health monitor is built).
+  ft::LivenessConfig ft{};
   /// Non-empty: record a Chrome trace-event JSON of fiber activity in
   /// virtual time and write it here when the run completes.
   std::string trace_json_path;
@@ -54,6 +58,9 @@ class Machine {
   /// Active fault injector, or nullptr when the fault plan is disabled.
   fault::Injector* injector() { return injector_.get(); }
   const fault::Injector* injector() const { return injector_.get(); }
+  /// Health monitor, or nullptr unless the plan schedules node deaths.
+  ft::HealthMonitor* monitor() { return monitor_.get(); }
+  const ft::HealthMonitor* monitor() const { return monitor_.get(); }
   const topo::Torus5D& torus() const { return torus_; }
   const topo::RankMapping& mapping() const { return mapping_; }
   const MachineConfig& config() const { return config_; }
@@ -83,6 +90,7 @@ class Machine {
   topo::RankMapping mapping_;
   std::unique_ptr<noc::NetworkModel> network_;
   std::unique_ptr<fault::Injector> injector_;
+  std::unique_ptr<ft::HealthMonitor> monitor_;
   std::vector<std::unique_ptr<Process>> processes_;
   Rng rng_;
 };

@@ -1,5 +1,6 @@
 #include "util/config.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "util/error.hpp"
@@ -69,6 +70,57 @@ bool Config::get_bool(const std::string& key, bool fallback) const {
   if (*v == "0" || *v == "false" || *v == "no" || *v == "off") return false;
   PGASQ_CHECK(false, << "config key '" << key << "' is not a boolean: " << *v);
   return fallback;
+}
+
+namespace {
+
+/// Plain Levenshtein distance, small strings only.
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> prev(b.size() + 1), cur(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+}  // namespace
+
+void Config::reject_unknown(const std::string& ns,
+                            const std::vector<std::string>& known) const {
+  const std::string prefix = ns + ".";
+  for (const auto& [key, _] : values_) {
+    if (key.rfind(prefix, 0) != 0) continue;
+    const std::string suffix = key.substr(prefix.size());
+    bool ok = false;
+    for (const auto& k : known) {
+      if (k == suffix) {
+        ok = true;
+        break;
+      }
+    }
+    if (ok) continue;
+    // Closest known suffix, for the typo hint.
+    std::size_t best_dist = static_cast<std::size_t>(-1);
+    std::string best;
+    for (const auto& k : known) {
+      const std::size_t d = edit_distance(suffix, k);
+      if (d < best_dist) {
+        best_dist = d;
+        best = k;
+      }
+    }
+    if (!best.empty() && best_dist <= 2) {
+      PGASQ_CHECK(false, << "unknown option " << key << " (did you mean " << ns
+                         << "." << best << "?)");
+    }
+    PGASQ_CHECK(false, << "unknown option " << key);
+  }
 }
 
 std::vector<std::string> Config::keys() const {

@@ -31,6 +31,15 @@ class Config {
   /// All keys, for diagnostics.
   std::vector<std::string> keys() const;
 
+  /// Validates a reserved key namespace: every stored key of the form
+  /// "<ns>.<suffix>" must have its suffix in `known`, otherwise throws
+  /// Error naming the bad key — with a "did you mean" suggestion when a
+  /// known suffix is within edit distance 2 (a misspelled knob used to
+  /// be silently ignored). Subsystem parsers (fault.*, ft.*, coll.*)
+  /// call this before reading their keys.
+  void reject_unknown(const std::string& ns,
+                      const std::vector<std::string>& known) const;
+
  private:
   std::optional<std::string> find(const std::string& key) const;
   std::map<std::string, std::string> values_;

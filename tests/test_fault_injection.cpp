@@ -45,7 +45,8 @@ fault::FaultPlan lossy_plan(std::uint64_t seed) {
 std::vector<std::vector<std::byte>> run_workload(const WorldConfig& cfg,
                                                  CommStats* stats_out) {
   constexpr std::size_t kBytes = 2048;
-  std::vector<std::vector<std::byte>> read_back(4);
+  std::vector<std::vector<std::byte>> read_back(
+      static_cast<std::size_t>(cfg.machine.num_ranks));
   World world(cfg);
   world.spmd([&](Comm& comm) {
     const int r = comm.rank();
@@ -140,6 +141,40 @@ TEST(FaultInjection, RecoveryIsByteIdenticalToFaultFreeRun) {
     // actually have happened, not been dodged.
     EXPECT_GT(stats.retransmits, 0u) << "seed " << seed;
     EXPECT_GT(stats.retransmit_backoff, 0) << "seed " << seed;
+  }
+}
+
+// The full fault menu at once — percent-level drops, CRC corruption, a
+// hard link failure, and a progress stall — at prime rank counts, where
+// no power-of-two schedule shortcut can hide a hole in recovery. Every
+// byte read back must match the fault-free run, for two plan seeds.
+TEST(FaultInjection, CombinedFaultsRecoverAtPrimeRankCounts) {
+  for (const int n : {7, 13}) {
+    WorldConfig base;
+    base.machine.num_ranks = n;
+    base.machine.ranks_per_node = 1;
+    base.machine.dims = topo::Coord5{n, 1, 1, 1, 1};
+    const auto clean = run_workload(base, nullptr);
+
+    for (const std::uint64_t seed : {5ull, 11ull}) {
+      WorldConfig faulty = base;
+      faulty.machine.fault.seed = seed;
+      faulty.machine.fault.drop_prob = 0.01;
+      faulty.machine.fault.corrupt_prob = 0.002;
+      faulty.machine.fault.link_faults.push_back(
+          fault::LinkFaultSpec{/*node=*/0, /*dim=*/0, /*dir=*/+1,
+                               /*capacity=*/0.0, /*begin=*/0, fault::kForever});
+      faulty.machine.fault.stalls.push_back(
+          fault::StallSpec{/*rank=*/1, /*begin=*/from_us(100), from_ms(5)});
+      CommStats stats;
+      const auto recovered = run_workload(faulty, &stats);
+      ASSERT_EQ(recovered.size(), clean.size());
+      for (std::size_t r = 0; r < clean.size(); ++r) {
+        EXPECT_EQ(recovered[r], clean[r])
+            << "rank " << r << " of " << n << ", seed " << seed;
+      }
+      EXPECT_GT(stats.retransmits, 0u) << n << " ranks, seed " << seed;
+    }
   }
 }
 
@@ -274,6 +309,7 @@ TEST(FaultPlanConfig, ParsesAllKnobs) {
   cfg.set("fault.link_fail", "3:2:+,5:0:*:10:20");
   cfg.set("fault.link_degrade", "1:1:-:0.25");
   cfg.set("fault.stall", "2:100:300");
+  cfg.set("fault.node_fail", "3:500,6:2500");
   cfg.set("fault.ack_timeout_us", "5");
   cfg.set("fault.backoff_factor", "3");
   cfg.set("fault.max_backoff_us", "80");
@@ -296,12 +332,31 @@ TEST(FaultPlanConfig, ParsesAllKnobs) {
   EXPECT_EQ(plan.stalls[0].rank, 2);
   EXPECT_EQ(plan.stalls[0].begin, from_us(100));
   EXPECT_EQ(plan.stalls[0].end, from_us(300));
+  ASSERT_EQ(plan.node_fails.size(), 2u);
+  EXPECT_EQ(plan.node_fails[0].node, 3);
+  EXPECT_EQ(plan.node_fails[0].at, from_us(500));
+  EXPECT_EQ(plan.node_fails[1].node, 6);
+  EXPECT_EQ(plan.node_fails[1].at, from_us(2500));
   EXPECT_EQ(plan.ack_timeout, from_us(5));
   EXPECT_DOUBLE_EQ(plan.backoff_factor, 3.0);
   EXPECT_EQ(plan.max_backoff, from_us(80));
   EXPECT_EQ(plan.retry_budget, 12u);
 
   EXPECT_FALSE(fault::FaultPlan{}.enabled());
+}
+
+TEST(FaultPlanConfig, RejectsUnknownKeyWithSuggestion) {
+  Config cfg;
+  cfg.set("fault.drop_probb", "0.01");
+  try {
+    fault::FaultPlan::from_config(cfg);
+    FAIL() << "expected unknown-key rejection";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("drop_probb"), std::string::npos);
+    EXPECT_NE(what.find("drop_prob"), std::string::npos)
+        << "error should suggest the near-miss key";
+  }
 }
 
 }  // namespace
