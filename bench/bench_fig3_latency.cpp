@@ -46,5 +46,6 @@ int main(int argc, char** argv) {
     comm.barrier();
   });
   table.print();
+  bench::emit_observability(cli, world);
   return 0;
 }

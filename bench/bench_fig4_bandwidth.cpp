@@ -49,5 +49,6 @@ int main(int argc, char** argv) {
     comm.barrier();
   });
   table.print();
+  bench::emit_observability(cli, world);
   return 0;
 }

@@ -14,12 +14,16 @@ using namespace pgasq;
 
 namespace {
 
+/// When `heatmap_out` is non-null the run records per-link counters
+/// (pure observation — timings are unchanged) and leaves the rendered
+/// heatmap there.
 double run_alltoall(const Config& cli, const std::string& net, int ranks,
-                    std::size_t bytes) {
+                    std::size_t bytes, std::string* heatmap_out = nullptr) {
   armci::WorldConfig cfg = bench::make_world_config(cli, ranks,
                                                     /*ranks_per_node=*/1);
   cfg.machine.num_ranks = ranks;
   cfg.machine.network_model = net;
+  if (heatmap_out != nullptr) cfg.machine.obs.links = true;
   armci::World world(cfg);
   Time t0 = 0, t1 = 0;
   world.spmd([&](armci::Comm& comm) {
@@ -39,16 +43,21 @@ double run_alltoall(const Config& cli, const std::string& net, int ranks,
     comm.barrier();
     if (comm.rank() == 0) t1 = comm.now();
   });
+  if (heatmap_out != nullptr) {
+    *heatmap_out = world.machine().link_usage()->heatmap(
+        1.0 / cfg.machine.params.g_ns_per_byte, cfg.machine.obs.link_top);
+  }
   return to_ms(t1 - t0);
 }
 
 double run_engine_alltoall(const Config& cli, const std::string& net, int ranks,
-                           std::size_t bytes) {
+                           std::size_t bytes, std::string* heatmap_out = nullptr) {
   armci::WorldConfig cfg = bench::make_world_config(cli, ranks,
                                                     /*ranks_per_node=*/1);
   cfg.machine.num_ranks = ranks;
   cfg.machine.network_model = net;
   cfg.armci.coll.emplace_back("algo.alltoall", "torus-ring");
+  if (heatmap_out != nullptr) cfg.machine.obs.links = true;
   armci::World world(cfg);
   Time t0 = 0, t1 = 0;
   world.spmd([&](armci::Comm& comm) {
@@ -65,6 +74,10 @@ double run_engine_alltoall(const Config& cli, const std::string& net, int ranks,
     engine.barrier();
     if (comm.rank() == 0) t1 = comm.now();
   });
+  if (heatmap_out != nullptr) {
+    *heatmap_out = world.machine().link_usage()->heatmap(
+        1.0 / cfg.machine.params.g_ns_per_byte, cfg.machine.obs.link_top);
+  }
   return to_ms(t1 - t0);
 }
 
@@ -89,5 +102,19 @@ int main(int argc, char** argv) {
               " factor LogGP cannot see; engine_* = coll torus schedule, hop-\n"
               " ordered nearest-first, under the contention model)\n",
               format_bytes(bytes).c_str());
+
+  // Per-link heatmaps for the two schedules at one size, side by side:
+  // the naive rotated loop piles onto the bisection links while the
+  // torus schedule spreads load over nearest-neighbour hops.
+  const int hm_ranks = static_cast<int>(cli.get_int("heatmap_ranks", 32));
+  if (hm_ranks > 0) {
+    std::string naive, engine;
+    run_alltoall(cli, "contention", hm_ranks, bytes, &naive);
+    run_engine_alltoall(cli, "contention", hm_ranks, bytes, &engine);
+    std::printf("\n--- naive rotated schedule, %d ranks, contention model ---\n%s",
+                hm_ranks, naive.c_str());
+    std::printf("\n--- coll torus schedule, %d ranks, contention model ---\n%s",
+                hm_ranks, engine.c_str());
+  }
   return 0;
 }

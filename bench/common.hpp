@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/comm.hpp"
+#include "core/report_json.hpp"
 #include "core/world.hpp"
 #include "fault/fault.hpp"
 #include "ft/recovery.hpp"
@@ -61,7 +62,27 @@ inline armci::WorldConfig make_world_config(const Config& cli, int default_ranks
       cfg.armci.coll.emplace_back(key.substr(5), cli.get_string(key, ""));
     }
   }
+  // Observability: --trace.json_path, --trace.max_events, --obs.links,
+  // --obs.link_bucket_us, --obs.link_top, --obs.link_csv. All off by
+  // default — untraced runs stay byte-identical.
+  pami::configure_observability(cli, cfg.machine);
   return cfg;
+}
+
+/// End-of-run observability artifacts: writes the versioned
+/// machine-readable report (--report.json_path, e.g. BENCH_fig3.json)
+/// and the per-link CSV (--obs.link_csv) when the corresponding knob
+/// is set. (The trace JSON is written by Machine::run itself.) No-op
+/// when both are unset.
+inline void emit_observability(const Config& cli, const armci::World& world) {
+  const std::string report_path = armci::json_report_path_from_config(cli);
+  if (!report_path.empty()) armci::write_json_report(world, report_path);
+  const pami::Machine& m = world.machine();
+  if (const obs::LinkUsage* lu = m.link_usage()) {
+    if (!m.config().obs.link_csv.empty()) {
+      lu->write_csv(m.config().obs.link_csv);
+    }
+  }
 }
 
 /// Message-size sweep 16 B .. 1 MB in powers of two (Table II's range).

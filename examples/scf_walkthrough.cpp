@@ -8,6 +8,7 @@
 
 #include "apps/scf.hpp"
 #include "core/comm.hpp"
+#include "core/report_json.hpp"
 #include "fault/fault.hpp"
 #include "ft/recovery.hpp"
 #include "util/config.hpp"
@@ -17,7 +18,7 @@ using namespace pgasq;
 namespace {
 
 apps::ScfResult run_mode(const Config& cli, armci::ProgressMode mode,
-                         const apps::ScfConfig& scf) {
+                         const apps::ScfConfig& scf, bool observe) {
   armci::WorldConfig cfg;
   cfg.machine.num_ranks = static_cast<int>(cli.get_int("ranks", 64));
   cfg.machine.ranks_per_node =
@@ -25,11 +26,32 @@ apps::ScfResult run_mode(const Config& cli, armci::ProgressMode mode,
   cfg.armci.progress = mode;
   cfg.armci.contexts_per_rank = mode == armci::ProgressMode::kAsyncThread ? 2 : 1;
   cfg.machine.fault = fault::FaultPlan::from_config(cli);
+  // Collectives-engine knobs ride through opaquely (same contract as
+  // the benches): e.g. --coll.algo.allreduce=recdbl pins the energy
+  // reduction to a software schedule whose hops show up in traces.
+  for (const std::string& key : cli.keys()) {
+    if (key.rfind("coll.", 0) == 0) {
+      cfg.armci.coll.emplace_back(key.substr(5), cli.get_string(key, ""));
+    }
+  }
   // Fail-stop knobs: with --fault.node_fail=node:at_us scheduled, the
   // run checkpoints and survives the death (docs/faults.md).
   cfg.machine.ft = ft::RuntimeConfig::from_config(cli).liveness;
+  // --trace.json_path / --obs.* / --report.json_path apply to the AT
+  // run only (`observe`), so one invocation yields one trace.
+  if (observe) pami::configure_observability(cli, cfg.machine);
   armci::World world(cfg);
-  return apps::run_scf(world, scf);
+  apps::ScfResult result = apps::run_scf(world, scf);
+  if (observe) {
+    const std::string report = armci::json_report_path_from_config(cli);
+    if (!report.empty()) armci::write_json_report(world, report);
+    if (const obs::LinkUsage* lu = world.machine().link_usage()) {
+      if (!cfg.machine.obs.link_csv.empty()) {
+        lu->write_csv(cfg.machine.obs.link_csv);
+      }
+    }
+  }
+  return result;
 }
 
 }  // namespace
@@ -43,6 +65,7 @@ int main(int argc, char** argv) {
   scf.mean_task_compute = from_us(cli.get_double("task_us", 2000.0));
   scf.ft_checkpoint_interval =
       ft::RuntimeConfig::from_config(cli).checkpoint_interval;
+  scf.distributed_guess = cli.get_bool("distributed_guess", false);
 
   std::printf("SCF Fock build (Fig 10): %lld basis functions, %lld-wide blocks,\n"
               "%lld tasks/iteration, %d iterations, ~%.0f us per task\n\n",
@@ -55,8 +78,8 @@ int main(int argc, char** argv) {
               "    f   = do_work(d)                   # 2e-integral contraction\n"
               "    ga_acc(F, block pair of t, f)      # accumulate Fock matrix\n\n");
 
-  const auto d = run_mode(cli, armci::ProgressMode::kDefault, scf);
-  const auto at = run_mode(cli, armci::ProgressMode::kAsyncThread, scf);
+  const auto d = run_mode(cli, armci::ProgressMode::kDefault, scf, false);
+  const auto at = run_mode(cli, armci::ProgressMode::kAsyncThread, scf, true);
 
   auto report = [](const char* name, const apps::ScfResult& r) {
     std::printf("%-22s wall %8.2f ms | counter(sum) %8.2f ms | gets(sum) %8.2f ms"

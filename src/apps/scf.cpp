@@ -227,9 +227,27 @@ ScfResult run_scf(armci::World& world, const ScfConfig& config) {
     ga::SharedCounter counter(comm);
 
     // A deterministic "molecular electron density".
-    density.fill_local([](std::int64_t i, std::int64_t j) {
+    auto guess = [](std::int64_t i, std::int64_t j) {
       return 1.0 / static_cast<double>(1 + i + j);
-    });
+    };
+    if (config.distributed_guess) {
+      // Rank 0 owns the initial guess and scatters it with one-sided
+      // ga_put patches; sync() is only a barrier, so remote completion
+      // needs an explicit fence first.
+      if (comm.rank() == 0) {
+        std::vector<double> d0(
+            static_cast<std::size_t>(config.nbf * config.nbf));
+        for (std::int64_t i = 0; i < config.nbf; ++i) {
+          for (std::int64_t j = 0; j < config.nbf; ++j) {
+            d0[static_cast<std::size_t>(i * config.nbf + j)] = guess(i, j);
+          }
+        }
+        density.put(0, config.nbf, 0, config.nbf, d0.data(), config.nbf);
+        comm.fence_all();
+      }
+    } else {
+      density.fill_local(guess);
+    }
     fock.fill_local(0.0);
     density.sync();
     // Bring up the collectives engine (scratch arena, barrier hook)

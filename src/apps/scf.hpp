@@ -46,6 +46,13 @@ struct ScfConfig {
   /// disables (the default keeps the Fig 11 benchmark identical to the
   /// published workload, which measures the Fock build).
   int purification_sweeps = 0;
+  /// Initial-guess distribution: when true, rank 0 computes the full
+  /// starting density and scatters it with one-sided ga_put patches —
+  /// how NWChem seeds D from the atomic-density superposition — so the
+  /// run also exercises the (strided) rput path. The default keeps
+  /// each rank filling its own block locally, leaving the published
+  /// Fig 11 workload untouched. Ignored by the fail-stop body.
+  bool distributed_guess = false;
 };
 
 struct ScfResult {

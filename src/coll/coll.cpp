@@ -250,6 +250,11 @@ void CollEngine::send(int to, std::size_t slot, const void* data,
   std::byte* stage = grow_local(send_buf_, send_cap_, 8 + bytes);
   std::memcpy(stage, &epoch_, 8);
   if (bytes > 0) std::memcpy(stage + 8, data, bytes);
+  if (trace_ != nullptr) {
+    trace_->flow_point('s', track_, "coll hop", hop_flow_id(wrank(to), slot),
+                       comm_.now(), {{"bytes", std::to_string(bytes)},
+                                     {"to", "rank" + std::to_string(wrank(to))}});
+  }
   // One put carries flag + payload: the simulator delivers it in a
   // single atomic copy, so a raised flag implies a complete payload.
   comm_.put(stage, scratch_->at(wrank(to), kBarrierBytes + slot * slot_bytes_),
@@ -262,6 +267,11 @@ void CollEngine::send_nb(int to, std::size_t slot, const void* data,
   PGASQ_CHECK(slot < n_slots_ && bytes + 8 <= slot_bytes_);
   std::memcpy(stage, &epoch_, 8);
   if (bytes > 0) std::memcpy(stage + 8, data, bytes);
+  if (trace_ != nullptr) {
+    trace_->flow_point('s', track_, "coll hop", hop_flow_id(wrank(to), slot),
+                       comm_.now(), {{"bytes", std::to_string(bytes)},
+                                     {"to", "rank" + std::to_string(wrank(to))}});
+  }
   comm_.nb_put(stage, scratch_->at(wrank(to), kBarrierBytes + slot * slot_bytes_),
                8 + bytes, handle);
 }
@@ -276,6 +286,11 @@ const std::byte* CollEngine::recv_wait(std::size_t slot, std::size_t bytes) {
   PGASQ_CHECK(*flag == epoch_,
               << "collective slot " << slot << " flagged epoch " << *flag
               << ", expected " << epoch_);
+  if (trace_ != nullptr) {
+    trace_->flow_point('f', track_, "coll hop recv",
+                       hop_flow_id(comm_.rank(), slot), comm_.now(),
+                       {{"bytes", std::to_string(bytes)}});
+  }
   return base + 8;
 }
 

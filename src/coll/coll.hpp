@@ -125,6 +125,17 @@ class CollEngine {
   void put_word(int to, int word, std::uint64_t value);
   void wait_word(int word, std::uint64_t at_least);
 
+  /// Causal-trace id for the schedule hop delivering into `slot` of
+  /// world rank `recv_wrank` this epoch. Sender and receiver compute
+  /// the same id independently (no extra wire state), so Perfetto can
+  /// pair the 's' at send time with the 'f' at recv_wait. High-bit
+  /// tagged to stay disjoint from TraceRecorder's sequential ids.
+  std::uint64_t hop_flow_id(int recv_wrank, std::size_t slot) const {
+    return (1ULL << 63) | ((epoch_ & 0xFFFFFFULL) << 38) |
+           ((static_cast<std::uint64_t>(slot) & 0x3FFFFULL) << 20) |
+           static_cast<std::uint64_t>(recv_wrank);
+  }
+
   // Barrier schedules (coll.cpp).
   void run_barrier(Algo algo);
   void barrier_dissemination();

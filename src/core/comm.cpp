@@ -299,10 +299,10 @@ class ProgressGuard {
 };
 }  // namespace
 
-void Comm::locked_advance(pami::Context& ctx) {
+std::size_t Comm::locked_advance(pami::Context& ctx) {
   ProgressGuard guard(needs_context_lock(), ctx,
                       process_.machine().params().context_lock_cost);
-  ctx.advance();
+  return ctx.advance();
 }
 
 void Comm::progress_until(const std::function<bool()>& pred) {
@@ -389,7 +389,17 @@ void Comm::start_async_thread() {
         }
       }
       try {
-        locked_advance(*ctx);
+        const std::size_t serviced = locked_advance(*ctx);
+        // Causal trace: each async-progress pass that actually serviced
+        // requests is an instant on this rank's net track, making the
+        // handoff (main thread computes, async thread advances) visible
+        // between the message arrows.
+        sim::TraceRecorder* tr = process_.machine().trace();
+        if (tr != nullptr && serviced > 0) {
+          tr->instant(process_.machine().rank_track(rank()), "async progress",
+                      eng.now(),
+                      {{"serviced", std::to_string(serviced)}});
+        }
       } catch (const ft::PeerDeadError&) {
         // A serviced request (e.g. a get-reply) targeted a dead peer.
         // The progress thread itself must survive: recovery is driven

@@ -267,7 +267,8 @@ class Comm {
 
   // Progress & locking.
   bool needs_context_lock() const;
-  void locked_advance(pami::Context& ctx);
+  /// Returns the number of items serviced (Context::advance's count).
+  std::size_t locked_advance(pami::Context& ctx);
   void progress_until(const std::function<bool()>& pred);
   void start_async_thread();
   /// Throws PeerDeadError when the liveness epoch moved past the last

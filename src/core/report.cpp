@@ -5,6 +5,8 @@
 
 #include "fault/fault.hpp"
 #include "ft/liveness.hpp"
+#include "obs/link_usage.hpp"
+#include "sim/trace.hpp"
 #include "util/table.hpp"
 
 namespace pgasq::armci {
@@ -123,6 +125,21 @@ std::string render_report(const World& world, const ReportOptions& options) {
         .add(f.rollback_ranks);
     ft.row().add(std::string("recovery seconds")).add(to_s(f.recovery_time), 6);
     os << ft.to_string();
+  }
+
+  if (const obs::LinkUsage* lu = world.machine().link_usage()) {
+    os << '\n'
+       << lu->heatmap(1.0 / world.machine().params().g_ns_per_byte,
+                      world.machine().config().obs.link_top);
+  }
+
+  if (const sim::TraceRecorder* tr = world.machine().trace()) {
+    os << "\ntrace: " << tr->event_count() << " events";
+    if (tr->truncated()) {
+      os << " — trace truncated at " << tr->max_events()
+         << " events; later events were dropped (raise trace.max_events)";
+    }
+    os << '\n';
   }
 
   if (options.include_histograms && s.put_sizes.total() + s.get_sizes.total() > 0) {

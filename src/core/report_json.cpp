@@ -1,0 +1,167 @@
+#include "core/report_json.hpp"
+
+#include <fstream>
+
+#include "fault/fault.hpp"
+#include "ft/liveness.hpp"
+#include "util/error.hpp"
+
+namespace pgasq::armci {
+
+namespace {
+
+double us(Time t) { return to_us(t); }
+
+void fill_comm(obs::Registry& reg, const CommStats& s) {
+  reg.set_counter("armci.puts", s.puts);
+  reg.set_counter("armci.gets", s.gets);
+  reg.set_counter("armci.accs", s.accs);
+  reg.set_counter("armci.rmws", s.rmws);
+  reg.set_counter("armci.strided_puts", s.strided_puts);
+  reg.set_counter("armci.strided_gets", s.strided_gets);
+  reg.set_counter("armci.strided_accs", s.strided_accs);
+  reg.set_counter("armci.rdma_puts", s.rdma_puts);
+  reg.set_counter("armci.rdma_gets", s.rdma_gets);
+  reg.set_counter("armci.fallback_puts", s.fallback_puts);
+  reg.set_counter("armci.fallback_gets", s.fallback_gets);
+  reg.set_counter("armci.typed_ops", s.typed_ops);
+  reg.set_counter("armci.zero_copy_chunks", s.zero_copy_chunks);
+  reg.set_counter("armci.packed_ops", s.packed_ops);
+  reg.set_counter("armci.bytes_put", s.bytes_put);
+  reg.set_counter("armci.bytes_got", s.bytes_got);
+  reg.set_counter("armci.bytes_acc", s.bytes_acc);
+  reg.set_counter("armci.region_cache_hits", s.region_cache_hits);
+  reg.set_counter("armci.region_cache_misses", s.region_cache_misses);
+  reg.set_counter("armci.region_queries_sent", s.region_queries_sent);
+  reg.set_counter("armci.fence_calls", s.fence_calls);
+  reg.set_counter("armci.forced_fences", s.forced_fences);
+  reg.set_counter("armci.endpoints_created", s.endpoints_created);
+  reg.set_counter("armci.retransmits", s.retransmits);
+  reg.set_gauge("armci.retransmit_backoff_us", us(s.retransmit_backoff));
+  reg.set_counter("armci.progress_stalls", s.progress_stalls);
+  reg.set_gauge("armci.progress_stall_us", us(s.progress_stall_time));
+  reg.set_gauge("armci.time_in_get_us", us(s.time_in_get));
+  reg.set_gauge("armci.time_in_put_us", us(s.time_in_put));
+  reg.set_gauge("armci.time_in_acc_us", us(s.time_in_acc));
+  reg.set_gauge("armci.time_in_rmw_us", us(s.time_in_rmw));
+  reg.set_gauge("armci.time_in_fence_us", us(s.time_in_fence));
+  reg.set_gauge("armci.time_in_barrier_us", us(s.time_in_barrier));
+  reg.set_gauge("armci.time_in_wait_us", us(s.time_in_wait));
+  reg.set_histogram("armci.put_sizes", s.put_sizes);
+  reg.set_histogram("armci.get_sizes", s.get_sizes);
+  reg.set_histogram("armci.acc_sizes", s.acc_sizes);
+}
+
+void fill_coll(obs::Registry& reg, const CollStats& c) {
+  if (c.total_ops() == 0) return;
+  for (int op = 0; op < CollStats::kOps; ++op) {
+    for (int a = 0; a < CollStats::kAlgos; ++a) {
+      if (c.count[op][a] == 0) continue;
+      const obs::Labels labels{{"op", kCollOpNames[op]},
+                               {"algo", kCollAlgoNames[a]}};
+      reg.set_counter("coll.ops", c.count[op][a], labels);
+      reg.set_counter("coll.bytes", c.bytes[op][a], labels);
+      reg.set_gauge("coll.time_us", us(c.time[op][a]), labels);
+    }
+  }
+  reg.set_counter("coll.scratch_reallocs", c.scratch_reallocs);
+}
+
+void fill_fault(obs::Registry& reg, const fault::FaultStats& f) {
+  reg.set_counter("fault.packets_dropped", f.packets_dropped);
+  reg.set_counter("fault.packets_corrupted", f.packets_corrupted);
+  reg.set_counter("fault.retransmits", f.retransmits);
+  reg.set_gauge("fault.backoff_us", us(f.backoff_time));
+  reg.set_counter("fault.reroutes", f.reroutes);
+  reg.set_counter("fault.rerouted_extra_hops", f.rerouted_extra_hops);
+  reg.set_counter("fault.degraded_transfers", f.degraded_transfers);
+  reg.set_counter("fault.progress_stalls", f.progress_stalls);
+  reg.set_gauge("fault.stall_us", us(f.stall_time));
+}
+
+void fill_ft(obs::Registry& reg, const ft::FtStats& f) {
+  reg.set_counter("ft.detections", f.detections);
+  reg.set_gauge("ft.detection_delay_us", us(f.detection_delay));
+  reg.set_counter("ft.ranks_lost", f.ranks_lost);
+  reg.set_counter("ft.quarantined_ops", f.quarantined_ops);
+  reg.set_counter("ft.checkpoints", f.checkpoints);
+  reg.set_counter("ft.checkpoint_bytes", f.checkpoint_bytes);
+  reg.set_counter("ft.rollbacks", f.rollbacks);
+  reg.set_counter("ft.rollback_ranks", f.rollback_ranks);
+  reg.set_gauge("ft.recovery_us", us(f.recovery_time));
+}
+
+}  // namespace
+
+obs::Registry build_registry(const World& world) {
+  obs::Registry reg;
+  fill_comm(reg, world.total_stats());
+  fill_coll(reg, world.total_stats().coll);
+
+  const pami::Machine& m = world.machine();
+  reg.set_counter("noc.messages_sent", m.network().messages_sent());
+  reg.set_counter("noc.bytes_sent", m.network().bytes_sent());
+
+  if (const fault::Injector* inj = m.injector()) fill_fault(reg, inj->stats());
+  if (const ft::HealthMonitor* mon = m.monitor()) fill_ft(reg, mon->stats());
+
+  if (const obs::LinkUsage* lu = m.link_usage()) {
+    reg.set_counter("obs.link_transfers", lu->transfers());
+    reg.set_counter("obs.link_injected_bytes", lu->injected_bytes());
+    reg.set_counter("obs.link_bytes_total", lu->link_bytes_total());
+    reg.set_counter("obs.active_links",
+                    static_cast<std::uint64_t>(lu->active_links()));
+    const double cap =
+        1.0 / m.params().g_ns_per_byte;  // peak bytes per ns on one link
+    reg.set_gauge("obs.link_max_utilization", lu->max_utilization(cap));
+    reg.set_gauge("obs.link_mean_utilization", lu->mean_utilization(cap));
+  }
+  return reg;
+}
+
+obs::Json render_json_report(const World& world) {
+  const pami::Machine& m = world.machine();
+  obs::Json doc = obs::Json::object();
+  doc.set("schema", obs::Json::string("pgasq.report"));
+  doc.set("schema_version", obs::Json::number(kReportSchemaVersion));
+
+  obs::Json machine = obs::Json::object();
+  machine.set("ranks", obs::Json::number(world.num_ranks()));
+  machine.set("ranks_per_node",
+              obs::Json::number(m.config().ranks_per_node));
+  machine.set("network_model", obs::Json::string(m.config().network_model));
+  machine.set("torus", obs::Json::string(m.torus().to_string()));
+  doc.set("machine", std::move(machine));
+
+  doc.set("elapsed_us", obs::Json::number(to_us(world.elapsed())));
+  doc.set("metrics", build_registry(world).to_json());
+
+  if (const obs::LinkUsage* lu = m.link_usage()) {
+    doc.set("links", lu->to_json());
+  }
+  if (const sim::TraceRecorder* tr = m.trace()) {
+    obs::Json trace = obs::Json::object();
+    trace.set("events",
+              obs::Json::number(static_cast<std::uint64_t>(tr->event_count())));
+    trace.set("max_events",
+              obs::Json::number(static_cast<std::uint64_t>(tr->max_events())));
+    trace.set("truncated", obs::Json::boolean(tr->truncated()));
+    doc.set("trace", std::move(trace));
+  }
+  return doc;
+}
+
+void write_json_report(const World& world, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  PGASQ_CHECK(out.good(), << "cannot open report JSON path " << path);
+  out << render_json_report(world).dump() << '\n';
+  out.close();
+  PGASQ_CHECK(out.good(), << "short write to report JSON path " << path);
+}
+
+std::string json_report_path_from_config(const Config& cfg) {
+  cfg.reject_unknown("report", {"json_path"});
+  return cfg.get_string("report.json_path", "");
+}
+
+}  // namespace pgasq::armci

@@ -231,6 +231,10 @@ void Injector::mark(const char* name, Time at) {
   if (trace_ != nullptr) trace_->instant(track_, name, at);
 }
 
+void Injector::trace_mark(const char* name, Time at) const {
+  if (trace_ != nullptr) trace_->instant(track_, name, at);
+}
+
 PacketFate Injector::roll_packet(Time now) {
   const double loss = plan_.drop_prob + plan_.corrupt_prob;
   if (loss <= 0.0) return PacketFate::kDelivered;

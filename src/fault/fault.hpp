@@ -182,6 +182,12 @@ class Injector {
   /// dedicated "faults" trace track (chrome://tracing / Perfetto).
   void set_trace(sim::TraceRecorder* trace);
 
+  /// Instant marker on the same "faults" track for the layers above
+  /// (node-death declarations, epoch bumps, checkpoint commits). Const
+  /// because the health monitor holds the injector by const reference;
+  /// no-op when untraced.
+  void trace_mark(const char* name, Time at) const;
+
   // --- Packet fate ------------------------------------------------------
   /// Rolls drop/corruption for one packet injected at `now`. Consumes
   /// RNG only when a loss probability is configured, so plans that only

@@ -51,6 +51,7 @@ int HealthMonitor::lowest_live_rank() const {
 
 void HealthMonitor::probe(Time now) {
   if (!deaths_pending()) return;
+  injector_.trace_mark("heartbeat probe", now);
   for (const auto& n : injector_.plan().node_fails) {
     if (n.node >= static_cast<int>(dead_nodes_.size())) continue;
     if (dead_nodes_[static_cast<std::size_t>(n.node)]) continue;
@@ -93,6 +94,8 @@ void HealthMonitor::declare_dead(int node, Time now) {
   if (fail_at != fault::kForever && now > fail_at) {
     stats_.detection_delay += now - fail_at;
   }
+  injector_.trace_mark("node death declared", now);
+  injector_.trace_mark("epoch bump", now);
   for (const auto& fn : listeners_) fn();
 }
 

@@ -133,6 +133,9 @@ class HealthMonitor {
   const FtStats& stats() const { return stats_; }
 
   const topo::RankMapping& mapping() const { return mapping_; }
+  /// The fault layer's ground truth (also carries the shared "faults"
+  /// trace track for recovery-protocol markers).
+  const fault::Injector& injector() const { return injector_; }
 
  private:
   void declare_dead(int node, Time now);

@@ -135,7 +135,10 @@ void Runtime::checkpoint(int iter, const std::vector<ga::GlobalArray*>& arrays) 
 
   committed_[b] = iter;
   ckpt_members_[b] = members_;
-  if (me == members_.front()) ++monitor_->stats().checkpoints;
+  if (me == members_.front()) {
+    ++monitor_->stats().checkpoints;
+    monitor_->injector().trace_mark("checkpoint commit", comm_.now());
+  }
 }
 
 bool Runtime::buffer_valid(int buf) const {
@@ -189,6 +192,7 @@ bool Runtime::recover() {
     ++s.rollbacks;
     s.rollback_ranks += members_.size();
     s.recovery_time += comm_.now() - t0;
+    monitor_->injector().trace_mark("rollback complete", comm_.now());
   }
   return true;
 }

@@ -89,21 +89,26 @@ Transfer LogGPModel::transfer(int src_node, int dst_node, std::uint64_t bytes,
   if (src_node == dst_node) return shm_transfer(bytes, start);
   Time ser = serialization(bytes, opts);
   Time fly;
+  std::vector<topo::Link> route;
   if (injector_ != nullptr &&
       (injector_->has_link_faults() || injector_->has_node_fails())) {
     // A failed link stretches the path (dimension-order route-around);
     // a degraded link throttles the end-to-end cut-through stream to
     // the slowest link on the path.
     double cap = 1.0;
-    const auto route = faulted_route(src_node, dst_node, start, &cap);
+    route = faulted_route(src_node, dst_node, start, &cap);
     fly = params_.wire_base_latency +
           static_cast<Time>(route.size()) * params_.hop_latency;
     if (cap < 1.0) ser = static_cast<Time>(static_cast<double>(ser) / cap);
   } else {
     fly = flight(src_node, dst_node);
+    // The stateless model never needs the route for timing; walk it
+    // only when someone is watching the links.
+    if (link_usage_ != nullptr) route = torus_.route(src_node, dst_node);
   }
   const Time begin = claim_injection(src_node, start, ser);
   const Time inject_done = begin + ser;
+  if (link_usage_ != nullptr) link_usage_->record_transfer(route, begin, bytes);
   // Cut-through: the head races ahead while the tail serializes, so
   // arrival is serialization + flight, not store-and-forward per hop.
   const Time arrive = inject_done + fly;
@@ -143,6 +148,7 @@ Transfer LinkContentionModel::transfer(int src_node, int dst_node,
     route = torus_.route_ordered(src_node, dst_node, order);
   }
   PGASQ_CHECK(!route.empty());
+  if (link_usage_ != nullptr) link_usage_->note_transfer(bytes);
   for (std::size_t i = 0; i < route.size(); ++i) {
     const auto& link = route[i];
     auto& free_at = link_free_[static_cast<std::size_t>(torus_.link_index(link))];
@@ -152,8 +158,12 @@ Transfer LinkContentionModel::transfer(int src_node, int dst_node,
       const double cap = injector_->link_capacity(link, start);
       if (cap < 1.0) occupy = static_cast<Time>(static_cast<double>(ser) / cap);
     }
+    if (link_usage_ != nullptr && free_at > head) {
+      link_usage_->record_wait(link, head, free_at - head);
+    }
     head = std::max(head, free_at) + params_.hop_latency;
     free_at = head + occupy;
+    if (link_usage_ != nullptr) link_usage_->record_hop(link, head, bytes);
     if (i == 0) inject_done = head + occupy;  // source link drained
   }
   const Time tail = faulty && path_capacity < 1.0

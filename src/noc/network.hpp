@@ -22,6 +22,7 @@
 
 #include "fault/fault.hpp"
 #include "noc/parameters.hpp"
+#include "obs/link_usage.hpp"
 #include "topo/torus.hpp"
 #include "util/time_types.hpp"
 
@@ -73,6 +74,16 @@ class NetworkModel {
   void set_injector(fault::Injector* injector) { injector_ = injector; }
   fault::Injector* injector() const { return injector_; }
 
+  /// Attaches (or detaches, with nullptr) per-link byte accounting.
+  /// Not owned. Pure observation behind a null check: recording never
+  /// feeds back into timing, so traced and untraced runs are
+  /// virtual-time identical. injected_bytes() counts each *wire*
+  /// transfer once (intra-node shared-memory copies and dead-source
+  /// packets traverse no torus link and are excluded, unlike
+  /// bytes_sent() which counts every transfer() call).
+  void set_link_usage(obs::LinkUsage* usage) { link_usage_ = usage; }
+  obs::LinkUsage* link_usage() const { return link_usage_; }
+
   /// Total messages / bytes injected (diagnostics & tests).
   std::uint64_t messages_sent() const { return messages_; }
   std::uint64_t bytes_sent() const { return bytes_; }
@@ -114,6 +125,7 @@ class NetworkModel {
   const topo::Torus5D& torus_;
   BgqParameters params_;
   fault::Injector* injector_ = nullptr;
+  obs::LinkUsage* link_usage_ = nullptr;
 
  private:
   std::uint64_t messages_ = 0;

@@ -1,0 +1,372 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace pgasq::obs {
+
+Json Json::boolean(bool v) {
+  Json j;
+  j.kind_ = Kind::kBool;
+  j.bool_ = v;
+  return j;
+}
+
+Json Json::number(std::uint64_t v) {
+  Json j;
+  j.kind_ = Kind::kNumber;
+  j.scalar_ = std::to_string(v);
+  return j;
+}
+
+Json Json::number(std::int64_t v) {
+  Json j;
+  j.kind_ = Kind::kNumber;
+  j.scalar_ = std::to_string(v);
+  return j;
+}
+
+Json Json::number(double v) {
+  PGASQ_CHECK(std::isfinite(v), << "JSON cannot represent " << v);
+  Json j;
+  j.kind_ = Kind::kNumber;
+  // %.17g round-trips any double; trim to the shortest of %.15g/%.16g
+  // that still parses back exactly, so dumps stay readable and stable.
+  char buf[40];
+  for (const int prec : {15, 16, 17}) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  j.scalar_ = buf;
+  return j;
+}
+
+Json Json::raw_number(std::string literal) {
+  Json j;
+  j.kind_ = Kind::kNumber;
+  j.scalar_ = std::move(literal);
+  return j;
+}
+
+Json Json::string(std::string v) {
+  Json j;
+  j.kind_ = Kind::kString;
+  j.scalar_ = std::move(v);
+  return j;
+}
+
+Json Json::array() {
+  Json j;
+  j.kind_ = Kind::kArray;
+  return j;
+}
+
+Json Json::object() {
+  Json j;
+  j.kind_ = Kind::kObject;
+  return j;
+}
+
+Json& Json::set(const std::string& key, Json value) {
+  PGASQ_CHECK(is_object());
+  for (auto& [k, v] : object_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  object_.emplace_back(key, std::move(value));
+  return *this;
+}
+
+const Json* Json::find(const std::string& key) const {
+  PGASQ_CHECK(is_object());
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const Json& Json::at(const std::string& key) const {
+  const Json* j = find(key);
+  PGASQ_CHECK(j != nullptr, << "missing JSON key '" << key << "'");
+  return *j;
+}
+
+const std::vector<std::pair<std::string, Json>>& Json::items() const {
+  PGASQ_CHECK(is_object());
+  return object_;
+}
+
+void Json::push(Json value) {
+  PGASQ_CHECK(is_array());
+  array_.push_back(std::move(value));
+}
+
+const Json& Json::operator[](std::size_t i) const {
+  PGASQ_CHECK(is_array() && i < array_.size());
+  return array_[i];
+}
+
+std::size_t Json::size() const {
+  if (is_array()) return array_.size();
+  if (is_object()) return object_.size();
+  PGASQ_CHECK(false, << "size() on a JSON scalar");
+  return 0;
+}
+
+bool Json::as_bool() const {
+  PGASQ_CHECK(is_bool());
+  return bool_;
+}
+
+std::int64_t Json::as_int() const {
+  PGASQ_CHECK(is_number());
+  return std::strtoll(scalar_.c_str(), nullptr, 10);
+}
+
+std::uint64_t Json::as_uint() const {
+  PGASQ_CHECK(is_number());
+  return std::strtoull(scalar_.c_str(), nullptr, 10);
+}
+
+double Json::as_double() const {
+  PGASQ_CHECK(is_number());
+  return std::strtod(scalar_.c_str(), nullptr);
+}
+
+const std::string& Json::as_string() const {
+  PGASQ_CHECK(is_string());
+  return scalar_;
+}
+
+namespace {
+
+void dump_string(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+// Recursive-descent parser over the raw text.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Json parse_document() {
+    Json v = parse_value();
+    skip_ws();
+    PGASQ_CHECK(pos_ == text_.size(),
+                << "trailing garbage at byte " << pos_ << " of JSON input");
+    return v;
+  }
+
+ private:
+  Json parse_value() {
+    skip_ws();
+    PGASQ_CHECK(pos_ < text_.size(), << "unexpected end of JSON input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Json::string(parse_string());
+      case 't': expect("true"); return Json::boolean(true);
+      case 'f': expect("false"); return Json::boolean(false);
+      case 'n': expect("null"); return Json::null();
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    ++pos_;  // '{'
+    Json obj = Json::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      skip_ws();
+      PGASQ_CHECK(peek() == '"', << "expected object key at byte " << pos_);
+      std::string key = parse_string();
+      skip_ws();
+      PGASQ_CHECK(peek() == ':', << "expected ':' at byte " << pos_);
+      ++pos_;
+      obj.set(key, parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      PGASQ_CHECK(peek() == '}', << "expected ',' or '}' at byte " << pos_);
+      ++pos_;
+      return obj;
+    }
+  }
+
+  Json parse_array() {
+    ++pos_;  // '['
+    Json arr = Json::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    while (true) {
+      arr.push(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      PGASQ_CHECK(peek() == ']', << "expected ',' or ']' at byte " << pos_);
+      ++pos_;
+      return arr;
+    }
+  }
+
+  std::string parse_string() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (true) {
+      PGASQ_CHECK(pos_ < text_.size(), << "unterminated JSON string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      PGASQ_CHECK(pos_ < text_.size(), << "unterminated escape in JSON string");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          PGASQ_CHECK(pos_ + 4 <= text_.size(), << "truncated \\u escape");
+          const unsigned cp = static_cast<unsigned>(
+              std::strtoul(text_.substr(pos_, 4).c_str(), nullptr, 16));
+          pos_ += 4;
+          // Encode the (BMP-only) code point as UTF-8; surrogate pairs
+          // never appear in our own output.
+          if (cp < 0x80) {
+            out.push_back(static_cast<char>(cp));
+          } else if (cp < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          }
+          break;
+        }
+        default:
+          PGASQ_CHECK(false, << "bad escape '\\" << e << "' in JSON string");
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    PGASQ_CHECK(pos_ > start, << "expected JSON value at byte " << start);
+    // Validate it parses as a double, but keep the literal text.
+    char* end = nullptr;
+    const std::string lit = text_.substr(start, pos_ - start);
+    (void)std::strtod(lit.c_str(), &end);
+    PGASQ_CHECK(end == lit.c_str() + lit.size(),
+                << "malformed number '" << lit << "' at byte " << start);
+    return Json::raw_number(lit);
+  }
+
+  void expect(const char* word) {
+    const std::size_t n = std::string(word).size();
+    PGASQ_CHECK(text_.compare(pos_, n, word) == 0,
+                << "expected '" << word << "' at byte " << pos_);
+    pos_ += n;
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string Json::dump() const {
+  std::ostringstream os;
+  switch (kind_) {
+    case Kind::kNull: os << "null"; break;
+    case Kind::kBool: os << (bool_ ? "true" : "false"); break;
+    case Kind::kNumber: os << scalar_; break;
+    case Kind::kString: dump_string(os, scalar_); break;
+    case Kind::kArray: {
+      os << '[';
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) os << ',';
+        os << array_[i].dump();
+      }
+      os << ']';
+      break;
+    }
+    case Kind::kObject: {
+      os << '{';
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i > 0) os << ',';
+        dump_string(os, object_[i].first);
+        os << ':' << object_[i].second.dump();
+      }
+      os << '}';
+      break;
+    }
+  }
+  return os.str();
+}
+
+Json Json::parse(const std::string& text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace pgasq::obs

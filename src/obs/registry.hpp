@@ -1,0 +1,68 @@
+// Metrics registry: a flat, insertion-ordered collection of named
+// counters, gauges, and log2 histograms with optional labels.
+//
+// The registry is a *snapshot* container: at report time the runtime
+// (core/report_json) folds the ad-hoc stats structs — CommStats,
+// coll::CollStats, fault::FaultStats, ft tables, link counters — into
+// one registry and serializes it. Identical runs produce byte-identical
+// serializations because insertion order is preserved and values are
+// integers or deterministically formatted doubles.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "util/stats.hpp"
+
+namespace pgasq::obs {
+
+/// Metric labels, e.g. {{"op", "put"}, {"algo", "ring"}}.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+class Registry {
+ public:
+  /// Sets (or overwrites) a monotone counter.
+  void set_counter(const std::string& name, std::uint64_t value,
+                   Labels labels = {});
+  /// Accumulates into a counter, creating it at zero first.
+  void add_counter(const std::string& name, std::uint64_t delta,
+                   Labels labels = {});
+  /// Sets a point-in-time double-valued gauge (times, utilizations).
+  void set_gauge(const std::string& name, double value, Labels labels = {});
+  /// Snapshots a log2-bucketed histogram.
+  void set_histogram(const std::string& name, const Log2Histogram& hist,
+                     Labels labels = {});
+
+  std::size_t size() const { return metrics_.size(); }
+
+  /// All metric names in insertion order (duplicates possible when the
+  /// same name carries different labels).
+  std::vector<std::string> names() const;
+
+  /// Serializes to a JSON array of
+  ///   {"name":…, "type":"counter"|"gauge"|"histogram",
+  ///    "labels":{…}?, "value":…} — histograms carry
+  ///   {"total":…, "buckets":[…]} instead of "value".
+  Json to_json() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Metric {
+    std::string name;
+    Labels labels;
+    Kind kind;
+    std::uint64_t count = 0;                // counter
+    double value = 0.0;                     // gauge
+    std::vector<std::uint64_t> buckets;     // histogram
+    std::uint64_t total = 0;                // histogram
+  };
+  Metric& find_or_create(const std::string& name, const Labels& labels,
+                         Kind kind);
+
+  std::vector<Metric> metrics_;
+};
+
+}  // namespace pgasq::obs

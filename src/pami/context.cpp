@@ -34,6 +34,19 @@ Context::Context(Process& process, int index)
 
 Machine& Context::machine() { return process_.machine(); }
 
+sim::TraceRecorder* Context::trace() { return machine().trace(); }
+
+void Context::flow(char phase, RankId rank, const char* name, std::uint64_t id,
+                   Time at, std::uint64_t bytes, int peer) {
+  sim::TraceRecorder* tr = trace();
+  if (tr == nullptr || id == 0) return;
+  sim::TraceArgs args;
+  if (bytes > 0) args.emplace_back("bytes", std::to_string(bytes));
+  if (peer >= 0) args.emplace_back("peer", "rank" + std::to_string(peer));
+  tr->flow_point(phase, machine().rank_track(rank), name, id, at,
+                 std::move(args));
+}
+
 noc::Transfer Context::wire_transfer(int src_node, int dst_node, std::uint64_t bytes,
                                      Time at, noc::TransferOptions opts,
                                      const char* what) {
@@ -202,7 +215,7 @@ void Context::post_am(DispatchId dispatch, AmMessage msg) {
 
 void Context::post_rmw_service(std::int64_t* word, RmwOp op, std::int64_t operand,
                                std::int64_t compare, Endpoint reply_to,
-                               RmwCallback reply_cb) {
+                               RmwCallback reply_cb, std::uint64_t flow_id) {
   Item item;
   item.kind = Item::Kind::kRmwService;
   item.word = word;
@@ -211,6 +224,7 @@ void Context::post_rmw_service(std::int64_t* word, RmwOp op, std::int64_t operan
   item.compare = compare;
   item.reply_to = reply_to;
   item.rmw_reply = std::move(reply_cb);
+  item.flow_id = flow_id;
   post(std::move(item));
 }
 
@@ -246,6 +260,7 @@ void Context::process_item(Item& item) {
     case Item::Kind::kAm: {
       ++stats_.ams_dispatched;
       busy(p.o_am_dispatch);
+      flow('f', process_.rank(), "am dispatch", item.message.flow_id, now());
       const auto it = dispatch_.find(item.dispatch);
       PGASQ_CHECK(it != dispatch_.end(),
                   << "rank " << process_.rank() << " context " << index_
@@ -262,6 +277,8 @@ void Context::process_item(Item& item) {
       const int here = process_.node();
       const int dest_node = machine().mapping().node_of_rank(item.reply_to.rank);
       const auto reply = wire_control(here, dest_node, now(), "rmw reply");
+      flow('t', process_.rank(), "rmw serve", item.flow_id, now());
+      flow('f', item.reply_to.rank, "rmw reply", item.flow_id, reply.arrive);
       Context& dest_ctx =
           machine().process(item.reply_to.rank).context(item.reply_to.context);
       RmwCallback cb = std::move(item.rmw_reply);
@@ -281,6 +298,9 @@ void Context::process_item(Item& item) {
       std::vector<std::byte> staged(item.bytes);
       std::memcpy(staged.data(), item.source_data, item.bytes);
       const auto t = wire_transfer(here, dest_node, item.bytes, now(), {}, "get reply");
+      flow('t', process_.rank(), "get serve", item.flow_id, now());
+      flow('f', item.reply_to.rank, "get reply", item.flow_id, t.arrive,
+           item.bytes);
       Context& dest_ctx =
           machine().process(item.reply_to.rank).context(item.reply_to.context);
       machine().engine().schedule_at(
@@ -296,7 +316,13 @@ void Context::process_item(Item& item) {
       // Non-RDMA put deposit: copy the payload into place, then ack.
       busy(p.o_am_dispatch);
       std::memcpy(item.deposit_to, item.deposit_data.data(), item.deposit_data.size());
-      if (item.remote_ack) item.remote_ack();
+      if (item.remote_ack) {
+        // The ack closure finishes the flow at the requester.
+        flow('t', process_.rank(), "put deposit", item.flow_id, now());
+        item.remote_ack();
+      } else {
+        flow('f', process_.rank(), "put deposit", item.flow_id, now());
+      }
       break;
     }
   }
@@ -317,6 +343,11 @@ void Context::rput(const MemoryRegion& local_mr, std::uint64_t loff,
   const int src_node = process_.node();
   const int dst_node = machine().mapping().node_of_rank(remote_mr.owner);
   const auto t = wire_transfer(src_node, dst_node, bytes, now(), {}, "rput data");
+  std::uint64_t fid = 0;
+  if (trace() != nullptr) {
+    fid = trace()->next_flow_id();
+    flow('s', process_.rank(), "rput", fid, now(), bytes, remote_mr.owner);
+  }
   // The NIC reads the source buffer during serialization; stage a copy
   // now so the caller may reuse the buffer after local completion.
   std::vector<std::byte> staged(bytes);
@@ -331,7 +362,11 @@ void Context::rput(const MemoryRegion& local_mr, std::uint64_t loff,
   }
   if (on_remote_ack) {
     const auto ack = wire_control(dst_node, src_node, t.arrive, "rput ack");
+    flow('t', remote_mr.owner, "rput deliver", fid, t.arrive, bytes);
+    flow('f', process_.rank(), "rput ack", fid, ack.arrive);
     post_completion_at(ack.arrive, std::move(on_remote_ack), 0);
+  } else {
+    flow('f', remote_mr.owner, "rput deliver", fid, t.arrive, bytes);
   }
 }
 
@@ -348,6 +383,14 @@ void Context::rget(const MemoryRegion& local_mr, std::uint64_t loff,
   const auto req = wire_control(src_node, dst_node, now(), "rget request");
   // ...which DMAs the data back with no target software involved.
   const auto data = wire_transfer(dst_node, src_node, bytes, req.arrive, {}, "rget data");
+  if (trace() != nullptr) {
+    // Every leg is timed at initiation, so the whole arrow chain can
+    // be emitted here: request out, remote NIC serves, data back.
+    const std::uint64_t fid = trace()->next_flow_id();
+    flow('s', process_.rank(), "rget", fid, now(), bytes, remote_mr.owner);
+    flow('t', remote_mr.owner, "rget serve", fid, req.arrive);
+    flow('f', process_.rank(), "rget data", fid, data.arrive, bytes);
+  }
   const std::byte* src = remote_mr.base + roff;
   std::byte* dst = local_mr.base + loff;
   auto staged = std::make_shared<std::vector<std::byte>>();
@@ -382,6 +425,11 @@ void Context::rput_typed(const MemoryRegion& local_mr, const MemoryRegion& remot
       static_cast<std::uint64_t>(static_cast<double>(total) * p.typed_wire_factor);
   const auto t =
       wire_transfer(src_node, dst_node, wire_bytes, now(), {}, "rput typed data");
+  std::uint64_t fid = 0;
+  if (trace() != nullptr) {
+    fid = trace()->next_flow_id();
+    flow('s', process_.rank(), "rput typed", fid, now(), total, remote_mr.owner);
+  }
   auto staged = std::make_shared<std::vector<std::byte>>(total);
   std::uint64_t off = 0;
   for (const auto& c : chunks) {
@@ -402,7 +450,11 @@ void Context::rput_typed(const MemoryRegion& local_mr, const MemoryRegion& remot
   }
   if (on_remote_ack) {
     const auto ack = wire_control(dst_node, src_node, t.arrive, "rput typed ack");
+    flow('t', remote_mr.owner, "rput typed deliver", fid, t.arrive, total);
+    flow('f', process_.rank(), "rput typed ack", fid, ack.arrive);
     post_completion_at(ack.arrive, std::move(on_remote_ack), 0);
+  } else {
+    flow('f', remote_mr.owner, "rput typed deliver", fid, t.arrive, total);
   }
 }
 
@@ -423,6 +475,12 @@ void Context::rget_typed(const MemoryRegion& local_mr, const MemoryRegion& remot
       static_cast<std::uint64_t>(static_cast<double>(total) * p.typed_wire_factor);
   const auto data =
       wire_transfer(dst_node, src_node, wire_bytes, req.arrive, {}, "rget typed data");
+  if (trace() != nullptr) {
+    const std::uint64_t fid = trace()->next_flow_id();
+    flow('s', process_.rank(), "rget typed", fid, now(), total, remote_mr.owner);
+    flow('t', remote_mr.owner, "rget typed serve", fid, req.arrive);
+    flow('f', process_.rank(), "rget typed data", fid, data.arrive, total);
+  }
   auto staged = std::make_shared<std::vector<std::byte>>(total);
   const std::byte* rbase = remote_mr.base;
   machine().engine().schedule_at(req.arrive, [staged, rbase, chunks] {
@@ -465,6 +523,11 @@ void Context::send(Endpoint dest, DispatchId dispatch, std::vector<std::byte> he
   msg.payload = std::move(payload);
   msg.sent_at = now();
   msg.arrived_at = t.arrive;
+  if (trace() != nullptr) {
+    msg.flow_id = trace()->next_flow_id();
+    flow('s', process_.rank(), "am send", msg.flow_id, now(), wire_bytes,
+         dest.rank);
+  }
   Context& dest_ctx = machine().process(dest.rank).context(dest.context);
   machine().engine().schedule_at(
       t.arrive, [&dest_ctx, dispatch, msg = std::move(msg)]() mutable {
@@ -484,20 +547,27 @@ void Context::put(Endpoint dest, const std::byte* local, std::byte* remote,
   const int dst_node = machine().mapping().node_of_rank(dest.rank);
   const auto t = wire_transfer(src_node, dst_node, p.control_packet_bytes + bytes,
                                now(), {}, "put data");
+  std::uint64_t fid = 0;
+  if (trace() != nullptr) {
+    fid = trace()->next_flow_id();
+    flow('s', process_.rank(), "put", fid, now(), bytes, dest.rank);
+  }
   Item item;
   item.kind = Item::Kind::kPutData;
   item.deposit_to = remote;
   item.deposit_data.assign(local, local + bytes);
+  item.flow_id = fid;
   Context& dest_ctx = machine().process(dest.rank).context(dest.context);
   if (on_remote_done) {
     // After the deposit is serviced, a NIC ack returns to us.
     Context* self = this;
     const Endpoint me{process_.rank(), index_};
-    item.remote_ack = [self, me, dest, cb = std::move(on_remote_done)]() mutable {
+    item.remote_ack = [self, me, dest, fid, cb = std::move(on_remote_done)]() mutable {
       Machine& m = self->machine();
       const int from = m.mapping().node_of_rank(dest.rank);
       const int to = m.mapping().node_of_rank(me.rank);
       const auto ack = self->wire_control(from, to, m.engine().now(), "put ack");
+      self->flow('f', me.rank, "put ack", fid, ack.arrive);
       m.engine().schedule_at(ack.arrive, [self, cb = std::move(cb)]() mutable {
         self->post_completion(std::move(cb), self->machine().params().o_completion);
       });
@@ -518,6 +588,11 @@ void Context::get(Endpoint dest, std::byte* local, const std::byte* remote,
   const int src_node = process_.node();
   const int dst_node = machine().mapping().node_of_rank(dest.rank);
   const auto req = wire_control(src_node, dst_node, now(), "get request");
+  std::uint64_t fid = 0;
+  if (trace() != nullptr) {
+    fid = trace()->next_flow_id();
+    flow('s', process_.rank(), "get", fid, now(), bytes, dest.rank);
+  }
   Item item;
   item.kind = Item::Kind::kGetRequest;
   item.requester_buffer = local;
@@ -525,6 +600,7 @@ void Context::get(Endpoint dest, std::byte* local, const std::byte* remote,
   item.bytes = bytes;
   item.reply_to = Endpoint{process_.rank(), index_};
   item.callback = std::move(on_done);
+  item.flow_id = fid;
   Context& dest_ctx = machine().process(dest.rank).context(dest.context);
   machine().engine().schedule_at(req.arrive, [&dest_ctx, item = std::move(item)]() mutable {
     dest_ctx.post(std::move(item));
@@ -539,19 +615,28 @@ void Context::rmw(Endpoint dest, std::int64_t* remote_word, RmwOp op,
   const int src_node = process_.node();
   const int dst_node = machine().mapping().node_of_rank(dest.rank);
   const auto req = wire_control(src_node, dst_node, now(), "rmw request");
+  std::uint64_t fid = 0;
+  if (trace() != nullptr) {
+    fid = trace()->next_flow_id();
+    flow('s', process_.rank(), "rmw", fid, now(), sizeof(std::int64_t),
+         dest.rank);
+  }
 
   if (p.hardware_amo) {
     // Gemini/InfiniBand-style NIC AMO: the target NIC applies the
     // operation with no target software (ablation: bench_abl_hw_amo).
     Context* self = this;
+    const RankId me = process_.rank();
     machine().engine().schedule_at(
         req.arrive + p.hw_amo_service,
-        [self, remote_word, op, operand, compare, dst_node, src_node,
-         cb = std::move(on_done)]() mutable {
+        [self, remote_word, op, operand, compare, dst_node, src_node, fid, me,
+         dest, cb = std::move(on_done)]() mutable {
           const std::int64_t old = apply_rmw(remote_word, op, operand, compare);
           Machine& m = self->machine();
           const auto reply =
               self->wire_control(dst_node, src_node, m.engine().now(), "rmw hw reply");
+          self->flow('t', dest.rank, "rmw hw serve", fid, m.engine().now());
+          self->flow('f', me, "rmw hw reply", fid, reply.arrive);
           m.engine().schedule_at(reply.arrive, [self, old, cb = std::move(cb)]() mutable {
             self->post_completion([cb = std::move(cb), old] { cb(old); },
                                   self->machine().params().o_completion);
@@ -564,9 +649,10 @@ void Context::rmw(Endpoint dest, std::int64_t* remote_word, RmwOp op,
   Context& dest_ctx = machine().process(dest.rank).context(dest.context);
   const Endpoint me{process_.rank(), index_};
   machine().engine().schedule_at(
-      req.arrive, [&dest_ctx, remote_word, op, operand, compare, me,
+      req.arrive, [&dest_ctx, remote_word, op, operand, compare, me, fid,
                    cb = std::move(on_done)]() mutable {
-        dest_ctx.post_rmw_service(remote_word, op, operand, compare, me, std::move(cb));
+        dest_ctx.post_rmw_service(remote_word, op, operand, compare, me,
+                                  std::move(cb), fid);
       });
 }
 

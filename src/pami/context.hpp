@@ -28,6 +28,7 @@
 #include "pami/memregion.hpp"
 #include "pami/types.hpp"
 #include "sim/sync.hpp"
+#include "sim/trace.hpp"
 #include "util/time_types.hpp"
 
 namespace pgasq::pami {
@@ -158,7 +159,7 @@ class Context {
   void post_am(DispatchId dispatch, AmMessage msg);
   void post_rmw_service(std::int64_t* word, RmwOp op, std::int64_t operand,
                         std::int64_t compare, Endpoint reply_to,
-                        RmwCallback reply_cb);
+                        RmwCallback reply_cb, std::uint64_t flow_id = 0);
 
   // --- Wire legs with fault recovery --------------------------------------
 
@@ -202,11 +203,21 @@ class Context {
     std::byte* deposit_to = nullptr;
     std::vector<std::byte> deposit_data;
     Callback remote_ack;  // posts back to requester when serviced
+    /// Causal-trace flow id carried from initiation to service (0 =
+    /// untraced); lets the service side finish the Perfetto arrow.
+    std::uint64_t flow_id = 0;
   };
 
   void process_item(Item& item);
   void post(Item item);
   Machine& machine();
+  /// Active trace recorder, or nullptr when tracing is off.
+  sim::TraceRecorder* trace();
+  /// Emits one causal-flow endpoint ('s'/'t'/'f' of flow `id`) on
+  /// `rank`'s net track. No-op when tracing is off or `id` is 0, so
+  /// service paths can call it unconditionally.
+  void flow(char phase, RankId rank, const char* name, std::uint64_t id,
+            Time at, std::uint64_t bytes = 0, int peer = -1);
   /// Charges busy time on the calling fiber.
   void busy(Time t);
   Time now() const;

@@ -23,8 +23,19 @@ Machine::Machine(MachineConfig config)
       rng_(config_.seed) {
   network_ = noc::make_network_model(config_.network_model, torus_, config_.params);
   if (!config_.trace_json_path.empty()) {
-    trace_ = std::make_unique<sim::TraceRecorder>();
+    trace_ = std::make_unique<sim::TraceRecorder>(config_.trace_max_events);
     engine_.set_trace(trace_.get());
+    // One flow track per rank: network flow endpoints (injection,
+    // delivery, ack) land here rather than on the fiber tracks, so
+    // Perfetto draws message arrows between ranks.
+    net_tracks_.reserve(static_cast<std::size_t>(config_.num_ranks));
+    for (RankId r = 0; r < config_.num_ranks; ++r) {
+      net_tracks_.push_back(trace_->register_track("net@rank" + std::to_string(r)));
+    }
+  }
+  if (config_.obs.links) {
+    link_usage_ = std::make_unique<obs::LinkUsage>(torus_, config_.obs.link_bucket);
+    network_->set_link_usage(link_usage_.get());
   }
   if (config_.fault.enabled()) {
     injector_ = std::make_unique<fault::Injector>(config_.fault, torus_);
@@ -42,6 +53,22 @@ Machine::Machine(MachineConfig config)
 }
 
 Machine::~Machine() = default;
+
+std::uint32_t Machine::rank_track(RankId rank) const {
+  PGASQ_CHECK(trace_ != nullptr && rank >= 0 &&
+              static_cast<std::size_t>(rank) < net_tracks_.size());
+  return net_tracks_[static_cast<std::size_t>(rank)];
+}
+
+void configure_observability(const Config& cfg, MachineConfig& config) {
+  cfg.reject_unknown("trace", {"json_path", "max_events"});
+  config.trace_json_path = cfg.get_string("trace.json_path", config.trace_json_path);
+  const std::int64_t cap = cfg.get_int(
+      "trace.max_events", static_cast<std::int64_t>(config.trace_max_events));
+  PGASQ_CHECK(cap > 0, << "trace.max_events must be positive");
+  config.trace_max_events = static_cast<std::size_t>(cap);
+  config.obs = obs::Options::from_config(cfg, config.obs);
+}
 
 Process& Machine::process(RankId rank) {
   PGASQ_CHECK(rank >= 0 && rank < num_ranks(), << "rank " << rank);

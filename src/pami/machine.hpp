@@ -13,10 +13,12 @@
 #include "ft/liveness.hpp"
 #include "noc/network.hpp"
 #include "noc/parameters.hpp"
+#include "obs/link_usage.hpp"
 #include "pami/process.hpp"
 #include "sim/engine.hpp"
 #include "sim/trace.hpp"
 #include "topo/torus.hpp"
+#include "util/config.hpp"
 #include "util/rng.hpp"
 
 namespace pgasq::pami {
@@ -41,10 +43,21 @@ struct MachineConfig {
   /// Fail-stop detection knobs; consulted only when the fault plan
   /// schedules node deaths (otherwise no health monitor is built).
   ft::LivenessConfig ft{};
-  /// Non-empty: record a Chrome trace-event JSON of fiber activity in
-  /// virtual time and write it here when the run completes.
+  /// Non-empty: record a Chrome trace-event JSON of fiber activity,
+  /// message flows, and fault markers in virtual time and write it
+  /// here when the run completes (trace.json_path).
   std::string trace_json_path;
+  /// Event cap for the recorder (trace.max_events); hitting it warns
+  /// and sets the "trace truncated" report row.
+  std::size_t trace_max_events = sim::TraceRecorder::kDefaultMaxEvents;
+  /// Observability knobs (obs.*): per-link byte accounting & heatmap.
+  obs::Options obs{};
 };
+
+/// Applies the trace.* and obs.* config namespaces onto `config`
+/// (rejecting unknown keys): trace.json_path, trace.max_events,
+/// obs.links, obs.link_bucket_us, obs.link_top, obs.link_csv.
+void configure_observability(const Config& cfg, MachineConfig& config);
 
 class Machine {
  public:
@@ -55,12 +68,22 @@ class Machine {
 
   sim::Engine& engine() { return engine_; }
   noc::NetworkModel& network() { return *network_; }
+  const noc::NetworkModel& network() const { return *network_; }
   /// Active fault injector, or nullptr when the fault plan is disabled.
   fault::Injector* injector() { return injector_.get(); }
   const fault::Injector* injector() const { return injector_.get(); }
   /// Health monitor, or nullptr unless the plan schedules node deaths.
   ft::HealthMonitor* monitor() { return monitor_.get(); }
   const ft::HealthMonitor* monitor() const { return monitor_.get(); }
+  /// Active trace recorder, or nullptr when tracing is off.
+  sim::TraceRecorder* trace() { return trace_.get(); }
+  const sim::TraceRecorder* trace() const { return trace_.get(); }
+  /// Per-link byte accounting, or nullptr when obs.links is off.
+  obs::LinkUsage* link_usage() { return link_usage_.get(); }
+  const obs::LinkUsage* link_usage() const { return link_usage_.get(); }
+  /// Trace track carrying rank `r`'s network flow endpoints
+  /// ("net@rank<r>"); only valid while tracing.
+  std::uint32_t rank_track(RankId rank) const;
   const topo::Torus5D& torus() const { return torus_; }
   const topo::RankMapping& mapping() const { return mapping_; }
   const MachineConfig& config() const { return config_; }
@@ -85,6 +108,8 @@ class Machine {
 
   MachineConfig config_;
   std::unique_ptr<sim::TraceRecorder> trace_;
+  std::vector<std::uint32_t> net_tracks_;  // per-rank flow tracks
+  std::unique_ptr<obs::LinkUsage> link_usage_;
   sim::Engine engine_;
   topo::Torus5D torus_;
   topo::RankMapping mapping_;

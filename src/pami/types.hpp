@@ -50,6 +50,8 @@ struct AmMessage {
   std::vector<std::byte> payload;
   Time sent_at = 0;
   Time arrived_at = 0;
+  /// Causal-trace flow id linking send to dispatch (0 = untraced).
+  std::uint64_t flow_id = 0;
 };
 
 /// One contiguous piece of a typed (strided) transfer: byte offsets

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "util/error.hpp"
+#include "util/log.hpp"
 
 namespace pgasq::sim {
 
@@ -12,28 +13,49 @@ std::uint32_t TraceRecorder::register_track(const std::string& name) {
   return static_cast<std::uint32_t>(tracks_.size() - 1);
 }
 
-void TraceRecorder::begin_slice(std::uint32_t track, Time at) {
-  if (events_.size() >= max_events_) {
+bool TraceRecorder::room() {
+  if (events_.size() < max_events_) return true;
+  if (!truncated_) {
     truncated_ = true;
-    return;
+    PGASQ_LOG(kWarn) << "trace truncated at " << max_events_
+                     << " events; later events are dropped "
+                        "(raise trace.max_events)";
   }
-  events_.push_back(Event{'B', track, at, {}});
+  return false;
+}
+
+void TraceRecorder::begin_slice(std::uint32_t track, Time at) {
+  if (!room()) return;
+  events_.push_back(Event{'B', track, at, 0, 0, {}, {}});
 }
 
 void TraceRecorder::end_slice(std::uint32_t track, Time at) {
-  if (events_.size() >= max_events_) {
-    truncated_ = true;
-    return;
-  }
-  events_.push_back(Event{'E', track, at, {}});
+  if (!room()) return;
+  events_.push_back(Event{'E', track, at, 0, 0, {}, {}});
 }
 
-void TraceRecorder::instant(std::uint32_t track, const std::string& name, Time at) {
-  if (events_.size() >= max_events_) {
-    truncated_ = true;
-    return;
-  }
-  events_.push_back(Event{'i', track, at, name});
+void TraceRecorder::instant(std::uint32_t track, const std::string& name,
+                            Time at, TraceArgs args) {
+  if (!room()) return;
+  events_.push_back(Event{'i', track, at, 0, 0, name, std::move(args)});
+}
+
+void TraceRecorder::complete(std::uint32_t track, const std::string& name,
+                             Time at, Time dur, TraceArgs args) {
+  if (!room()) return;
+  events_.push_back(Event{'X', track, at, dur, 0, name, std::move(args)});
+}
+
+void TraceRecorder::flow_point(char phase, std::uint32_t track,
+                               const std::string& name, std::uint64_t id,
+                               Time at, TraceArgs args) {
+  PGASQ_CHECK(phase == 's' || phase == 't' || phase == 'f',
+              << "bad flow phase '" << phase << "'");
+  PGASQ_CHECK(id != 0, << "flow id 0 is reserved for 'no flow'");
+  // Anchor slice first so the flow event binds to it.
+  complete(track, name, at, 0, std::move(args));
+  if (!room()) return;
+  events_.push_back(Event{phase, track, at, 0, id, name, {}});
 }
 
 namespace {
@@ -42,6 +64,21 @@ void append_escaped(std::ostringstream& os, const std::string& s) {
     if (c == '"' || c == '\\') os << '\\';
     os << c;
   }
+}
+
+void append_args(std::ostringstream& os, const TraceArgs& args) {
+  os << ",\"args\":{";
+  bool first = true;
+  for (const auto& [k, v] : args) {
+    if (!first) os << ',';
+    first = false;
+    os << '"';
+    append_escaped(os, k);
+    os << "\":\"";
+    append_escaped(os, v);
+    os << '"';
+  }
+  os << '}';
 }
 }  // namespace
 
@@ -64,14 +101,35 @@ std::string TraceRecorder::to_json() const {
     // ts is in microseconds of virtual time.
     os << "{\"ph\":\"" << e.phase << "\",\"pid\":1,\"tid\":" << e.track
        << ",\"ts\":" << to_us(e.at);
-    if (e.phase == 'i') {
-      os << ",\"s\":\"t\",\"name\":\"";
-      append_escaped(os, e.name);
-      os << "\"";
-    } else {
-      os << ",\"name\":\"run\"";
+    switch (e.phase) {
+      case 'B':
+      case 'E':
+        os << ",\"name\":\"run\"";
+        break;
+      case 'i':
+        os << ",\"s\":\"t\",\"name\":\"";
+        append_escaped(os, e.name);
+        os << '"';
+        if (!e.args.empty()) append_args(os, e.args);
+        break;
+      case 'X':
+        os << ",\"dur\":" << to_us(e.dur) << ",\"name\":\"";
+        append_escaped(os, e.name);
+        os << '"';
+        if (!e.args.empty()) append_args(os, e.args);
+        break;
+      case 's':
+      case 't':
+      case 'f':
+        os << ",\"cat\":\"flow\",\"id\":" << e.id << ",\"name\":\"";
+        append_escaped(os, e.name);
+        os << '"';
+        if (e.phase == 'f') os << ",\"bp\":\"e\"";
+        break;
+      default:
+        PGASQ_UNREACHABLE("unknown trace phase");
     }
-    os << "}";
+    os << '}';
   }
   os << "]}";
   return os.str();

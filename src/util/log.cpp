@@ -7,7 +7,9 @@
 namespace pgasq {
 
 namespace {
-LogLevel g_level = LogLevel::kOff;
+// Warnings and errors print by default (to stderr, so benchmark stdout
+// stays clean); chattier levels are opt-in via PGASQ_LOG / set_level.
+LogLevel g_level = LogLevel::kWarn;
 
 const char* name_of(LogLevel level) {
   switch (level) {

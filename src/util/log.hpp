@@ -1,5 +1,6 @@
-// Minimal leveled logging. Off by default (benchmark output must stay
-// clean); enabled per-run via Logger::set_level or PGASQ_LOG env var.
+// Minimal leveled logging. Warn-and-up print to stderr by default
+// (benchmark stdout must stay clean); chattier levels are enabled
+// per-run via Logger::set_level or the PGASQ_LOG env var.
 #pragma once
 
 #include <sstream>
@@ -39,8 +40,8 @@ class LogLine {
 
 }  // namespace pgasq
 
-#define PGASQ_LOG(level)                                   \
-  if (::pgasq::LogLevel::level < ::pgasq::Logger::level()) \
-    ;                                                      \
-  else                                                     \
-    ::pgasq::detail::LogLine(::pgasq::LogLevel::level)
+#define PGASQ_LOG(lvl)                                   \
+  if (::pgasq::LogLevel::lvl < ::pgasq::Logger::level()) \
+    ;                                                    \
+  else                                                   \
+    ::pgasq::detail::LogLine(::pgasq::LogLevel::lvl)

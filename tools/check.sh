@@ -22,7 +22,33 @@ pass() {
   ctest --test-dir "${repo}/${dir}" --output-on-failure -j "${jobs}"
 }
 
+obs_gate() {
+  # Observability gate: a traced SCF run must produce a trace whose
+  # flows pair up (with cross-track put/get/coll-hop/ack arrows) and a
+  # schema-valid machine-readable report, and two benches must emit
+  # BENCH_*.json. Artifacts land in the build dir.
+  local dir="$1" out="${repo}/$1/obs-gate"
+  echo "=== observability gate: ${dir}" >&2
+  mkdir -p "${out}"
+  # --distributed_guess routes the initial density through ga_put
+  # (put/ack flows); pinning a software allreduce gives the energy
+  # reduction per-hop messages (the hw model has none to trace).
+  "${repo}/${dir}/examples/scf_walkthrough" --ranks=8 --nbf=24 --block=8 \
+    --task_us=50 --distributed_guess=1 --coll.algo.allreduce=recdbl \
+    "--trace.json_path=${out}/scf_trace.json" \
+    "--report.json_path=${out}/scf_report.json" --obs.links=1 >/dev/null
+  python3 "${repo}/tools/validate_trace.py" --require-ops \
+    --trace "${out}/scf_trace.json" --report "${out}/scf_report.json"
+  "${repo}/${dir}/bench/bench_fig3_latency" \
+    "--report.json_path=${out}/BENCH_fig3.json" >/dev/null
+  "${repo}/${dir}/bench/bench_fig4_bandwidth" --obs.links=1 \
+    "--report.json_path=${out}/BENCH_fig4.json" >/dev/null
+  python3 "${repo}/tools/validate_trace.py" --report "${out}/BENCH_fig3.json"
+  python3 "${repo}/tools/validate_trace.py" --report "${out}/BENCH_fig4.json"
+}
+
 pass build-check
+obs_gate build-check
 pass build-check-ubsan -DPGASQ_SANITIZE=undefined \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 if [[ "${run_asan}" == 1 ]]; then

@@ -1,0 +1,196 @@
+#!/usr/bin/env python3
+"""Validate pgasq observability artifacts.
+
+Checks a Chrome trace-event JSON (--trace) and/or a pgasq.report JSON
+(--report) for well-formedness and the invariants the runtime promises:
+
+trace:
+  * top level is {"traceEvents": [...]} and every event carries the
+    required keys for its phase;
+  * flow pairing — every flow start ('s') has exactly one finish ('f')
+    with the same id, every step/finish has a start, and points of one
+    flow are time-ordered (s <= t <= f in virtual time);
+  * with --require-ops, the trace must demonstrate the PR's acceptance
+    flows: at least one put, one get, one collective hop and one ack
+    flow whose endpoints sit on *different* tracks (arrows across rank
+    tracks in Perfetto).
+
+report:
+  * schema == "pgasq.report" and a schema_version this tool knows;
+  * metrics entries are well-formed (name/type/value);
+  * per-link bucket sums equal each link's byte total, and the sum over
+    links equals metrics obs.link_bytes_total (when links are present).
+
+Exit code 0 on success; 1 with a message on the first violation.
+"""
+
+import argparse
+import json
+import sys
+
+KNOWN_SCHEMA_VERSIONS = {1}
+
+
+def fail(msg):
+    print(f"validate_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path, what):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load {what} {path}: {e}")
+
+
+def validate_trace(path, require_ops):
+    doc = load(path, "trace")
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail("trace top level must be an object with 'traceEvents'")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail("'traceEvents' must be an array")
+
+    flows = {}  # id -> list of (phase, ts, tid, name)
+    tracks = set()
+    n_slices = 0
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail(f"event {i} is not an object")
+        ph = ev.get("ph")
+        if ph is None:
+            fail(f"event {i} has no 'ph'")
+        if ph == "M":
+            if ev.get("name") == "thread_name":
+                tracks.add(ev.get("tid"))
+            continue
+        for key in ("ts", "pid", "tid"):
+            if key not in ev:
+                fail(f"event {i} (ph={ph}) missing '{key}'")
+        if ph in ("B", "E"):
+            n_slices += 1
+        elif ph == "X":
+            if "dur" not in ev:
+                fail(f"complete event {i} missing 'dur'")
+        elif ph in ("s", "t", "f"):
+            if "id" not in ev:
+                fail(f"flow event {i} missing 'id'")
+            if ev.get("cat") != "flow":
+                fail(f"flow event {i} must have cat='flow'")
+            if ph == "f" and ev.get("bp") != "e":
+                fail(f"flow finish {i} must carry bp='e'")
+            flows.setdefault(ev["id"], []).append(
+                (ph, ev["ts"], ev["tid"], ev.get("name", "")))
+        elif ph == "i":
+            if "s" not in ev:
+                fail(f"instant event {i} missing scope 's'")
+        elif ph != "C":
+            fail(f"event {i} has unknown phase {ph!r}")
+
+    order = {"s": 0, "t": 1, "f": 2}
+    for fid, points in flows.items():
+        phases = [p for p, _, _, _ in points]
+        if phases.count("s") != 1:
+            fail(f"flow {fid} has {phases.count('s')} starts (want 1): {points}")
+        if phases.count("f") != 1:
+            fail(f"flow {fid} has {phases.count('f')} finishes (want 1): {points}")
+        pts = sorted(points, key=lambda p: (order[p[0]], p[1]))
+        ts = [t for _, t, _, _ in pts]
+        if ts != sorted(ts):
+            fail(f"flow {fid} points are not time-ordered: {points}")
+
+    if require_ops:
+        def cross_track(prefix):
+            for points in flows.values():
+                named = [p for p in points if prefix in p[3]]
+                if not named:
+                    continue
+                tids = {tid for _, _, tid, _ in points}
+                if len(tids) >= 2:
+                    return True
+            return False
+
+        for prefix, what in (("put", "put"), ("get", "get"),
+                             ("coll hop", "collective hop")):
+            if not cross_track(prefix):
+                fail(f"no cross-track {what} flow found (--require-ops)")
+        acks = [p for points in flows.values() for p in points
+                if "ack" in p[3]]
+        if not acks:
+            fail("no ack flow point found (--require-ops)")
+        if not any(len({tid for _, _, tid, _ in points}) >= 2
+                   and any("ack" in name for _, _, _, name in points)
+                   for points in flows.values()):
+            fail("no cross-track ack flow found (--require-ops)")
+
+    print(f"validate_trace: trace OK — {len(events)} events, "
+          f"{len(flows)} flows, {len(tracks)} named tracks, "
+          f"{n_slices} slice edges")
+
+
+def validate_report(path):
+    doc = load(path, "report")
+    if doc.get("schema") != "pgasq.report":
+        fail(f"report schema is {doc.get('schema')!r}, want 'pgasq.report'")
+    version = doc.get("schema_version")
+    if version not in KNOWN_SCHEMA_VERSIONS:
+        fail(f"unknown report schema_version {version!r}")
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, list):
+        fail("report 'metrics' must be an array")
+    by_name = {}
+    for i, m in enumerate(metrics):
+        if not isinstance(m, dict) or "name" not in m or "type" not in m:
+            fail(f"metric {i} malformed: {m!r}")
+        if m["type"] == "histogram":
+            if "total" not in m or "buckets" not in m:
+                fail(f"histogram metric {m['name']} missing total/buckets")
+            if sum(m["buckets"]) != m["total"]:
+                fail(f"histogram {m['name']} buckets sum {sum(m['buckets'])}"
+                     f" != total {m['total']}")
+        elif "value" not in m:
+            fail(f"metric {m['name']} missing 'value'")
+        by_name.setdefault(m["name"], m)
+
+    links = doc.get("links")
+    if links is not None:
+        total = 0
+        for link in links.get("links", []):
+            bucket_sum = sum(b for _, b in link.get("buckets", []))
+            if bucket_sum != link["bytes"]:
+                fail(f"link {link.get('name')} bucket sum {bucket_sum}"
+                     f" != total {link['bytes']}")
+            total += link["bytes"]
+        want = by_name.get("obs.link_bytes_total")
+        if want is not None and total != want["value"]:
+            fail(f"sum over links {total} != obs.link_bytes_total"
+                 f" {want['value']}")
+
+    trace = doc.get("trace")
+    if trace is not None and trace.get("truncated"):
+        print("validate_trace: note — report says the trace was truncated",
+              file=sys.stderr)
+
+    print(f"validate_trace: report OK — schema v{version}, "
+          f"{len(metrics)} metrics"
+          + (f", {len(links.get('links', []))} links" if links else ""))
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--trace", help="Chrome trace-event JSON to validate")
+    ap.add_argument("--report", help="pgasq.report JSON to validate")
+    ap.add_argument("--require-ops", action="store_true",
+                    help="require cross-track put/get/coll-hop/ack flows")
+    args = ap.parse_args()
+    if not args.trace and not args.report:
+        ap.error("nothing to do: pass --trace and/or --report")
+    if args.trace:
+        validate_trace(args.trace, args.require_ops)
+    if args.report:
+        validate_report(args.report)
+
+
+if __name__ == "__main__":
+    main()
