@@ -44,35 +44,50 @@ void CollEngine::bcast_binomial(std::byte* data, std::size_t bytes, int root) {
   }
 }
 
-void CollEngine::bcast_ring(std::byte* data, std::size_t bytes, int root) {
+void CollEngine::bcast_ring(std::byte* data, std::size_t bytes, int root,
+                            std::size_t seg) {
   // Dimension-ordered chain tree: the root fires a chain down every
   // torus ring it sits on; each filled rank extends its own chain and
   // starts chains in all higher dimensions. Every hop is a nearest-
   // neighbour transfer, so large payloads ride the full 2 GB/s links
   // instead of the tree's long routes.
-  begin_data_op(bytes, 1);
-  const std::vector<int> mine = digits_of(comm_.rank());
+  //
+  // With seg > 0 the payload is pipelined down the chains in segments
+  // (slot s carries segment s): a rank forwards segment s while
+  // segment s+1 is still in flight to it, so a D-deep chain costs
+  // ~(D + nseg) segment times instead of D * nseg.
+  const std::size_t nseg =
+      (seg == 0 || seg >= bytes) ? 1 : (bytes + seg - 1) / seg;
+  const std::size_t seg_bytes = nseg == 1 ? bytes : seg;
+  begin_data_op(seg_bytes, nseg);
+  const std::vector<int> mine = digits_of(me_);
   const std::vector<int> rootd = digits_of(root);
   const int dims = static_cast<int>(rings_.size());
   int k = -1;  // highest ring on which I differ from the root
   for (int d = 0; d < dims; ++d) {
     if (mine[d] != rootd[d]) k = d;
   }
-  if (k >= 0) std::memcpy(data, recv_wait(0, bytes), bytes);
+  std::vector<int> children;  // chain extension first, then chain starts
   if (k >= 0) {
     const int m = rings_[k].size;
     const int next_digit = (mine[k] + 1) % m;
     if (next_digit != rootd[k]) {
       std::vector<int> child = mine;
       child[k] = next_digit;
-      send(rank_of_digits(child), 0, data, bytes);
+      children.push_back(rank_of_digits(child));
     }
   }
   for (int d = k + 1; d < dims; ++d) {
     if (rings_[d].size <= 1) continue;
     std::vector<int> child = mine;
     child[d] = (mine[d] + 1) % rings_[d].size;
-    send(rank_of_digits(child), 0, data, bytes);
+    children.push_back(rank_of_digits(child));
+  }
+  for (std::size_t s = 0; s < nseg; ++s) {
+    const std::size_t off = s * seg_bytes;
+    const std::size_t len = std::min(seg_bytes, bytes - off);
+    if (k >= 0) std::memcpy(data + off, recv_wait(s, len), len);
+    for (const int child : children) send(child, s, data + off, len);
   }
 }
 
@@ -349,20 +364,23 @@ void CollEngine::alltoall_torus(const std::byte* in, std::size_t bytes,
   // Torus-hop-ordered schedule: targets sorted nearest-first, so
   // neighbour exchanges drain off the links before long-haul routes
   // pile contention onto the shared dimension-order paths. Works for
-  // any p; slot index = source rank keeps matching order-independent.
-  const int p = geometry_.p, me = comm_.rank();
+  // any p (positions are schedule positions; hop distances come from
+  // the world ranks behind them); slot index = source position keeps
+  // matching order-independent.
+  const int p = geometry_.p, me = me_;
   begin_data_op(bytes, static_cast<std::size_t>(p));
   std::memcpy(out + static_cast<std::size_t>(me) * bytes,
               in + static_cast<std::size_t>(me) * bytes, bytes);
   const pami::Machine& machine = comm_.world().machine();
   const topo::Torus5D& torus = machine.torus();
   const topo::RankMapping& map = machine.mapping();
-  const int my_node = map.node_of_rank(me);
+  const int my_node = map.node_of_rank(wrank(me));
   std::vector<std::pair<int, int>> order;  // (hops, target)
   order.reserve(static_cast<std::size_t>(p) - 1);
   for (int off = 1; off < p; ++off) {
     const int target = (me + off) % p;
-    order.emplace_back(torus.hop_distance(my_node, map.node_of_rank(target)), target);
+    order.emplace_back(
+        torus.hop_distance(my_node, map.node_of_rank(wrank(target))), target);
   }
   std::stable_sort(order.begin(), order.end(),
                    [](const auto& a, const auto& b) { return a.first < b.first; });

@@ -13,10 +13,15 @@ namespace {
 
 // Scratch arena layout: a fixed barrier-word region at the base (its
 // words live at stable addresses forever, so software-barrier flags
-// stay monotone across data-op epochs), data slots after it.
+// stay monotone across data-op epochs), data slots after it. A group
+// engine's world-collective arena is control-only: barrier words plus
+// a member address table (word kBarrierWords + i holds member i's
+// current data-area base); its data slots live in per-member
+// registered local areas instead.
 constexpr std::size_t kBarrierWords = 64;
 constexpr std::size_t kBarrierBytes = kBarrierWords * 8;
 constexpr std::size_t kInitialDataBytes = 4096;
+constexpr int kAddrWord0 = static_cast<int>(kBarrierWords);
 
 // Barrier-word assignments (disjoint per schedule, so mixing schedules
 // across invocations is safe).
@@ -60,7 +65,7 @@ class CollEngine::OpTimer {
 
   ~OpTimer() {
     const Time t1 = e_.comm_.now();
-    armci::CollStats& s = e_.comm_.coll_stats();
+    armci::CollStats& s = *e_.stats_;
     ++s.count[op_][algo_];
     s.bytes[op_][algo_] += bytes_;
     s.time[op_][algo_] += t1 - t0_;
@@ -92,7 +97,9 @@ CollEngine::CollEngine(armci::Comm& comm) : CollEngine(comm, std::vector<int>{})
 CollEngine::CollEngine(armci::Comm& comm, std::vector<int> members)
     : comm_(comm),
       config_(CollConfig::from_options(comm.options())),
-      members_(std::move(members)) {
+      members_(std::move(members)),
+      stats_(&comm.coll_stats()),
+      salt_(comm.next_coll_engine_salt()) {
   pami::Machine& machine = comm.world().machine();
   const topo::Torus5D& torus = machine.torus();
   const topo::RankMapping& map = machine.mapping();
@@ -106,6 +113,11 @@ CollEngine::CollEngine(armci::Comm& comm, std::vector<int> members)
   geometry_.shrunk = shrunk;
   const fault::Injector* injector = machine.injector();
   geometry_.link_faults = injector != nullptr && injector->has_link_faults();
+  if (!shrunk) {
+    geometry_.ppn = map.ranks_per_node();
+    geometry_.nodes = torus.num_nodes();
+    geometry_.hier = geometry_.ppn > 1 && geometry_.nodes > 1;
+  }
 
   const int me = comm.rank();
   me_ = me;
@@ -143,7 +155,8 @@ CollEngine::CollEngine(armci::Comm& comm, std::vector<int> members)
   hw_ = std::static_pointer_cast<HwShared>(shared);
 
   if ((trace_ = machine.engine().trace()) != nullptr) {
-    track_ = trace_->register_track("coll/r" + std::to_string(me));
+    track_ = trace_->register_track("coll/r" + std::to_string(me),
+                                    !machine.rank_traced(me));
   }
 
   // Collective: every rank constructs its engine at the same program
@@ -160,6 +173,108 @@ CollEngine::CollEngine(armci::Comm& comm, std::vector<int> members)
   });
 }
 
+CollEngine::CollEngine(armci::Comm& comm, const GroupSpec& spec)
+    : comm_(comm),
+      config_(CollConfig::from_options(comm.options())),
+      members_(spec.members),
+      group_(true),
+      label_(spec.label),
+      salt_(comm.next_coll_engine_salt()) {
+  pami::Machine& machine = comm.world().machine();
+  const topo::Torus5D& torus = machine.torus();
+  const topo::RankMapping& map = machine.mapping();
+  const int me = comm.rank();
+  const auto it = std::find(members_.begin(), members_.end(), me);
+  member_ = it != members_.end();
+  me_ = member_ ? static_cast<int>(it - members_.begin()) : -1;
+
+  geometry_.p = static_cast<int>(members_.size());
+  geometry_.pow2 = !members_.empty() &&
+                   std::has_single_bit(static_cast<unsigned>(members_.size()));
+  geometry_.diameter = torus.diameter();
+  geometry_.group = true;
+  const fault::Injector* injector = machine.injector();
+  geometry_.link_faults = injector != nullptr && injector->has_link_faults();
+
+  // Ring schedules survive grouping when the member set is an
+  // axis-aligned box in (A..E coordinate, slot) space — the canonical
+  // node group (one node's slots: a T-extent box) and leaders group
+  // (slot 0 everywhere: the full torus at one slot) both are. Digits
+  // are indices into the per-axis sorted value lists; neighbours are
+  // looked up by digit tuple.
+  if (member_ && members_.size() > 1) {
+    const std::size_t n = members_.size();
+    std::vector<std::array<int, topo::kDims + 1>> tuples(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const topo::Coord5 c = torus.coord_of(map.node_of_rank(members_[i]));
+      for (int d = 0; d < topo::kDims; ++d) tuples[i][d] = c[d];
+      tuples[i][topo::kDims] = map.slot_of_rank(members_[i]);
+    }
+    std::array<std::vector<int>, topo::kDims + 1> values;
+    for (int a = 0; a <= topo::kDims; ++a) {
+      std::vector<int>& v = values[a];
+      v.reserve(n);
+      for (const auto& t : tuples) v.push_back(t[a]);
+      std::sort(v.begin(), v.end());
+      v.erase(std::unique(v.begin(), v.end()), v.end());
+    }
+    std::size_t box = 1;
+    for (const auto& v : values) box *= v.size();
+    if (box == n) {  // distinct tuples + matching volume = full box
+      std::vector<int> axes;
+      for (int a = 0; a <= topo::kDims; ++a) {
+        if (values[a].size() > 1) axes.push_back(a);
+      }
+      member_digits_.resize(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        std::vector<int>& dg = member_digits_[i];
+        dg.resize(axes.size());
+        for (std::size_t k = 0; k < axes.size(); ++k) {
+          const std::vector<int>& v = values[static_cast<std::size_t>(axes[k])];
+          dg[k] = static_cast<int>(
+              std::lower_bound(v.begin(), v.end(),
+                               tuples[i][static_cast<std::size_t>(axes[k])]) -
+              v.begin());
+        }
+        digit_index_[dg] = static_cast<int>(i);
+      }
+      const std::vector<int>& mine = member_digits_[static_cast<std::size_t>(me_)];
+      for (std::size_t k = 0; k < axes.size(); ++k) {
+        const int a = axes[k];
+        const int m = static_cast<int>(values[static_cast<std::size_t>(a)].size());
+        std::vector<int> up = mine, down = mine;
+        up[k] = (up[k] + 1) % m;
+        down[k] = (down[k] - 1 + m) % m;
+        rings_.push_back({a < topo::kDims ? a : -1, m, mine[k],
+                          digit_index_.at(up), digit_index_.at(down)});
+      }
+    }
+  }
+  geometry_.torus_dims = static_cast<int>(rings_.size());
+
+  if (member_) {
+    stats_ = &comm.group_coll_stats(label_);
+    if ((trace_ = machine.engine().trace()) != nullptr) {
+      track_ = trace_->register_track("grp/" + label_ + "/r" + std::to_string(me),
+                                      !machine.rank_traced(me));
+    }
+  } else {
+    stats_ = &comm.coll_stats();  // never written: ops reject non-members
+  }
+
+  // One uniform world-collective control arena per engine: barrier
+  // words plus the member address table. Every live world rank — even
+  // a non-member — constructs its engine here, so the allocation
+  // rendezvous lines up. Data slots are attached lazily (group_grow)
+  // at the first data-moving op. No barrier hook, no hardware-model
+  // attach: those belong to the world engine alone.
+  const std::size_t control_slots =
+      spec.control_slots == 0 ? members_.size() : spec.control_slots;
+  PGASQ_CHECK(!member_ || control_slots >= members_.size());
+  peer_data_.assign(members_.size(), nullptr);
+  scratch_ = &comm_.malloc_collective(kBarrierBytes + control_slots * 8);
+}
+
 CollEngine::~CollEngine() = default;
 
 void CollEngine::rebuild_shrunk(armci::Comm& comm, std::vector<int> members) {
@@ -170,7 +285,14 @@ void CollEngine::rebuild_shrunk(armci::Comm& comm, std::vector<int> members) {
   // writes from the dead epoch land in dead memory.
   comm.set_barrier_hook(nullptr);
   comm.coll_slot().reset();
+  const std::vector<int> survivors = members;
   comm.coll_slot() = std::make_shared<CollEngine>(comm, std::move(members));
+  // Process groups are built on top of the engine: let the registry
+  // (src/grp) mark every group stale and rebuild the derived node /
+  // leaders groups over the survivor clique. This point is collective
+  // over survivors (recovery re-aligned the allocation sequence just
+  // before the rebuild), which group reconstruction requires.
+  if (comm.shrink_hook()) comm.shrink_hook()(survivors);
 }
 
 // ---------------------------------------------------------------------------
@@ -178,6 +300,7 @@ void CollEngine::rebuild_shrunk(armci::Comm& comm, std::vector<int> members) {
 // ---------------------------------------------------------------------------
 
 bool CollEngine::ensure_scratch(std::size_t data_bytes) {
+  PGASQ_CHECK(!group_);  // group data slots live in group_grow areas
   const std::size_t needed = kBarrierBytes + data_bytes;
   if (scratch_ != nullptr && scratch_->bytes_per_rank() >= needed) return false;
   in_alloc_ = true;
@@ -204,6 +327,24 @@ void CollEngine::begin_data_op(std::size_t slot_payload, std::size_t n_slots) {
   PGASQ_CHECK(n_slots > 0);
   slot_bytes_ = 8 + ((slot_payload + 7) & ~std::size_t{7});
   n_slots_ = n_slots;
+  if (group_) {
+    // Group epochs rendezvous over the control arena, never the
+    // world-wide hardware barrier (non-members are elsewhere).
+    ++epoch_;
+    group_rendezvous();  // all previous-epoch traffic delivered
+    const std::size_t need = slot_bytes_ * n_slots;
+    if (data_cap_ < need) {
+      group_grow(need);  // fresh zero-filled area; publish + rendezvous
+      layout_ = slot_bytes_;
+    } else if (layout_ != slot_bytes_) {
+      // Flag words move when the slot pitch changes; wipe between two
+      // rendezvous so no new-epoch write races the memset.
+      std::memset(data_local_, 0, data_cap_);
+      group_rendezvous();
+      layout_ = slot_bytes_;
+    }
+    return;
+  }
   const bool grew = ensure_scratch(slot_bytes_ * n_slots);
   ++epoch_;
   if (grew) {
@@ -233,6 +374,53 @@ void CollEngine::poll() {
   comm_.compute(from_ns(200));
 }
 
+void CollEngine::group_rendezvous() {
+  if (geometry_.p <= 1) return;
+  comm_.fence_all();
+  ++barrier_seq_;
+  barrier_dissemination();
+}
+
+void CollEngine::group_grow(std::size_t need) {
+  std::size_t cap = data_cap_ == 0 ? kInitialDataBytes : data_cap_;
+  while (cap < need) cap *= 2;
+  // The old area is abandoned in place (Comm keeps the registered
+  // allocation until finalize): straggler writes from the epoch just
+  // quiesced and stale remote region-cache entries both stay harmless,
+  // and the fresh area arrives zero-filled.
+  data_local_ = static_cast<std::byte*>(comm_.malloc_local(cap));
+  data_cap_ = cap;
+  const auto base = reinterpret_cast<std::uint64_t>(data_local_);
+  for (int j = 0; j < geometry_.p; ++j) {
+    if (j == me_) continue;
+    put_word(j, kAddrWord0 + me_, base);
+  }
+  peer_data_[static_cast<std::size_t>(me_)] = data_local_;
+  // Delivery + arrival of every member's address word, then read the
+  // table (plain loads: the values are not monotone, so wait_word does
+  // not apply — the rendezvous is the synchronization).
+  group_rendezvous();
+  const std::byte* table = scratch_->local(comm_.rank());
+  for (int j = 0; j < geometry_.p; ++j) {
+    if (j == me_) continue;
+    std::uint64_t v = 0;
+    std::memcpy(&v, table + static_cast<std::size_t>(kAddrWord0 + j) * 8, 8);
+    peer_data_[static_cast<std::size_t>(j)] = reinterpret_cast<std::byte*>(v);
+  }
+}
+
+armci::RemotePtr CollEngine::slot_remote(int to, std::size_t slot) {
+  if (group_) {
+    return {wrank(to), peer_data_[static_cast<std::size_t>(to)] + slot * slot_bytes_};
+  }
+  return scratch_->at(wrank(to), kBarrierBytes + slot * slot_bytes_);
+}
+
+std::byte* CollEngine::slot_local(std::size_t slot) {
+  if (group_) return data_local_ + slot * slot_bytes_;
+  return scratch_->local(comm_.rank()) + kBarrierBytes + slot * slot_bytes_;
+}
+
 std::byte* CollEngine::grow_local(std::byte*& buf, std::size_t& capacity,
                                   std::size_t need) {
   if (capacity >= need) return buf;
@@ -257,8 +445,7 @@ void CollEngine::send(int to, std::size_t slot, const void* data,
   }
   // One put carries flag + payload: the simulator delivers it in a
   // single atomic copy, so a raised flag implies a complete payload.
-  comm_.put(stage, scratch_->at(wrank(to), kBarrierBytes + slot * slot_bytes_),
-            8 + bytes);
+  comm_.put(stage, slot_remote(to, slot), 8 + bytes);
 }
 
 void CollEngine::send_nb(int to, std::size_t slot, const void* data,
@@ -272,14 +459,12 @@ void CollEngine::send_nb(int to, std::size_t slot, const void* data,
                        comm_.now(), {{"bytes", std::to_string(bytes)},
                                      {"to", "rank" + std::to_string(wrank(to))}});
   }
-  comm_.nb_put(stage, scratch_->at(wrank(to), kBarrierBytes + slot * slot_bytes_),
-               8 + bytes, handle);
+  comm_.nb_put(stage, slot_remote(to, slot), 8 + bytes, handle);
 }
 
 const std::byte* CollEngine::recv_wait(std::size_t slot, std::size_t bytes) {
   PGASQ_CHECK(slot < n_slots_ && bytes + 8 <= slot_bytes_);
-  std::byte* base =
-      scratch_->local(comm_.rank()) + kBarrierBytes + slot * slot_bytes_;
+  std::byte* base = slot_local(slot);
   const volatile std::uint64_t* flag =
       reinterpret_cast<const volatile std::uint64_t*>(base);
   while (*flag < epoch_) poll();
@@ -311,6 +496,9 @@ void CollEngine::wait_word(int word, std::uint64_t at_least) {
 // ---------------------------------------------------------------------------
 
 void CollEngine::barrier() {
+  PGASQ_CHECK(!group_ || member_,
+              << "rank " << comm_.rank() << " is not a member of group '"
+              << label_ << "': collective call rejected");
   const Algo algo = config_.choose(Op::kBarrier, 0, geometry_);
   OpTimer timer(*this, Op::kBarrier, algo, 0);
   run_barrier(algo);
@@ -319,7 +507,12 @@ void CollEngine::barrier() {
 void CollEngine::run_barrier(Algo algo) {
   if (geometry_.p == 1) return;
   if (algo == Algo::kHw) {
+    PGASQ_CHECK(!group_, << "hw barrier on a process group");
     comm_.barrier_hw();  // the global-interrupt network (fences first)
+    return;
+  }
+  if (algo == Algo::kHier) {
+    hier_barrier();
     return;
   }
   comm_.fence_all();
@@ -453,20 +646,31 @@ void CollEngine::hw_reduce_sum(double* x, std::size_t n, int root, bool all) {
 // ---------------------------------------------------------------------------
 
 void CollEngine::broadcast(void* data, std::size_t bytes, armci::RankId root) {
+  PGASQ_CHECK(!group_ || member_,
+              << "rank " << comm_.rank() << " is not a member of group '"
+              << label_ << "': collective call rejected");
   PGASQ_CHECK(data != nullptr && bytes > 0 && root >= 0 && root < geometry_.p);
   if (geometry_.p == 1) return;
   const Algo algo = config_.choose(Op::kBroadcast, bytes, geometry_);
+  broadcast_with(algo, static_cast<std::byte*>(data), bytes, root,
+                 config_.bcast_segment_bytes);
+}
+
+void CollEngine::broadcast_with(Algo algo, std::byte* d, std::size_t bytes,
+                                int root, std::size_t seg) {
   OpTimer timer(*this, Op::kBroadcast, algo, bytes);
-  auto* d = static_cast<std::byte*>(data);
   switch (algo) {
     case Algo::kBinomial:
       bcast_binomial(d, bytes, root);
       break;
     case Algo::kTorusRing:
-      bcast_ring(d, bytes, root);
+      bcast_ring(d, bytes, root, seg);
       break;
     case Algo::kHw:
       hw_broadcast(d, bytes, root);
+      break;
+    case Algo::kHier:
+      hier_broadcast(d, bytes, root);
       break;
     default:
       PGASQ_CHECK(false, << "bad broadcast algorithm");
@@ -474,6 +678,9 @@ void CollEngine::broadcast(void* data, std::size_t bytes, armci::RankId root) {
 }
 
 void CollEngine::reduce_sum(double* x, std::size_t n, armci::RankId root) {
+  PGASQ_CHECK(!group_ || member_,
+              << "rank " << comm_.rank() << " is not a member of group '"
+              << label_ << "': collective call rejected");
   PGASQ_CHECK(x != nullptr && n > 0 && root >= 0 && root < geometry_.p);
   if (geometry_.p == 1) return;
   const Algo algo = config_.choose(Op::kReduce, n * 8, geometry_);
@@ -488,12 +695,18 @@ void CollEngine::reduce_sum(double* x, std::size_t n, armci::RankId root) {
     case Algo::kHw:
       hw_reduce_sum(x, n, root, /*all=*/false);
       break;
+    case Algo::kHier:
+      hier_reduce_sum(x, n, root, /*all=*/false);
+      break;
     default:
       PGASQ_CHECK(false, << "bad reduce algorithm");
   }
 }
 
 void CollEngine::allreduce_sum(double* x, std::size_t n) {
+  PGASQ_CHECK(!group_ || member_,
+              << "rank " << comm_.rank() << " is not a member of group '"
+              << label_ << "': collective call rejected");
   PGASQ_CHECK(x != nullptr && n > 0);
   if (geometry_.p == 1) return;
   const Algo algo = config_.choose(Op::kAllreduce, n * 8, geometry_);
@@ -512,12 +725,18 @@ void CollEngine::allreduce_sum(double* x, std::size_t n) {
     case Algo::kHw:
       hw_reduce_sum(x, n, 0, /*all=*/true);
       break;
+    case Algo::kHier:
+      hier_reduce_sum(x, n, 0, /*all=*/true);
+      break;
     default:
       PGASQ_CHECK(false, << "bad allreduce algorithm");
   }
 }
 
 void CollEngine::allgather(const void* in, std::size_t bytes, void* out) {
+  PGASQ_CHECK(!group_ || member_,
+              << "rank " << comm_.rank() << " is not a member of group '"
+              << label_ << "': collective call rejected");
   PGASQ_CHECK(in != nullptr && out != nullptr && bytes > 0);
   auto* o = static_cast<std::byte*>(out);
   const auto* i = static_cast<const std::byte*>(in);
@@ -537,12 +756,18 @@ void CollEngine::allgather(const void* in, std::size_t bytes, void* out) {
     case Algo::kTorusRing:
       allgather_ring(i, bytes, o);
       break;
+    case Algo::kHier:
+      hier_allgather(i, bytes, o);
+      break;
     default:
       PGASQ_CHECK(false, << "bad allgather algorithm");
   }
 }
 
 void CollEngine::alltoall(const void* in, std::size_t bytes, void* out) {
+  PGASQ_CHECK(!group_ || member_,
+              << "rank " << comm_.rank() << " is not a member of group '"
+              << label_ << "': collective call rejected");
   PGASQ_CHECK(in != nullptr && out != nullptr && bytes > 0);
   auto* o = static_cast<std::byte*>(out);
   const auto* i = static_cast<const std::byte*>(in);
@@ -568,19 +793,25 @@ void CollEngine::alltoall(const void* in, std::size_t bytes, void* out) {
 // Geometry helpers
 // ---------------------------------------------------------------------------
 
-std::vector<int> CollEngine::digits_of(int rank) const {
+// Both helpers operate in schedule-position space: `v` is a world rank
+// in full mode and a member index in group mode, matching what send()
+// and the RingDim neighbour fields use.
+
+std::vector<int> CollEngine::digits_of(int v) const {
+  if (group_) return member_digits_[static_cast<std::size_t>(v)];
   const pami::Machine& machine = comm_.world().machine();
   const topo::RankMapping& map = machine.mapping();
-  const topo::Coord5 c = machine.torus().coord_of(map.node_of_rank(rank));
+  const topo::Coord5 c = machine.torus().coord_of(map.node_of_rank(v));
   std::vector<int> digits(rings_.size());
   for (std::size_t i = 0; i < rings_.size(); ++i) {
     digits[i] =
-        rings_[i].torus_dim >= 0 ? c[rings_[i].torus_dim] : map.slot_of_rank(rank);
+        rings_[i].torus_dim >= 0 ? c[rings_[i].torus_dim] : map.slot_of_rank(v);
   }
   return digits;
 }
 
 int CollEngine::rank_of_digits(const std::vector<int>& digits) const {
+  if (group_) return digit_index_.at(digits);
   const pami::Machine& machine = comm_.world().machine();
   topo::Coord5 c{};
   int slot = 0;

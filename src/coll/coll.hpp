@@ -31,7 +31,9 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "coll/selection.hpp"
@@ -41,6 +43,24 @@
 namespace pgasq::coll {
 
 struct HwShared;
+
+/// Membership + labelling of a group-mode engine (process groups from
+/// src/grp, and the hierarchy's internal node/leader groups).
+/// Construction is collective over ALL live world ranks — including
+/// ranks that are not members: they pass the same `control_slots`
+/// (arena sizing must be uniform) and get a non-member engine whose
+/// collective calls are rejected.
+struct GroupSpec {
+  /// World ranks in schedule order; empty for a non-member engine.
+  std::vector<int> members;
+  /// Stats / trace key (e.g. "node", "leaders", "g3"). Per-group
+  /// CollStats land in Comm::group_coll_stats(label).
+  std::string label;
+  /// Width of the per-rank control arena in address-table slots; must
+  /// be >= the largest member count of any group constructed at this
+  /// collective point. 0 means members.size().
+  std::size_t control_slots = 0;
+};
 
 class CollEngine {
  public:
@@ -56,6 +76,14 @@ class CollEngine {
   /// collective-logic schedules are unselectable (a survivor set has
   /// no clean torus decomposition).
   CollEngine(armci::Comm& comm, std::vector<int> members);
+  /// Group-mode engine (see GroupSpec): schedules run over the group's
+  /// members only, on a private two-tier arena — a world-collective
+  /// control arena (software-barrier words + member address table) and
+  /// per-member registered data areas whose bases are re-exchanged
+  /// through the control arena on growth. The hardware collective
+  /// logic is unselectable; torus rings survive when the member set
+  /// decomposes into an axis-aligned box of (coordinate, slot) tuples.
+  CollEngine(armci::Comm& comm, const GroupSpec& spec);
   ~CollEngine();
   CollEngine(const CollEngine&) = delete;
   CollEngine& operator=(const CollEngine&) = delete;
@@ -92,6 +120,14 @@ class CollEngine {
   Algo algo_for(Op op, std::uint64_t bytes) const {
     return config_.choose(op, bytes, geometry_);
   }
+  /// Group-mode membership: true except for a non-member group engine.
+  bool is_member() const { return member_; }
+  /// My schedule position (dense group rank in group mode, world rank
+  /// in full mode, member index after a shrink); -1 for a non-member.
+  int group_rank() const { return me_; }
+  /// The schedule's member list (world ranks). Empty in full-clique
+  /// mode, where position v IS world rank v.
+  const std::vector<int>& group_members() const { return members_; }
 
  private:
   /// One ring the torus decomposes this clique into: a torus dimension
@@ -109,9 +145,23 @@ class CollEngine {
   // Scratch arena & slot transport (coll.cpp).
   bool ensure_scratch(std::size_t data_bytes);
   /// Opens a data-moving invocation: sizes the slot layout, isolates
-  /// it from the previous epoch (hardware-barrier rendezvous, zeroing
-  /// the arena when the layout changed), and advances the epoch.
+  /// it from the previous epoch (hardware-barrier rendezvous in full
+  /// mode, software group rendezvous in group mode, zeroing the slots
+  /// when the layout changed), and advances the epoch.
   void begin_data_op(std::size_t slot_payload, std::size_t n_slots);
+  /// Group mode: quiesce the previous epoch without touching the
+  /// world-wide hardware barrier (fence + dissemination over the
+  /// control-arena words; same delivery guarantee for members).
+  void group_rendezvous();
+  /// Group mode: replace the data area with a fresh zero-filled
+  /// registered allocation of >= `need` bytes and re-exchange member
+  /// base addresses through the control arena. The old area is kept
+  /// (never freed), so straggler writes and stale remote region
+  /// handles stay harmless. Callers are synchronized (begin_data_op).
+  void group_grow(std::size_t need);
+  /// Where slot `slot` of member `to` / of me lives this epoch.
+  armci::RemotePtr slot_remote(int to, std::size_t slot);
+  std::byte* slot_local(std::size_t slot);
   void send(int to, std::size_t slot, const void* data, std::size_t bytes);
   /// Non-blocking send for all-to-all overlap; `stage` must stay live
   /// (8 + bytes capacity) until the handle completes.
@@ -129,9 +179,12 @@ class CollEngine {
   /// world rank `recv_wrank` this epoch. Sender and receiver compute
   /// the same id independently (no extra wire state), so Perfetto can
   /// pair the 's' at send time with the 'f' at recv_wait. High-bit
-  /// tagged to stay disjoint from TraceRecorder's sequential ids.
+  /// tagged to stay disjoint from TraceRecorder's sequential ids; the
+  /// per-engine salt keeps concurrent engines (world + group) from
+  /// aliasing each other's ids.
   std::uint64_t hop_flow_id(int recv_wrank, std::size_t slot) const {
-    return (1ULL << 63) | ((epoch_ & 0xFFFFFFULL) << 38) |
+    return (1ULL << 63) | ((salt_ & 0xFFULL) << 55) |
+           ((epoch_ & 0x1FFFFULL) << 38) |
            ((static_cast<std::uint64_t>(slot) & 0x3FFFFULL) << 20) |
            static_cast<std::uint64_t>(recv_wrank);
   }
@@ -144,7 +197,11 @@ class CollEngine {
 
   // Software data schedules (algorithms.cpp).
   void bcast_binomial(std::byte* data, std::size_t bytes, int root);
-  void bcast_ring(std::byte* data, std::size_t bytes, int root);
+  /// Chain-tree broadcast; `seg > 0` pipelines the payload down the
+  /// chains in `seg`-byte segments (one slot per segment), so a hop
+  /// forwards segment s while still receiving s+1. seg == 0 keeps the
+  /// whole-payload-per-hop schedule.
+  void bcast_ring(std::byte* data, std::size_t bytes, int root, std::size_t seg);
   void reduce_binomial(double* x, std::size_t n, int root);
   void allreduce_recdbl(double* x, std::size_t n);
   void allreduce_ring(double* x, std::size_t n);
@@ -153,6 +210,22 @@ class CollEngine {
   void allgather_ring(const std::byte* in, std::size_t bytes, std::byte* out);
   void alltoall_pairwise_xor(const std::byte* in, std::size_t bytes, std::byte* out);
   void alltoall_torus(const std::byte* in, std::size_t bytes, std::byte* out);
+
+  // Hierarchical node-aware schedules (hier.cpp): intra-node combine
+  // over the shared-memory path, inter-node step via the leaders
+  // group, pipelined intra-node fan-out.
+  void ensure_hier();
+  void hier_barrier();
+  void hier_broadcast(std::byte* data, std::size_t bytes, int root);
+  void hier_reduce_sum(double* x, std::size_t n, int root, bool all);
+  void hier_allgather(const std::byte* in, std::size_t bytes, std::byte* out);
+  /// Runs a specific broadcast schedule (bypassing selection) — the
+  /// hierarchy's fan-out primitive on the node group.
+  void broadcast_with(Algo algo, std::byte* data, std::size_t bytes, int root,
+                      std::size_t seg);
+  /// Effective fan-out segment size: the configured
+  /// coll.bcast_segment_bytes, or the built-in default when unset.
+  std::size_t fanout_segment() const;
 
   // Hardware collective-logic model (coll.cpp).
   void hw_broadcast(std::byte* data, std::size_t bytes, int root);
@@ -173,11 +246,11 @@ class CollEngine {
   armci::Comm& comm_;
   CollConfig config_;
   Geometry geometry_;
-  /// Empty in full-clique mode; else the surviving world ranks this
-  /// engine schedules over.
+  /// Empty in full-clique mode; else the surviving world ranks (shrunk
+  /// mode) or group members (group mode) this engine schedules over.
   std::vector<int> members_;
   /// This rank's schedule position: comm_.rank() in full mode, the
-  /// member-list index after a shrink.
+  /// member-list index after a shrink or in a group (-1: non-member).
   int me_ = 0;
   /// World rank behind schedule position `v`.
   int wrank(int v) const {
@@ -185,6 +258,31 @@ class CollEngine {
   }
   std::vector<RingDim> rings_;
   std::shared_ptr<HwShared> hw_;
+
+  // Group mode (see GroupSpec).
+  bool group_ = false;
+  bool member_ = true;
+  std::string label_;
+  /// Per-ring digit tuple of each member / tuple -> member position,
+  /// for the boxy-group ring schedules (full mode derives digits from
+  /// the machine mapping instead).
+  std::vector<std::vector<int>> member_digits_;
+  std::map<std::vector<int>, int> digit_index_;
+  /// Registered data area (slots) + each member's published base.
+  std::byte* data_local_ = nullptr;
+  std::size_t data_cap_ = 0;
+  std::vector<std::byte*> peer_data_;
+  /// Where OpTimer accounts this engine's ops: the world CollStats, or
+  /// the per-group table keyed by label_.
+  armci::CollStats* stats_ = nullptr;
+  /// Flow-id salt: per-Comm engine creation sequence (identical on
+  /// every rank — engines are constructed collectively).
+  std::uint64_t salt_ = 0;
+
+  // Hierarchy children, built lazily at the first hier-selected
+  // collective (a collective point, so construction lines up).
+  std::unique_ptr<CollEngine> hier_node_;
+  std::unique_ptr<CollEngine> hier_leaders_;
 
   armci::GlobalMem* scratch_ = nullptr;
   std::size_t layout_ = 0;  ///< slot_bytes the arena is currently keyed to

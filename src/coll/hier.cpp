@@ -1,0 +1,141 @@
+// Hierarchical (node-aware) two-level schedules. The Table II c-sweep
+// shows intra-node traffic dominating as ranks-per-node grows; these
+// schedules combine within each node over the shared-memory path first
+// (noc/parameters.hpp models it at ~5x the torus byte rate with no
+// wire latency), cross nodes once via the leaders group — one transfer
+// per inter-node link instead of c — and fan back out within the node
+// down the pipelined T-ring chain. The same lever QCDOC and the PMS
+// machine pulled: use the mesh links once per node.
+//
+// The two internal groups are ordinary group-mode CollEngines over
+// RankMapping-derived member lists: "hier-node" (the slots of my node,
+// member index == slot) and "hier-leaders" (slot 0 of every node,
+// member index == node id). Both are constructed lazily at the first
+// hier-selected collective — a collective point, so construction (and
+// its world-collective control arenas) lines up on every rank.
+#include <cstring>
+#include <vector>
+
+#include "coll/coll.hpp"
+#include "util/error.hpp"
+
+namespace pgasq::coll {
+
+namespace {
+// Fan-out pipeline segment when coll.bcast_segment_bytes is unset: one
+// L2-friendly chunk, small enough to overlap hops within a node chain.
+constexpr std::size_t kDefaultFanoutSegment = 64 * 1024;
+}  // namespace
+
+std::size_t CollEngine::fanout_segment() const {
+  return config_.bcast_segment_bytes != 0 ? config_.bcast_segment_bytes
+                                          : kDefaultFanoutSegment;
+}
+
+void CollEngine::ensure_hier() {
+  if (hier_node_ != nullptr) return;
+  PGASQ_CHECK(geometry_.hier, << "hierarchical schedule without node groups");
+  const topo::RankMapping& map = comm_.world().machine().mapping();
+  const int c = map.ranks_per_node();
+  const int nodes = geometry_.nodes;
+  const int my_node = map.node_of_rank(comm_.rank());
+
+  GroupSpec node_spec;
+  node_spec.label = "hier-node";
+  node_spec.members.reserve(static_cast<std::size_t>(c));
+  for (int s = 0; s < c; ++s) node_spec.members.push_back(map.rank_of(my_node, s));
+
+  GroupSpec lead_spec;
+  lead_spec.label = "hier-leaders";
+  lead_spec.members.reserve(static_cast<std::size_t>(nodes));
+  for (int k = 0; k < nodes; ++k) lead_spec.members.push_back(map.rank_of(k, 0));
+
+  // The children's control-arena allocations barrier through the world
+  // Comm; in_alloc_ routes that barrier to the hardware rendezvous so
+  // it cannot re-enter this (mid-collective) engine.
+  in_alloc_ = true;
+  hier_node_ = std::make_unique<CollEngine>(comm_, node_spec);
+  hier_leaders_ = std::make_unique<CollEngine>(comm_, lead_spec);
+  in_alloc_ = false;
+}
+
+void CollEngine::hier_barrier() {
+  ensure_hier();
+  const bool leader = hier_leaders_->is_member();
+  // Arrive within the node, cross once per node, release the node.
+  hier_node_->barrier();
+  if (leader) hier_leaders_->barrier();
+  hier_node_->barrier();
+}
+
+void CollEngine::hier_broadcast(std::byte* data, std::size_t bytes, int root) {
+  ensure_hier();
+  const topo::RankMapping& map = comm_.world().machine().mapping();
+  const int root_node = map.node_of_rank(root);
+  const int root_slot = map.slot_of_rank(root);
+  const int my_node = map.node_of_rank(comm_.rank());
+  const bool leader = hier_leaders_->is_member();
+  // Stage the payload to the root node's leader (slot 0) when the root
+  // is not the leader itself; that node is fully served by this step.
+  if (my_node == root_node && root_slot != 0) {
+    hier_node_->broadcast(data, bytes, root_slot);
+  }
+  // One transfer per inter-node link: leaders only.
+  if (leader) hier_leaders_->broadcast(data, bytes, root_node);
+  // Pipelined chain fan-out within every node the leader step fed.
+  if (my_node != root_node || root_slot == 0) {
+    hier_node_->broadcast_with(Algo::kTorusRing, data, bytes, 0,
+                               fanout_segment());
+  }
+}
+
+void CollEngine::hier_reduce_sum(double* x, std::size_t n, int root, bool all) {
+  ensure_hier();
+  const topo::RankMapping& map = comm_.world().machine().mapping();
+  const int root_node = map.node_of_rank(root);
+  const int root_slot = map.slot_of_rank(root);
+  const int my_node = map.node_of_rank(comm_.rank());
+  const bool leader = hier_leaders_->is_member();
+  // Combine the node's c contributions over shared memory, into the
+  // leader (member index == slot, so the leader is group rank 0).
+  hier_node_->reduce_sum(x, n, 0);
+  if (all) {
+    if (leader) hier_leaders_->allreduce_sum(x, n);
+    hier_node_->broadcast_with(Algo::kTorusRing,
+                               reinterpret_cast<std::byte*>(x), n * 8, 0,
+                               fanout_segment());
+  } else {
+    if (leader) hier_leaders_->reduce_sum(x, n, root_node);
+    if (my_node == root_node && root_slot != 0) {
+      // Ship the result from the leader to the requested root; other
+      // node members' buffers are unspecified after a reduce anyway.
+      hier_node_->broadcast(reinterpret_cast<std::byte*>(x), n * 8, 0);
+    }
+  }
+}
+
+void CollEngine::hier_allgather(const std::byte* in, std::size_t bytes,
+                                std::byte* out) {
+  ensure_hier();
+  const topo::RankMapping& map = comm_.world().machine().mapping();
+  const int c = map.ranks_per_node();
+  const int my_node = map.node_of_rank(comm_.rank());
+  const bool leader = hier_leaders_->is_member();
+  const std::size_t node_block = static_cast<std::size_t>(c) * bytes;
+  // ABCDET packs node k's ranks at [k*c, (k+1)*c): the node's block of
+  // the world-rank-ordered result is contiguous, so the node allgather
+  // can assemble it in place.
+  std::byte* my_block = out + static_cast<std::size_t>(my_node) * node_block;
+  hier_node_->allgather(in, bytes, my_block);
+  if (leader) {
+    // Leaders exchange whole node blocks (copied out: the leaders'
+    // allgather output region overlaps my_block).
+    const std::vector<std::byte> staged(my_block, my_block + node_block);
+    hier_leaders_->allgather(staged.data(), node_block, out);
+  }
+  hier_node_->broadcast_with(Algo::kTorusRing, out,
+                             static_cast<std::size_t>(geometry_.p) * bytes, 0,
+                             fanout_segment());
+}
+
+}  // namespace pgasq::coll

@@ -70,6 +70,10 @@ CollConfig CollConfig::from_options(const armci::Options& options) {
       c.ring_min_bytes = parse_u64(key, value);
     } else if (key == "ring_min_ranks") {
       c.ring_min_ranks = static_cast<int>(parse_u64(key, value));
+    } else if (key == "hier_min_ppn") {
+      c.hier_min_ppn = static_cast<int>(parse_u64(key, value));
+    } else if (key == "bcast_segment_bytes") {
+      c.bcast_segment_bytes = parse_u64(key, value);
     } else {
       PGASQ_CHECK(false, << "unknown option coll." << key);
     }
@@ -81,9 +85,14 @@ Algo CollConfig::choose(Op op, std::uint64_t bytes, const Geometry& g) const {
   const Algo forced = force[static_cast<int>(op)];
   if (forced != Algo::kAuto) return normalize(op, forced, g);
 
-  const bool hw = hw_enabled && !g.link_faults && !g.shrunk;
+  const bool hw = hw_enabled && !g.link_faults && !g.shrunk && !g.group;
   const bool ring =
       g.p >= ring_min_ranks && bytes >= ring_min_bytes && g.torus_dims > 0;
+  // Node-aware two-level schedules pay off on the software path once
+  // enough ranks share a node (Table II's c sweep): the intra-node
+  // combine collapses c contributions over shared memory, so every
+  // inter-node link carries one transfer instead of c.
+  const bool hier = g.hier && g.ppn >= hier_min_ppn;
   Algo pick = Algo::kBinomial;
   switch (op) {
     case Op::kBarrier:
@@ -99,22 +108,25 @@ Algo CollConfig::choose(Op op, std::uint64_t bytes, const Geometry& g) const {
     // or deselected by a link-fault plan).
     case Op::kBroadcast:
       pick = hw                  ? Algo::kHw
+             : hier              ? Algo::kHier
              : bytes < small_bytes ? Algo::kBinomial
              : ring              ? Algo::kTorusRing
                                  : Algo::kBinomial;
       break;
     case Op::kReduce:
-      pick = hw ? Algo::kHw : Algo::kBinomial;
+      pick = hw ? Algo::kHw : hier ? Algo::kHier : Algo::kBinomial;
       break;
     case Op::kAllreduce:
       pick = hw                  ? Algo::kHw
+             : hier              ? Algo::kHier
              : bytes < small_bytes ? Algo::kRecdbl
              : ring              ? Algo::kTorusRing
                                  : Algo::kRecdbl;
       break;
     case Op::kAllgather:
       // Total result is p * bytes: bandwidth schedules win early.
-      pick = (g.pow2 && bytes * static_cast<std::uint64_t>(g.p) < ring_min_bytes)
+      pick = hier ? Algo::kHier
+             : (g.pow2 && bytes * static_cast<std::uint64_t>(g.p) < ring_min_bytes)
                  ? Algo::kRecdbl
                  : Algo::kTorusRing;
       break;
@@ -132,9 +144,30 @@ Algo CollConfig::normalize(Op op, Algo algo, const Geometry& g) const {
   // fault plan that fails links; and it spans the whole partition, so
   // a shrunk survivor clique cannot ride it either. Route through
   // software in both cases.
-  if (algo == Algo::kHw && (!hw_enabled || g.link_faults || g.shrunk)) {
+  if (algo == Algo::kHw && (!hw_enabled || g.link_faults || g.shrunk || g.group)) {
     algo = op == Op::kBarrier || op == Op::kAllreduce ? Algo::kRecdbl
                                                       : Algo::kBinomial;
+  }
+  // The two-level schedules need the full world clique mapped with
+  // more than one rank per node and more than one node; the
+  // personalized exchange has no combine step to hoist into a node, so
+  // alltoall always runs flat.
+  if (algo == Algo::kHier && (!g.hier || op == Op::kAlltoall)) {
+    switch (op) {
+      case Op::kBarrier:
+      case Op::kAllreduce:
+        algo = Algo::kRecdbl;
+        break;
+      case Op::kAlltoall:
+        algo = g.torus_dims > 0 ? Algo::kTorusRing : Algo::kRecdbl;
+        break;
+      case Op::kAllgather:
+        algo = g.torus_dims > 0 ? Algo::kTorusRing : Algo::kBinomial;
+        break;
+      default:
+        algo = Algo::kBinomial;
+        break;
+    }
   }
   // The ring schedules need the full per-dimension torus rings; a
   // shrunk clique reports torus_dims == 0.

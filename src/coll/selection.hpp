@@ -34,6 +34,7 @@ enum class Algo : int {
   kRecdbl = 1,     ///< recursive doubling / halving (XOR partners)
   kTorusRing = 2,  ///< per-torus-dimension ring / bucket schedule
   kHw = 3,         ///< BG/Q collective-logic hardware model
+  kHier = 4,       ///< node-aware two-level (shm combine + leaders)
 };
 
 const char* op_name(Op op);
@@ -54,6 +55,16 @@ struct Geometry {
   /// whole partition) and the torus ring schedules (which need the
   /// full per-dimension rings) are unselectable.
   bool shrunk = false;
+  /// Process-group engine (src/grp, or a hierarchy's internal child
+  /// engines): the hardware collective logic spans the whole partition
+  /// and is unselectable; rings survive when the member set decomposes
+  /// into torus rings (torus_dims > 0).
+  bool group = false;
+  int ppn = 1;    ///< ranks per node (c) under the active mapping
+  int nodes = 1;  ///< node count under the active mapping
+  /// Two-level node-aware schedules are runnable: full world clique
+  /// with ppn > 1 and more than one node.
+  bool hier = false;
 };
 
 /// Tunables + per-op forced algorithms, parsed from the raw `coll.*`
@@ -78,6 +89,15 @@ struct CollConfig {
   /// count.
   std::uint64_t ring_min_bytes = 64 * 1024;
   int ring_min_ranks = 16;
+  /// Hierarchical (node-aware) schedules are preferred on the software
+  /// path once this many ranks share a node: below that the intra-node
+  /// combine saves too little inter-node traffic to pay for its extra
+  /// phase (Table II's c sweep).
+  int hier_min_ppn = 8;
+  /// Segment size for the pipelined chain-tree broadcast; 0 keeps the
+  /// whole-payload-per-hop schedule. The hierarchical fan-out always
+  /// pipelines (with this value, or its own default when unset).
+  std::uint64_t bcast_segment_bytes = 0;
 
   static CollConfig from_options(const armci::Options& options);
 

@@ -200,9 +200,12 @@ void Comm::finalize() {
   // A rank whose node was declared dead must not synchronize with the
   // survivors — it just tears down.
   if (!ft_failed_) barrier();
-  // Detach the collectives engine (if one attached) before teardown:
-  // its destructor deregisters from the cross-rank shared state, and
-  // no barrier may dispatch through it past this point.
+  // Detach the group registry first (its group engines sit on top of
+  // the collectives engine), then the collectives engine itself: its
+  // destructor deregisters from the cross-rank shared state, and no
+  // barrier may dispatch through it past this point.
+  shrink_hook_ = nullptr;
+  grp_slot_.reset();
   barrier_hook_ = nullptr;
   coll_slot_.reset();
   if (async_running_) {
@@ -1569,6 +1572,7 @@ void CommStats::merge(const CommStats& o) {
   get_sizes.merge(o.get_sizes);
   acc_sizes.merge(o.acc_sizes);
   coll.merge(o.coll);
+  for (const auto& [label, gc] : o.group_coll) group_coll[label].merge(gc);
 }
 
 std::uint64_t CollStats::total_ops() const {

@@ -222,6 +222,34 @@ class Comm {
   void set_barrier_hook(std::function<void()> hook) { barrier_hook_ = std::move(hook); }
   /// Collective counters, written by the engine.
   CollStats& coll_stats() { return stats_.coll; }
+  /// Monotone engine-creation sequence (world, shrunk and group
+  /// engines): the flow-id salt keeping concurrent engines' causal
+  /// trace ids disjoint. Engines are constructed collectively, so the
+  /// sequence — and hence each engine's salt — is identical on every
+  /// rank.
+  std::uint64_t next_coll_engine_salt() { return coll_engine_seq_++; }
+  /// Per-group collective counters (group engines write here via their
+  /// label; rendered as extra tables in the communication report).
+  CollStats& group_coll_stats(const std::string& label) {
+    return stats_.group_coll[label];
+  }
+
+  // --- Process-group-subsystem attachment (src/grp) ----------------------------
+
+  /// Opaque per-rank slot owned by grp::GroupRegistry (reset at
+  /// finalize, before the collectives engine detaches — group engines
+  /// are built on top of it).
+  std::shared_ptr<void>& grp_slot() { return grp_slot_; }
+  /// Installed by the group registry: invoked by
+  /// coll::CollEngine::rebuild_shrunk after the world engine has been
+  /// replaced, with the surviving world ranks, at a survivor-collective
+  /// point — the registry rebuilds its derived groups there.
+  void set_shrink_hook(std::function<void(const std::vector<int>&)> hook) {
+    shrink_hook_ = std::move(hook);
+  }
+  const std::function<void(const std::vector<int>&)>& shrink_hook() const {
+    return shrink_hook_;
+  }
 
   // --- Fail-stop fault tolerance (src/ft) --------------------------------------
 
@@ -360,6 +388,9 @@ class Comm {
   std::vector<std::uint64_t> notifications_;
   std::shared_ptr<void> coll_slot_;
   std::function<void()> barrier_hook_;
+  std::shared_ptr<void> grp_slot_;
+  std::function<void(const std::vector<int>&)> shrink_hook_;
+  std::uint64_t coll_engine_seq_ = 0;
 };
 
 }  // namespace pgasq::armci

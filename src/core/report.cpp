@@ -89,6 +89,24 @@ std::string render_report(const World& world, const ReportOptions& options) {
     os << coll.to_string();
   }
 
+  for (const auto& [label, gc] : s.group_coll) {
+    if (gc.total_ops() == 0) continue;
+    os << '\n';
+    Table gt({"group '" + label + "'", "algorithm", "count", "payload", "seconds"});
+    for (int op = 0; op < CollStats::kOps; ++op) {
+      for (int a = 0; a < CollStats::kAlgos; ++a) {
+        if (gc.count[op][a] == 0) continue;
+        gt.row()
+            .add(std::string(kCollOpNames[op]))
+            .add(std::string(kCollAlgoNames[a]))
+            .add(gc.count[op][a])
+            .add(human_bytes(gc.bytes[op][a]))
+            .add(to_s(gc.time[op][a]), 4);
+      }
+    }
+    os << gt.to_string();
+  }
+
   if (const fault::Injector* inj = world.machine().injector()) {
     const fault::FaultStats& f = inj->stats();
     os << '\n';
@@ -135,6 +153,11 @@ std::string render_report(const World& world, const ReportOptions& options) {
 
   if (const sim::TraceRecorder* tr = world.machine().trace()) {
     os << "\ntrace: " << tr->event_count() << " events";
+    if (tr->sampling()) {
+      os << " — sampled (trace.sample_ranks="
+         << world.machine().config().trace_sample_ranks
+         << "; unsampled ranks muted)";
+    }
     if (tr->truncated()) {
       os << " — trace truncated at " << tr->max_events()
          << " events; later events were dropped (raise trace.max_events)";

@@ -67,6 +67,23 @@ void fill_coll(obs::Registry& reg, const CollStats& c) {
   reg.set_counter("coll.scratch_reallocs", c.scratch_reallocs);
 }
 
+/// Process-group collectives (src/grp), one label set per group.
+void fill_group_coll(obs::Registry& reg, const std::string& group,
+                     const CollStats& c) {
+  if (c.total_ops() == 0) return;
+  for (int op = 0; op < CollStats::kOps; ++op) {
+    for (int a = 0; a < CollStats::kAlgos; ++a) {
+      if (c.count[op][a] == 0) continue;
+      const obs::Labels labels{{"group", group},
+                               {"op", kCollOpNames[op]},
+                               {"algo", kCollAlgoNames[a]}};
+      reg.set_counter("grp.coll.ops", c.count[op][a], labels);
+      reg.set_counter("grp.coll.bytes", c.bytes[op][a], labels);
+      reg.set_gauge("grp.coll.time_us", us(c.time[op][a]), labels);
+    }
+  }
+}
+
 void fill_fault(obs::Registry& reg, const fault::FaultStats& f) {
   reg.set_counter("fault.packets_dropped", f.packets_dropped);
   reg.set_counter("fault.packets_corrupted", f.packets_corrupted);
@@ -97,6 +114,9 @@ obs::Registry build_registry(const World& world) {
   obs::Registry reg;
   fill_comm(reg, world.total_stats());
   fill_coll(reg, world.total_stats().coll);
+  for (const auto& [label, gc] : world.total_stats().group_coll) {
+    fill_group_coll(reg, label, gc);
+  }
 
   const pami::Machine& m = world.machine();
   reg.set_counter("noc.messages_sent", m.network().messages_sent());
@@ -146,6 +166,11 @@ obs::Json render_json_report(const World& world) {
     trace.set("max_events",
               obs::Json::number(static_cast<std::uint64_t>(tr->max_events())));
     trace.set("truncated", obs::Json::boolean(tr->truncated()));
+    trace.set("sampled", obs::Json::boolean(tr->sampling()));
+    if (tr->sampling()) {
+      trace.set("sample_ranks",
+                obs::Json::number(m.config().trace_sample_ranks));
+    }
     doc.set("trace", std::move(trace));
   }
   return doc;

@@ -4,6 +4,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <utility>
@@ -107,7 +108,7 @@ class Handle {
 /// them lives above this layer.
 struct CollStats {
   static constexpr int kOps = 6;    ///< barrier..alltoall, see kCollOpNames
-  static constexpr int kAlgos = 4;  ///< binomial..hw, see kCollAlgoNames
+  static constexpr int kAlgos = 5;  ///< binomial..hier, see kCollAlgoNames
 
   std::uint64_t count[kOps][kAlgos] = {};
   /// Payload bytes handed to the collective (not wire bytes).
@@ -128,7 +129,7 @@ struct CollStats {
 inline constexpr const char* kCollOpNames[CollStats::kOps] = {
     "barrier", "broadcast", "reduce", "allreduce", "allgather", "alltoall"};
 inline constexpr const char* kCollAlgoNames[CollStats::kAlgos] = {
-    "binomial", "recdbl", "torus-ring", "hw"};
+    "binomial", "recdbl", "torus-ring", "hw", "hier"};
 
 /// Per-rank operation statistics; the benchmark harness aggregates
 /// these into the paper's tables.
@@ -161,6 +162,11 @@ struct CommStats {
   Time time_in_rmw = 0, time_in_fence = 0, time_in_barrier = 0, time_in_wait = 0;
   // Collective-engine counters (all zero until src/coll is used).
   CollStats coll;
+  // Per-group collective counters, keyed by group label (empty until a
+  // process group — src/grp, or a hierarchical schedule's internal
+  // node/leader groups — runs a collective). Kept separate from `coll`
+  // so the world engine's table stays comparable across runs.
+  std::map<std::string, CollStats> group_coll;
   // Message-size distributions (log2 buckets) — the "large percentile
   // of message size used in real applications" evidence of S IV-A.
   Log2Histogram put_sizes, get_sizes, acc_sizes;

@@ -1,21 +1,26 @@
 #include "ga/collectives.hpp"
 
 #include "coll/coll.hpp"
+#include "grp/group.hpp"
 #include "util/error.hpp"
 
 namespace pgasq::ga {
 
-void gop_sum(Comm& comm, double* x, std::size_t n) {
+void gop_sum(Comm& comm, double* x, std::size_t n, grp::ProcGroup* group) {
   PGASQ_CHECK(x != nullptr && n > 0);
   // GA_Dgop("+") rides the collectives engine: algorithm selection
   // (tree / recursive doubling / torus ring / hardware logic) per
   // message size and geometry, persistent scratch instead of a
   // malloc/free per call, and any process count — the old fallback
   // serialized non-power-of-two cliques through a gather at rank 0.
+  if (group != nullptr) {
+    group->allreduce_sum(x, n);
+    return;
+  }
   coll::CollEngine::of(comm).allreduce_sum(x, n);
 }
 
-double element_sum(GlobalArray& a) {
+double element_sum(GlobalArray& a, grp::ProcGroup* group) {
   const auto [rlo, rhi] = a.local_rows();
   const auto [clo, chi] = a.local_cols();
   const double* d = a.local_data();
@@ -27,11 +32,11 @@ double element_sum(GlobalArray& a) {
   }
   // Charge the local scan.
   a.comm().compute(from_ns(0.5 * static_cast<double>((rhi - rlo) * (chi - clo))));
-  gop_sum(a.comm(), &partial, 1);
+  gop_sum(a.comm(), &partial, 1, group);
   return partial;
 }
 
-double dot(GlobalArray& a, GlobalArray& b) {
+double dot(GlobalArray& a, GlobalArray& b, grp::ProcGroup* group) {
   PGASQ_CHECK(a.rows() == b.rows() && a.cols() == b.cols(),
               << "dot of mismatched arrays");
   const auto [rlo, rhi] = a.local_rows();
@@ -45,7 +50,7 @@ double dot(GlobalArray& a, GlobalArray& b) {
     }
   }
   a.comm().compute(from_ns(1.0 * static_cast<double>((rhi - rlo) * (chi - clo))));
-  gop_sum(a.comm(), &partial, 1);
+  gop_sum(a.comm(), &partial, 1, group);
   return partial;
 }
 

@@ -13,18 +13,26 @@
 
 #include "ga/global_array.hpp"
 
+namespace pgasq::grp {
+class ProcGroup;
+}
+
 namespace pgasq::ga {
 
 /// In-place elementwise double-sum allreduce (GA_Dgop with op "+"):
 /// after the call, x[0..n) on every rank holds the sum over ranks.
-/// Collective; every rank passes the same n.
-void gop_sum(Comm& comm, double* x, std::size_t n);
+/// Collective; every rank passes the same n. A non-null `group`
+/// scopes the reduction to that process group (GA_Pgroup_dgop):
+/// collective over its members only, using the group's own engine.
+void gop_sum(Comm& comm, double* x, std::size_t n,
+             grp::ProcGroup* group = nullptr);
 
 /// Global dot product <a, b> over identically distributed arrays.
-/// Collective; returns the same value on every rank.
-double dot(GlobalArray& a, GlobalArray& b);
+/// Collective; returns the same value on every rank. With `group`,
+/// only the members' local panels contribute and only members call.
+double dot(GlobalArray& a, GlobalArray& b, grp::ProcGroup* group = nullptr);
 
-/// Sum of all elements of the array. Collective.
-double element_sum(GlobalArray& a);
+/// Sum of all elements of the array. Collective; `group` as in dot().
+double element_sum(GlobalArray& a, grp::ProcGroup* group = nullptr);
 
 }  // namespace pgasq::ga

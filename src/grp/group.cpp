@@ -1,0 +1,269 @@
+#include "grp/group.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <utility>
+
+#include "pami/machine.hpp"
+#include "topo/torus.hpp"
+#include "util/error.hpp"
+
+namespace pgasq::grp {
+
+// ---------------------------------------------------------------------------
+// ProcGroup
+// ---------------------------------------------------------------------------
+
+ProcGroup::ProcGroup(GroupRegistry& registry, int id, std::string label,
+                     std::vector<int> members,
+                     std::unique_ptr<coll::CollEngine> engine)
+    : registry_(registry),
+      id_(id),
+      label_(std::move(label)),
+      members_(std::move(members)),
+      engine_(std::move(engine)) {
+  world_to_group_.reserve(members_.size());
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    world_to_group_[members_[i]] = static_cast<int>(i);
+  }
+}
+
+int ProcGroup::world_rank(int group_rank) const {
+  PGASQ_CHECK(group_rank >= 0 && group_rank < size(),
+              << "group rank " << group_rank << " out of range for group '"
+              << label_ << "' of size " << size());
+  return members_[static_cast<std::size_t>(group_rank)];
+}
+
+int ProcGroup::group_rank_of(int world_rank) const {
+  const auto it = world_to_group_.find(world_rank);
+  return it == world_to_group_.end() ? -1 : it->second;
+}
+
+coll::CollEngine& ProcGroup::op_engine() {
+  // The engine itself rejects non-member calls with the offending
+  // world rank and group label; staleness is registry knowledge.
+  PGASQ_CHECK(!stale_, << "group '" << label_ << "' (id " << id_
+                       << ") is stale after communicator shrink; "
+                          "recreate it over the survivors");
+  return *engine_;
+}
+
+void ProcGroup::barrier() { op_engine().barrier(); }
+
+void ProcGroup::broadcast(void* data, std::size_t bytes, int group_root) {
+  op_engine().broadcast(data, bytes, group_root);
+}
+
+void ProcGroup::reduce_sum(double* x, std::size_t n, int group_root) {
+  op_engine().reduce_sum(x, n, group_root);
+}
+
+void ProcGroup::allreduce_sum(double* x, std::size_t n) {
+  op_engine().allreduce_sum(x, n);
+}
+
+void ProcGroup::allgather(const void* in, std::size_t bytes, void* out) {
+  op_engine().allgather(in, bytes, out);
+}
+
+void ProcGroup::alltoall(const void* in, std::size_t bytes, void* out) {
+  op_engine().alltoall(in, bytes, out);
+}
+
+std::shared_ptr<ProcGroup> ProcGroup::split(int color, int key) {
+  PGASQ_CHECK(!stale_, << "cannot split stale group '" << label_ << "'");
+  // Namespace the color by this group's id: two sibling groups using
+  // equal colors must not merge their children.
+  const std::int64_t namespaced =
+      !is_member() || color < 0
+          ? -1
+          : (static_cast<std::int64_t>(id_ + 1) << 32) + color;
+  return registry_.split_colored(namespaced, key);
+}
+
+// ---------------------------------------------------------------------------
+// GroupRegistry
+// ---------------------------------------------------------------------------
+
+GroupRegistry& GroupRegistry::of(armci::Comm& comm) {
+  std::shared_ptr<void>& slot = comm.grp_slot();
+  if (!slot) slot = std::shared_ptr<GroupRegistry>(new GroupRegistry(comm));
+  return *std::static_pointer_cast<GroupRegistry>(slot);
+}
+
+GroupRegistry::GroupRegistry(armci::Comm& comm) : comm_(comm) {
+  // Attaching the world engine here is what makes first use of the
+  // registry collective; afterwards live_ mirrors its member view.
+  coll::CollEngine& world = coll::CollEngine::of(comm);
+  if (world.geometry().shrunk) {
+    live_ = world.group_members();
+  } else {
+    live_.resize(static_cast<std::size_t>(comm.nprocs()));
+    std::iota(live_.begin(), live_.end(), 0);
+  }
+  comm.set_shrink_hook(
+      [this](const std::vector<int>& survivors) { rebuild(survivors); });
+}
+
+std::vector<std::int64_t> GroupRegistry::agree(const std::int64_t (&mine)[3],
+                                               const char* what) {
+  coll::CollEngine& world = world_engine();
+  const int p = world.geometry().p;
+  PGASQ_CHECK(static_cast<int>(live_.size()) == p,
+              << "group registry live set (" << live_.size()
+              << ") out of step with the collective engine (" << p << ")");
+  std::vector<std::int64_t> all(static_cast<std::size_t>(3 * p));
+  world.allgather(mine, sizeof(mine), all.data());
+  for (int v = 0; v < p; ++v) {
+    PGASQ_CHECK(all[3 * v + 2] == mine[2],
+                << "group creation out of sync (" << what << "): rank "
+                << live_[static_cast<std::size_t>(v)] << " expects group id "
+                << all[3 * v + 2] << " but rank " << comm_.rank() << " expects "
+                << mine[2] << " — SPMD group calls must line up on every rank");
+  }
+  return all;
+}
+
+std::shared_ptr<ProcGroup> GroupRegistry::make_group(int id, std::string label,
+                                                     std::vector<int> members,
+                                                     std::size_t control_slots) {
+  coll::GroupSpec spec;
+  spec.members = members;
+  spec.label = label;
+  spec.control_slots = control_slots;
+  auto engine = std::make_unique<coll::CollEngine>(comm_, spec);
+  std::shared_ptr<ProcGroup> g(new ProcGroup(*this, id, std::move(label),
+                                             std::move(members),
+                                             std::move(engine)));
+  groups_.push_back(g);
+  return g;
+}
+
+std::shared_ptr<ProcGroup> GroupRegistry::split(int color, int key) {
+  return split_colored(color, key);
+}
+
+std::shared_ptr<ProcGroup> GroupRegistry::split_colored(std::int64_t color,
+                                                        int key) {
+  const std::int64_t mine[3] = {color, key, next_id_};
+  const std::vector<std::int64_t> all = agree(mine, "split");
+  const int p = static_cast<int>(live_.size());
+
+  // (key, world rank) per color; map order fixes the id assignment.
+  std::map<std::int64_t, std::vector<std::pair<std::int64_t, int>>> by_color;
+  for (int v = 0; v < p; ++v) {
+    const std::int64_t c = all[3 * v];
+    if (c >= 0) {
+      by_color[c].emplace_back(all[3 * v + 1], live_[static_cast<std::size_t>(v)]);
+    }
+  }
+  std::size_t max_size = 0;
+  for (const auto& [c, vec] : by_color) max_size = std::max(max_size, vec.size());
+
+  int my_id = -1;
+  std::vector<int> my_members;
+  int j = 0;
+  for (auto& [c, vec] : by_color) {
+    const int gid = next_id_ + j++;
+    if (color >= 0 && c == color) {
+      std::sort(vec.begin(), vec.end());
+      my_members.reserve(vec.size());
+      for (const auto& [k, w] : vec) my_members.push_back(w);
+      my_id = gid;
+    }
+  }
+  next_id_ += static_cast<int>(by_color.size());
+
+  // Every live rank constructs exactly one engine here — colorless
+  // ranks an empty non-member one — with a uniform control-slot count,
+  // so the world-collective arena allocations line up.
+  std::string label = label_override_ != nullptr ? label_override_
+                      : my_id >= 0 ? "g" + std::to_string(my_id)
+                                   : "none";
+  return make_group(my_id, std::move(label), std::move(my_members), max_size);
+}
+
+std::shared_ptr<ProcGroup> GroupRegistry::create(const std::vector<int>& members,
+                                                 const std::string& label) {
+  PGASQ_CHECK(!members.empty(), << "group member list is empty");
+  std::vector<int> sorted = members;
+  std::sort(sorted.begin(), sorted.end());
+  PGASQ_CHECK(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end(),
+              << "group member list has duplicates");
+  for (const int m : sorted) {
+    PGASQ_CHECK(std::binary_search(live_.begin(), live_.end(), m),
+                << "group member " << m << " is not a live world rank");
+  }
+
+  // Everyone must pass the same list + label: agree on a digest.
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  for (const int m : members) mix(static_cast<std::uint64_t>(m));
+  for (const char ch : label) mix(static_cast<unsigned char>(ch));
+  const std::int64_t mine[3] = {static_cast<std::int64_t>(h >> 1),
+                                static_cast<std::int64_t>(members.size()),
+                                next_id_};
+  const std::vector<std::int64_t> all = agree(mine, "create");
+  for (std::size_t v = 0; v < live_.size(); ++v) {
+    PGASQ_CHECK(all[3 * v] == mine[0] && all[3 * v + 1] == mine[1],
+                << "group creation out of sync (create): rank " << live_[v]
+                << " passed a different member list or label than rank "
+                << comm_.rank());
+  }
+
+  const int gid = next_id_++;
+  return make_group(gid, label.empty() ? "g" + std::to_string(gid) : label,
+                    members, members.size());
+}
+
+std::shared_ptr<ProcGroup> GroupRegistry::node_group() {
+  want_node_ = true;
+  if (node_ && !node_->stale()) return node_;
+  const topo::RankMapping& map = comm_.world().machine().mapping();
+  label_override_ = "node";
+  node_ = split(map.node_of_rank(comm_.rank()), map.slot_of_rank(comm_.rank()));
+  label_override_ = nullptr;
+  return node_;
+}
+
+std::shared_ptr<ProcGroup> GroupRegistry::leaders_group() {
+  want_leaders_ = true;
+  if (leaders_ && !leaders_->stale()) return leaders_;
+  const topo::RankMapping& map = comm_.world().machine().mapping();
+  // Lowest live rank per node, node-id order — identical on every
+  // rank, so create()'s digest agreement passes.
+  std::map<int, int> leader_of;
+  for (const int r : live_) {
+    const int node = map.node_of_rank(r);
+    const auto it = leader_of.find(node);
+    if (it == leader_of.end() || r < it->second) leader_of[node] = r;
+  }
+  std::vector<int> leaders;
+  leaders.reserve(leader_of.size());
+  for (const auto& [node, r] : leader_of) leaders.push_back(r);
+  leaders_ = create(leaders, "leaders");
+  return leaders_;
+}
+
+void GroupRegistry::rebuild(const std::vector<int>& survivors) {
+  for (const auto& w : groups_) {
+    if (const std::shared_ptr<ProcGroup> g = w.lock()) g->stale_ = true;
+  }
+  groups_.clear();
+  node_.reset();
+  leaders_.reset();
+  live_ = survivors;
+  // The hook point (CollEngine::rebuild_shrunk) is collective over the
+  // survivors with the allocation sequence re-aligned, which is
+  // exactly what group creation needs — so the canonical groups can be
+  // rebuilt eagerly. User groups stay stale until recreated.
+  if (want_node_) node_group();
+  if (want_leaders_) leaders_group();
+}
+
+}  // namespace pgasq::grp

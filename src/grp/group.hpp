@@ -1,0 +1,168 @@
+// Process groups over the ARMCI world — the GA processor-group model
+// (GA_Pgroup_*) the paper's NWChem workloads assume, rebuilt on the
+// simulated PAMI runtime.
+//
+// A ProcGroup is an ordered set of live world ranks with dense group
+// ranks and rank translation both ways. Each group owns a group-mode
+// coll::CollEngine — its own scratch arenas, schedule geometry, and
+// per-group statistics — so collectives over a subset never touch the
+// world engine's epoch stream. Construction is collective over ALL
+// live world ranks (the engines' control-arena allocations must line
+// up), and group ids are agreed through the world engine's own slot
+// transport: every rank contributes its expected next id and the
+// construction aborts loudly when SPMD call sites have diverged.
+//
+// The registry also derives the two canonical groups the hierarchical
+// collectives lean on — the node-local group (every live rank sharing
+// my node, ordered by T slot) and the leaders group (the lowest live
+// rank of every node) — and rebuilds both after a fail-stop
+// communicator shrink (Comm::shrink_hook). User groups are not
+// rebuilt: they are marked stale and reject collectives until
+// recreated over the survivor clique.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "coll/coll.hpp"
+#include "core/comm.hpp"
+
+namespace pgasq::grp {
+
+class GroupRegistry;
+
+/// One process group. Obtain via GroupRegistry (split / create /
+/// node_group / leaders_group); handles are shared_ptr so they outlive
+/// the collective call that made them.
+class ProcGroup {
+ public:
+  /// Registry-wide id, agreed collectively at creation.
+  int id() const { return id_; }
+  /// Stats / trace label ("node", "leaders", or "g<id>").
+  const std::string& label() const { return label_; }
+  int size() const { return static_cast<int>(members_.size()); }
+  bool is_member() const { return engine_->is_member(); }
+  /// My dense group rank, or -1 for a non-member.
+  int rank() const { return engine_->group_rank(); }
+  /// Group rank -> world rank.
+  int world_rank(int group_rank) const;
+  /// World rank -> group rank, or -1 when not a member.
+  int group_rank_of(int world_rank) const;
+  /// Members in group-rank order (world ranks).
+  const std::vector<int>& members() const { return members_; }
+  /// True once a communicator shrink invalidated this group; every
+  /// collective op rejects until the group is recreated.
+  bool stale() const { return stale_; }
+
+  // --- Collectives over the group (members only; a non-member or
+  // stale-group call throws with a descriptive error) ---------------
+  void barrier();
+  void broadcast(void* data, std::size_t bytes, int group_root);
+  void reduce_sum(double* x, std::size_t n, int group_root);
+  void allreduce_sum(double* x, std::size_t n);
+  void allgather(const void* in, std::size_t bytes, void* out);
+  void alltoall(const void* in, std::size_t bytes, void* out);
+
+  /// Nested split: like GroupRegistry::split, but non-members of this
+  /// group are forced to color -1. Still collective over ALL live
+  /// world ranks — in SPMD code every rank holds the parent handle and
+  /// calls this at the same point.
+  std::shared_ptr<ProcGroup> split(int color, int key);
+
+  /// The group's collective engine (geometry introspection, algo_for).
+  coll::CollEngine& engine() { return *engine_; }
+
+ private:
+  friend class GroupRegistry;
+  ProcGroup(GroupRegistry& registry, int id, std::string label,
+            std::vector<int> members, std::unique_ptr<coll::CollEngine> engine);
+  /// Checked prologue of every collective op.
+  coll::CollEngine& op_engine();
+
+  GroupRegistry& registry_;
+  int id_;
+  std::string label_;
+  std::vector<int> members_;
+  std::unordered_map<int, int> world_to_group_;
+  std::unique_ptr<coll::CollEngine> engine_;
+  bool stale_ = false;
+};
+
+/// Per-Comm group registry, attached lazily to the Comm's grp slot.
+class GroupRegistry {
+ public:
+  /// The registry of `comm`, created on first use. First use is
+  /// collective (it attaches the world CollEngine), as is every
+  /// group-creating call below.
+  static GroupRegistry& of(armci::Comm& comm);
+
+  /// MPI_Comm_split semantics over the live world: ranks passing the
+  /// same color >= 0 form one group, ordered by (key, world rank);
+  /// color < 0 joins no group (the returned handle is a non-member
+  /// view of an empty group). Collective over all live ranks.
+  std::shared_ptr<ProcGroup> split(int color, int key);
+
+  /// Group from an explicit world-rank list (every rank must pass the
+  /// same list — enforced collectively). Ranks outside the list get a
+  /// non-member handle that can still translate ranks but rejects
+  /// collectives. Collective over all live ranks.
+  std::shared_ptr<ProcGroup> create(const std::vector<int>& members,
+                                    const std::string& label = "");
+
+  /// Live ranks sharing my node, ordered by hardware-thread slot
+  /// (label "node"). Cached; rebuilt automatically after a shrink.
+  std::shared_ptr<ProcGroup> node_group();
+  /// Lowest live rank of every node, ordered by node id (label
+  /// "leaders"). Non-leaders receive a non-member handle. Cached;
+  /// rebuilt automatically after a shrink.
+  std::shared_ptr<ProcGroup> leaders_group();
+
+  /// Live world ranks groups are formed over (survivors after a
+  /// shrink, all ranks before).
+  const std::vector<int>& live() const { return live_; }
+
+  armci::Comm& comm() { return comm_; }
+
+ private:
+  explicit GroupRegistry(armci::Comm& comm);
+  friend class ProcGroup;
+
+  /// Comm::shrink_hook target: marks every outstanding group stale,
+  /// adopts the survivor list, and (collectively over survivors)
+  /// recreates the canonical node / leaders groups if they were ever
+  /// requested. Runs at the survivor-collective point inside
+  /// CollEngine::rebuild_shrunk.
+  void rebuild(const std::vector<int>& survivors);
+
+  /// split() with a pre-namespaced 64-bit color (nested splits tag the
+  /// parent group id into the high bits so sibling groups with equal
+  /// user colors stay distinct).
+  std::shared_ptr<ProcGroup> split_colored(std::int64_t color, int key);
+  /// Shared creation tail: verifies id agreement happened upstream,
+  /// builds the engine + handle, tracks it for staleness marking.
+  std::shared_ptr<ProcGroup> make_group(int id, std::string label,
+                                        std::vector<int> members,
+                                        std::size_t control_slots);
+  coll::CollEngine& world_engine() { return coll::CollEngine::of(comm_); }
+  /// Allgathers `mine` (3 words) over the live world and checks word 2
+  /// — the expected next group id — matches on every rank.
+  std::vector<std::int64_t> agree(const std::int64_t (&mine)[3],
+                                  const char* what);
+
+  armci::Comm& comm_;
+  std::vector<int> live_;
+  int next_id_ = 1;
+  std::vector<std::weak_ptr<ProcGroup>> groups_;
+  std::shared_ptr<ProcGroup> node_;
+  std::shared_ptr<ProcGroup> leaders_;
+  bool want_node_ = false;
+  bool want_leaders_ = false;
+  /// Non-null while a canonical-group split is in flight: overrides
+  /// the default "g<id>" stats/trace label ("node").
+  const char* label_override_ = nullptr;
+};
+
+}  // namespace pgasq::grp

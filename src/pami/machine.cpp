@@ -1,6 +1,7 @@
 #include "pami/machine.hpp"
 
 #include "util/error.hpp"
+#include "util/log.hpp"
 
 namespace pgasq::pami {
 
@@ -25,12 +26,35 @@ Machine::Machine(MachineConfig config)
   if (!config_.trace_json_path.empty()) {
     trace_ = std::make_unique<sim::TraceRecorder>(config_.trace_max_events);
     engine_.set_trace(trace_.get());
+    if (config_.trace_sample_ranks > 0 &&
+        config_.trace_sample_ranks < config_.num_ranks) {
+      PGASQ_LOG(kWarn) << "trace.sample_ranks=" << config_.trace_sample_ranks
+                       << ": tracing a stride sample of " << config_.num_ranks
+                       << " ranks; unsampled ranks' tracks are muted and "
+                          "flows starting on them are pruned";
+      // Any fiber named "...rank<r>" for an unsampled r gets a muted
+      // track (main fibers are "rank<r>", SMT threads "<x>@rank<r>").
+      engine_.set_track_mute([this](const std::string& name) {
+        const std::size_t pos = name.rfind("rank");
+        if (pos == std::string::npos) return false;
+        RankId r = 0;
+        bool digits = false;
+        for (std::size_t i = pos + 4; i < name.size(); ++i) {
+          const char ch = name[i];
+          if (ch < '0' || ch > '9') return false;
+          r = r * 10 + (ch - '0');
+          digits = true;
+        }
+        return digits && !rank_traced(r);
+      });
+    }
     // One flow track per rank: network flow endpoints (injection,
     // delivery, ack) land here rather than on the fiber tracks, so
     // Perfetto draws message arrows between ranks.
     net_tracks_.reserve(static_cast<std::size_t>(config_.num_ranks));
     for (RankId r = 0; r < config_.num_ranks; ++r) {
-      net_tracks_.push_back(trace_->register_track("net@rank" + std::to_string(r)));
+      net_tracks_.push_back(
+          trace_->register_track("net@rank" + std::to_string(r), !rank_traced(r)));
     }
   }
   if (config_.obs.links) {
@@ -60,13 +84,26 @@ std::uint32_t Machine::rank_track(RankId rank) const {
   return net_tracks_[static_cast<std::size_t>(rank)];
 }
 
+bool Machine::rank_traced(RankId rank) const {
+  const int n = config_.trace_sample_ranks;
+  if (n <= 0 || n >= config_.num_ranks) return true;
+  // Ceil-divide so at most n ranks survive; rank 0 (the usual
+  // collective root and report owner) is always in the sample.
+  const int stride = (config_.num_ranks + n - 1) / n;
+  return rank % stride == 0;
+}
+
 void configure_observability(const Config& cfg, MachineConfig& config) {
-  cfg.reject_unknown("trace", {"json_path", "max_events"});
+  cfg.reject_unknown("trace", {"json_path", "max_events", "sample_ranks"});
   config.trace_json_path = cfg.get_string("trace.json_path", config.trace_json_path);
   const std::int64_t cap = cfg.get_int(
       "trace.max_events", static_cast<std::int64_t>(config.trace_max_events));
   PGASQ_CHECK(cap > 0, << "trace.max_events must be positive");
   config.trace_max_events = static_cast<std::size_t>(cap);
+  const std::int64_t sample = cfg.get_int(
+      "trace.sample_ranks", static_cast<std::int64_t>(config.trace_sample_ranks));
+  PGASQ_CHECK(sample >= 0, << "trace.sample_ranks must be >= 0 (0 = all ranks)");
+  config.trace_sample_ranks = static_cast<int>(sample);
   config.obs = obs::Options::from_config(cfg, config.obs);
 }
 

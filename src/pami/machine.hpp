@@ -50,13 +50,19 @@ struct MachineConfig {
   /// Event cap for the recorder (trace.max_events); hitting it warns
   /// and sets the "trace truncated" report row.
   std::size_t trace_max_events = sim::TraceRecorder::kDefaultMaxEvents;
+  /// trace.sample_ranks: when > 0, trace at most this many ranks — a
+  /// deterministic stride subset including rank 0 — and mute every
+  /// other rank's tracks. 0 traces all ranks. Keeps large-p trace
+  /// files bounded; cross-rank flows into unsampled ranks are pruned.
+  int trace_sample_ranks = 0;
   /// Observability knobs (obs.*): per-link byte accounting & heatmap.
   obs::Options obs{};
 };
 
 /// Applies the trace.* and obs.* config namespaces onto `config`
 /// (rejecting unknown keys): trace.json_path, trace.max_events,
-/// obs.links, obs.link_bucket_us, obs.link_top, obs.link_csv.
+/// trace.sample_ranks, obs.links, obs.link_bucket_us, obs.link_top,
+/// obs.link_csv.
 void configure_observability(const Config& cfg, MachineConfig& config);
 
 class Machine {
@@ -84,6 +90,9 @@ class Machine {
   /// Trace track carrying rank `r`'s network flow endpoints
   /// ("net@rank<r>"); only valid while tracing.
   std::uint32_t rank_track(RankId rank) const;
+  /// True when rank `r` is in the traced subset (always true unless
+  /// trace.sample_ranks restricts tracing to a stride sample).
+  bool rank_traced(RankId rank) const;
   const topo::Torus5D& torus() const { return torus_; }
   const topo::RankMapping& mapping() const { return mapping_; }
   const MachineConfig& config() const { return config_; }

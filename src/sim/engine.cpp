@@ -81,7 +81,10 @@ Fiber& Engine::spawn(std::string name, std::function<void()> body,
   fibers_.push_back(std::unique_ptr<Fiber>(
       new Fiber(*this, next_fiber_id_++, std::move(name), std::move(body), stack_bytes)));
   Fiber& fiber = *fibers_.back();
-  if (trace_ != nullptr) fiber.trace_track_ = trace_->register_track(fiber.name());
+  if (trace_ != nullptr) {
+    fiber.trace_track_ = trace_->register_track(
+        fiber.name(), track_mute_ && track_mute_(fiber.name()));
+  }
   ++live_fibers_;
   fiber.state_ = Fiber::State::kBlocked;  // resume() below flips it to ready
   resume(fiber);

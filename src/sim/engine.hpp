@@ -86,6 +86,13 @@ class Engine {
   void set_trace(TraceRecorder* trace) { trace_ = trace; }
   TraceRecorder* trace() const { return trace_; }
 
+  /// Fibers spawned after this whose name matches `pred` get a muted
+  /// trace track (their slices are dropped at record time). Used by
+  /// trace.sample_ranks to silence unsampled ranks' fibers.
+  void set_track_mute(std::function<bool(const std::string&)> pred) {
+    track_mute_ = std::move(pred);
+  }
+
   // Internal — used by Fiber.
   void set_pending_exception(std::exception_ptr e);
   void on_fiber_finished(Fiber& fiber);
@@ -129,6 +136,7 @@ class Engine {
   std::uint64_t events_processed_ = 0;
   std::uint64_t next_fiber_id_ = 1;
   TraceRecorder* trace_ = nullptr;
+  std::function<bool(const std::string&)> track_mute_;
   // ASan bookkeeping: the scheduler's fake stack while inside a fiber,
   // and the scheduler (main thread) stack bounds learned at fiber entry.
   void* asan_scheduler_fake_stack_ = nullptr;

@@ -2,14 +2,18 @@
 
 #include <fstream>
 #include <sstream>
+#include <unordered_set>
 
 #include "util/error.hpp"
 #include "util/log.hpp"
 
 namespace pgasq::sim {
 
-std::uint32_t TraceRecorder::register_track(const std::string& name) {
+std::uint32_t TraceRecorder::register_track(const std::string& name,
+                                            bool muted) {
   tracks_.push_back(name);
+  muted_.push_back(muted);
+  if (muted) sampling_ = true;
   return static_cast<std::uint32_t>(tracks_.size() - 1);
 }
 
@@ -25,24 +29,24 @@ bool TraceRecorder::room() {
 }
 
 void TraceRecorder::begin_slice(std::uint32_t track, Time at) {
-  if (!room()) return;
+  if (muted_[track] || !room()) return;
   events_.push_back(Event{'B', track, at, 0, 0, {}, {}});
 }
 
 void TraceRecorder::end_slice(std::uint32_t track, Time at) {
-  if (!room()) return;
+  if (muted_[track] || !room()) return;
   events_.push_back(Event{'E', track, at, 0, 0, {}, {}});
 }
 
 void TraceRecorder::instant(std::uint32_t track, const std::string& name,
                             Time at, TraceArgs args) {
-  if (!room()) return;
+  if (muted_[track] || !room()) return;
   events_.push_back(Event{'i', track, at, 0, 0, name, std::move(args)});
 }
 
 void TraceRecorder::complete(std::uint32_t track, const std::string& name,
                              Time at, Time dur, TraceArgs args) {
-  if (!room()) return;
+  if (muted_[track] || !room()) return;
   events_.push_back(Event{'X', track, at, dur, 0, name, std::move(args)});
 }
 
@@ -52,6 +56,7 @@ void TraceRecorder::flow_point(char phase, std::uint32_t track,
   PGASQ_CHECK(phase == 's' || phase == 't' || phase == 'f',
               << "bad flow phase '" << phase << "'");
   PGASQ_CHECK(id != 0, << "flow id 0 is reserved for 'no flow'");
+  if (muted_[track]) return;
   // Anchor slice first so the flow event binds to it.
   complete(track, name, at, 0, std::move(args));
   if (!room()) return;
@@ -83,6 +88,14 @@ void append_args(std::ostringstream& os, const TraceArgs& args) {
 }  // namespace
 
 std::string TraceRecorder::to_json() const {
+  // Under rank sampling a flow can start on a muted track: its 't'/'f'
+  // points would render as arrows from nowhere (and trip the trace
+  // validator). Prune continuations whose start was never recorded.
+  std::unordered_set<std::uint64_t> started;
+  if (sampling_) {
+    for (const auto& e : events_)
+      if (e.phase == 's') started.insert(e.id);
+  }
   std::ostringstream os;
   os << "{\"traceEvents\":[";
   bool first = true;
@@ -96,6 +109,10 @@ std::string TraceRecorder::to_json() const {
     os << "\"}}";
   }
   for (const auto& e : events_) {
+    if (sampling_ && (e.phase == 't' || e.phase == 'f') &&
+        started.find(e.id) == started.end()) {
+      continue;
+    }
     if (!first) os << ',';
     first = false;
     // ts is in microseconds of virtual time.

@@ -33,8 +33,16 @@ class TraceRecorder {
   explicit TraceRecorder(std::size_t max_events = kDefaultMaxEvents)
       : max_events_(max_events) {}
 
-  /// A named track (one per fiber); returns a dense track id.
-  std::uint32_t register_track(const std::string& name);
+  /// A named track (one per fiber); returns a dense track id. A muted
+  /// track (trace.sample_ranks excludes its rank) still gets an id and
+  /// thread-name metadata, but every event recorded on it is dropped —
+  /// callers keep their plumbing, the file stays small.
+  std::uint32_t register_track(const std::string& name, bool muted = false);
+
+  /// True once any track was registered muted (rank sampling active);
+  /// to_json() then prunes flow continuations whose start was muted.
+  bool sampling() const { return sampling_; }
+  bool track_muted(std::uint32_t track) const { return muted_[track]; }
 
   void begin_slice(std::uint32_t track, Time at);
   void end_slice(std::uint32_t track, Time at);
@@ -81,8 +89,10 @@ class TraceRecorder {
 
   std::size_t max_events_;
   bool truncated_ = false;
+  bool sampling_ = false;
   std::uint64_t last_flow_id_ = 0;
   std::vector<std::string> tracks_;
+  std::vector<bool> muted_;
   std::vector<Event> events_;
 };
 

@@ -245,6 +245,82 @@ TEST(Observability, HeatmapRendersHotLinks) {
   EXPECT_NE(report.find("link utilization"), std::string::npos);
 }
 
+TEST(Observability, RankSamplingMutesUnsampledTracksAndPrunesFlows) {
+  const std::string path = "/tmp/pgasq_obs_sampled.json";
+  std::remove(path.c_str());
+  armci::WorldConfig cfg = traced_config(path);
+  cfg.machine.num_ranks = 8;
+  cfg.machine.trace_sample_ranks = 2;  // stride 4 -> ranks {0, 4}
+  armci::World world(cfg);
+  world.spmd(mixed_workload);
+  const sim::TraceRecorder* tr = world.machine().trace();
+  ASSERT_NE(tr, nullptr);
+  EXPECT_TRUE(tr->sampling());
+  // Deterministic stride subset, rank 0 always in it.
+  EXPECT_TRUE(world.machine().rank_traced(0));
+  EXPECT_TRUE(world.machine().rank_traced(4));
+  EXPECT_FALSE(world.machine().rank_traced(1));
+  EXPECT_FALSE(world.machine().rank_traced(7));
+
+  const obs::Json doc = load_json(path);
+  const obs::Json& events = doc.at("traceEvents");
+  ASSERT_TRUE(events.is_array());
+  // tid -> fiber name from the thread_name metadata rows.
+  std::map<std::uint64_t, std::string> names;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const obs::Json& ev = events[i];
+    if (ev.at("ph").as_string() == "M") {
+      names[ev.at("tid").as_uint()] = ev.at("args").at("name").as_string();
+    }
+  }
+  // Every recorded rank-tagged event sits on a sampled rank's track,
+  // and every flow continuation has a recorded start (muted-source
+  // arrows are pruned so the trace still validates).
+  std::set<std::uint64_t> started;
+  std::size_t rank_events = 0;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const obs::Json& ev = events[i];
+    const std::string ph = ev.at("ph").as_string();
+    if (ph == "M") continue;
+    const std::string& track = names[ev.at("tid").as_uint()];
+    const std::size_t pos = track.rfind("rank");
+    if (pos != std::string::npos) {
+      int r = 0;
+      bool digits = false;
+      for (std::size_t k = pos + 4; k < track.size() && std::isdigit(
+               static_cast<unsigned char>(track[k])); ++k) {
+        r = r * 10 + (track[k] - '0');
+        digits = true;
+      }
+      if (digits) {
+        ++rank_events;
+        EXPECT_TRUE(world.machine().rank_traced(r))
+            << "event on muted track '" << track << "'";
+      }
+    }
+    if (ph == "s") started.insert(ev.at("id").as_uint());
+    if (ph == "t" || ph == "f") {
+      EXPECT_TRUE(started.count(ev.at("id").as_uint()))
+          << "orphan flow continuation on '" << track << "'";
+    }
+  }
+  EXPECT_GT(rank_events, 0u) << "sampled ranks recorded nothing";
+
+  // The human report and the JSON report both flag the sampling.
+  const std::string report = armci::render_report(world);
+  EXPECT_NE(report.find("sampled"), std::string::npos);
+  EXPECT_NE(report.find("trace.sample_ranks=2"), std::string::npos);
+
+  // Sampling strictly shrinks the event stream vs. a full trace.
+  armci::WorldConfig full = traced_config(path);
+  full.machine.num_ranks = 8;
+  armci::World world_full(full);
+  world_full.spmd(mixed_workload);
+  EXPECT_LT(tr->event_count(), world_full.machine().trace()->event_count());
+  EXPECT_FALSE(world_full.machine().trace()->sampling());
+  std::remove(path.c_str());
+}
+
 TEST(Observability, ConfigNamespacesRejectTypos) {
   pami::MachineConfig mc;
   EXPECT_THROW(pami::configure_observability(
@@ -257,11 +333,13 @@ TEST(Observability, ConfigNamespacesRejectTypos) {
                Error);
   pami::configure_observability(cfg_of({{"trace.json_path", "/tmp/x.json"},
                                         {"trace.max_events", "64"},
+                                        {"trace.sample_ranks", "2"},
                                         {"obs.links", "1"},
                                         {"obs.link_bucket_us", "10"}}),
                                 mc);
   EXPECT_EQ(mc.trace_json_path, "/tmp/x.json");
   EXPECT_EQ(mc.trace_max_events, 64u);
+  EXPECT_EQ(mc.trace_sample_ranks, 2);
   EXPECT_TRUE(mc.obs.links);
   EXPECT_EQ(mc.obs.link_bucket, from_us(10));
   EXPECT_EQ(armci::json_report_path_from_config(

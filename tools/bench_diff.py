@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Diff two pgasq.report JSON files (the BENCH_*.json the benches emit).
+
+Usage: tools/bench_diff.py BASELINE.json CANDIDATE.json [--fail-over PCT]
+                           [--metric PREFIX] [--all]
+
+Compares elapsed_us and every numeric metric (counters and gauges;
+histograms compare their totals) keyed by name + labels, and prints a
+table of baseline, candidate, and relative delta. Metrics present on
+only one side are listed as added/removed. By default only changed
+metrics are printed; --all prints every row.
+
+--fail-over PCT turns the diff into a gate: exit 1 when any compared
+metric (optionally filtered to names starting with --metric PREFIX)
+moved by more than PCT percent, or when either file is not a
+schema-valid pgasq.report. Zero-baseline metrics fail only when the
+candidate is nonzero. Exit 0 otherwise — so CI can assert "this PR
+moved no bench metric by more than N%".
+"""
+
+import argparse
+import json
+import sys
+
+KNOWN_SCHEMA_VERSIONS = {1}
+
+
+def fail(msg):
+    print(f"bench_diff: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_report(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load {path}: {e}")
+    if doc.get("schema") != "pgasq.report":
+        fail(f"{path}: schema is {doc.get('schema')!r}, want 'pgasq.report'")
+    if doc.get("schema_version") not in KNOWN_SCHEMA_VERSIONS:
+        fail(f"{path}: unknown schema_version {doc.get('schema_version')!r}")
+    return doc
+
+
+def metric_key(m):
+    labels = m.get("labels") or {}
+    tail = "".join(f"{{{k}={labels[k]}}}" for k in sorted(labels))
+    return m["name"] + tail
+
+
+def metric_value(m):
+    if m.get("type") == "histogram":
+        return m.get("total", 0)
+    return m.get("value", 0)
+
+
+def flatten(doc):
+    vals = {"elapsed_us": doc.get("elapsed_us", 0)}
+    for m in doc.get("metrics", []):
+        vals[metric_key(m)] = metric_value(m)
+    return vals
+
+
+def rel_delta(base, cand):
+    """Relative change in percent; None when both are zero."""
+    if base == cand:
+        return 0.0
+    if base == 0:
+        return None  # infinite relative change: nonzero from zero
+    return 100.0 * (cand - base) / base
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("baseline", help="baseline pgasq.report JSON")
+    ap.add_argument("candidate", help="candidate pgasq.report JSON")
+    ap.add_argument("--fail-over", type=float, metavar="PCT", default=None,
+                    help="exit 1 when any metric moved by more than PCT%%")
+    ap.add_argument("--metric", default="", metavar="PREFIX",
+                    help="restrict the --fail-over gate to metric names "
+                         "starting with PREFIX (the table still shows all)")
+    ap.add_argument("--all", action="store_true",
+                    help="print unchanged metrics too")
+    args = ap.parse_args()
+
+    base = flatten(load_report(args.baseline))
+    cand = flatten(load_report(args.candidate))
+
+    added = sorted(set(cand) - set(base))
+    removed = sorted(set(base) - set(cand))
+    shared = sorted(set(base) & set(cand))
+
+    rows = []
+    offenders = []
+    for key in shared:
+        b, c = base[key], cand[key]
+        d = rel_delta(b, c)
+        if d == 0.0 and not args.all:
+            continue
+        shown = "n/a (zero baseline)" if d is None else f"{d:+.2f}%"
+        rows.append((key, b, c, shown))
+        if args.fail_over is not None and key.startswith(args.metric):
+            over = (d is None and c != 0) or (d is not None
+                                             and abs(d) > args.fail_over)
+            if over:
+                offenders.append((key, b, c, shown))
+
+    if rows:
+        w = max(len(k) for k, _, _, _ in rows)
+        print(f"{'metric':<{w}}  {'baseline':>16}  {'candidate':>16}  delta")
+        for key, b, c, shown in rows:
+            print(f"{key:<{w}}  {b:>16g}  {c:>16g}  {shown}")
+    else:
+        print("bench_diff: no metric changed")
+    for key in added:
+        print(f"bench_diff: only in candidate: {key} = {cand[key]:g}")
+    for key in removed:
+        print(f"bench_diff: only in baseline: {key} = {base[key]:g}")
+
+    if args.fail_over is not None:
+        scope = f" (prefix {args.metric!r})" if args.metric else ""
+        if offenders:
+            for key, b, c, shown in offenders:
+                print(f"bench_diff: FAIL: {key} moved {shown} "
+                      f"({b:g} -> {c:g}), over the {args.fail_over}% gate"
+                      f"{scope}", file=sys.stderr)
+            sys.exit(1)
+        print(f"bench_diff: gate OK — no metric{scope} moved more than "
+              f"{args.fail_over}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -45,6 +45,17 @@ obs_gate() {
     "--report.json_path=${out}/BENCH_fig4.json" >/dev/null
   python3 "${repo}/tools/validate_trace.py" --report "${out}/BENCH_fig3.json"
   python3 "${repo}/tools/validate_trace.py" --report "${out}/BENCH_fig4.json"
+  # Hierarchical-collective gate: the same SCF at 8 ranks/node with the
+  # allreduce pinned to the two-level schedule must emit coll-hop flows
+  # on the per-group 'grp/...' tracks (node + leaders stages).
+  "${repo}/${dir}/examples/scf_walkthrough" --ranks=16 --ranks_per_node=8 \
+    --nbf=24 --block=8 --task_us=50 --distributed_guess=1 \
+    --coll.algo.allreduce=hier \
+    "--trace.json_path=${out}/scf_hier_trace.json" \
+    "--report.json_path=${out}/scf_hier_report.json" >/dev/null
+  python3 "${repo}/tools/validate_trace.py" --require-grp \
+    --trace "${out}/scf_hier_trace.json" \
+    --report "${out}/scf_hier_report.json"
 }
 
 pass build-check

@@ -13,7 +13,11 @@ trace:
   * with --require-ops, the trace must demonstrate the PR's acceptance
     flows: at least one put, one get, one collective hop and one ack
     flow whose endpoints sit on *different* tracks (arrows across rank
-    tracks in Perfetto).
+    tracks in Perfetto);
+  * with --require-grp, the trace must carry process-group collective
+    traffic: at least one cross-track 'coll hop' flow with an endpoint
+    on a 'grp/...' track (the per-group engines of src/grp — e.g. the
+    node and leaders stages of a hierarchical allreduce).
 
 report:
   * schema == "pgasq.report" and a schema_version this tool knows;
@@ -44,7 +48,7 @@ def load(path, what):
         fail(f"cannot load {what} {path}: {e}")
 
 
-def validate_trace(path, require_ops):
+def validate_trace(path, require_ops, require_grp):
     doc = load(path, "trace")
     if not isinstance(doc, dict) or "traceEvents" not in doc:
         fail("trace top level must be an object with 'traceEvents'")
@@ -53,7 +57,7 @@ def validate_trace(path, require_ops):
         fail("'traceEvents' must be an array")
 
     flows = {}  # id -> list of (phase, ts, tid, name)
-    tracks = set()
+    tracks = {}  # tid -> thread name
     n_slices = 0
     for i, ev in enumerate(events):
         if not isinstance(ev, dict):
@@ -63,7 +67,7 @@ def validate_trace(path, require_ops):
             fail(f"event {i} has no 'ph'")
         if ph == "M":
             if ev.get("name") == "thread_name":
-                tracks.add(ev.get("tid"))
+                tracks[ev.get("tid")] = ev.get("args", {}).get("name", "")
             continue
         for key in ("ts", "pid", "tid"):
             if key not in ev:
@@ -124,6 +128,27 @@ def validate_trace(path, require_ops):
                    for points in flows.values()):
             fail("no cross-track ack flow found (--require-ops)")
 
+    if require_grp:
+        grp_tracks = {tid for tid, name in tracks.items()
+                      if name.startswith("grp/")}
+        if not grp_tracks:
+            fail("no 'grp/...' tracks in trace (--require-grp): "
+                 "no process-group collective engine recorded anything")
+        hit = False
+        for points in flows.values():
+            if not any("coll hop" in name for _, _, _, name in points):
+                continue
+            tids = {tid for _, _, tid, _ in points}
+            if len(tids) >= 2 and tids & grp_tracks:
+                hit = True
+                break
+        if not hit:
+            fail("no cross-track 'coll hop' flow touching a grp/ track "
+                 "(--require-grp)")
+        labels = sorted({tracks[t].split("/")[1] for t in grp_tracks
+                         if len(tracks[t].split("/")) >= 2})
+        print(f"validate_trace: grp OK — group tracks for {labels}")
+
     print(f"validate_trace: trace OK — {len(events)} events, "
           f"{len(flows)} flows, {len(tracks)} named tracks, "
           f"{n_slices} slice edges")
@@ -183,11 +208,13 @@ def main():
     ap.add_argument("--report", help="pgasq.report JSON to validate")
     ap.add_argument("--require-ops", action="store_true",
                     help="require cross-track put/get/coll-hop/ack flows")
+    ap.add_argument("--require-grp", action="store_true",
+                    help="require cross-track coll-hop flows on grp/ tracks")
     args = ap.parse_args()
     if not args.trace and not args.report:
         ap.error("nothing to do: pass --trace and/or --report")
     if args.trace:
-        validate_trace(args.trace, args.require_ops)
+        validate_trace(args.trace, args.require_ops, args.require_grp)
     if args.report:
         validate_report(args.report)
 
