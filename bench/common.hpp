@@ -14,6 +14,7 @@
 #include "core/report_json.hpp"
 #include "core/world.hpp"
 #include "fault/fault.hpp"
+#include "fault/integrity.hpp"
 #include "ft/recovery.hpp"
 #include "util/config.hpp"
 #include "util/error.hpp"
@@ -49,6 +50,9 @@ inline armci::WorldConfig make_world_config(const Config& cli, int default_ranks
   }
   cfg.machine.params.hardware_amo = cli.get_bool("hardware_amo", false);
   cfg.machine.fault = fault::FaultPlan::from_config(cli);
+  // End-to-end integrity knobs (--integrity.verify, --integrity.crc_*
+  // etc.); the layer also self-arms when --fault.corrupt_prob is set.
+  cfg.machine.integrity = fault::IntegrityConfig::from_config(cli);
   // Fail-stop detection knobs (--ft.heartbeat_period_us etc.); inert
   // unless the fault plan also schedules node deaths. The checkpoint
   // cadence (--ft.checkpoint_interval) is app-level — benches that run

@@ -6,10 +6,13 @@
 //   ./examples/scf_walkthrough [--ranks=64] [--nbf=96] [--block=8]
 #include <cstdio>
 
+#include <cstring>
+
 #include "apps/scf.hpp"
 #include "core/comm.hpp"
 #include "core/report_json.hpp"
 #include "fault/fault.hpp"
+#include "fault/integrity.hpp"
 #include "ft/recovery.hpp"
 #include "util/config.hpp"
 
@@ -26,6 +29,9 @@ apps::ScfResult run_mode(const Config& cli, armci::ProgressMode mode,
   cfg.armci.progress = mode;
   cfg.armci.contexts_per_rank = mode == armci::ProgressMode::kAsyncThread ? 2 : 1;
   cfg.machine.fault = fault::FaultPlan::from_config(cli);
+  // End-to-end integrity knobs (--integrity.verify etc.); the layer
+  // also self-arms whenever --fault.corrupt_prob is set.
+  cfg.machine.integrity = fault::IntegrityConfig::from_config(cli);
   // Collectives-engine knobs ride through opaquely (same contract as
   // the benches): e.g. --coll.algo.allreduce=recdbl pins the energy
   // reduction to a software schedule whose hops show up in traces.
@@ -82,10 +88,14 @@ int main(int argc, char** argv) {
   const auto at = run_mode(cli, armci::ProgressMode::kAsyncThread, scf, true);
 
   auto report = [](const char* name, const apps::ScfResult& r) {
+    // fock_bits is the checksum's raw IEEE-754 pattern: %.6f rounds
+    // away single-bit corruption, so the chaos soak compares this.
+    std::uint64_t fock_bits = 0;
+    std::memcpy(&fock_bits, &r.fock_checksum, sizeof fock_bits);
     std::printf("%-22s wall %8.2f ms | counter(sum) %8.2f ms | gets(sum) %8.2f ms"
-                " | checksum %.6f\n",
+                " | checksum %.6f | fock_bits %016llx\n",
                 name, to_ms(r.wall_time), to_ms(r.counter_time), to_ms(r.get_time),
-                r.fock_checksum);
+                r.fock_checksum, static_cast<unsigned long long>(fock_bits));
   };
   report("Default (D):", d);
   report("Async thread (AT):", at);

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <string>
 
+#include "fault/integrity.hpp"
+#include "util/crc32c.hpp"
 #include "util/error.hpp"
 
 namespace pgasq::coll {
@@ -30,6 +32,12 @@ constexpr int kTreeUpWord0 = 20;   // child joining via bit k -> word 20+k
 constexpr int kTreeDownWord = 40;  // release signal (one per rank)
 constexpr int kRingTokenWord = 48;
 constexpr int kRingReleaseWord = 49;
+
+// Slot-checksum re-fetch bound: each re-fetch rides the (corruptible)
+// wire again, so with per-packet corruption probability q the chance
+// of exhausting the bound is q^16 — unreachable for any sane plan. A
+// payload still failing after this many fetches is a logic error.
+constexpr int kMaxSlotRefetches = 16;
 
 }  // namespace
 
@@ -113,6 +121,11 @@ CollEngine::CollEngine(armci::Comm& comm, std::vector<int> members)
   geometry_.shrunk = shrunk;
   const fault::Injector* injector = machine.injector();
   geometry_.link_faults = injector != nullptr && injector->has_link_faults();
+  geometry_.corruption = injector != nullptr && injector->plan().corrupt_prob > 0.0;
+  if (machine.integrity() != nullptr && machine.integrity()->config().coll_check) {
+    integrity_ = machine.integrity();
+    hdr_ = 32;
+  }
   if (!shrunk) {
     geometry_.ppn = map.ranks_per_node();
     geometry_.nodes = torus.num_nodes();
@@ -195,6 +208,11 @@ CollEngine::CollEngine(armci::Comm& comm, const GroupSpec& spec)
   geometry_.group = true;
   const fault::Injector* injector = machine.injector();
   geometry_.link_faults = injector != nullptr && injector->has_link_faults();
+  geometry_.corruption = injector != nullptr && injector->plan().corrupt_prob > 0.0;
+  if (machine.integrity() != nullptr && machine.integrity()->config().coll_check) {
+    integrity_ = machine.integrity();
+    hdr_ = 32;
+  }
 
   // Ring schedules survive grouping when the member set is an
   // axis-aligned box in (A..E coordinate, slot) space — the canonical
@@ -325,13 +343,14 @@ bool CollEngine::ensure_scratch(std::size_t data_bytes) {
 
 void CollEngine::begin_data_op(std::size_t slot_payload, std::size_t n_slots) {
   PGASQ_CHECK(n_slots > 0);
-  slot_bytes_ = 8 + ((slot_payload + 7) & ~std::size_t{7});
+  slot_bytes_ = hdr_ + ((slot_payload + 7) & ~std::size_t{7});
   n_slots_ = n_slots;
   if (group_) {
     // Group epochs rendezvous over the control arena, never the
     // world-wide hardware barrier (non-members are elsewhere).
     ++epoch_;
     group_rendezvous();  // all previous-epoch traffic delivered
+    keep_retire();       // ... so no re-fetch can still target a stage
     const std::size_t need = slot_bytes_ * n_slots;
     if (data_cap_ < need) {
       group_grow(need);  // fresh zero-filled area; publish + rendezvous
@@ -348,6 +367,7 @@ void CollEngine::begin_data_op(std::size_t slot_payload, std::size_t n_slots) {
   const bool grew = ensure_scratch(slot_bytes_ * n_slots);
   ++epoch_;
   if (grew) {
+    keep_retire();  // the reallocation's rendezvous quiesced everything
     layout_ = slot_bytes_;
     return;  // the reallocation's own rendezvous isolated this epoch
   }
@@ -356,6 +376,7 @@ void CollEngine::begin_data_op(std::size_t slot_payload, std::size_t n_slots) {
     // from the old layout could alias the new flag positions. Quiesce,
     // wipe, and only then let anyone inject the new epoch.
     comm_.barrier_hw();
+    keep_retire();
     std::memset(scratch_->local(comm_.rank()) + kBarrierBytes, 0,
                 scratch_->bytes_per_rank() - kBarrierBytes);
     comm_.barrier_hw();
@@ -366,6 +387,7 @@ void CollEngine::begin_data_op(std::size_t slot_payload, std::size_t n_slots) {
     // (retransmit backoff can delay its message arbitrarily). The
     // rendezvous guarantees all epoch-N traffic delivered first.
     comm_.barrier_hw();
+    keep_retire();
   }
 }
 
@@ -432,12 +454,62 @@ std::byte* CollEngine::grow_local(std::byte*& buf, std::size_t& capacity,
   return buf;
 }
 
+void CollEngine::fill_header(std::byte* stage, const void* data,
+                             std::size_t bytes) {
+  std::memcpy(stage, &epoch_, 8);
+  if (hdr_ == 8) return;
+  const std::uint32_t crc = crc32c(data, bytes);
+  const std::uint32_t len = static_cast<std::uint32_t>(bytes);
+  const std::int32_t src = comm_.rank();
+  const std::int32_t pad = 0;
+  const std::uint64_t addr = reinterpret_cast<std::uint64_t>(stage + hdr_);
+  std::memcpy(stage + 8, &crc, 4);
+  std::memcpy(stage + 12, &len, 4);
+  std::memcpy(stage + 16, &src, 4);
+  std::memcpy(stage + 20, &pad, 4);
+  std::memcpy(stage + 24, &addr, 8);
+}
+
+std::byte* CollEngine::keep_alloc(std::size_t need) {
+  need = (need + 7) & ~std::size_t{7};
+  if (keep_blocks_.empty() || keep_blocks_.back().second - keep_used_ < need) {
+    std::size_t cap =
+        keep_blocks_.empty() ? std::size_t{16} * 1024 : keep_blocks_.back().second * 2;
+    while (cap < need) cap *= 2;
+    keep_blocks_.emplace_back(static_cast<std::byte*>(comm_.malloc_local(cap)), cap);
+    keep_used_ = 0;
+  }
+  std::byte* p = keep_blocks_.back().first + keep_used_;
+  keep_used_ += need;
+  return p;
+}
+
+void CollEngine::keep_retire() {
+  if (keep_blocks_.size() > 1) {
+    // Coalesce into one block covering everything the last epoch used,
+    // so steady state bump-allocates without fresh registrations.
+    std::size_t total = 0;
+    for (const auto& [ptr, cap] : keep_blocks_) {
+      total += cap;
+      comm_.free_local(ptr);
+    }
+    keep_blocks_.clear();
+    keep_blocks_.emplace_back(static_cast<std::byte*>(comm_.malloc_local(total)),
+                              total);
+  }
+  keep_used_ = 0;
+}
+
 void CollEngine::send(int to, std::size_t slot, const void* data,
                       std::size_t bytes) {
-  PGASQ_CHECK(slot < n_slots_ && bytes + 8 <= slot_bytes_);
-  std::byte* stage = grow_local(send_buf_, send_cap_, 8 + bytes);
-  std::memcpy(stage, &epoch_, 8);
-  if (bytes > 0) std::memcpy(stage + 8, data, bytes);
+  PGASQ_CHECK(slot < n_slots_ && bytes + hdr_ <= slot_bytes_);
+  // Under slot checksums the stage is retained for the whole epoch so
+  // the receiver can re-fetch a corrupted payload; otherwise the
+  // reusable buffer suffices (the put snapshots it at injection).
+  std::byte* stage = hdr_ == 8 ? grow_local(send_buf_, send_cap_, 8 + bytes)
+                               : keep_alloc(hdr_ + bytes);
+  fill_header(stage, data, bytes);
+  if (bytes > 0) std::memcpy(stage + hdr_, data, bytes);
   if (trace_ != nullptr) {
     trace_->flow_point('s', track_, "coll hop", hop_flow_id(wrank(to), slot),
                        comm_.now(), {{"bytes", std::to_string(bytes)},
@@ -445,25 +517,25 @@ void CollEngine::send(int to, std::size_t slot, const void* data,
   }
   // One put carries flag + payload: the simulator delivers it in a
   // single atomic copy, so a raised flag implies a complete payload.
-  comm_.put(stage, slot_remote(to, slot), 8 + bytes);
+  comm_.put(stage, slot_remote(to, slot), hdr_ + bytes);
 }
 
 void CollEngine::send_nb(int to, std::size_t slot, const void* data,
                          std::size_t bytes, std::byte* stage,
                          armci::Handle& handle) {
-  PGASQ_CHECK(slot < n_slots_ && bytes + 8 <= slot_bytes_);
-  std::memcpy(stage, &epoch_, 8);
-  if (bytes > 0) std::memcpy(stage + 8, data, bytes);
+  PGASQ_CHECK(slot < n_slots_ && bytes + hdr_ <= slot_bytes_);
+  fill_header(stage, data, bytes);
+  if (bytes > 0) std::memcpy(stage + hdr_, data, bytes);
   if (trace_ != nullptr) {
     trace_->flow_point('s', track_, "coll hop", hop_flow_id(wrank(to), slot),
                        comm_.now(), {{"bytes", std::to_string(bytes)},
                                      {"to", "rank" + std::to_string(wrank(to))}});
   }
-  comm_.nb_put(stage, slot_remote(to, slot), 8 + bytes, handle);
+  comm_.nb_put(stage, slot_remote(to, slot), hdr_ + bytes, handle);
 }
 
 const std::byte* CollEngine::recv_wait(std::size_t slot, std::size_t bytes) {
-  PGASQ_CHECK(slot < n_slots_ && bytes + 8 <= slot_bytes_);
+  PGASQ_CHECK(slot < n_slots_ && bytes + hdr_ <= slot_bytes_);
   std::byte* base = slot_local(slot);
   const volatile std::uint64_t* flag =
       reinterpret_cast<const volatile std::uint64_t*>(base);
@@ -471,12 +543,44 @@ const std::byte* CollEngine::recv_wait(std::size_t slot, std::size_t bytes) {
   PGASQ_CHECK(*flag == epoch_,
               << "collective slot " << slot << " flagged epoch " << *flag
               << ", expected " << epoch_);
+  if (hdr_ != 8) {
+    // Slot checksum: flips can only land past the wire-protected
+    // prefix, i.e. in the payload — the header (and the epoch flag)
+    // always arrives intact, so a mismatch here is payload damage and
+    // the sender's retained stage still holds the clean bytes.
+    fault::IntegrityStats& is = integrity_->stats();
+    ++is.coll_slot_checks;
+    std::uint32_t want = 0, len = 0;
+    std::int32_t src = -1;
+    std::uint64_t addr = 0;
+    std::memcpy(&want, base + 8, 4);
+    std::memcpy(&len, base + 12, 4);
+    std::memcpy(&src, base + 16, 4);
+    std::memcpy(&addr, base + 24, 8);
+    PGASQ_CHECK(len == bytes, << "collective slot " << slot << " header claims "
+                              << len << " bytes, expected " << bytes);
+    int refetches = 0;
+    while (crc32c(base + hdr_, bytes) != want) {
+      ++is.coll_slot_rejects;
+      PGASQ_CHECK(++refetches <= kMaxSlotRefetches,
+                  << "collective slot " << slot << " payload failed its CRC "
+                  << refetches << " times (re-fetched from rank " << src
+                  << "); giving up");
+      ++is.coll_slot_refetches;
+      if (trace_ != nullptr) {
+        trace_->instant(track_, "coll slot refetch", comm_.now());
+      }
+      // The re-fetch rides the wire too and may itself be corrupted;
+      // the loop re-verifies until the payload lands clean.
+      comm_.get({src, reinterpret_cast<std::byte*>(addr)}, base + hdr_, bytes);
+    }
+  }
   if (trace_ != nullptr) {
     trace_->flow_point('f', track_, "coll hop recv",
                        hop_flow_id(comm_.rank(), slot), comm_.now(),
                        {{"bytes", std::to_string(bytes)}});
   }
-  return base + 8;
+  return base + hdr_;
 }
 
 void CollEngine::put_word(int to, int word, std::uint64_t value) {

@@ -34,11 +34,16 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "coll/selection.hpp"
 #include "core/comm.hpp"
 #include "sim/trace.hpp"
+
+namespace pgasq::fault {
+class Integrity;
+}  // namespace pgasq::fault
 
 namespace pgasq::coll {
 
@@ -164,12 +169,24 @@ class CollEngine {
   std::byte* slot_local(std::size_t slot);
   void send(int to, std::size_t slot, const void* data, std::size_t bytes);
   /// Non-blocking send for all-to-all overlap; `stage` must stay live
-  /// (8 + bytes capacity) until the handle completes.
+  /// (hdr_ + bytes capacity) until the next epoch's rendezvous — under
+  /// slot checksums the receiver may re-fetch the payload from it.
   void send_nb(int to, std::size_t slot, const void* data, std::size_t bytes,
                std::byte* stage, armci::Handle& handle);
   /// Blocks until this epoch's message lands in `slot`; returns its
-  /// payload (valid until the next invocation).
+  /// payload (valid until the next invocation). Under slot checksums
+  /// (integrity + coll_check) a payload failing its header CRC is
+  /// re-fetched from the sender's retained stage until it verifies.
   const std::byte* recv_wait(std::size_t slot, std::size_t bytes);
+  /// Fills a slot-message header at `stage` (epoch, and under slot
+  /// checksums the payload CRC / length / my world rank / the remote
+  /// address of the retained payload at stage + hdr_).
+  void fill_header(std::byte* stage, const void* data, std::size_t bytes);
+  /// Bump-allocates a retained send stage for the open epoch; the
+  /// block lives until the next epoch's rendezvous retires it
+  /// (keep_retire), so receivers can re-fetch rejected payloads.
+  std::byte* keep_alloc(std::size_t need);
+  void keep_retire();
 
   // Barrier-word transport (fixed region at the base of the arena).
   void put_word(int to, int word, std::uint64_t value);
@@ -288,6 +305,21 @@ class CollEngine {
   std::size_t layout_ = 0;  ///< slot_bytes the arena is currently keyed to
   std::size_t slot_bytes_ = 0;
   std::size_t n_slots_ = 0;
+  /// Slot-message header width: 8 (epoch flag only), or 32 when the
+  /// integrity layer's slot checksums are on — [epoch u64]
+  /// [payload crc32c u32 | payload bytes u32] [src world rank i32 |
+  /// pad] [remote address of the sender's retained payload u64]. Bit
+  /// flips land past the wire-protected prefix, which covers the whole
+  /// header, so the epoch flag and CRC themselves are never corrupted.
+  std::size_t hdr_ = 8;
+  /// Integrity layer when slot checksums are active, else nullptr.
+  fault::Integrity* integrity_ = nullptr;
+  /// Retained send stages (keep_alloc) for the open epoch: blocking
+  /// sends stage here instead of the reusable send_buf_ so a receiver
+  /// can re-fetch a corrupted slot payload. Freed-and-coalesced at the
+  /// next epoch's rendezvous, when no re-fetch can still be pending.
+  std::vector<std::pair<std::byte*, std::size_t>> keep_blocks_;
+  std::size_t keep_used_ = 0;
   std::uint64_t epoch_ = 0;       ///< flag value of the open invocation
   std::uint64_t barrier_seq_ = 0; ///< software-barrier flag value
   bool in_alloc_ = false;  ///< inside malloc/free_collective: the

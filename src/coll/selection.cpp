@@ -85,7 +85,8 @@ Algo CollConfig::choose(Op op, std::uint64_t bytes, const Geometry& g) const {
   const Algo forced = force[static_cast<int>(op)];
   if (forced != Algo::kAuto) return normalize(op, forced, g);
 
-  const bool hw = hw_enabled && !g.link_faults && !g.shrunk && !g.group;
+  const bool hw =
+      hw_enabled && !g.link_faults && !g.corruption && !g.shrunk && !g.group;
   const bool ring =
       g.p >= ring_min_ranks && bytes >= ring_min_bytes && g.torus_dims > 0;
   // Node-aware two-level schedules pay off on the software path once
@@ -141,10 +142,11 @@ Algo CollConfig::normalize(Op op, Algo algo, const Geometry& g) const {
   PGASQ_CHECK(algo != Algo::kAuto);
   if (g.p == 1) return algo;  // every algorithm degenerates to a no-op
   // The hardware model moves no torus packets, so it cannot honour a
-  // fault plan that fails links; and it spans the whole partition, so
-  // a shrunk survivor clique cannot ride it either. Route through
-  // software in both cases.
-  if (algo == Algo::kHw && (!hw_enabled || g.link_faults || g.shrunk || g.group)) {
+  // fault plan that fails links or corrupts payloads; and it spans the
+  // whole partition, so a shrunk survivor clique cannot ride it
+  // either. Route through software in all these cases.
+  if (algo == Algo::kHw && (!hw_enabled || g.link_faults || g.corruption ||
+                            g.shrunk || g.group)) {
     algo = op == Op::kBarrier || op == Op::kAllreduce ? Algo::kRecdbl
                                                       : Algo::kBinomial;
   }

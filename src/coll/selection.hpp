@@ -50,6 +50,11 @@ struct Geometry {
   int torus_dims = 0;      ///< torus dimensions of extent > 1 (incl. T)
   int diameter = 0;        ///< network diameter in hops
   bool link_faults = false;  ///< fault plan disables specific links
+  /// Fault plan flips payload bits (fault.corrupt_prob > 0). The
+  /// hardware collective-logic model moves no torus packets, so it can
+  /// neither suffer nor detect corruption; it is deselected so
+  /// corruption runs exercise the CRC-checked software schedules.
+  bool corruption = false;
   /// Fail-stop communicator shrink: participants are a survivor subset
   /// of the clique. The hardware collective logic (which spans the
   /// whole partition) and the torus ring schedules (which need the

@@ -476,7 +476,7 @@ std::optional<pami::MemoryRegion> Comm::resolve_remote_region(RankId target,
     ProgressGuard guard(needs_context_lock(), main_context(),
                         process_.machine().params().context_lock_cost);
     main_context().send(service_endpoint(target), kDispatchRegionQuery,
-                        std::move(header), {}, nullptr);
+                        std::move(header), {}, nullptr, "region query");
   } catch (...) {
     delete cookie;  // the query never left this rank; no reply will come
     throw;
@@ -531,7 +531,8 @@ void Comm::notify(RankId target) {
   ensure_endpoint(target, service_context_index_);
   ProgressGuard guard(needs_context_lock(), main_context(),
                       process_.machine().params().context_lock_cost);
-  main_context().send(service_endpoint(target), kDispatchNotify, {}, {}, nullptr);
+  main_context().send(service_endpoint(target), kDispatchNotify, {}, {}, nullptr,
+                      "notify");
 }
 
 void Comm::wait_notify(RankId producer, std::uint64_t count) {
@@ -773,7 +774,7 @@ void Comm::nb_acc_t(T alpha, const T* src, RemotePtr dst, std::size_t count,
   ProgressGuard guard(needs_context_lock(), main_context(),
                       process_.machine().params().context_lock_cost);
   main_context().send(service_endpoint(dst.rank), kDispatchAcc, std::move(header),
-                      std::move(payload), make_done(handle));
+                      std::move(payload), make_done(handle), "accumulate");
 }
 
 template <typename T>
@@ -890,9 +891,10 @@ void Comm::strided_typed(Dir dir, std::byte* local, const pami::MemoryRegion& lo
     ConflictTracker::Key key;
     track_write(remote.rank, remote_mr.id, &key);
     main_context().rput_typed(local_mr, remote_mr, chunks, make_done(handle),
-                              make_ack(key));
+                              make_ack(key), "strided typed put");
   } else {
-    main_context().rget_typed(local_mr, remote_mr, chunks, make_done(handle));
+    main_context().rget_typed(local_mr, remote_mr, chunks, make_done(handle),
+                              "strided typed get");
   }
 }
 
@@ -921,7 +923,8 @@ void Comm::strided_packed(Dir dir, std::byte* local, RemotePtr remote,
     ProgressGuard guard(needs_context_lock(), main_context(),
                         process_.machine().params().context_lock_cost);
     main_context().send(service_endpoint(remote.rank), kDispatchStridedWrite,
-                        std::move(header), std::move(payload), make_done(handle));
+                        std::move(header), std::move(payload), make_done(handle),
+                        "strided write");
   } else {
     auto* closure = new GetReplyClosure{handle.state(), local, spec};
     std::vector<std::byte> header;
@@ -930,7 +933,7 @@ void Comm::strided_packed(Dir dir, std::byte* local, RemotePtr remote,
     ProgressGuard guard(needs_context_lock(), main_context(),
                         process_.machine().params().context_lock_cost);
     main_context().send(service_endpoint(remote.rank), kDispatchStridedGetReq,
-                        std::move(header), {}, nullptr);
+                        std::move(header), {}, nullptr, "strided get request");
   }
 }
 
@@ -1023,7 +1026,8 @@ void Comm::nb_acc_strided(double alpha, const double* src, RemotePtr dst,
   ProgressGuard guard(needs_context_lock(), main_context(),
                       process_.machine().params().context_lock_cost);
   main_context().send(service_endpoint(dst.rank), kDispatchStridedWrite,
-                      std::move(header), std::move(payload), make_done(handle));
+                      std::move(header), std::move(payload), make_done(handle),
+                      "strided accumulate");
 }
 
 void Comm::put_strided(const void* src, RemotePtr dst, const StridedSpec& spec) {
@@ -1125,7 +1129,8 @@ void Comm::nb_put_v(RankId target, const VectorDescriptor& desc, Handle& handle)
   ProgressGuard guard(needs_context_lock(), main_context(),
                       process_.machine().params().context_lock_cost);
   main_context().send(service_endpoint(target), kDispatchVectorWrite,
-                      std::move(header), std::move(payload), make_done(handle));
+                      std::move(header), std::move(payload), make_done(handle),
+                      "vector write");
 }
 
 void Comm::nb_get_v(RankId target, const VectorDescriptor& desc, Handle& handle) {
@@ -1163,7 +1168,7 @@ void Comm::nb_get_v(RankId target, const VectorDescriptor& desc, Handle& handle)
   ProgressGuard guard(needs_context_lock(), main_context(),
                       process_.machine().params().context_lock_cost);
   main_context().send(service_endpoint(target), kDispatchVectorGetReq,
-                      std::move(header), {}, nullptr);
+                      std::move(header), {}, nullptr, "vector get request");
 }
 
 void Comm::nb_acc_v(double alpha, RankId target, const VectorDescriptor& desc,
@@ -1193,7 +1198,8 @@ void Comm::nb_acc_v(double alpha, RankId target, const VectorDescriptor& desc,
   ProgressGuard guard(needs_context_lock(), main_context(),
                       process_.machine().params().context_lock_cost);
   main_context().send(service_endpoint(target), kDispatchVectorWrite,
-                      std::move(header), std::move(payload), make_done(handle));
+                      std::move(header), std::move(payload), make_done(handle),
+                      "vector accumulate");
 }
 
 void Comm::put_v(RankId target, const VectorDescriptor& desc) {
@@ -1263,7 +1269,7 @@ void Comm::on_vector_get_request(pami::Context& ctx, const pami::AmMessage& msg)
   std::vector<std::byte> reply;
   append_pod(reply, StridedGetRepHeader{h.closure});  // same shape: a cookie
   ctx.send(msg.source, kDispatchVectorGetRep, std::move(reply), std::move(payload),
-           nullptr);
+           nullptr, "vector get reply");
 }
 
 void Comm::on_vector_get_reply(pami::Context& ctx, const pami::AmMessage& msg) {
@@ -1447,7 +1453,8 @@ void Comm::on_region_query(pami::Context& ctx, const pami::AmMessage& msg) {
   std::vector<std::byte> reply;
   append_pod(reply, RegionReplyHeader{h.box, found.value_or(pami::MemoryRegion{}),
                                       found.has_value()});
-  ctx.send(msg.source, kDispatchRegionReply, std::move(reply), {}, nullptr);
+  ctx.send(msg.source, kDispatchRegionReply, std::move(reply), {}, nullptr,
+           "region reply");
 }
 
 void Comm::on_region_reply(pami::Context& ctx, const pami::AmMessage& msg) {
@@ -1511,7 +1518,7 @@ void Comm::on_strided_get_request(pami::Context& ctx, const pami::AmMessage& msg
   std::vector<std::byte> reply;
   append_pod(reply, StridedGetRepHeader{h.closure});
   ctx.send(msg.source, kDispatchStridedGetRep, std::move(reply), std::move(payload),
-           nullptr);
+           nullptr, "strided get reply");
 }
 
 void Comm::on_strided_get_reply(pami::Context& ctx, const pami::AmMessage& msg) {

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "fault/fault.hpp"
+#include "fault/integrity.hpp"
 #include "ft/liveness.hpp"
 #include "obs/link_usage.hpp"
 #include "sim/trace.hpp"
@@ -112,7 +113,8 @@ std::string render_report(const World& world, const ReportOptions& options) {
     os << '\n';
     Table faults({"fault injection & recovery", "value"});
     faults.row().add(std::string("packets dropped")).add(f.packets_dropped);
-    faults.row().add(std::string("packets corrupted (CRC)")).add(f.packets_corrupted);
+    faults.row().add(std::string("packets corrupted (flips injected)"))
+        .add(f.packets_corrupted);
     faults.row().add(std::string("retransmits")).add(s.retransmits);
     faults.row().add(std::string("backoff seconds (sum over ranks)"))
         .add(to_s(s.retransmit_backoff), 4);
@@ -124,6 +126,30 @@ std::string render_report(const World& world, const ReportOptions& options) {
     faults.row().add(std::string("ranks per node (blast radius)"))
         .add(world.machine().mapping().ranks_per_node());
     os << faults.to_string();
+  }
+
+  if (const fault::Integrity* ig = world.machine().integrity()) {
+    const fault::IntegrityStats& is = ig->stats();
+    os << '\n';
+    Table integ({"end-to-end integrity", "value"});
+    integ.row().add(std::string("transport CRC checks")).add(is.crc_checks);
+    integ.row().add(std::string("corruptions detected")).add(is.corruptions_detected);
+    integ.row().add(std::string("NACKs sent")).add(is.nacks_sent);
+    integ.row().add(std::string("NACK retransmits")).add(is.nack_retransmits);
+    integ.row().add(std::string("echo-CRC acks")).add(is.echo_crc_acks);
+    integ.row().add(std::string("collective slot checks")).add(is.coll_slot_checks);
+    integ.row().add(std::string("collective slot rejects")).add(is.coll_slot_rejects);
+    integ.row().add(std::string("collective slot re-fetches"))
+        .add(is.coll_slot_refetches);
+    integ.row().add(std::string("checkpoint digests computed"))
+        .add(is.ckpt_digests_computed);
+    integ.row().add(std::string("checkpoint digests validated"))
+        .add(is.ckpt_digests_validated);
+    integ.row().add(std::string("checkpoint digest mismatches"))
+        .add(is.ckpt_digest_mismatches);
+    integ.row().add(std::string("checkpoint fallback restores"))
+        .add(is.ckpt_fallback_restores);
+    os << integ.to_string();
   }
 
   if (const ft::HealthMonitor* mon = world.machine().monitor()) {

@@ -3,6 +3,7 @@
 #include <fstream>
 
 #include "fault/fault.hpp"
+#include "fault/integrity.hpp"
 #include "ft/liveness.hpp"
 #include "util/error.hpp"
 
@@ -96,6 +97,26 @@ void fill_fault(obs::Registry& reg, const fault::FaultStats& f) {
   reg.set_gauge("fault.stall_us", us(f.stall_time));
 }
 
+/// End-to-end integrity metrics. flips_injected mirrors the injector's
+/// corruption count so the detected == injected invariant is checkable
+/// from the integrity.* namespace alone (chaos_soak.py relies on it).
+void fill_integrity(obs::Registry& reg, const fault::IntegrityStats& is,
+                    std::uint64_t flips_injected) {
+  reg.set_counter("integrity.flips_injected", flips_injected);
+  reg.set_counter("integrity.flips_detected", is.corruptions_detected);
+  reg.set_counter("integrity.crc_checks", is.crc_checks);
+  reg.set_counter("integrity.nacks_sent", is.nacks_sent);
+  reg.set_counter("integrity.nack_retransmits", is.nack_retransmits);
+  reg.set_counter("integrity.echo_crc_acks", is.echo_crc_acks);
+  reg.set_counter("integrity.coll_slot_checks", is.coll_slot_checks);
+  reg.set_counter("integrity.coll_slot_rejects", is.coll_slot_rejects);
+  reg.set_counter("integrity.coll_slot_refetches", is.coll_slot_refetches);
+  reg.set_counter("integrity.ckpt_digests_computed", is.ckpt_digests_computed);
+  reg.set_counter("integrity.ckpt_digests_validated", is.ckpt_digests_validated);
+  reg.set_counter("integrity.ckpt_digest_mismatches", is.ckpt_digest_mismatches);
+  reg.set_counter("integrity.ckpt_fallback_restores", is.ckpt_fallback_restores);
+}
+
 void fill_ft(obs::Registry& reg, const ft::FtStats& f) {
   reg.set_counter("ft.detections", f.detections);
   reg.set_gauge("ft.detection_delay_us", us(f.detection_delay));
@@ -123,6 +144,11 @@ obs::Registry build_registry(const World& world) {
   reg.set_counter("noc.bytes_sent", m.network().bytes_sent());
 
   if (const fault::Injector* inj = m.injector()) fill_fault(reg, inj->stats());
+  if (const fault::Integrity* ig = m.integrity()) {
+    const fault::Injector* inj = m.injector();
+    fill_integrity(reg, ig->stats(),
+                   inj != nullptr ? inj->stats().packets_corrupted : 0);
+  }
   if (const ft::HealthMonitor* mon = m.monitor()) fill_ft(reg, mon->stats());
 
   if (const obs::LinkUsage* lu = m.link_usage()) {

@@ -95,19 +95,38 @@ LinkFaultSpec parse_link_spec(const std::string& spec, bool with_capacity,
 
 FaultPlan FaultPlan::from_config(const Config& cfg) {
   cfg.reject_unknown("fault",
-                     {"seed", "drop_prob", "corrupt_prob", "link_fail",
-                      "link_degrade", "stall", "node_fail", "ack_timeout_us",
-                      "backoff_factor", "max_backoff_us", "retry_budget"});
+                     {"seed", "drop_prob", "corrupt_prob", "corrupt_bits",
+                      "corrupt_window", "link_fail", "link_degrade", "stall",
+                      "node_fail", "ack_timeout_us", "backoff_factor",
+                      "max_backoff_us", "retry_budget"});
   FaultPlan plan;
   plan.seed = static_cast<std::uint64_t>(cfg.get_int("fault.seed", 1));
   plan.drop_prob = cfg.get_double("fault.drop_prob", 0.0);
   plan.corrupt_prob = cfg.get_double("fault.corrupt_prob", 0.0);
+  plan.corrupt_bits = cfg.get_int("fault.corrupt_bits", 1);
   PGASQ_CHECK(plan.drop_prob >= 0.0 && plan.drop_prob < 1.0,
               << "fault.drop_prob = " << plan.drop_prob);
   PGASQ_CHECK(plan.corrupt_prob >= 0.0 && plan.corrupt_prob < 1.0,
               << "fault.corrupt_prob = " << plan.corrupt_prob);
   PGASQ_CHECK(plan.drop_prob + plan.corrupt_prob < 1.0,
               << "fault.drop_prob + fault.corrupt_prob must stay below 1");
+  PGASQ_CHECK(plan.corrupt_bits >= 1 && plan.corrupt_bits <= 64,
+              << "fault.corrupt_bits must be in [1,64], got " << plan.corrupt_bits);
+  const std::string windows = cfg.get_string("fault.corrupt_window", "");
+  if (!windows.empty()) {
+    for (const auto& spec : split(windows, ',')) {
+      const auto f = split(spec, ':');
+      PGASQ_CHECK(f.size() == 2,
+                  << "fault.corrupt_window: expected from_us:until_us in '"
+                  << spec << "'");
+      CorruptWindow w;
+      w.begin = from_us(parse_double(f[0], "fault.corrupt_window"));
+      w.end = from_us(parse_double(f[1], "fault.corrupt_window"));
+      PGASQ_CHECK(w.begin < w.end,
+                  << "fault.corrupt_window: empty window in '" << spec << "'");
+      plan.corrupt_windows.push_back(w);
+    }
+  }
 
   const std::string fails = cfg.get_string("fault.link_fail", "");
   if (!fails.empty()) {
@@ -168,6 +187,13 @@ FaultPlan FaultPlan::from_config(const Config& cfg) {
 // ---------------------------------------------------------------------------
 
 namespace {
+/// One splitmix64 step of a value (stateless wrapper for seeding the
+/// corruption stream off the plan seed).
+std::uint64_t splitmix64_of(std::uint64_t v) {
+  std::uint64_t s = v;
+  return splitmix64(s);
+}
+
 /// The directed link leaving `node` along `dim` toward `dir`.
 topo::Link directed_link(const topo::Torus5D& torus, int node, int dim, int dir) {
   topo::Coord5 c = torus.coord_of(node);
@@ -177,7 +203,10 @@ topo::Link directed_link(const topo::Torus5D& torus, int node, int dim, int dir)
 }  // namespace
 
 Injector::Injector(FaultPlan plan, const topo::Torus5D& torus)
-    : plan_(std::move(plan)), torus_(torus), rng_(plan_.seed) {
+    : plan_(std::move(plan)),
+      torus_(torus),
+      rng_(plan_.seed),
+      crng_(splitmix64_of(plan_.seed ^ 0xc0bbc0bbc0bbc0bbULL)) {
   for (const auto& spec : plan_.link_faults) {
     PGASQ_CHECK(spec.node >= 0 && spec.node < torus_.num_nodes(),
                 << "fault: link node " << spec.node << " out of range");
@@ -236,20 +265,28 @@ void Injector::trace_mark(const char* name, Time at) const {
 }
 
 PacketFate Injector::roll_packet(Time now) {
-  const double loss = plan_.drop_prob + plan_.corrupt_prob;
-  if (loss <= 0.0) return PacketFate::kDelivered;
-  const double u = rng_.next_double();
-  if (u < plan_.drop_prob) {
+  if (plan_.drop_prob <= 0.0) return PacketFate::kDelivered;
+  if (rng_.next_double() < plan_.drop_prob) {
     ++stats_.packets_dropped;
     mark("packet drop", now);
     return PacketFate::kDropped;
   }
-  if (u < loss) {
-    ++stats_.packets_corrupted;
-    mark("packet corrupt", now);
-    return PacketFate::kCorrupted;
-  }
   return PacketFate::kDelivered;
+}
+
+std::uint64_t Injector::roll_corrupt(Time now) {
+  if (plan_.corrupt_prob <= 0.0) return 0;
+  if (!plan_.corrupt_windows.empty()) {
+    const bool open = std::any_of(
+        plan_.corrupt_windows.begin(), plan_.corrupt_windows.end(),
+        [now](const CorruptWindow& w) { return w.begin <= now && now < w.end; });
+    if (!open) return 0;
+  }
+  if (crng_.next_double() >= plan_.corrupt_prob) return 0;
+  ++stats_.packets_corrupted;
+  mark("packet corrupt", now);
+  // Nonzero by construction so 0 can mean "clean".
+  return crng_.next_u64() | 1ULL;
 }
 
 bool Injector::link_blocked(const topo::Link& link, Time now) const {
@@ -316,6 +353,18 @@ Time Injector::in_order_arrival(int src_node, int dst_node, Time arrive,
   arrive = std::max(arrive, floor);
   if (retransmitted) floor = std::max(floor, arrive);
   return arrive;
+}
+
+void apply_bit_flips(std::uint64_t token, int nbits, std::byte* data,
+                     std::size_t bytes, std::size_t skip) {
+  if (token == 0 || bytes <= skip) return;
+  const std::size_t region_bits = (bytes - skip) * 8;
+  std::uint64_t state = token;
+  for (int i = 0; i < nbits; ++i) {
+    const std::uint64_t r = splitmix64(state);
+    const std::size_t bit = static_cast<std::size_t>(r % region_bits);
+    data[skip + bit / 8] ^= static_cast<std::byte>(1u << (bit % 8));
+  }
 }
 
 }  // namespace pgasq::fault

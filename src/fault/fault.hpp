@@ -22,6 +22,7 @@
 // nullptr — timings are bit-identical to a build without this module.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <limits>
 #include <string>
@@ -61,6 +62,16 @@ class FaultError : public Error {
   std::uint64_t retries_;
 };
 
+/// Escalated *corruption* fault: the retry budget ran out on an attempt
+/// whose payload failed CRC verification (as opposed to a plain loss).
+/// Also raised by ft::Runtime when every committed checkpoint buffer
+/// fails digest validation — in both cases the data cannot be trusted
+/// and the run must stop loudly rather than continue on garbage.
+class IntegrityError : public FaultError {
+ public:
+  using FaultError::FaultError;
+};
+
 namespace sim {
 class TraceRecorder;
 }
@@ -91,6 +102,13 @@ struct StallSpec {
   Time end = 0;
 };
 
+/// Corruption is injected only inside these virtual-time windows
+/// (`fault.corrupt_window`); an empty list means "whole run".
+struct CorruptWindow {
+  Time begin = 0;
+  Time end = kForever;
+};
+
 /// Fail-stop node death: at virtual time `at` the node stops executing
 /// and all ten of its links go dark, taking every rank it hosts with
 /// it. Detection and recovery live in src/ft/ (health monitor,
@@ -106,10 +124,23 @@ struct FaultPlan {
   std::uint64_t seed = 1;
   /// Per-packet loss probability in the fabric (`fault.drop_prob`).
   double drop_prob = 0.0;
-  /// Per-packet CRC-corruption probability (`fault.corrupt_prob`).
-  /// Detected at the receiver and treated as a loss — data is never
-  /// silently delivered wrong.
+  /// Per-packet silent-corruption probability (`fault.corrupt_prob`):
+  /// the fabric flips `corrupt_bits` payload bits and delivers the
+  /// packet as if nothing happened. Only payloads large enough to spill
+  /// past the link-CRC-protected prefix are eligible (headers, acks,
+  /// barrier words and other control packets never corrupt — BG/Q's
+  /// per-packet link CRC covers them even on a commodity-model run).
+  /// Whether the flip *lands* is up to the integrity layer: with
+  /// transport verification on (the default once corruption is
+  /// planned), pami::Context detects the bad CRC on delivery and NACKs
+  /// for a retransmit; with `integrity.verify=0` the flipped bytes
+  /// reach application memory and only the coll/ft defenses stand.
   double corrupt_prob = 0.0;
+  /// Bits flipped per corrupted packet (`fault.corrupt_bits`).
+  int corrupt_bits = 1;
+  /// Windows during which corruption may fire (`fault.corrupt_window`);
+  /// empty = always.
+  std::vector<CorruptWindow> corrupt_windows;
   std::vector<LinkFaultSpec> link_faults;
   std::vector<StallSpec> stalls;
   /// Fail-stop node deaths (`fault.node_fail`). A dead node black-holes
@@ -138,6 +169,8 @@ struct FaultPlan {
 
   /// Parses the `fault.*` keys of a Config:
   ///   fault.seed, fault.drop_prob, fault.corrupt_prob,
+  ///   fault.corrupt_bits,
+  ///   fault.corrupt_window = "from_us:until_us",...
   ///   fault.link_fail   = "node:dim:dir[:from_us:until_us]",...
   ///   fault.link_degrade= "node:dim:dir:capacity[:from_us:until_us]",...
   ///   fault.stall       = "rank:from_us:until_us",...
@@ -189,10 +222,20 @@ class Injector {
   void trace_mark(const char* name, Time at) const;
 
   // --- Packet fate ------------------------------------------------------
-  /// Rolls drop/corruption for one packet injected at `now`. Consumes
-  /// RNG only when a loss probability is configured, so plans that only
-  /// fail links stay on the untouched random stream.
+  /// Rolls the *drop* fate for one packet injected at `now`. Consumes
+  /// the primary RNG stream only when a drop probability is configured,
+  /// so plans that only fail links stay on the untouched random stream
+  /// — and corruption draws live on a separate stream (roll_corrupt),
+  /// so adding a corruption plan does not perturb which packets drop.
   PacketFate roll_packet(Time now);
+
+  /// Rolls corruption for one *delivered* packet injected at `now`.
+  /// Returns 0 for a clean packet, or a nonzero flip token that
+  /// deterministically seeds the bit-flip pattern (see apply_bit_flips).
+  /// Draws from a dedicated corruption stream; callers gate on payload
+  /// eligibility (noc::NetworkModel::roll_fate) so the stream advances
+  /// identically whether or not transport verification is on.
+  std::uint64_t roll_corrupt(Time now);
 
   // --- Link failure windows --------------------------------------------
   bool has_link_faults() const { return !by_link_.empty(); }
@@ -244,6 +287,10 @@ class Injector {
   FaultPlan plan_;
   const topo::Torus5D& torus_;
   Rng rng_;
+  /// Dedicated corruption stream: derived from the plan seed but
+  /// independent of rng_, so corruption plans leave drop/link draws
+  /// byte-identical to a corruption-free run.
+  Rng crng_;
   /// Directed-link index -> fault windows affecting it.
   std::unordered_map<int, std::vector<Window>> by_link_;
   /// (src_node, dst_node) -> reorder floor: the latest arrival of a
@@ -253,6 +300,13 @@ class Injector {
   sim::TraceRecorder* trace_ = nullptr;
   std::uint32_t track_ = 0;
 };
+
+/// Applies `nbits` bit flips, derived deterministically from a nonzero
+/// flip `token`, to data[skip, bytes). The same token always flips the
+/// same bits, so a run is reproducible regardless of whether the
+/// verification layer catches the flip or lets it land.
+void apply_bit_flips(std::uint64_t token, int nbits, std::byte* data,
+                     std::size_t bytes, std::size_t skip);
 
 }  // namespace fault
 }  // namespace pgasq

@@ -4,6 +4,8 @@
 #include <cstring>
 
 #include "coll/coll.hpp"
+#include "fault/integrity.hpp"
+#include "util/crc32c.hpp"
 #include "util/error.hpp"
 
 namespace pgasq::ft {
@@ -72,10 +74,22 @@ Runtime::Runtime(armci::Comm& comm, RuntimeConfig config,
   }
   std::size_t area = 0;
   for (const std::size_t s : max_shard_) area += s;
+  fault::Integrity* ig = comm.world().machine().integrity();
+  if (ig != nullptr && ig->config().ckpt_digest) {
+    integrity_ = ig;
+    own_digest_[0].assign(max_shard_.size(), 0);
+    own_digest_[1].assign(max_shard_.size(), 0);
+  }
   // One collective allocation while every world rank is still alive;
-  // the double-buffered own/incoming areas are carved out of it. With
-  // no arrays to protect (barrier-only workloads) there is no arena.
-  if (area != 0) arena_ = &comm.malloc_collective(4 * area);
+  // the double-buffered own/incoming areas are carved out of it (plus,
+  // under checkpoint digests, one 8-byte word per incoming shard for
+  // the buddy-shipped digest). With no arrays to protect (barrier-only
+  // workloads) there is no arena.
+  if (area != 0) {
+    std::size_t total = 4 * area;
+    if (integrity_ != nullptr) total += 2 * max_shard_.size() * 8;
+    arena_ = &comm.malloc_collective(total);
+  }
 }
 
 std::size_t Runtime::own_offset(std::size_t array, int buf) const {
@@ -91,6 +105,18 @@ std::size_t Runtime::in_offset(std::size_t array, int buf) const {
   std::size_t area = 0;
   for (const std::size_t s : max_shard_) area += s;
   return 2 * area + own_offset(array, buf);
+}
+
+std::size_t Runtime::digest_offset(std::size_t array, int buf) const {
+  std::size_t area = 0;
+  for (const std::size_t s : max_shard_) area += s;
+  return 4 * area +
+         (static_cast<std::size_t>(buf) * max_shard_.size() + array) * 8;
+}
+
+void Runtime::poison_for_test(int buf, std::size_t array) {
+  PGASQ_CHECK(arena_ != nullptr && array < max_shard_.size());
+  arena_->local(comm_.rank())[own_offset(array, buf)] ^= std::byte{0xff};
 }
 
 bool Runtime::should_checkpoint(int iter) const {
@@ -123,6 +149,22 @@ void Runtime::checkpoint(int iter, const std::vector<ga::GlobalArray*>& arrays) 
     if (bytes == 0) continue;
     PGASQ_CHECK(bytes <= max_shard_[i]);
     std::memcpy(arena_->local(me) + own_offset(i, b), a.local_data(), bytes);
+    if (integrity_ != nullptr) {
+      // Self-checking checkpoint: digest the shard once and keep it
+      // with each copy — locally for my own shard, shipped as its own
+      // (flip-proof) 8-byte word alongside the buddy copy.
+      const std::uint32_t d = crc32c(a.local_data(), bytes);
+      own_digest_[b][i] = d;
+      ++integrity_->stats().ckpt_digests_computed;
+      comm_.compute(integrity_->crc_cost(bytes));
+      std::uint64_t word = d;
+      if (buddy == me) {
+        std::memcpy(arena_->local(me) + digest_offset(i, b), &word, 8);
+      } else {
+        comm_.put(reinterpret_cast<const std::byte*>(&word),
+                  arena_->at(buddy, digest_offset(i, b)), 8);
+      }
+    }
     if (buddy == me) {
       std::memcpy(arena_->local(me) + in_offset(i, b), a.local_data(), bytes);
     } else {
@@ -155,6 +197,63 @@ bool Runtime::buffer_valid(int buf) const {
   return true;
 }
 
+bool Runtime::validate_buffer(int buf) {
+  // Mirror restore()'s holder/offset choice exactly: validate the
+  // shards this survivor would actually push into the rebuilt arrays.
+  double ok = 1.0;
+  const std::vector<int>& old = ckpt_members_[buf];
+  const armci::RankId me = comm_.rank();
+  for (std::size_t i = 0; i < shapes_.size(); ++i) {
+    const auto [rows, cols] = shapes_[i];
+    const ga::Distribution2D dist(static_cast<int>(old.size()), rows, cols);
+    for (std::size_t ov = 0; ov < old.size(); ++ov) {
+      const int owner = old[ov];
+      const int buddy = old[(ov + 1) % old.size()];
+      armci::RankId holder;
+      std::size_t offset;
+      bool own_copy;
+      if (!monitor_->rank_declared_dead(owner)) {
+        holder = owner;
+        offset = own_offset(i, buf);
+        own_copy = true;
+      } else {
+        holder = buddy;
+        offset = in_offset(i, buf);
+        own_copy = false;
+      }
+      if (holder != me) continue;
+      const int gr = static_cast<int>(ov) / dist.grid_cols();
+      const int gc = static_cast<int>(ov) % dist.grid_cols();
+      const auto [rlo, rhi] = dist.row_range(gr);
+      const auto [clo, chi] = dist.col_range(gc);
+      const std::size_t bytes = static_cast<std::size_t>(rhi - rlo) *
+                                static_cast<std::size_t>(chi - clo) *
+                                sizeof(double);
+      if (bytes == 0) continue;
+      std::uint32_t want;
+      if (own_copy) {
+        want = own_digest_[buf][i];
+      } else {
+        std::uint64_t word = 0;
+        std::memcpy(&word, arena_->local(me) + digest_offset(i, buf), 8);
+        want = static_cast<std::uint32_t>(word);
+      }
+      ++integrity_->stats().ckpt_digests_validated;
+      comm_.compute(integrity_->crc_cost(bytes));
+      if (crc32c(arena_->local(me) + offset, bytes) != want) {
+        ++integrity_->stats().ckpt_digest_mismatches;
+        ok = 0.0;
+      }
+    }
+  }
+  // Survivors agree before anyone rolls back: the sum equals the
+  // member count iff every held shard verified everywhere. The 8-byte
+  // payload sits inside the wire-protected prefix, so the agreement
+  // itself cannot be corrupted.
+  coll::CollEngine::of(comm_).allreduce_sum(&ok, 1);
+  return ok == static_cast<double>(members_.size());
+}
+
 bool Runtime::recover() {
   if (monitor_ == nullptr) return true;
   const Time t0 = comm_.now();
@@ -177,13 +276,39 @@ bool Runtime::recover() {
 
   // Agreement needs no messages: commit metadata is written in
   // lockstep between barriers, so every survivor holds identical
-  // committed_/ckpt_members_ and picks the same buffer.
+  // committed_/ckpt_members_ and picks the same buffer. Candidates go
+  // newest-first; with checkpoint digests on, a candidate whose
+  // surviving shards fail validation is discarded — the older buffer
+  // is the fallback, and if every committed buffer fails the run
+  // aborts loudly rather than roll back to garbage.
   agreed_buf_ = -1;
   restart_iter_ = 0;
-  for (int b = 0; b < 2; ++b) {
-    if (buffer_valid(b) && committed_[b] > restart_iter_) {
-      restart_iter_ = committed_[b];
-      agreed_buf_ = b;
+  int order[2] = {0, 1};
+  if (committed_[1] > committed_[0]) {
+    order[0] = 1;
+    order[1] = 0;
+  }
+  int rejected = 0;
+  for (const int b : order) {
+    if (!buffer_valid(b)) continue;
+    if (integrity_ != nullptr && !validate_buffer(b)) {
+      ++rejected;
+      continue;
+    }
+    agreed_buf_ = b;
+    restart_iter_ = committed_[b];
+    break;
+  }
+  if (rejected > 0) {
+    if (agreed_buf_ < 0) {
+      throw IntegrityError(
+          "checkpoint restore", -1, -1, 0,
+          "integrity: every committed checkpoint buffer failed digest "
+          "validation on the survivor clique — no verified state to roll "
+          "back to");
+    }
+    if (comm_.rank() == members_.front()) {
+      ++integrity_->stats().ckpt_fallback_restores;
     }
   }
 

@@ -42,6 +42,10 @@
 #include "ga/global_array.hpp"
 #include "util/config.hpp"
 
+namespace pgasq::fault {
+class Integrity;
+}  // namespace pgasq::fault
+
 namespace pgasq::ft {
 
 /// `ft.*` configuration (see RuntimeConfig::from_config).
@@ -96,14 +100,38 @@ class Runtime {
   /// is 0 — the caller refills initial state instead.
   void restore(const std::vector<ga::GlobalArray*>& arrays);
 
+  /// Test hook: flips one byte of this rank's own-shard copy of
+  /// `array` in buffer `buf`, so digest validation deterministically
+  /// rejects that buffer at the next recover().
+  void poison_for_test(int buf, std::size_t array);
+
  private:
   std::size_t own_offset(std::size_t array, int buf) const;
   std::size_t in_offset(std::size_t array, int buf) const;
+  /// Arena offset of the 8-byte word holding the buddy-shipped digest
+  /// of the incoming copy of `array` in buffer `buf`. The word travels
+  /// as its own put — small enough to sit entirely inside the
+  /// wire-protected prefix, so the digest itself can never be flipped.
+  std::size_t digest_offset(std::size_t array, int buf) const;
   bool buffer_valid(int buf) const;
+  /// Digest validation of buffer `buf` (integrity + ckpt_digest only):
+  /// each survivor recomputes the CRC of every shard it would feed
+  /// into restore() and compares against the digest stored at
+  /// checkpoint time; survivors then agree via an allreduce over the
+  /// shrunk clique. False when any held shard fails.
+  bool validate_buffer(int buf);
 
   armci::Comm& comm_;
   RuntimeConfig config_;
   HealthMonitor* monitor_ = nullptr;
+  /// Integrity layer when checkpoint digests are on (integrity built
+  /// and integrity.ckpt_digest not disabled), else nullptr — the
+  /// digest-off arena layout and checkpoint path are byte-identical to
+  /// the pre-integrity runtime.
+  fault::Integrity* integrity_ = nullptr;
+  /// Own-shard digests, written at checkpoint time; lockstep metadata
+  /// like committed_ (each rank only ever validates its own entries).
+  std::vector<std::uint32_t> own_digest_[2];
   std::vector<int> members_;
   /// Checkpointed array shapes (rows, cols), fixed at construction.
   std::vector<std::pair<std::int64_t, std::int64_t>> shapes_;

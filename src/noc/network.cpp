@@ -40,9 +40,16 @@ Transfer NetworkModel::shm_transfer(std::uint64_t bytes, Time start) const {
   return Transfer{done, done};
 }
 
-void NetworkModel::roll_fate(Transfer& t, Time at) {
+void NetworkModel::roll_fate(Transfer& t, Time at, const TransferOptions& opts) {
   if (injector_ == nullptr) return;
   t.dropped = injector_->roll_packet(at) != fault::PacketFate::kDelivered;
+  // Corruption is a property of *delivered* packets, and only of those
+  // whose payload spills past the link-CRC-protected prefix: control
+  // packets, acks, barrier words and slot headers never flip.
+  if (!t.dropped && opts.payload_bytes > kProtectedPrefix) {
+    t.corrupt_token = injector_->roll_corrupt(at);
+    t.corrupted = t.corrupt_token != 0;
+  }
 }
 
 Transfer NetworkModel::dead_node_transfer(int src_node, int dst_node,
@@ -113,7 +120,7 @@ Transfer LogGPModel::transfer(int src_node, int dst_node, std::uint64_t bytes,
   // arrival is serialization + flight, not store-and-forward per hop.
   const Time arrive = inject_done + fly;
   Transfer t{inject_done, arrive};
-  roll_fate(t, begin);
+  roll_fate(t, begin, opts);
   return t;
 }
 
@@ -171,7 +178,7 @@ Transfer LinkContentionModel::transfer(int src_node, int dst_node,
                         : ser;
   const Time arrive = head + tail + params_.wire_base_latency;
   Transfer t{inject_done, arrive};
-  roll_fate(t, inject_done);
+  roll_fate(t, inject_done, opts);
   return t;
 }
 

@@ -32,11 +32,16 @@ namespace pgasq::noc {
 struct Transfer {
   Time inject_done;  ///< source link drained; safe for local-completion
   Time arrive;       ///< last byte at destination NIC
-  /// Fault injection only: the packet was lost in the fabric (dropped
-  /// outright or CRC-rejected by the receiver). The times above are
-  /// where it *would* have drained/arrived; the pami layer's
+  /// Fault injection only: the packet was lost in the fabric. The times
+  /// above are where it *would* have drained/arrived; the pami layer's
   /// ack/timeout/retransmit protocol decides what happens next.
   bool dropped = false;
+  /// Fault injection only: the packet arrives with flipped payload bits.
+  /// `corrupt_token` seeds the deterministic flip pattern
+  /// (fault::apply_bit_flips). Whether the flip is caught (CRC verify +
+  /// NACK) or lands in memory is the integrity layer's call.
+  bool corrupted = false;
+  std::uint64_t corrupt_token = 0;
 };
 
 /// Options for a single transfer.
@@ -44,7 +49,17 @@ struct TransferOptions {
   /// Control packets (get requests, AM headers without payload) are
   /// always packet-aligned and never pay the alignment penalty.
   bool is_control = false;
+  /// Application payload bytes eligible for silent corruption. The
+  /// link-level CRC protects each packet's first kProtectedPrefix bytes
+  /// (headers, acks, barrier words, control packets), so only transfers
+  /// whose payload spills past it can corrupt. Default 0 = fully
+  /// protected; the pami layer sets it for put/get/AM/typed payloads.
+  std::uint64_t payload_bytes = 0;
 };
+
+/// Bytes per packet under the link-level CRC's protection: flips only
+/// ever land at payload offsets >= this (see TransferOptions).
+inline constexpr std::uint64_t kProtectedPrefix = 48;
 
 class NetworkModel {
  public:
@@ -92,8 +107,10 @@ class NetworkModel {
   Time serialization(std::uint64_t bytes, TransferOptions opts) const;
   Time flight(int src_node, int dst_node) const;
   Transfer shm_transfer(std::uint64_t bytes, Time start) const;
-  /// Rolls packet loss/corruption for a transfer injected at `at`.
-  void roll_fate(Transfer& t, Time at);
+  /// Rolls packet loss and (for delivered packets whose payload spills
+  /// past the protected prefix) silent corruption for a transfer
+  /// injected at `at`.
+  void roll_fate(Transfer& t, Time at, const TransferOptions& opts);
   /// True when the transfer touches a fail-stopped node at `at`.
   bool dead_endpoint(int src_node, int dst_node, Time at) const {
     return injector_ != nullptr && injector_->has_node_fails() &&

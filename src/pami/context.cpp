@@ -67,67 +67,138 @@ noc::Transfer Context::wire_transfer(int src_node, int dst_node, std::uint64_t b
       throw ft::PeerDeadError(what, src_node, dst_node, mon->epoch(), os.str());
     }
   }
+  // End-to-end CRC verification covers payload legs whose bytes can
+  // actually corrupt (past the link-CRC-protected prefix). The sender
+  // computes the CRC before injection and the receiver re-computes it
+  // on delivery — both passes are charged to the virtual clock.
+  fault::Integrity* ig = machine().integrity();
+  const bool verify = ig != nullptr && ig->config().verify &&
+                      opts.payload_bytes > noc::kProtectedPrefix;
+  Time crc = 0;
+  if (verify) {
+    crc = ig->crc_cost(opts.payload_bytes);
+    at += crc;
+  }
   noc::Transfer t = net.transfer(src_node, dst_node, bytes, at, opts);
   fault::Injector* inj = machine().injector();
-  if (inj == nullptr) return t;
+  if (inj == nullptr) {
+    if (verify) {
+      ++ig->stats().crc_checks;
+      t.arrive += crc;
+    }
+    return t;
+  }
   const fault::FaultPlan& plan = inj->plan();
   Time timeout = plan.ack_timeout;
-  const bool retransmitted = t.dropped;
+  const bool retransmitted = t.dropped || (t.corrupted && verify);
   std::uint64_t spent = 0;
-  while (t.dropped) {
-    // The expected ack never came: declare the packet lost `timeout`
-    // after it drained, re-inject, and widen the timeout (capped).
-    const Time timeout_at = t.inject_done + timeout;
-    if (mon != nullptr) {
-      // Report the missed ack against the fail-stopped endpoint (if
-      // any); the suspect_acks'th miss declares it dead. The retries a
-      // doomed leg burned are refunded — fail-stop escalates as
-      // PeerDeadError, not as transient-budget exhaustion.
-      const int suspect = inj->node_dead(dst_node, timeout_at)   ? dst_node
-                          : inj->node_dead(src_node, timeout_at) ? src_node
-                                                                 : -1;
-      if (suspect >= 0 && mon->report_timeout(suspect, timeout_at)) {
-        retries_used_ -= spent;
-        stats_.retransmits -= spent;
-        std::ostringstream os;
-        os << "ft: " << what << " from node " << src_node << " to node " << dst_node
-           << " lost its peer — node " << suspect << " ("
-           << node_ranks_str(machine().mapping(), suspect)
-           << ") declared dead after missed acks";
-        throw ft::PeerDeadError(what, src_node, dst_node, mon->epoch(), os.str());
+  while (t.dropped || (t.corrupted && verify)) {
+    const bool from_corruption = !t.dropped;
+    Time resend_at;
+    if (t.dropped) {
+      // The expected ack never came: declare the packet lost `timeout`
+      // after it drained, re-inject, and widen the timeout (capped).
+      const Time timeout_at = t.inject_done + timeout;
+      if (mon != nullptr) {
+        // Report the missed ack against the fail-stopped endpoint (if
+        // any); the suspect_acks'th miss declares it dead. The retries a
+        // doomed leg burned are refunded — fail-stop escalates as
+        // PeerDeadError, not as transient-budget exhaustion.
+        const int suspect = inj->node_dead(dst_node, timeout_at)   ? dst_node
+                            : inj->node_dead(src_node, timeout_at) ? src_node
+                                                                   : -1;
+        if (suspect >= 0 && mon->report_timeout(suspect, timeout_at)) {
+          retries_used_ -= spent;
+          stats_.retransmits -= spent;
+          std::ostringstream os;
+          os << "ft: " << what << " from node " << src_node << " to node " << dst_node
+             << " lost its peer — node " << suspect << " ("
+             << node_ranks_str(machine().mapping(), suspect)
+             << ") declared dead after missed acks";
+          throw ft::PeerDeadError(what, src_node, dst_node, mon->epoch(), os.str());
+        }
       }
+      resend_at = timeout_at;
+    } else {
+      // The payload arrived but its CRC does not match: the receiver
+      // NACKs at the detection point and the sender re-injects when the
+      // NACK lands. A lost NACK degenerates to the plain ack timeout.
+      ++ig->stats().crc_checks;
+      ++ig->stats().corruptions_detected;
+      ++ig->stats().nacks_sent;
+      ++ig->stats().nack_retransmits;
+      const Time detect = t.arrive + crc;
+      inj->trace_mark("corruption nack", detect);
+      const noc::Transfer nack = net.transfer(
+          dst_node, src_node, machine().params().control_packet_bytes, detect,
+          noc::TransferOptions{.is_control = true});
+      resend_at = nack.dropped ? t.inject_done + timeout : nack.arrive;
     }
     ++stats_.retransmits;
     ++spent;
     if (++retries_used_ > plan.retry_budget) {
       std::ostringstream os;
-      os << "fault: retry budget (" << plan.retry_budget << ") exhausted on rank "
-         << process_.rank() << " context " << index_ << " during " << what
-         << " from node " << src_node << " ("
-         << node_ranks_str(machine().mapping(), src_node) << ") to node " << dst_node
-         << " (" << node_ranks_str(machine().mapping(), dst_node)
-         << ") (raise fault.retry_budget or lower fault.drop_prob)";
+      os << (from_corruption ? "integrity" : "fault") << ": retry budget ("
+         << plan.retry_budget << ") exhausted on rank " << process_.rank()
+         << " context " << index_ << " during " << what << " from node "
+         << src_node << " (" << node_ranks_str(machine().mapping(), src_node)
+         << ") to node " << dst_node << " ("
+         << node_ranks_str(machine().mapping(), dst_node) << ") "
+         << (from_corruption
+                 ? "— payload failed CRC verification on every retry "
+                   "(raise fault.retry_budget or lower fault.corrupt_prob)"
+                 : "(raise fault.retry_budget or lower fault.drop_prob)");
+      if (from_corruption) {
+        throw IntegrityError(what, src_node, dst_node, retries_used_ - 1, os.str());
+      }
       throw FaultError(what, src_node, dst_node, retries_used_ - 1, os.str());
     }
-    const Time resend_at = timeout_at;
-    stats_.retransmit_backoff += timeout;
-    inj->record_retransmit(timeout, resend_at);
-    timeout = std::min(
-        static_cast<Time>(static_cast<double>(timeout) * plan.backoff_factor),
-        plan.max_backoff);
+    if (t.dropped) {
+      stats_.retransmit_backoff += timeout;
+      inj->record_retransmit(timeout, resend_at);
+      timeout = std::min(
+          static_cast<Time>(static_cast<double>(timeout) * plan.backoff_factor),
+          plan.max_backoff);
+    } else {
+      // NACK turnaround replaces the timeout wait; no backoff charged.
+      inj->record_retransmit(0, resend_at);
+    }
     t = net.transfer(src_node, dst_node, bytes, resend_at, opts);
   }
   // Sequence numbers hold retransmission-reordered packets at the
   // receiver so pairwise delivery order survives recovery — the
   // ordering guarantee ARMCI's consistency layer is built on.
   t.arrive = inj->in_order_arrival(src_node, dst_node, t.arrive, retransmitted);
+  if (verify) {
+    ++ig->stats().crc_checks;
+    t.arrive += crc;
+  }
   return t;
 }
 
 noc::Transfer Context::wire_control(int src_node, int dst_node, Time at,
                                     const char* what) {
+  // Ack packets carry the payload's echo CRC inside the fixed control
+  // packet (no extra wire bytes), making one-sided completions
+  // end-to-end verified; only the bookkeeping is observable.
+  fault::Integrity* ig = machine().integrity();
+  if (ig != nullptr && ig->config().verify && std::strstr(what, "ack") != nullptr) {
+    ++ig->stats().echo_crc_acks;
+  }
   return wire_transfer(src_node, dst_node, machine().params().control_packet_bytes,
                        at, noc::TransferOptions{.is_control = true}, what);
+}
+
+void Context::maybe_corrupt(const noc::Transfer& t, std::byte* data,
+                            std::uint64_t bytes) {
+  if (!t.corrupted) return;  // only ever set under a corruption plan
+  fault::Integrity* ig = machine().integrity();
+  if (ig != nullptr && ig->config().verify) return;  // caught and repaired
+  // Silent mode (integrity.verify=0): the flip lands in the staged
+  // payload exactly as the fabric delivered it; the coll/ft layers'
+  // own checksums are the remaining line of defense.
+  fault::apply_bit_flips(t.corrupt_token, machine().injector()->plan().corrupt_bits,
+                         data, bytes, noc::kProtectedPrefix);
 }
 
 void Context::busy(Time t) { process_.busy(t); }
@@ -297,7 +368,10 @@ void Context::process_item(Item& item) {
       // Read the data now (service time) and ship it.
       std::vector<std::byte> staged(item.bytes);
       std::memcpy(staged.data(), item.source_data, item.bytes);
-      const auto t = wire_transfer(here, dest_node, item.bytes, now(), {}, "get reply");
+      const auto t =
+          wire_transfer(here, dest_node, item.bytes, now(),
+                        noc::TransferOptions{.payload_bytes = item.bytes}, "get reply");
+      maybe_corrupt(t, staged.data(), item.bytes);
       flow('t', process_.rank(), "get serve", item.flow_id, now());
       flow('f', item.reply_to.rank, "get reply", item.flow_id, t.arrive,
            item.bytes);
@@ -342,7 +416,9 @@ void Context::rput(const MemoryRegion& local_mr, std::uint64_t loff,
   busy(p.o_send);
   const int src_node = process_.node();
   const int dst_node = machine().mapping().node_of_rank(remote_mr.owner);
-  const auto t = wire_transfer(src_node, dst_node, bytes, now(), {}, "rput data");
+  const auto t = wire_transfer(src_node, dst_node, bytes, now(),
+                               noc::TransferOptions{.payload_bytes = bytes},
+                               "rput data");
   std::uint64_t fid = 0;
   if (trace() != nullptr) {
     fid = trace()->next_flow_id();
@@ -352,6 +428,7 @@ void Context::rput(const MemoryRegion& local_mr, std::uint64_t loff,
   // now so the caller may reuse the buffer after local completion.
   std::vector<std::byte> staged(bytes);
   std::memcpy(staged.data(), local_mr.base + loff, bytes);
+  maybe_corrupt(t, staged.data(), bytes);
   std::byte* dst = remote_mr.base + roff;
   machine().engine().schedule_at(t.arrive, [staged = std::move(staged), dst]() mutable {
     std::memcpy(dst, staged.data(), staged.size());
@@ -382,7 +459,9 @@ void Context::rget(const MemoryRegion& local_mr, std::uint64_t loff,
   // Request descriptor travels to the target NIC...
   const auto req = wire_control(src_node, dst_node, now(), "rget request");
   // ...which DMAs the data back with no target software involved.
-  const auto data = wire_transfer(dst_node, src_node, bytes, req.arrive, {}, "rget data");
+  const auto data =
+      wire_transfer(dst_node, src_node, bytes, req.arrive,
+                    noc::TransferOptions{.payload_bytes = bytes}, "rget data");
   if (trace() != nullptr) {
     // Every leg is timed at initiation, so the whole arrow chain can
     // be emitted here: request out, remote NIC serves, data back.
@@ -397,9 +476,10 @@ void Context::rget(const MemoryRegion& local_mr, std::uint64_t loff,
   machine().engine().schedule_at(req.arrive, [staged, src, bytes] {
     staged->assign(src, src + bytes);  // NIC reads target memory now
   });
-  machine().engine().schedule_at(data.arrive, [this, staged, dst,
+  machine().engine().schedule_at(data.arrive, [this, staged, dst, data,
                                                cb = std::move(on_done),
                                                cost = p.o_completion]() mutable {
+    maybe_corrupt(data, staged->data(), staged->size());
     std::memcpy(dst, staged->data(), staged->size());
     if (cb) post_completion(std::move(cb), cost);
   });
@@ -407,7 +487,8 @@ void Context::rget(const MemoryRegion& local_mr, std::uint64_t loff,
 
 void Context::rput_typed(const MemoryRegion& local_mr, const MemoryRegion& remote_mr,
                          const std::vector<TypedChunk>& chunks,
-                         Callback on_local_done, Callback on_remote_ack) {
+                         Callback on_local_done, Callback on_remote_ack,
+                         const char* what) {
   const auto& p = machine().params();
   std::uint64_t total = 0;
   for (const auto& c : chunks) {
@@ -423,8 +504,8 @@ void Context::rput_typed(const MemoryRegion& local_mr, const MemoryRegion& remot
   const int dst_node = machine().mapping().node_of_rank(remote_mr.owner);
   const auto wire_bytes =
       static_cast<std::uint64_t>(static_cast<double>(total) * p.typed_wire_factor);
-  const auto t =
-      wire_transfer(src_node, dst_node, wire_bytes, now(), {}, "rput typed data");
+  const auto t = wire_transfer(src_node, dst_node, wire_bytes, now(),
+                               noc::TransferOptions{.payload_bytes = total}, what);
   std::uint64_t fid = 0;
   if (trace() != nullptr) {
     fid = trace()->next_flow_id();
@@ -436,6 +517,7 @@ void Context::rput_typed(const MemoryRegion& local_mr, const MemoryRegion& remot
     std::memcpy(staged->data() + off, local_mr.base + c.local_offset, c.bytes);
     off += c.bytes;
   }
+  maybe_corrupt(t, staged->data(), total);
   std::byte* rbase = remote_mr.base;
   machine().engine().schedule_at(t.arrive, [staged, rbase, chunks] {
     std::uint64_t pos = 0;
@@ -459,7 +541,8 @@ void Context::rput_typed(const MemoryRegion& local_mr, const MemoryRegion& remot
 }
 
 void Context::rget_typed(const MemoryRegion& local_mr, const MemoryRegion& remote_mr,
-                         const std::vector<TypedChunk>& chunks, Callback on_done) {
+                         const std::vector<TypedChunk>& chunks, Callback on_done,
+                         const char* what) {
   const auto& p = machine().params();
   std::uint64_t total = 0;
   for (const auto& c : chunks) {
@@ -474,7 +557,8 @@ void Context::rget_typed(const MemoryRegion& local_mr, const MemoryRegion& remot
   const auto wire_bytes =
       static_cast<std::uint64_t>(static_cast<double>(total) * p.typed_wire_factor);
   const auto data =
-      wire_transfer(dst_node, src_node, wire_bytes, req.arrive, {}, "rget typed data");
+      wire_transfer(dst_node, src_node, wire_bytes, req.arrive,
+                    noc::TransferOptions{.payload_bytes = total}, what);
   if (trace() != nullptr) {
     const std::uint64_t fid = trace()->next_flow_id();
     flow('s', process_.rank(), "rget typed", fid, now(), total, remote_mr.owner);
@@ -491,9 +575,10 @@ void Context::rget_typed(const MemoryRegion& local_mr, const MemoryRegion& remot
     }
   });
   std::byte* lbase = local_mr.base;
-  machine().engine().schedule_at(data.arrive, [this, staged, lbase, chunks,
+  machine().engine().schedule_at(data.arrive, [this, staged, lbase, chunks, data,
                                                cb = std::move(on_done),
                                                cost = p.o_completion]() mutable {
+    maybe_corrupt(data, staged->data(), staged->size());
     std::uint64_t pos = 0;
     for (const auto& c : chunks) {
       std::memcpy(lbase + c.local_offset, staged->data() + pos, c.bytes);
@@ -508,7 +593,8 @@ void Context::rget_typed(const MemoryRegion& local_mr, const MemoryRegion& remot
 // ---------------------------------------------------------------------------
 
 void Context::send(Endpoint dest, DispatchId dispatch, std::vector<std::byte> header,
-                   std::vector<std::byte> payload, Callback on_local_done) {
+                   std::vector<std::byte> payload, Callback on_local_done,
+                   const char* what) {
   PGASQ_CHECK(dest.rank >= 0 && dest.rank < machine().num_ranks());
   const auto& p = machine().params();
   busy(p.o_send);
@@ -516,7 +602,10 @@ void Context::send(Endpoint dest, DispatchId dispatch, std::vector<std::byte> he
   const int dst_node = machine().mapping().node_of_rank(dest.rank);
   const std::uint64_t wire_bytes =
       p.control_packet_bytes + header.size() + payload.size();
-  const auto t = wire_transfer(src_node, dst_node, wire_bytes, now(), {}, "active message");
+  const auto t = wire_transfer(src_node, dst_node, wire_bytes, now(),
+                               noc::TransferOptions{.payload_bytes = payload.size()},
+                               what);
+  maybe_corrupt(t, payload.data(), payload.size());
   AmMessage msg;
   msg.source = Endpoint{process_.rank(), index_};
   msg.header = std::move(header);
@@ -546,7 +635,8 @@ void Context::put(Endpoint dest, const std::byte* local, std::byte* remote,
   const int src_node = process_.node();
   const int dst_node = machine().mapping().node_of_rank(dest.rank);
   const auto t = wire_transfer(src_node, dst_node, p.control_packet_bytes + bytes,
-                               now(), {}, "put data");
+                               now(), noc::TransferOptions{.payload_bytes = bytes},
+                               "put data");
   std::uint64_t fid = 0;
   if (trace() != nullptr) {
     fid = trace()->next_flow_id();
@@ -556,6 +646,7 @@ void Context::put(Endpoint dest, const std::byte* local, std::byte* remote,
   item.kind = Item::Kind::kPutData;
   item.deposit_to = remote;
   item.deposit_data.assign(local, local + bytes);
+  maybe_corrupt(t, item.deposit_data.data(), bytes);
   item.flow_id = fid;
   Context& dest_ctx = machine().process(dest.rank).context(dest.context);
   if (on_remote_done) {

@@ -116,19 +116,26 @@ class Context {
 
   /// RDMA put of a chunk list in one typed operation (PAMI typed
   /// data-type path used for tall-skinny strided transfers, S III-C2).
+  /// `what` labels the wire leg in fault/integrity errors and traces,
+  /// so a retry-budget exhaustion names the failing operation.
   void rput_typed(const MemoryRegion& local_mr, const MemoryRegion& remote_mr,
                   const std::vector<TypedChunk>& chunks, Callback on_local_done,
-                  Callback on_remote_ack = nullptr);
+                  Callback on_remote_ack = nullptr,
+                  const char* what = "rput typed data");
   void rget_typed(const MemoryRegion& local_mr, const MemoryRegion& remote_mr,
-                  const std::vector<TypedChunk>& chunks, Callback on_done);
+                  const std::vector<TypedChunk>& chunks, Callback on_done,
+                  const char* what = "rget typed data");
 
   // --- Two-sided / target-progress operations ------------------------------
 
   /// Active message (PAMI_Send). Header and payload are copied at
   /// initiation (buffer-reuse semantics); the target's handler runs
-  /// when the target advances the addressed context.
+  /// when the target advances the addressed context. `what` names the
+  /// specific operation riding the AM (accumulate, strided write, ...)
+  /// in fault/integrity errors.
   void send(Endpoint dest, DispatchId dispatch, std::vector<std::byte> header,
-            std::vector<std::byte> payload, Callback on_local_done);
+            std::vector<std::byte> payload, Callback on_local_done,
+            const char* what = "active message");
 
   /// Non-RDMA put (PAMI default RMA): data travels as a payload and is
   /// deposited into target memory when the target advances.
@@ -165,17 +172,27 @@ class Context {
 
   /// Times one transfer (or control packet) from src to dst. Under an
   /// active fault injector this is the ack/timeout/retransmit protocol
-  /// — a dropped or corrupted attempt is detected by ack timeout and
-  /// re-sent with capped exponential backoff, drawing on this
-  /// context's retry budget; exhausting the budget throws
-  /// pgasq::FaultError naming `what` and the link. Without an injector
-  /// it is exactly one network call. Layers above that time their own
+  /// — a dropped attempt is detected by ack timeout and re-sent with
+  /// capped exponential backoff; with transport verification on, a
+  /// corrupted attempt is detected by the receiver's CRC pass and
+  /// NACKed for an immediate retransmit. Both draw on this context's
+  /// retry budget; exhausting it throws pgasq::FaultError (or
+  /// pgasq::IntegrityError when the final attempt was corrupted)
+  /// naming `what` and the link. Without an injector it is exactly one
+  /// network call (plus CRC costs when integrity is configured). Layers above that time their own
   /// wire legs (e.g. AM-handler acks in core::Comm) must come through
   /// here rather than noc::NetworkModel so their packets share the
   /// recovery protocol.
   noc::Transfer wire_transfer(int src_node, int dst_node, std::uint64_t bytes,
                               Time at, noc::TransferOptions opts, const char* what);
   noc::Transfer wire_control(int src_node, int dst_node, Time at, const char* what);
+
+  /// Silent-corruption landing: when the transfer came back corrupted
+  /// and transport verification is off, flips the transfer's token-
+  /// derived bits into the staged payload (past the protected prefix).
+  /// No-op on clean transfers and under verification (which repairs
+  /// the leg inside wire_transfer instead).
+  void maybe_corrupt(const noc::Transfer& t, std::byte* data, std::uint64_t bytes);
 
  private:
   struct Item {

@@ -69,6 +69,12 @@ Machine::Machine(MachineConfig config)
       monitor_ = std::make_unique<ft::HealthMonitor>(config_.ft, *injector_, mapping_);
     }
   }
+  // Integrity auto-enables under a corruption plan: a flipped payload
+  // must never be silently delivered unless the user explicitly turns
+  // transport verification off (integrity.verify=0).
+  if (config_.fault.corrupt_prob > 0.0 || config_.integrity.configured) {
+    integrity_ = std::make_unique<fault::Integrity>(config_.integrity);
+  }
   processes_.reserve(static_cast<std::size_t>(config_.num_ranks));
   for (RankId r = 0; r < config_.num_ranks; ++r) {
     processes_.push_back(

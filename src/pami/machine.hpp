@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "fault/fault.hpp"
+#include "fault/integrity.hpp"
 #include "ft/liveness.hpp"
 #include "noc/network.hpp"
 #include "noc/parameters.hpp"
@@ -43,6 +44,11 @@ struct MachineConfig {
   /// Fail-stop detection knobs; consulted only when the fault plan
   /// schedules node deaths (otherwise no health monitor is built).
   ft::LivenessConfig ft{};
+  /// End-to-end integrity knobs (integrity.*). The Integrity layer is
+  /// built when corruption is planned (fault.corrupt_prob > 0) or when
+  /// any integrity key is set explicitly; otherwise every hook is one
+  /// null check and timings stay bit-identical.
+  fault::IntegrityConfig integrity{};
   /// Non-empty: record a Chrome trace-event JSON of fiber activity,
   /// message flows, and fault markers in virtual time and write it
   /// here when the run completes (trace.json_path).
@@ -81,6 +87,10 @@ class Machine {
   /// Health monitor, or nullptr unless the plan schedules node deaths.
   ft::HealthMonitor* monitor() { return monitor_.get(); }
   const ft::HealthMonitor* monitor() const { return monitor_.get(); }
+  /// Integrity layer (CRC-verified transport, slot checksums,
+  /// checkpoint digests), or nullptr when the subsystem is off.
+  fault::Integrity* integrity() { return integrity_.get(); }
+  const fault::Integrity* integrity() const { return integrity_.get(); }
   /// Active trace recorder, or nullptr when tracing is off.
   sim::TraceRecorder* trace() { return trace_.get(); }
   const sim::TraceRecorder* trace() const { return trace_.get(); }
@@ -125,6 +135,7 @@ class Machine {
   std::unique_ptr<noc::NetworkModel> network_;
   std::unique_ptr<fault::Injector> injector_;
   std::unique_ptr<ft::HealthMonitor> monitor_;
+  std::unique_ptr<fault::Integrity> integrity_;
   std::vector<std::unique_ptr<Process>> processes_;
   Rng rng_;
 };

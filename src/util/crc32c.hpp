@@ -1,0 +1,58 @@
+// Software CRC32C (Castagnoli, polynomial 0x1EDC6F41, reflected).
+//
+// The integrity subsystem checksums payloads at injection and verifies
+// them on delivery (src/pami), per collective slot hop (src/coll), and
+// over checkpoint shards (src/ft). BG/Q got this from hardware — the
+// torus links carry a CRC per packet and memory is ECC-protected — so
+// the simulator needs a portable, deterministic software stand-in. A
+// table-driven byte-at-a-time implementation is plenty: the *virtual*
+// cost of checksumming is modeled separately (integrity.crc_ns_per_byte);
+// this code only has to be correct and bit-stable across platforms.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace pgasq {
+
+namespace detail {
+
+inline const std::array<std::uint32_t, 256>& crc32c_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0x82f63b78u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace detail
+
+/// Incremental update: feed `bytes` of `data` into a running CRC.
+/// Start from crc32c_init(), finish with crc32c_final().
+inline std::uint32_t crc32c_update(std::uint32_t crc, const void* data,
+                                   std::size_t bytes) {
+  const auto& table = detail::crc32c_table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    crc = table[(crc ^ p[i]) & 0xffu] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+inline std::uint32_t crc32c_init() { return 0xffffffffu; }
+inline std::uint32_t crc32c_final(std::uint32_t crc) { return crc ^ 0xffffffffu; }
+
+/// One-shot CRC32C of a buffer.
+inline std::uint32_t crc32c(const void* data, std::size_t bytes) {
+  return crc32c_final(crc32c_update(crc32c_init(), data, bytes));
+}
+
+}  // namespace pgasq

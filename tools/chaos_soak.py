@@ -1,0 +1,217 @@
+#!/usr/bin/env python3
+"""Chaos soak: SCF must converge bit-for-bit under randomized fault plans.
+
+Drives examples/scf_walkthrough (the paper's Fig 10 Fock build, run
+under both progress modes) through a sweep of seeded, randomized
+combined fault plans — packet loss, silent single-bit corruption, a
+hard link failure, a progress stall, and (in full mode) a fail-stop
+node death with checkpoint rollback — and asserts the end-to-end
+integrity contract:
+
+  1. bitwise convergence — the Fock checksum's raw IEEE-754 bit
+     pattern (`fock_bits` in the walkthrough's report lines) is
+     identical to the fault-free baseline for BOTH progress modes, on
+     every seed. %.6f printing would round away a single flipped
+     mantissa bit; the bit pattern cannot.
+  2. zero silent escapes — the machine-readable report's
+     integrity.flips_detected equals integrity.flips_injected: every
+     corruption the injector planted was caught by a transport CRC
+     (what the NACK/retransmit path then repaired is covered by 1).
+  3. the sweep actually injected — summed over all seeds, at least
+     one flip was planted (guards against a plan that silently
+     stopped corrupting, which would make 1 and 2 vacuous).
+
+Usage:
+  tools/chaos_soak.py [--bin PATH] [--quick] [--seeds N] [--outdir DIR]
+
+--quick runs 2 seeds of the small workload (the CI gate); the default
+full soak runs 4 seeds plus the node-death scenario. Reports land in
+--outdir (a temp dir by default). Exit 0 on success, 1 with a message
+on the first violated invariant.
+"""
+
+import argparse
+import json
+import os
+import random
+import re
+import subprocess
+import sys
+import tempfile
+
+FOCK_RE = re.compile(r"fock_bits ([0-9a-f]{16})")
+
+# The transient-fault workload: 16 ranks across two 8-rank nodes, a
+# small Fock build with the density routed through ga_put
+# (distributed_guess) and the energy reduction pinned to the two-level
+# hierarchical schedule — together that keeps >48 B payloads (the
+# CRC-eligible kind) flowing on every lane the PR touches: put, get,
+# acc, strided, and collective slots.
+WORKLOAD = [
+    "--ranks=16", "--ranks_per_node=8", "--nbf=24", "--block=8",
+    "--task_us=50", "--iterations=3", "--distributed_guess=1",
+    "--coll.algo.allreduce=hier",
+]
+
+# The fail-stop scenario needs deaths aimed into the iteration loop
+# and a buddy on a different node, so it runs the test suite's
+# geometry: 8 single-rank nodes, long tasks, death mid-iteration 1
+# (after the first checkpoint commits — a real rollback, not a cold
+# restart, so checkpoint digests are validated on the restore path).
+DEATH_WORKLOAD = [
+    "--ranks=8", "--ranks_per_node=1", "--nbf=64", "--block=8",
+    "--task_us=5000", "--iterations=3",
+]
+DEATH_PLAN = [
+    "--fault.corrupt_prob=0.02", "--fault.node_fail=2:50000",
+    "--ft.checkpoint_interval=1",
+]
+
+
+def fail(msg):
+    print(f"chaos_soak: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def run_scf(binary, args, label):
+    cmd = [binary] + args
+    proc = subprocess.run(cmd, stdout=subprocess.PIPE,
+                          stderr=subprocess.STDOUT, text=True)
+    if proc.returncode != 0:
+        fail(f"{label}: {' '.join(cmd)} exited {proc.returncode}:\n"
+             f"{proc.stdout}")
+    bits = FOCK_RE.findall(proc.stdout)
+    if len(bits) != 2:
+        fail(f"{label}: expected fock_bits lines for both progress modes, "
+             f"got {len(bits)}:\n{proc.stdout}")
+    return bits  # [Default, AsyncThread]
+
+
+def integrity_metrics(report_path, label):
+    try:
+        with open(report_path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{label}: cannot load report {report_path}: {e}")
+    metrics = {m["name"]: m.get("value") for m in doc.get("metrics", [])}
+    for key in ("integrity.flips_injected", "integrity.flips_detected"):
+        if key not in metrics:
+            fail(f"{label}: report {report_path} has no metric {key}")
+    return metrics
+
+
+def make_plan(seed, ranks, nodes):
+    """Deterministic randomized combined fault plan for one seed."""
+    rng = random.Random(seed)
+    plan = [
+        f"--fault.seed={seed}",
+        f"--fault.drop_prob={rng.uniform(0.002, 0.01):.6f}",
+        # High enough that P(zero flips over the run's ~100 eligible
+        # legs) is small; invariant 3 still guards the aggregate.
+        f"--fault.corrupt_prob={rng.uniform(0.06, 0.15):.6f}",
+    ]
+    if rng.random() < 0.7:
+        node = rng.randrange(nodes)
+        plan.append(f"--fault.link_fail={node}:0:{rng.choice('+-')}")
+    if rng.random() < 0.7:
+        rank = rng.randrange(ranks)
+        begin = rng.uniform(100.0, 500.0)
+        end = begin + rng.uniform(100.0, 400.0)
+        plan.append(f"--fault.stall={rank}:{begin:.1f}:{end:.1f}")
+    return plan
+
+
+def soak_transient(binary, outdir, seeds):
+    baseline = run_scf(binary, WORKLOAD, "baseline")
+    if baseline[0] != baseline[1]:
+        fail(f"baseline: Default and AsyncThread disagree "
+             f"({baseline[0]} vs {baseline[1]}) without any faults")
+    print(f"chaos_soak: baseline fock_bits {baseline[0]} "
+          f"(both progress modes)")
+
+    total_injected = 0
+    for seed in seeds:
+        plan = make_plan(seed, ranks=16, nodes=2)
+        report = os.path.join(outdir, f"soak_seed{seed}.json")
+        label = f"seed {seed}"
+        bits = run_scf(binary, WORKLOAD + plan +
+                       [f"--report.json_path={report}"], label)
+        for mode, b in zip(("Default", "AsyncThread"), bits):
+            if b != baseline[0]:
+                fail(f"{label}: {mode} converged to fock_bits {b}, "
+                     f"baseline is {baseline[0]} — corruption escaped "
+                     f"end-to-end integrity (plan: {' '.join(plan)})")
+        m = integrity_metrics(report, label)
+        injected = m["integrity.flips_injected"]
+        detected = m["integrity.flips_detected"]
+        if detected != injected:
+            fail(f"{label}: {injected} flips injected but {detected} "
+                 f"detected — silent escape (plan: {' '.join(plan)})")
+        total_injected += injected
+        print(f"chaos_soak: {label} OK — fock_bits match, "
+              f"{injected} flips injected, {detected} detected, "
+              f"{m.get('integrity.nack_retransmits', 0)} retransmits "
+              f"({' '.join(p.removeprefix('--fault.') for p in plan)})")
+    if total_injected < 1:
+        fail(f"no flips injected across {len(seeds)} seeds — the sweep "
+             f"is not exercising corruption at all")
+    return total_injected
+
+
+def soak_node_death(binary, outdir):
+    baseline = run_scf(binary, DEATH_WORKLOAD, "death baseline")
+    report = os.path.join(outdir, "soak_death.json")
+    bits = run_scf(binary, DEATH_WORKLOAD + DEATH_PLAN +
+                   ["--fault.seed=5", f"--report.json_path={report}"],
+                   "node death")
+    for mode, b in zip(("Default", "AsyncThread"), bits):
+        if b != baseline[0]:
+            fail(f"node death: {mode} converged to fock_bits {b}, "
+                 f"baseline is {baseline[0]} — checkpoint rollback "
+                 f"changed the physics")
+    m = integrity_metrics(report, "node death")
+    if m["integrity.flips_detected"] != m["integrity.flips_injected"]:
+        fail(f"node death: {m['integrity.flips_injected']} flips injected "
+             f"but {m['integrity.flips_detected']} detected")
+    if m.get("integrity.ckpt_digests_validated", 0) < 1:
+        fail("node death: rollback happened but no checkpoint digest was "
+             "validated — the restore path skipped self-checking")
+    print(f"chaos_soak: node death OK — fock_bits match through rollback, "
+          f"{m['integrity.flips_injected']} flips detected, "
+          f"{m['integrity.ckpt_digests_validated']} checkpoint digests "
+          f"validated")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--bin", default="./build/examples/scf_walkthrough",
+                    help="scf_walkthrough binary to drive")
+    ap.add_argument("--quick", action="store_true",
+                    help="2 seeds, no node-death scenario (the CI gate)")
+    ap.add_argument("--seeds", type=int, default=None,
+                    help="number of seeds (default: 2 quick, 4 full)")
+    ap.add_argument("--seed-base", type=int, default=1,
+                    help="first seed of the sweep")
+    ap.add_argument("--outdir", default=None,
+                    help="where reports land (default: a temp dir)")
+    args = ap.parse_args()
+
+    if not os.path.exists(args.bin):
+        fail(f"binary {args.bin} not found — build first "
+             f"(cmake --build build --target scf_walkthrough)")
+    outdir = args.outdir or tempfile.mkdtemp(prefix="chaos_soak.")
+    os.makedirs(outdir, exist_ok=True)
+
+    n = args.seeds if args.seeds is not None else (2 if args.quick else 4)
+    seeds = list(range(args.seed_base, args.seed_base + n))
+    total = soak_transient(args.bin, outdir, seeds)
+    if not args.quick:
+        soak_node_death(args.bin, outdir)
+    print(f"chaos_soak: PASS — {n} seeds"
+          + ("" if args.quick else " + node-death scenario")
+          + f", {total} flips injected and detected, every run converged "
+          f"bit-for-bit with the fault-free baseline (reports: {outdir})")
+
+
+if __name__ == "__main__":
+    main()

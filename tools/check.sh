@@ -56,6 +56,21 @@ obs_gate() {
   python3 "${repo}/tools/validate_trace.py" --require-grp \
     --trace "${out}/scf_hier_trace.json" \
     --report "${out}/scf_hier_report.json"
+  # End-to-end integrity gate (docs/faults.md): the chaos soak must
+  # converge bit-for-bit under randomized combined fault plans, and a
+  # traced corrupt run must pair every planted flip ('packet corrupt'
+  # instant) with a transport-CRC catch ('corruption nack' instant)
+  # while the report agrees (flips_detected == flips_injected).
+  python3 "${repo}/tools/chaos_soak.py" --quick \
+    --bin "${repo}/${dir}/examples/scf_walkthrough" --outdir "${out}"
+  "${repo}/${dir}/examples/scf_walkthrough" --ranks=16 --ranks_per_node=8 \
+    --nbf=24 --block=8 --task_us=50 --iterations=3 --distributed_guess=1 \
+    --coll.algo.allreduce=hier --fault.seed=3 --fault.corrupt_prob=0.1 \
+    "--trace.json_path=${out}/scf_corrupt_trace.json" \
+    "--report.json_path=${out}/scf_corrupt_report.json" >/dev/null
+  python3 "${repo}/tools/validate_trace.py" --require-integrity \
+    --trace "${out}/scf_corrupt_trace.json" \
+    --report "${out}/scf_corrupt_report.json"
 }
 
 pass build-check

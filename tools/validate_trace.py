@@ -17,7 +17,13 @@ trace:
   * with --require-grp, the trace must carry process-group collective
     traffic: at least one cross-track 'coll hop' flow with an endpoint
     on a 'grp/...' track (the per-group engines of src/grp — e.g. the
-    node and leaders stages of a hierarchical allreduce).
+    node and leaders stages of a hierarchical allreduce);
+  * with --require-integrity, the trace must show the detect/repair
+    story on the 'faults' track: every 'packet corrupt' instant (the
+    injector planting a flip) is matched by a 'corruption nack'
+    instant (the receiver's CRC catching it), both counts >= 1. With
+    --report also given, the report's integrity.flips_detected /
+    flips_injected must agree with each other and with the trace.
 
 report:
   * schema == "pgasq.report" and a schema_version this tool knows;
@@ -48,7 +54,7 @@ def load(path, what):
         fail(f"cannot load {what} {path}: {e}")
 
 
-def validate_trace(path, require_ops, require_grp):
+def validate_trace(path, require_ops, require_grp, require_integrity=False):
     doc = load(path, "trace")
     if not isinstance(doc, dict) or "traceEvents" not in doc:
         fail("trace top level must be an object with 'traceEvents'")
@@ -58,6 +64,7 @@ def validate_trace(path, require_ops, require_grp):
 
     flows = {}  # id -> list of (phase, ts, tid, name)
     tracks = {}  # tid -> thread name
+    instants = []  # (tid, name)
     n_slices = 0
     for i, ev in enumerate(events):
         if not isinstance(ev, dict):
@@ -89,6 +96,7 @@ def validate_trace(path, require_ops, require_grp):
         elif ph == "i":
             if "s" not in ev:
                 fail(f"instant event {i} missing scope 's'")
+            instants.append((ev["tid"], ev.get("name", "")))
         elif ph != "C":
             fail(f"event {i} has unknown phase {ph!r}")
 
@@ -149,12 +157,34 @@ def validate_trace(path, require_ops, require_grp):
                          if len(tracks[t].split("/")) >= 2})
         print(f"validate_trace: grp OK — group tracks for {labels}")
 
+    trace_flips = None
+    if require_integrity:
+        fault_tids = {tid for tid, name in tracks.items() if name == "faults"}
+        if not fault_tids:
+            fail("no 'faults' track in trace (--require-integrity): "
+                 "was the run traced with a fault plan?")
+        corrupt = sum(1 for tid, name in instants
+                      if tid in fault_tids and name == "packet corrupt")
+        nacks = sum(1 for tid, name in instants
+                    if tid in fault_tids and name == "corruption nack")
+        if corrupt < 1:
+            fail("no 'packet corrupt' instant on the faults track "
+                 "(--require-integrity): the injector planted nothing")
+        if nacks != corrupt:
+            fail(f"{corrupt} 'packet corrupt' instants but {nacks} "
+                 f"'corruption nack' instants (--require-integrity): "
+                 f"a flip escaped CRC detection")
+        trace_flips = corrupt
+        print(f"validate_trace: integrity OK — {corrupt} flips planted, "
+              f"{nacks} caught by transport CRC")
+
     print(f"validate_trace: trace OK — {len(events)} events, "
           f"{len(flows)} flows, {len(tracks)} named tracks, "
           f"{n_slices} slice edges")
+    return trace_flips
 
 
-def validate_report(path):
+def validate_report(path, require_integrity=False, trace_flips=None):
     doc = load(path, "report")
     if doc.get("schema") != "pgasq.report":
         fail(f"report schema is {doc.get('schema')!r}, want 'pgasq.report'")
@@ -192,6 +222,21 @@ def validate_report(path):
             fail(f"sum over links {total} != obs.link_bytes_total"
                  f" {want['value']}")
 
+    if require_integrity:
+        injected = by_name.get("integrity.flips_injected")
+        detected = by_name.get("integrity.flips_detected")
+        if injected is None or detected is None:
+            fail("report has no integrity.flips_injected/flips_detected "
+                 "metrics (--require-integrity)")
+        if detected["value"] != injected["value"]:
+            fail(f"report says {injected['value']} flips injected but "
+                 f"{detected['value']} detected (--require-integrity): "
+                 f"silent escape")
+        if trace_flips is not None and injected["value"] != trace_flips:
+            fail(f"report counts {injected['value']} injected flips but "
+                 f"the trace shows {trace_flips} 'packet corrupt' "
+                 f"instants (--require-integrity)")
+
     trace = doc.get("trace")
     if trace is not None and trace.get("truncated"):
         print("validate_trace: note — report says the trace was truncated",
@@ -210,13 +255,19 @@ def main():
                     help="require cross-track put/get/coll-hop/ack flows")
     ap.add_argument("--require-grp", action="store_true",
                     help="require cross-track coll-hop flows on grp/ tracks")
+    ap.add_argument("--require-integrity", action="store_true",
+                    help="require matched packet-corrupt/corruption-nack "
+                         "instants and detected == injected in the report")
     args = ap.parse_args()
     if not args.trace and not args.report:
         ap.error("nothing to do: pass --trace and/or --report")
+    trace_flips = None
     if args.trace:
-        validate_trace(args.trace, args.require_ops, args.require_grp)
+        trace_flips = validate_trace(args.trace, args.require_ops,
+                                     args.require_grp,
+                                     args.require_integrity)
     if args.report:
-        validate_report(args.report)
+        validate_report(args.report, args.require_integrity, trace_flips)
 
 
 if __name__ == "__main__":
