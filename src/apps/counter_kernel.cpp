@@ -1,7 +1,6 @@
 #include "apps/counter_kernel.hpp"
 
-#include <algorithm>
-#include <limits>
+#include <utility>
 
 #include "core/comm.hpp"
 #include "ga/global_array.hpp"
@@ -14,8 +13,7 @@ CounterKernelResult run_counter_kernel(armci::World& world,
   PGASQ_CHECK(config.ops_per_rank >= 1);
   CounterKernelResult result;
   double latency_sum = 0.0;
-  double latency_min = std::numeric_limits<double>::infinity();
-  double latency_max = 0.0;
+  util::Histogram hist;
   std::uint64_t ops = 0;
   int finished = 0;  // non-home ranks done (cooperative shared state)
   Time t_start = 0;
@@ -47,10 +45,9 @@ CounterKernelResult run_counter_kernel(armci::World& world,
       for (int i = 0; i < config.ops_per_rank; ++i) {
         const Time t0 = comm.now();
         counter.next();
-        const double us = to_us(comm.now() - t0);
-        latency_sum += us;
-        latency_min = std::min(latency_min, us);
-        latency_max = std::max(latency_max, us);
+        const Time dt = comm.now() - t0;
+        latency_sum += to_us(dt);
+        hist.add(static_cast<std::uint64_t>(dt / kNanosecond));
         ++ops;
       }
       ++finished;
@@ -65,8 +62,9 @@ CounterKernelResult run_counter_kernel(armci::World& world,
   });
 
   result.avg_latency_us = ops ? latency_sum / static_cast<double>(ops) : 0.0;
-  result.min_latency_us = ops ? latency_min : 0.0;
-  result.max_latency_us = latency_max;
+  result.min_latency_us = static_cast<double>(hist.min()) / 1e3;
+  result.max_latency_us = static_cast<double>(hist.max()) / 1e3;
+  result.latency = std::move(hist);
   result.total_ops = ops;
   result.wall_time = t_end - t_start;
   return result;

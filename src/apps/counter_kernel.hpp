@@ -10,6 +10,7 @@
 #include <cstdint>
 
 #include "core/world.hpp"
+#include "util/histogram.hpp"
 #include "util/time_types.hpp"
 
 namespace pgasq::apps {
@@ -26,9 +27,14 @@ struct CounterKernelConfig {
 };
 
 struct CounterKernelResult {
+  /// Exact mean (double sum of per-op microseconds — not the
+  /// histogram's truncated-nanosecond mean; Fig 9 prints this).
   double avg_latency_us = 0.0;
   double min_latency_us = 0.0;
   double max_latency_us = 0.0;
+  /// Per-op nxtval latency in nanoseconds; min/max above and any
+  /// quantile (p50/p99/...) come from here.
+  util::Histogram latency;
   Time wall_time = 0;
   std::int64_t final_value = 0;
   std::uint64_t total_ops = 0;

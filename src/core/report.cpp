@@ -177,8 +177,16 @@ std::string render_report(const World& world, const ReportOptions& options) {
                       world.machine().config().obs.link_top);
   }
 
+  if (world.app_metrics().size() != 0) {
+    os << "\napplication metrics:\n" << world.app_metrics().to_text();
+  }
+
   if (const sim::TraceRecorder* tr = world.machine().trace()) {
     os << "\ntrace: " << tr->event_count() << " events";
+    if (tr->aggregate()) {
+      os << " — aggregated (trace.aggregate=1, " << tr->aggregate_series()
+         << " series)";
+    }
     if (tr->sampling()) {
       os << " — sampled (trace.sample_ranks="
          << world.machine().config().trace_sample_ranks

@@ -162,6 +162,9 @@ obs::Registry build_registry(const World& world) {
     reg.set_gauge("obs.link_max_utilization", lu->max_utilization(cap));
     reg.set_gauge("obs.link_mean_utilization", lu->mean_utilization(cap));
   }
+  // Application-published metrics (kvs.* etc.) ride after the
+  // runtime-owned sections; empty for workloads that publish nothing.
+  reg.merge_from(world.app_metrics());
   return reg;
 }
 
@@ -192,6 +195,12 @@ obs::Json render_json_report(const World& world) {
     trace.set("max_events",
               obs::Json::number(static_cast<std::uint64_t>(tr->max_events())));
     trace.set("truncated", obs::Json::boolean(tr->truncated()));
+    trace.set("aggregate", obs::Json::boolean(tr->aggregate()));
+    if (tr->aggregate()) {
+      trace.set("aggregate_series",
+                obs::Json::number(
+                    static_cast<std::uint64_t>(tr->aggregate_series())));
+    }
     trace.set("sampled", obs::Json::boolean(tr->sampling()));
     if (tr->sampling()) {
       trace.set("sample_ranks",

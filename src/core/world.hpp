@@ -10,6 +10,7 @@
 
 #include "core/globalmem.hpp"
 #include "core/types.hpp"
+#include "obs/registry.hpp"
 #include "pami/machine.hpp"
 
 namespace pgasq::armci {
@@ -39,6 +40,14 @@ class World {
 
   /// Virtual time when the last rank finished.
   Time elapsed() const { return elapsed_; }
+
+  /// Application-level metrics (e.g. kvs.* from src/kvs). Workloads
+  /// write counters/gauges/histograms here; report rendering splices
+  /// them into the text report and the pgasq.report JSON after the
+  /// runtime-owned sections. Empty for runs that publish nothing —
+  /// those reports stay byte-identical.
+  obs::Registry& app_metrics() { return app_metrics_; }
+  const obs::Registry& app_metrics() const { return app_metrics_; }
 
   /// Per-rank statistics captured at finalize.
   const CommStats& stats(RankId rank) const;
@@ -83,6 +92,7 @@ class World {
   std::function<void()> heartbeat_tick_;  // owned here; copies borrow `this`
   std::shared_ptr<void> coll_shared_;
   std::vector<CommStats> final_stats_;
+  obs::Registry app_metrics_;
   Time elapsed_ = 0;
   bool spmd_ran_ = false;
 };

@@ -28,12 +28,8 @@ RuntimeConfig RuntimeConfig::from_config(const Config& cfg) {
   return c;
 }
 
-namespace {
-
-/// Largest single-rank shard of a rows x cols array over any process
-/// grid with q participants.
-std::size_t max_shard_bytes(int q, std::int64_t rows, std::int64_t cols) {
-  const ga::Distribution2D dist(q, rows, cols);
+std::size_t ArrayShard::max_shard_bytes(int q) const {
+  const ga::Distribution2D dist(q, rows_, cols_);
   std::size_t best = 0;
   for (int gr = 0; gr < dist.grid_rows(); ++gr) {
     const auto [rlo, rhi] = dist.row_range(gr);
@@ -48,33 +44,83 @@ std::size_t max_shard_bytes(int q, std::int64_t rows, std::int64_t cols) {
   return best;
 }
 
-}  // namespace
+std::size_t ArrayShard::shard_bytes(int q, int v) const {
+  const ga::Distribution2D dist(q, rows_, cols_);
+  const int gr = v / dist.grid_cols();
+  const int gc = v % dist.grid_cols();
+  const auto [rlo, rhi] = dist.row_range(gr);
+  const auto [clo, chi] = dist.col_range(gc);
+  return static_cast<std::size_t>(rhi - rlo) *
+         static_cast<std::size_t>(chi - clo) * sizeof(double);
+}
+
+void ArrayShard::save_shard(std::byte* out) {
+  const auto [rlo, rhi] = array_->local_rows();
+  const auto [clo, chi] = array_->local_cols();
+  const std::size_t bytes = static_cast<std::size_t>(rhi - rlo) *
+                            static_cast<std::size_t>(chi - clo) *
+                            sizeof(double);
+  std::memcpy(out, array_->local_data(), bytes);
+}
+
+void ArrayShard::restore_shard(int q_old, int v, const std::byte* data,
+                               std::size_t bytes) {
+  const ga::Distribution2D dist(q_old, rows_, cols_);
+  const int gr = v / dist.grid_cols();
+  const int gc = v % dist.grid_cols();
+  const auto [rlo, rhi] = dist.row_range(gr);
+  const auto [clo, chi] = dist.col_range(gc);
+  PGASQ_CHECK(bytes == static_cast<std::size_t>(rhi - rlo) *
+                           static_cast<std::size_t>(chi - clo) *
+                           sizeof(double));
+  array_->put(rlo, rhi, clo, chi, reinterpret_cast<const double*>(data),
+              chi - clo);
+}
+
+Runtime::Runtime(armci::Comm& comm, RuntimeConfig config,
+                 std::initializer_list<Shardable*> objects)
+    : comm_(comm),
+      config_(config),
+      monitor_(comm.ft_monitor()),
+      objects_(objects.begin(), objects.end()) {
+  init_arena();
+}
 
 Runtime::Runtime(armci::Comm& comm, RuntimeConfig config,
                  const std::vector<ga::GlobalArray*>& arrays)
     : comm_(comm), config_(config), monitor_(comm.ft_monitor()) {
-  members_.resize(static_cast<std::size_t>(comm.nprocs()));
-  for (int r = 0; r < comm.nprocs(); ++r) members_[static_cast<std::size_t>(r)] = r;
-  for (const ga::GlobalArray* a : arrays) shapes_.emplace_back(a->rows(), a->cols());
+  for (ga::GlobalArray* a : arrays) {
+    owned_adapters_.push_back(
+        std::make_unique<ArrayShard>(a->rows(), a->cols(), a));
+    objects_.push_back(owned_adapters_.back().get());
+  }
+  init_arena();
+}
+
+void Runtime::init_arena() {
+  members_.resize(static_cast<std::size_t>(comm_.nprocs()));
+  for (int r = 0; r < comm_.nprocs(); ++r) {
+    members_[static_cast<std::size_t>(r)] = r;
+  }
   if (monitor_ == nullptr) return;  // inert: fault-free path untouched
 
-  // Size each per-array shard slot for the worst membership the fault
+  // Size each per-object shard slot for the worst membership the fault
   // plan can leave behind: losing a node takes all its ranks, so the
   // smallest possible survivor clique is p - deaths * ranks_per_node.
-  const int p = comm.nprocs();
+  const int p = comm_.nprocs();
   const int worst_loss = static_cast<int>(monitor_->scheduled_deaths()) *
                          monitor_->mapping().ranks_per_node();
   const int q_min = std::max(1, p - worst_loss);
-  for (const auto& [rows, cols] : shapes_) {
+  for (const Shardable* obj : objects_) {
     std::size_t best = 0;
     for (int q = q_min; q <= p; ++q) {
-      best = std::max(best, max_shard_bytes(q, rows, cols));
+      best = std::max(best, obj->max_shard_bytes(q));
     }
     max_shard_.push_back(best);
   }
   std::size_t area = 0;
   for (const std::size_t s : max_shard_) area += s;
-  fault::Integrity* ig = comm.world().machine().integrity();
+  fault::Integrity* ig = comm_.world().machine().integrity();
   if (ig != nullptr && ig->config().ckpt_digest) {
     integrity_ = ig;
     own_digest_[0].assign(max_shard_.size(), 0);
@@ -83,40 +129,57 @@ Runtime::Runtime(armci::Comm& comm, RuntimeConfig config,
   // One collective allocation while every world rank is still alive;
   // the double-buffered own/incoming areas are carved out of it (plus,
   // under checkpoint digests, one 8-byte word per incoming shard for
-  // the buddy-shipped digest). With no arrays to protect (barrier-only
+  // the buddy-shipped digest). With no objects to protect (barrier-only
   // workloads) there is no arena.
   if (area != 0) {
     std::size_t total = 4 * area;
     if (integrity_ != nullptr) total += 2 * max_shard_.size() * 8;
-    arena_ = &comm.malloc_collective(total);
+    arena_ = &comm_.malloc_collective(total);
   }
 }
 
-std::size_t Runtime::own_offset(std::size_t array, int buf) const {
+int Runtime::vrank() const {
+  const int me = comm_.rank();
+  for (std::size_t v = 0; v < members_.size(); ++v) {
+    if (members_[v] == me) return static_cast<int>(v);
+  }
+  return 0;
+}
+
+void Runtime::rebind_arrays(const std::vector<ga::GlobalArray*>& arrays) {
+  PGASQ_CHECK(arrays.size() == owned_adapters_.size(),
+              << "array-form call on a Runtime built over "
+              << owned_adapters_.size() << " arrays");
+  for (std::size_t i = 0; i < arrays.size(); ++i) {
+    owned_adapters_[i]->rebind(arrays[i]);
+  }
+}
+
+std::size_t Runtime::own_offset(std::size_t object, int buf) const {
   std::size_t area = 0, pre = 0;
   for (std::size_t i = 0; i < max_shard_.size(); ++i) {
-    if (i < array) pre += max_shard_[i];
+    if (i < object) pre += max_shard_[i];
     area += max_shard_[i];
   }
   return static_cast<std::size_t>(buf) * area + pre;
 }
 
-std::size_t Runtime::in_offset(std::size_t array, int buf) const {
+std::size_t Runtime::in_offset(std::size_t object, int buf) const {
   std::size_t area = 0;
   for (const std::size_t s : max_shard_) area += s;
-  return 2 * area + own_offset(array, buf);
+  return 2 * area + own_offset(object, buf);
 }
 
-std::size_t Runtime::digest_offset(std::size_t array, int buf) const {
+std::size_t Runtime::digest_offset(std::size_t object, int buf) const {
   std::size_t area = 0;
   for (const std::size_t s : max_shard_) area += s;
   return 4 * area +
-         (static_cast<std::size_t>(buf) * max_shard_.size() + array) * 8;
+         (static_cast<std::size_t>(buf) * max_shard_.size() + object) * 8;
 }
 
-void Runtime::poison_for_test(int buf, std::size_t array) {
-  PGASQ_CHECK(arena_ != nullptr && array < max_shard_.size());
-  arena_->local(comm_.rank())[own_offset(array, buf)] ^= std::byte{0xff};
+void Runtime::poison_for_test(int buf, std::size_t object) {
+  PGASQ_CHECK(arena_ != nullptr && object < max_shard_.size());
+  arena_->local(comm_.rank())[own_offset(object, buf)] ^= std::byte{0xff};
 }
 
 bool Runtime::should_checkpoint(int iter) const {
@@ -125,8 +188,12 @@ bool Runtime::should_checkpoint(int iter) const {
 }
 
 void Runtime::checkpoint(int iter, const std::vector<ga::GlobalArray*>& arrays) {
+  rebind_arrays(arrays);
+  checkpoint(iter);
+}
+
+void Runtime::checkpoint(int iter) {
   if (!should_checkpoint(iter)) return;
-  PGASQ_CHECK(arrays.size() == shapes_.size());
   const int b = (iter / config_.checkpoint_interval) % 2;
 
   // Invalidate-before-write: a death between the two barriers leaves
@@ -136,24 +203,21 @@ void Runtime::checkpoint(int iter, const std::vector<ga::GlobalArray*>& arrays) 
   comm_.barrier();
 
   const armci::RankId me = comm_.rank();
-  const int v = arrays.empty() ? 0 : arrays[0]->distribution().vrank_of(me);
+  const int q = static_cast<int>(members_.size());
+  const int v = vrank();
   const armci::RankId buddy =
       members_[(static_cast<std::size_t>(v) + 1) % members_.size()];
-  for (std::size_t i = 0; i < arrays.size(); ++i) {
-    ga::GlobalArray& a = *arrays[i];
-    const auto [rlo, rhi] = a.local_rows();
-    const auto [clo, chi] = a.local_cols();
-    const std::size_t bytes = static_cast<std::size_t>(rhi - rlo) *
-                              static_cast<std::size_t>(chi - clo) *
-                              sizeof(double);
+  for (std::size_t i = 0; i < objects_.size(); ++i) {
+    const std::size_t bytes = objects_[i]->shard_bytes(q, v);
     if (bytes == 0) continue;
     PGASQ_CHECK(bytes <= max_shard_[i]);
-    std::memcpy(arena_->local(me) + own_offset(i, b), a.local_data(), bytes);
+    std::byte* own = arena_->local(me) + own_offset(i, b);
+    objects_[i]->save_shard(own);
     if (integrity_ != nullptr) {
       // Self-checking checkpoint: digest the shard once and keep it
       // with each copy — locally for my own shard, shipped as its own
       // (flip-proof) 8-byte word alongside the buddy copy.
-      const std::uint32_t d = crc32c(a.local_data(), bytes);
+      const std::uint32_t d = crc32c(own, bytes);
       own_digest_[b][i] = d;
       ++integrity_->stats().ckpt_digests_computed;
       comm_.compute(integrity_->crc_cost(bytes));
@@ -166,9 +230,9 @@ void Runtime::checkpoint(int iter, const std::vector<ga::GlobalArray*>& arrays) 
       }
     }
     if (buddy == me) {
-      std::memcpy(arena_->local(me) + in_offset(i, b), a.local_data(), bytes);
+      std::memcpy(arena_->local(me) + in_offset(i, b), own, bytes);
     } else {
-      comm_.put(a.local_data(), arena_->at(buddy, in_offset(i, b)), bytes);
+      comm_.put(own, arena_->at(buddy, in_offset(i, b)), bytes);
       monitor_->stats().checkpoint_bytes += bytes;
     }
   }
@@ -199,13 +263,11 @@ bool Runtime::buffer_valid(int buf) const {
 
 bool Runtime::validate_buffer(int buf) {
   // Mirror restore()'s holder/offset choice exactly: validate the
-  // shards this survivor would actually push into the rebuilt arrays.
+  // shards this survivor would actually push into the rebuilt objects.
   double ok = 1.0;
   const std::vector<int>& old = ckpt_members_[buf];
   const armci::RankId me = comm_.rank();
-  for (std::size_t i = 0; i < shapes_.size(); ++i) {
-    const auto [rows, cols] = shapes_[i];
-    const ga::Distribution2D dist(static_cast<int>(old.size()), rows, cols);
+  for (std::size_t i = 0; i < objects_.size(); ++i) {
     for (std::size_t ov = 0; ov < old.size(); ++ov) {
       const int owner = old[ov];
       const int buddy = old[(ov + 1) % old.size()];
@@ -222,13 +284,8 @@ bool Runtime::validate_buffer(int buf) {
         own_copy = false;
       }
       if (holder != me) continue;
-      const int gr = static_cast<int>(ov) / dist.grid_cols();
-      const int gc = static_cast<int>(ov) % dist.grid_cols();
-      const auto [rlo, rhi] = dist.row_range(gr);
-      const auto [clo, chi] = dist.col_range(gc);
-      const std::size_t bytes = static_cast<std::size_t>(rhi - rlo) *
-                                static_cast<std::size_t>(chi - clo) *
-                                sizeof(double);
+      const std::size_t bytes = objects_[i]->shard_bytes(
+          static_cast<int>(old.size()), static_cast<int>(ov));
       if (bytes == 0) continue;
       std::uint32_t want;
       if (own_copy) {
@@ -266,7 +323,7 @@ bool Runtime::recover() {
   comm_.ft_quiesce();
   // The abort can interrupt survivors at different points of the
   // collective-allocation sequence; re-align before the engine rebuild
-  // and the arrays allocate anything.
+  // and the objects allocate anything.
   comm_.ft_align_collectives();
   members_ = monitor_->live_ranks();
   coll::CollEngine::rebuild_shrunk(comm_, members_);
@@ -323,15 +380,17 @@ bool Runtime::recover() {
 }
 
 void Runtime::restore(const std::vector<ga::GlobalArray*>& arrays) {
+  rebind_arrays(arrays);
+  restore();
+}
+
+void Runtime::restore() {
   if (monitor_ == nullptr || agreed_buf_ < 0 || restart_iter_ == 0) return;
-  PGASQ_CHECK(arrays.size() == shapes_.size());
   const int b = agreed_buf_;
   const std::vector<int>& old = ckpt_members_[b];
   const armci::RankId me = comm_.rank();
 
-  for (std::size_t i = 0; i < arrays.size(); ++i) {
-    const auto [rows, cols] = shapes_[i];
-    const ga::Distribution2D dist(static_cast<int>(old.size()), rows, cols);
+  for (std::size_t i = 0; i < objects_.size(); ++i) {
     for (std::size_t ov = 0; ov < old.size(); ++ov) {
       const int owner = old[ov];
       const int buddy = old[(ov + 1) % old.size()];
@@ -347,14 +406,12 @@ void Runtime::restore(const std::vector<ga::GlobalArray*>& arrays) {
         offset = in_offset(i, b);
       }
       if (holder != me) continue;
-      const int gr = static_cast<int>(ov) / dist.grid_cols();
-      const int gc = static_cast<int>(ov) % dist.grid_cols();
-      const auto [rlo, rhi] = dist.row_range(gr);
-      const auto [clo, chi] = dist.col_range(gc);
-      if (rhi == rlo || chi == clo) continue;
-      const double* shard =
-          reinterpret_cast<const double*>(arena_->local(me) + offset);
-      arrays[i]->put(rlo, rhi, clo, chi, shard, chi - clo);
+      const std::size_t bytes = objects_[i]->shard_bytes(
+          static_cast<int>(old.size()), static_cast<int>(ov));
+      if (bytes == 0) continue;
+      objects_[i]->restore_shard(static_cast<int>(old.size()),
+                                 static_cast<int>(ov),
+                                 arena_->local(me) + offset, bytes);
     }
   }
   comm_.fence_all();

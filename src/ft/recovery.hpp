@@ -1,11 +1,12 @@
 // Fail-stop recovery runtime: coordinated checkpoint, communicator
-// shrink, and rollback for applications built on GlobalArray.
+// shrink, and rollback for applications built on GlobalArray or any
+// other Shardable state (e.g. the kvs shard tables).
 //
 // The protocol (classic coordinated checkpoint/restart, shrunk-world
 // variant):
 //
 //  * Checkpoint — at a barrier-consistent point every member saves its
-//    own array shards into a double-buffered arena carved out of ONE
+//    own shards into a double-buffered arena carved out of ONE
 //    collective allocation made up front (all world ranks participate
 //    before any death), and ships a copy to its buddy (the next member
 //    cyclically) over ordinary ARMCI puts, so every shard survives any
@@ -23,11 +24,11 @@
 //    per-rank metadata — no messages needed) on the newest checkpoint
 //    buffer whose every shard is still held by a live rank.
 //
-//  * Restore — arrays are REBUILT as fresh member-mode collective
-//    allocations (stale in-flight traffic from the dead epoch lands in
-//    the old, freed-but-kept memory, never in the new arrays); each
-//    survivor pushes the shards it holds (its own, plus its dead
-//    predecessor's buddy copy) into the new distribution with ga::put.
+//  * Restore — the application REBUILDS its state as fresh member-mode
+//    collective allocations (stale in-flight traffic from the dead
+//    epoch lands in the old, freed-but-kept memory, never in the new
+//    state); each survivor pushes the shards it holds (its own, plus
+//    its dead predecessor's buddy copy) back via restore_shard().
 //
 // A rank whose own node is declared dead gets `false` from recover()
 // and must simply return from the SPMD body (finalize skips the
@@ -35,6 +36,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/comm.hpp"
@@ -47,6 +49,51 @@ class Integrity;
 }  // namespace pgasq::fault
 
 namespace pgasq::ft {
+
+/// Checkpointable application state: one shard per member rank, laid
+/// out per-membership. The Runtime moves shards as opaque bytes; the
+/// implementor owns the mapping between bytes and live state (and must
+/// keep shard sizes within max_shard_bytes for every reachable
+/// membership size, which fixes the arena layout up front).
+class Shardable {
+ public:
+  virtual ~Shardable() = default;
+  /// Largest single-member shard over any membership of size q.
+  virtual std::size_t max_shard_bytes(int q) const = 0;
+  /// Size of member v's shard under a membership of size q.
+  virtual std::size_t shard_bytes(int q, int v) const = 0;
+  /// Serializes the calling rank's own current shard into `out`
+  /// (exactly shard_bytes(current q, my v) bytes).
+  virtual void save_shard(std::byte* out) = 0;
+  /// Pushes member `v`'s shard from a checkpoint taken under a
+  /// membership of size `q_old` into the current (rebuilt) state.
+  /// Called on whichever survivor holds the copy; implementations
+  /// write remotely (ga::put / ARMCI) into the new distribution.
+  virtual void restore_shard(int q_old, int v, const std::byte* data,
+                             std::size_t bytes) = 0;
+};
+
+/// Shardable adapter for a dense rows x cols GlobalArray: the shard is
+/// the member's contiguous local block under Distribution2D. The array
+/// object changes across rebuilds (member-mode reallocation), so the
+/// adapter is re-pointed with rebind() rather than reconstructed.
+class ArrayShard final : public Shardable {
+ public:
+  ArrayShard(std::int64_t rows, std::int64_t cols, ga::GlobalArray* array)
+      : rows_(rows), cols_(cols), array_(array) {}
+
+  void rebind(ga::GlobalArray* array) { array_ = array; }
+
+  std::size_t max_shard_bytes(int q) const override;
+  std::size_t shard_bytes(int q, int v) const override;
+  void save_shard(std::byte* out) override;
+  void restore_shard(int q_old, int v, const std::byte* data,
+                     std::size_t bytes) override;
+
+ private:
+  std::int64_t rows_, cols_;
+  ga::GlobalArray* array_;
+};
 
 /// `ft.*` configuration (see RuntimeConfig::from_config).
 struct RuntimeConfig {
@@ -65,13 +112,21 @@ struct RuntimeConfig {
 
 /// Per-rank recovery driver. Construct it (collectively, all world
 /// ranks, before any scheduled death) right after the application's
-/// arrays; it is inert (enabled() == false) when the machine has no
+/// state; it is inert (enabled() == false) when the machine has no
 /// health monitor, so the fault-free path stays bit-identical.
 class Runtime {
  public:
-  /// `arrays` fixes the checkpointed shapes (the arena is sized for
-  /// the worst surviving membership up front); later calls pass the
-  /// current array objects, which change across rebuilds.
+  /// Generic form: `objects` are borrowed and must outlive the
+  /// Runtime; their shapes fix the checkpoint arena (sized for the
+  /// worst surviving membership up front). Across a rebuild the same
+  /// objects are reused — implementations re-point internal storage.
+  /// (Deliberately an initializer_list: a vector<Shardable*> overload
+  /// would make braced array-pointer lists ambiguous.)
+  Runtime(armci::Comm& comm, RuntimeConfig config,
+          std::initializer_list<Shardable*> objects);
+  /// GlobalArray convenience form: wraps each array in an owned
+  /// ArrayShard. Later checkpoint/restore calls pass the current array
+  /// objects, which change across rebuilds.
   Runtime(armci::Comm& comm, RuntimeConfig config,
           const std::vector<ga::GlobalArray*>& arrays);
 
@@ -81,9 +136,12 @@ class Runtime {
 
   /// True when iteration `iter` opens with a checkpoint.
   bool should_checkpoint(int iter) const;
-  /// Coordinated checkpoint of `arrays` (same shapes as at
-  /// construction) labelled with `iter`. Collective over members();
-  /// no-op unless should_checkpoint(iter).
+  /// Coordinated checkpoint of the registered objects labelled with
+  /// `iter`. Collective over members(); no-op unless
+  /// should_checkpoint(iter).
+  void checkpoint(int iter);
+  /// Array-form convenience: rebinds the owned adapters to `arrays`
+  /// (same shapes as at construction), then checkpoints.
   void checkpoint(int iter, const std::vector<ga::GlobalArray*>& arrays);
 
   /// Call after catching PeerDeadError. Returns false when this rank
@@ -95,24 +153,32 @@ class Runtime {
   /// label, or 0 (re-run from the initial state) when no complete
   /// checkpoint survived.
   int restart_iter() const { return restart_iter_; }
-  /// Pushes the agreed checkpoint into freshly rebuilt member-mode
-  /// `arrays` (collective over members()). No-op when restart_iter()
-  /// is 0 — the caller refills initial state instead.
+  /// Pushes the agreed checkpoint into the freshly rebuilt objects
+  /// (collective over members()). No-op when restart_iter() is 0 — the
+  /// caller refills initial state instead.
+  void restore();
+  /// Array-form convenience: rebinds the owned adapters to the rebuilt
+  /// member-mode `arrays`, then restores.
   void restore(const std::vector<ga::GlobalArray*>& arrays);
 
   /// Test hook: flips one byte of this rank's own-shard copy of
-  /// `array` in buffer `buf`, so digest validation deterministically
+  /// `object` in buffer `buf`, so digest validation deterministically
   /// rejects that buffer at the next recover().
-  void poison_for_test(int buf, std::size_t array);
+  void poison_for_test(int buf, std::size_t object);
 
  private:
-  std::size_t own_offset(std::size_t array, int buf) const;
-  std::size_t in_offset(std::size_t array, int buf) const;
+  /// This rank's member index (0 when not a member — dead ranks only).
+  int vrank() const;
+  /// Shared ctor tail: membership, arena sizing, collective alloc.
+  void init_arena();
+  void rebind_arrays(const std::vector<ga::GlobalArray*>& arrays);
+  std::size_t own_offset(std::size_t object, int buf) const;
+  std::size_t in_offset(std::size_t object, int buf) const;
   /// Arena offset of the 8-byte word holding the buddy-shipped digest
-  /// of the incoming copy of `array` in buffer `buf`. The word travels
-  /// as its own put — small enough to sit entirely inside the
+  /// of the incoming copy of `object` in buffer `buf`. The word
+  /// travels as its own put — small enough to sit entirely inside the
   /// wire-protected prefix, so the digest itself can never be flipped.
-  std::size_t digest_offset(std::size_t array, int buf) const;
+  std::size_t digest_offset(std::size_t object, int buf) const;
   bool buffer_valid(int buf) const;
   /// Digest validation of buffer `buf` (integrity + ckpt_digest only):
   /// each survivor recomputes the CRC of every shard it would feed
@@ -133,13 +199,15 @@ class Runtime {
   /// like committed_ (each rank only ever validates its own entries).
   std::vector<std::uint32_t> own_digest_[2];
   std::vector<int> members_;
-  /// Checkpointed array shapes (rows, cols), fixed at construction.
-  std::vector<std::pair<std::int64_t, std::int64_t>> shapes_;
-  /// Worst-case shard bytes per array over any surviving membership.
+  /// Checkpointed state, borrowed; arrays-form Runtimes point into
+  /// owned_adapters_.
+  std::vector<Shardable*> objects_;
+  std::vector<std::unique_ptr<ArrayShard>> owned_adapters_;
+  /// Worst-case shard bytes per object over any surviving membership.
   std::vector<std::size_t> max_shard_;
   /// The double-buffered checkpoint arena (one slab per world rank):
   /// [own b0 | own b1 | incoming b0 | incoming b1], each area holding
-  /// one fixed-offset shard per array.
+  /// one fixed-offset shard per object.
   armci::GlobalMem* arena_ = nullptr;
   /// Commit metadata, ordinary per-rank members: every member runs the
   /// same checkpoint/recovery sequence, so these are lockstep-identical

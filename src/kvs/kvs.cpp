@@ -1,0 +1,756 @@
+#include "kvs/kvs.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <utility>
+
+#include "coll/coll.hpp"
+#include "core/world.hpp"
+#include "ft/liveness.hpp"
+#include "pami/machine.hpp"
+#include "sim/trace.hpp"
+#include "util/crc32c.hpp"
+#include "util/error.hpp"
+#include "util/time_types.hpp"
+
+namespace pgasq::kvs {
+
+namespace {
+
+// Slot word offsets (see the layout comment in kvs.hpp).
+constexpr std::size_t kVersionWord = 0;
+constexpr std::size_t kTagWord = 1;
+constexpr std::size_t kCounterWord = 2;
+constexpr std::size_t kValueWord = 3;
+
+/// SplitMix64 finalizer: the stateless mixing step of the seeding
+/// generator in util/rng.hpp, used for key -> home and key -> slot
+/// hashing and for the self-checking value pattern.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Word `w` of the value payload written for `stamp`: the stamp itself
+/// followed by a pattern any reader can regenerate, so a get can prove
+/// the snapshot it took is not torn.
+std::uint64_t value_word(std::uint64_t stamp, std::size_t w) {
+  return w == 0 ? stamp : mix64(stamp + w);
+}
+
+std::size_t pow2_at_least(std::uint64_t n) {
+  std::size_t s = 1;
+  while (s < n) s <<= 1;
+  return s;
+}
+
+double zeta(std::uint64_t n, double theta) {
+  double z = 0.0;
+  for (std::uint64_t i = 1; i <= n; ++i) z += 1.0 / std::pow(static_cast<double>(i), theta);
+  return z;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------------
+
+KvConfig KvConfig::from_config(const Config& cfg) {
+  cfg.reject_unknown("kvs", {"keys", "zipf_theta", "get_ratio", "faa_ratio",
+                             "requests", "think_us", "value_bytes",
+                             "slots_per_rank", "checkpoint_every", "seed",
+                             "conflict_free", "verify"});
+  KvConfig c;
+  c.keys = cfg.get_int("kvs.keys", c.keys);
+  c.zipf_theta = cfg.get_double("kvs.zipf_theta", c.zipf_theta);
+  c.get_ratio = cfg.get_double("kvs.get_ratio", c.get_ratio);
+  c.faa_ratio = cfg.get_double("kvs.faa_ratio", c.faa_ratio);
+  c.requests = cfg.get_int("kvs.requests", c.requests);
+  c.think_us = cfg.get_double("kvs.think_us", c.think_us);
+  c.value_bytes = cfg.get_int("kvs.value_bytes", c.value_bytes);
+  c.slots_per_rank = cfg.get_int("kvs.slots_per_rank", c.slots_per_rank);
+  c.checkpoint_every = cfg.get_int("kvs.checkpoint_every", c.checkpoint_every);
+  c.seed = static_cast<std::uint64_t>(
+      cfg.get_int("kvs.seed", static_cast<std::int64_t>(c.seed)));
+  c.conflict_free = cfg.get_bool("kvs.conflict_free", c.conflict_free);
+  c.verify = cfg.get_bool("kvs.verify", c.verify);
+  PGASQ_CHECK(c.keys >= 1, << "kvs.keys must be >= 1");
+  PGASQ_CHECK(c.zipf_theta >= 0.0 && c.zipf_theta < 1.0,
+              << "kvs.zipf_theta must be in [0, 1)");
+  PGASQ_CHECK(c.get_ratio >= 0.0 && c.faa_ratio >= 0.0 &&
+                  c.get_ratio + c.faa_ratio <= 1.0,
+              << "kvs.get_ratio + kvs.faa_ratio must be in [0, 1]");
+  PGASQ_CHECK(c.requests >= 0, << "kvs.requests must be >= 0");
+  PGASQ_CHECK(c.think_us >= 0.0, << "kvs.think_us must be >= 0");
+  PGASQ_CHECK(c.value_bytes >= 8 && c.value_bytes % 8 == 0,
+              << "kvs.value_bytes must be a positive multiple of 8");
+  PGASQ_CHECK(c.checkpoint_every >= 0, << "kvs.checkpoint_every must be >= 0");
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// Zipfian key generator
+// ---------------------------------------------------------------------------
+
+ZipfGenerator::ZipfGenerator(std::uint64_t n, double theta)
+    : n_(n), theta_(theta) {
+  PGASQ_CHECK(n >= 1, << "zipf key space must be non-empty");
+  PGASQ_CHECK(theta >= 0.0 && theta < 1.0, << "zipf theta must be in [0, 1)");
+  zetan_ = zeta(n, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  // Gray et al.'s closed-form correction; undefined (and unused — next()
+  // always short-circuits) for a single-key space.
+  eta_ = n > 1 ? (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+                     (1.0 - zeta(2, theta) / zetan_)
+               : 0.0;
+}
+
+std::uint64_t ZipfGenerator::next(Rng& rng) const {
+  const double u = rng.next_double();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const auto k = static_cast<std::uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return k >= n_ ? n_ - 1 : k;
+}
+
+// ---------------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------------
+
+void KvStats::merge(const KvStats& o) {
+  gets += o.gets;
+  puts += o.puts;
+  faas += o.faas;
+  get_misses += o.get_misses;
+  cas_lost += o.cas_lost;
+  version_retries += o.version_retries;
+  probe_steps += o.probe_steps;
+  torn_reads += o.torn_reads;
+  replayed_ops += o.replayed_ops;
+  lost_acked += o.lost_acked;
+  get_lat.merge(o.get_lat);
+  put_lat.merge(o.put_lat);
+  faa_lat.merge(o.faa_lat);
+}
+
+// ---------------------------------------------------------------------------
+// KvStore
+// ---------------------------------------------------------------------------
+
+KvStore::KvStore(armci::Comm& comm, const KvConfig& cfg)
+    : comm_(comm), cfg_(cfg) {
+  PGASQ_CHECK(cfg.value_bytes >= 8 && cfg.value_bytes % 8 == 0,
+              << "kvs value_bytes must be a positive multiple of 8");
+  value_words_ = static_cast<std::size_t>(cfg.value_bytes / 8);
+  slot_words_ = kValueWord + value_words_;
+  const int p = comm.nprocs();
+  members_.resize(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) members_[static_cast<std::size_t>(r)] = r;
+
+  std::uint64_t want = static_cast<std::uint64_t>(cfg.slots_per_rank);
+  if (cfg.slots_per_rank <= 0) {
+    // Auto-size for the worst surviving membership: every scheduled
+    // node death shifts its keys onto the survivors, so size each
+    // table at 8x the expected keys-per-member at the smallest clique
+    // (load factor <= 1/8 keeps probe chains short).
+    int q_min = p;
+    if (const ft::HealthMonitor* mon = comm.ft_monitor()) {
+      const int lost = static_cast<int>(mon->scheduled_deaths()) *
+                       mon->mapping().ranks_per_node();
+      q_min = std::max(1, p - lost);
+    }
+    want = std::max<std::uint64_t>(
+        16, (8 * static_cast<std::uint64_t>(cfg.keys) +
+             static_cast<std::uint64_t>(q_min) - 1) /
+                static_cast<std::uint64_t>(q_min));
+  }
+  slots_ = pow2_at_least(want);
+  slot_buf_.assign(slot_words_, 0);
+  image_buf_.assign(slot_words_, 0);
+  mem_ = &comm.malloc_collective(table_bytes());
+}
+
+void KvStore::rebuild(const std::vector<int>& members) {
+  members_ = members;
+  // Fresh member-mode allocation; the old slabs are deliberately left
+  // in place so stale in-flight traffic from the dead epoch lands in
+  // memory the new table never reads.
+  mem_ = &comm_.malloc_collective(table_bytes());
+}
+
+armci::RankId KvStore::home_of(std::int64_t key) const {
+  return members_[static_cast<std::size_t>(
+      mix64(static_cast<std::uint64_t>(key)) % members_.size())];
+}
+
+bool KvStore::find_slot(armci::RankId home, std::int64_t key, std::size_t* idx,
+                        KvStats& st) {
+  const std::uint64_t want = static_cast<std::uint64_t>(key) + 1;
+  const std::size_t mask = slots_ - 1;
+  const std::size_t start =
+      static_cast<std::size_t>(mix64(mix64(static_cast<std::uint64_t>(key)) + 1)) & mask;
+  std::uint64_t* hdr = hdr_buf_;  // member buffer: survives abort unwinds
+  for (std::size_t step = 0; step < slots_;) {
+    const std::size_t i = (start + step) & mask;
+    comm_.get(mem_->at(home, slot_off(i)), hdr, 2 * 8);
+    if (hdr[kTagWord] == want) {
+      st.probe_steps += step;
+      *idx = i;
+      return true;
+    }
+    if (hdr[kVersionWord] == 0 && hdr[kTagWord] == 0) {
+      st.probe_steps += step;
+      *idx = i;
+      return false;
+    }
+    if (hdr[kTagWord] == 0) {
+      // Mid-claim by another client (version 1, tag not yet visible):
+      // re-read until the tag lands and tells us whose slot this is.
+      ++st.version_retries;
+      comm_.progress();
+      continue;
+    }
+    ++step;  // another key's slot
+  }
+  PGASQ_CHECK(false, << "kvs: shard table overflow on rank " << home << " ("
+                     << slots_ << " slots); raise kvs.slots_per_rank");
+  return false;
+}
+
+std::size_t KvStore::publish_slot(armci::RankId home, std::int64_t key,
+                                  const std::uint64_t* image, bool* inserted,
+                                  KvStats& st) {
+  for (;;) {
+    std::size_t idx = 0;
+    if (find_slot(home, key, &idx, st)) {
+      *inserted = false;
+      return idx;
+    }
+    const armci::RemotePtr vptr = mem_->at(home, slot_off(idx));
+    if (comm_.compare_swap(vptr, 0, 1) != 0) {
+      // Another client claimed this slot first (same or different
+      // key); re-probe from scratch.
+      ++st.cas_lost;
+      continue;
+    }
+    // The slot is ours: land tag/counter/value, then publish the final
+    // (even) version so readers never see a partial image as stable.
+    comm_.put(image + 1, mem_->at(home, slot_off(idx) + 8),
+              (slot_words_ - 1) * 8);
+    comm_.fence(home);
+    comm_.put(image, vptr, 8);
+    comm_.fence(home);
+    *inserted = true;
+    return idx;
+  }
+}
+
+bool KvStore::get(std::int64_t key, std::uint64_t* version,
+                  std::uint64_t* stamp, KvStats& st) {
+  const armci::RankId home = home_of(key);
+  const std::uint64_t want = static_cast<std::uint64_t>(key) + 1;
+  const std::size_t mask = slots_ - 1;
+  const std::size_t start =
+      static_cast<std::size_t>(mix64(mix64(static_cast<std::uint64_t>(key)) + 1)) & mask;
+  std::vector<std::uint64_t>& slot = slot_buf_;  // member: survives unwinds
+  for (std::size_t step = 0; step < slots_;) {
+    const std::size_t i = (start + step) & mask;
+    comm_.get(mem_->at(home, slot_off(i)), slot.data(), slot_words_ * 8);
+    if (slot[kTagWord] == want) {
+      if (slot[kVersionWord] & 1) {
+        // Write in progress: the writer holds the version odd for the
+        // whole value update, so re-read until it publishes.
+        ++st.version_retries;
+        comm_.progress();
+        continue;
+      }
+      st.probe_steps += step;
+      *version = slot[kVersionWord];
+      *stamp = slot[kValueWord];
+      for (std::size_t w = 1; w < value_words_; ++w) {
+        if (slot[kValueWord + w] != value_word(slot[kValueWord], w)) {
+          ++st.torn_reads;
+          break;
+        }
+      }
+      return true;
+    }
+    if (slot[kVersionWord] == 0 && slot[kTagWord] == 0) {
+      st.probe_steps += step;
+      return false;
+    }
+    if (slot[kTagWord] == 0) {  // mid-claim, identity unknown yet
+      ++st.version_retries;
+      comm_.progress();
+      continue;
+    }
+    ++step;
+  }
+  PGASQ_CHECK(false, << "kvs: shard table overflow on rank " << home << " ("
+                     << slots_ << " slots); raise kvs.slots_per_rank");
+  return false;
+}
+
+std::uint64_t KvStore::put(std::int64_t key, std::uint64_t stamp, KvStats& st) {
+  const armci::RankId home = home_of(key);
+  std::vector<std::uint64_t>& image = image_buf_;
+  image[kVersionWord] = 2;
+  image[kTagWord] = static_cast<std::uint64_t>(key) + 1;
+  image[kCounterWord] = 0;  // a fresh slot starts its faa counter at 0
+  for (std::size_t w = 0; w < value_words_; ++w) {
+    image[kValueWord + w] = value_word(stamp, w);
+  }
+  bool inserted = false;
+  const std::size_t idx = publish_slot(home, key, image.data(), &inserted, st);
+  if (inserted) return 2;
+
+  // Update path: lock the version with a CAS (a lost CAS is a detected
+  // race with another writer), land the value, publish version + 2.
+  const armci::RemotePtr vptr = mem_->at(home, slot_off(idx));
+  for (;;) {
+    comm_.get(vptr, &ver_buf_, 8);  // member buffer: survives unwinds
+    const std::uint64_t v = ver_buf_;
+    if (v & 1) {
+      ++st.version_retries;
+      continue;
+    }
+    if (comm_.compare_swap(vptr, static_cast<std::int64_t>(v),
+                           static_cast<std::int64_t>(v + 1)) !=
+        static_cast<std::int64_t>(v)) {
+      ++st.cas_lost;
+      continue;
+    }
+    comm_.put(image.data() + kValueWord,
+              mem_->at(home, slot_off(idx) + kValueWord * 8), value_words_ * 8);
+    comm_.fence(home);
+    const std::uint64_t nv = v + 2;
+    comm_.put(&nv, vptr, 8);
+    comm_.fence(home);  // remote completion of the publish is the ack
+    return nv;
+  }
+}
+
+std::int64_t KvStore::faa(std::int64_t key, std::int64_t delta, KvStats& st) {
+  const armci::RankId home = home_of(key);
+  // Absent keys are inserted with a zero counter and the stamp-0 value
+  // pattern (so a later get still verifies), then hit the same AMO.
+  std::vector<std::uint64_t>& image = image_buf_;
+  image[kCounterWord] = 0;
+  image[kVersionWord] = 2;
+  image[kTagWord] = static_cast<std::uint64_t>(key) + 1;
+  for (std::size_t w = 0; w < value_words_; ++w) {
+    image[kValueWord + w] = value_word(0, w);
+  }
+  bool inserted = false;
+  const std::size_t idx = publish_slot(home, key, image.data(), &inserted, st);
+  return comm_.fetch_add(mem_->at(home, slot_off(idx) + kCounterWord * 8),
+                         delta);
+}
+
+void KvStore::save_shard(std::byte* out) {
+  std::memcpy(out, mem_->local(comm_.rank()), table_bytes());
+}
+
+void KvStore::restore_shard(int, int, const std::byte* data,
+                            std::size_t bytes) {
+  PGASQ_CHECK(bytes == table_bytes(),
+              << "kvs: shard size mismatch in restore (" << bytes << " vs "
+              << table_bytes() << ")");
+  const auto* words = reinterpret_cast<const std::uint64_t*>(data);
+  KvStats scratch;  // restore traffic is not client-visible
+  for (std::size_t s = 0; s < slots_; ++s) {
+    const std::uint64_t* slot = words + s * slot_words_;
+    if (slot[kTagWord] == 0) continue;
+    PGASQ_CHECK((slot[kVersionWord] & 1) == 0 && slot[kVersionWord] >= 2,
+                << "kvs: non-quiescent slot in checkpoint shard");
+    const auto key = static_cast<std::int64_t>(slot[kTagWord] - 1);
+    // Re-insert under the current membership, preserving the
+    // checkpointed version/counter/value image bit-for-bit.
+    bool inserted = false;
+    publish_slot(home_of(key), key, slot, &inserted, scratch);
+    PGASQ_CHECK(inserted, << "kvs: duplicate key " << key
+                          << " while restoring checkpoint shards");
+  }
+}
+
+std::uint64_t KvStore::local_counter_sum() const {
+  const auto* words =
+      reinterpret_cast<const std::uint64_t*>(mem_->local(comm_.rank()));
+  std::uint64_t sum = 0;
+  for (std::size_t s = 0; s < slots_; ++s) {
+    if (words[s * slot_words_ + kTagWord] != 0) {
+      sum += words[s * slot_words_ + kCounterWord];
+    }
+  }
+  return sum;
+}
+
+std::uint64_t KvStore::local_keys() const {
+  const auto* words =
+      reinterpret_cast<const std::uint64_t*>(mem_->local(comm_.rank()));
+  std::uint64_t n = 0;
+  for (std::size_t s = 0; s < slots_; ++s) {
+    if (words[s * slot_words_ + kTagWord] != 0) ++n;
+  }
+  return n;
+}
+
+std::uint32_t KvStore::local_crc() const {
+  return crc32c(mem_->local(comm_.rank()), table_bytes());
+}
+
+// ---------------------------------------------------------------------------
+// Workload driver
+// ---------------------------------------------------------------------------
+
+KvResult run_workload(armci::World& world, const KvConfig& cfg) {
+  const int p = world.num_ranks();
+  PGASQ_CHECK(!cfg.conflict_free || cfg.keys >= p,
+              << "kvs.conflict_free needs kvs.keys >= the rank count");
+
+  KvResult res;
+  res.per_rank.assign(static_cast<std::size_t>(p), KvStats{});
+  std::vector<Time> t_start(static_cast<std::size_t>(p), 0);
+  std::vector<Time> t_end(static_cast<std::size_t>(p), 0);
+  std::vector<std::uint64_t> counter_sum(static_cast<std::size_t>(p), 0);
+  std::vector<std::uint32_t> crc(static_cast<std::size_t>(p), 0);
+  std::vector<char> alive(static_cast<std::size_t>(p), 0);
+  struct FaaRec {
+    std::int64_t delta;
+    int epoch;
+  };
+  std::vector<std::vector<FaaRec>> faa_acked(static_cast<std::size_t>(p));
+  std::vector<RecoveryEvent> events;
+
+  sim::TraceRecorder* tr = world.machine().trace();
+  std::vector<std::uint32_t> tracks;
+  if (tr != nullptr) {
+    for (int r = 0; r < p; ++r) {
+      tracks.push_back(tr->register_track("kvs/r" + std::to_string(r),
+                                          !world.machine().rank_traced(r)));
+    }
+  }
+  // One shared generator: zeta(n) is O(n), so computing it per rank
+  // would dominate construction; next() is stateless.
+  const ZipfGenerator zipf(static_cast<std::uint64_t>(cfg.keys),
+                           cfg.zipf_theta);
+  // keys/p full residue blocks keep conflict-free draws in range.
+  const std::int64_t cf_blocks = std::max<std::int64_t>(1, cfg.keys / p);
+
+  world.spmd([&](armci::Comm& comm) {
+    const int me = comm.rank();
+    coll::CollEngine::of(comm);
+    KvStore store(comm, cfg);
+    ft::RuntimeConfig rc;
+    rc.checkpoint_interval = 1;  // labels are request-block indices
+    ft::Runtime rt(comm, rc, {&store});
+    const bool ft_on = rt.enabled() && cfg.checkpoint_every > 0;
+    KvStats& st = res.per_rank[static_cast<std::size_t>(me)];
+    Rng rng(cfg.seed * 0x9e3779b97f4a7c15ULL +
+            static_cast<std::uint64_t>(me) + 1);
+
+    // The replayable client-side op log: `epoch` is the label of the
+    // last checkpoint this client entered before issuing the op, so an
+    // op is contained in checkpoint L' exactly when epoch < L'.
+    struct OpRec {
+      char type;
+      std::int64_t key;
+      std::uint64_t stamp;
+      std::int64_t delta;
+      int epoch;
+      std::uint64_t version;
+      bool acked;
+    };
+    std::vector<OpRec> oplog;
+    // Audit book: key -> (version, stamp) of this client's last acked
+    // put. Ordered map so the audit reads in a deterministic order.
+    std::map<std::int64_t, std::pair<std::uint64_t, std::uint64_t>> last_put;
+    int epoch = 0;
+    std::uint64_t seq = 0;
+
+    auto replay = [&](int from_label) {
+      for (OpRec& op : oplog) {
+        if (!op.acked || op.epoch < from_label) continue;
+        if (op.type == 'p') {
+          op.version = store.put(op.key, op.stamp, st);
+          last_put[op.key] = {op.version, op.stamp};
+        } else if (op.type == 'f') {
+          store.faa(op.key, op.delta, st);
+        } else {
+          continue;  // gets have no durable effect
+        }
+        ++st.replayed_ops;
+      }
+    };
+
+    // Runs `body`, absorbing fail-stop recovery: on PeerDeadError the
+    // whole recover/rebuild/restore/replay sequence runs (re-entering
+    // itself if another node dies mid-recovery), then `body` is retried
+    // from scratch. Returns false when this rank is the casualty.
+    bool need_recovery = false;
+    auto guarded = [&](auto&& body) -> bool {
+      for (;;) {
+        try {
+          if (need_recovery) {
+            bool im_alive = true;
+            for (;;) {
+              try {
+                im_alive = rt.recover();
+                break;
+              } catch (const ft::PeerDeadError&) {
+              }
+            }
+            if (!im_alive) return false;
+            store.rebuild(rt.members());
+            rt.restore();  // no-op on a cold restart: table stays empty
+            comm.barrier();  // every shard restored before anyone reads
+            if (me == rt.members().front()) {
+              RecoveryEvent ev;
+              ev.restart_label = rt.restart_iter();
+              const ft::HealthMonitor* mon = comm.ft_monitor();
+              for (int r = 0; r < p; ++r) {
+                if (mon != nullptr && mon->rank_declared_dead(r)) {
+                  ev.dead_ranks.push_back(r);
+                }
+              }
+              events.push_back(ev);
+            }
+            replay(rt.restart_iter());
+            need_recovery = false;
+          }
+          body();
+          return true;
+        } catch (const ft::PeerDeadError&) {
+          need_recovery = true;
+        }
+      }
+    };
+
+    bool i_died = !guarded([&] { comm.barrier(); });
+    if (!i_died) {
+      t_start[static_cast<std::size_t>(me)] = comm.now();
+      for (std::int64_t r = 0; r < cfg.requests; ++r) {
+        if (ft_on && r > 0 && r % cfg.checkpoint_every == 0) {
+          const int label = static_cast<int>(r / cfg.checkpoint_every);
+          if (!guarded([&] { rt.checkpoint(label); })) {
+            i_died = true;
+            break;
+          }
+          epoch = label;
+        }
+        // The op stream is drawn up front and recorded before the op
+        // runs, so recovery retries re-run the SAME op.
+        std::int64_t key = static_cast<std::int64_t>(zipf.next(rng));
+        if (cfg.conflict_free) {
+          // Fold into this client's residue class: every key has a
+          // single writer, so fault replays reconverge bit-for-bit.
+          key = (key % cf_blocks) * p + me;
+        }
+        const double u = rng.next_double();
+        const char type = u < cfg.get_ratio                  ? 'g'
+                          : u < cfg.get_ratio + cfg.faa_ratio ? 'f'
+                                                              : 'p';
+        OpRec rec{type, key, 0, 0, epoch, 0, false};
+        if (type == 'p') {
+          rec.stamp = (static_cast<std::uint64_t>(me + 1) << 32) | ++seq;
+        }
+        if (type == 'f') {
+          rec.delta = static_cast<std::int64_t>(1 + rng.next_below(9));
+        }
+        oplog.push_back(rec);
+        OpRec& op = oplog.back();
+
+        Time t0 = 0;
+        const bool ok = guarded([&] {
+          if (cfg.think_us > 0.0) comm.compute(from_us(cfg.think_us));
+          t0 = comm.now();
+          if (op.type == 'g') {
+            std::uint64_t v = 0, s = 0;
+            if (!store.get(op.key, &v, &s, st)) ++st.get_misses;
+          } else if (op.type == 'p') {
+            op.version = store.put(op.key, op.stamp, st);
+          } else {
+            store.faa(op.key, op.delta, st);
+          }
+        });
+        if (!ok) {
+          i_died = true;
+          break;
+        }
+        const Time t1 = comm.now();
+        // Latency of the successful attempt (recovery rounds excluded;
+        // they are reported separately as recoveries/rollback time).
+        const auto lat_ns = static_cast<std::uint64_t>((t1 - t0) / kNanosecond);
+        op.acked = true;
+        if (op.type == 'g') {
+          ++st.gets;
+          st.get_lat.add(lat_ns);
+        } else if (op.type == 'p') {
+          ++st.puts;
+          st.put_lat.add(lat_ns);
+          last_put[op.key] = {op.version, op.stamp};
+        } else {
+          ++st.faas;
+          st.faa_lat.add(lat_ns);
+          faa_acked[static_cast<std::size_t>(me)].push_back(
+              {op.delta, op.epoch});
+        }
+        if (tr != nullptr) {
+          const std::uint32_t mine = tracks[static_cast<std::size_t>(me)];
+          const char* nm = op.type == 'g'   ? "kv get"
+                           : op.type == 'p' ? "kv put"
+                                            : "kv faa";
+          tr->complete(mine, nm, t0, t1 - t0);
+          const std::uint64_t id = tr->next_flow_id();
+          tr->flow_point('s', mine, "kv req", id, t0);
+          tr->flow_point(
+              'f', tracks[static_cast<std::size_t>(store.home_of(op.key))],
+              "kv req", id, t1);
+        }
+      }
+    }
+
+    if (!i_died) {
+      i_died = !guarded([&] { comm.barrier(); });  // quiesce all clients
+    }
+    if (!i_died) t_end[static_cast<std::size_t>(me)] = comm.now();
+    if (!i_died && cfg.verify) {
+      // Acked-write audit at the quiescent end state. A later put by
+      // another client legitimately raises the version past ours, so
+      // "lost" means: missing, version below ours, or our version
+      // carrying someone else's (i.e. an older replayed) stamp.
+      std::uint64_t lost = 0;
+      i_died = !guarded([&] {
+        lost = 0;
+        for (const auto& [key, vs] : last_put) {
+          std::uint64_t v = 0, s = 0;
+          const bool hit = store.get(key, &v, &s, st);
+          if (!hit || v < vs.first || (v == vs.first && s != vs.second)) {
+            ++lost;
+          }
+        }
+        comm.barrier();
+      });
+      if (!i_died) st.lost_acked = lost;
+    }
+    if (!i_died) {
+      alive[static_cast<std::size_t>(me)] = 1;
+      counter_sum[static_cast<std::size_t>(me)] = store.local_counter_sum();
+      crc[static_cast<std::size_t>(me)] = store.local_crc();
+    }
+  });
+
+  for (int r = 0; r < p; ++r) res.total.merge(res.per_rank[static_cast<std::size_t>(r)]);
+  res.acked_ops = res.total.gets + res.total.puts + res.total.faas;
+  res.torn_reads = res.total.torn_reads;
+  res.lost_acked = res.total.lost_acked;
+  res.events = std::move(events);
+  res.recoveries = static_cast<int>(res.events.size());
+  if (const ft::HealthMonitor* mon = world.machine().monitor()) {
+    res.checkpoints = mon->stats().checkpoints;
+  }
+
+  Time lo = std::numeric_limits<Time>::max();
+  Time hi = 0;
+  for (int r = 0; r < p; ++r) {
+    const auto i = static_cast<std::size_t>(r);
+    if (!alive[i]) continue;
+    ++res.survivors;
+    lo = std::min(lo, t_start[i]);
+    hi = std::max(hi, t_end[i]);
+    res.faa_applied += counter_sum[i];
+    res.shard_crcs.push_back(crc[i]);
+  }
+  if (res.survivors > 0) {
+    res.traffic_begin = lo;
+    res.traffic_end = hi;
+    res.elapsed_s = to_s(hi - lo);
+  }
+  res.mops = res.elapsed_s > 0.0
+                 ? static_cast<double>(res.acked_ops) / res.elapsed_s / 1e6
+                 : 0.0;
+
+  // Exactly-once expectation for the counters: a survivor's acked faas
+  // all stick (rollbacks discard, replay re-applies). A dead client's
+  // acked faa survives only when it sits inside every checkpoint the
+  // survivors ever rolled back to after that client died — i.e. its
+  // epoch is below the smallest restart label among recoveries that
+  // declared the client dead (nobody replays a dead client's log).
+  for (int r = 0; r < p; ++r) {
+    const auto i = static_cast<std::size_t>(r);
+    int cutoff = std::numeric_limits<int>::max();
+    if (!alive[i]) {
+      for (const RecoveryEvent& ev : res.events) {
+        if (std::find(ev.dead_ranks.begin(), ev.dead_ranks.end(), r) !=
+            ev.dead_ranks.end()) {
+          cutoff = std::min(cutoff, ev.restart_label);
+        }
+      }
+    }
+    for (const FaaRec& f : faa_acked[i]) {
+      if (f.epoch < cutoff) {
+        res.faa_expected += static_cast<std::uint64_t>(f.delta);
+      }
+    }
+  }
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// Metrics export
+// ---------------------------------------------------------------------------
+
+void export_metrics(obs::Registry& reg, const KvResult& r,
+                    const obs::Labels& labels) {
+  reg.set_counter("kvs.acked_ops", r.acked_ops, labels);
+  reg.set_gauge("kvs.throughput_mops", r.mops, labels);
+  reg.set_gauge("kvs.elapsed_s", r.elapsed_s, labels);
+  reg.set_counter("kvs.gets", r.total.gets, labels);
+  reg.set_counter("kvs.puts", r.total.puts, labels);
+  reg.set_counter("kvs.faas", r.total.faas, labels);
+  reg.set_counter("kvs.get_misses", r.total.get_misses, labels);
+  reg.set_counter("kvs.cas_lost", r.total.cas_lost, labels);
+  reg.set_counter("kvs.version_retries", r.total.version_retries, labels);
+  reg.set_counter("kvs.probe_steps", r.total.probe_steps, labels);
+  reg.set_counter("kvs.torn_reads", r.torn_reads, labels);
+  reg.set_counter("kvs.replayed_ops", r.total.replayed_ops, labels);
+  reg.set_counter("kvs.lost_acked_writes", r.lost_acked, labels);
+  reg.set_counter("kvs.faa_expected", r.faa_expected, labels);
+  reg.set_counter("kvs.faa_applied", r.faa_applied, labels);
+  reg.set_counter("kvs.survivors", static_cast<std::uint64_t>(r.survivors),
+                  labels);
+  reg.set_counter("kvs.recoveries", static_cast<std::uint64_t>(r.recoveries),
+                  labels);
+  reg.set_counter("kvs.checkpoints", r.checkpoints, labels);
+
+  const std::pair<const char*, const util::Histogram*> ops[] = {
+      {"get", &r.total.get_lat},
+      {"put", &r.total.put_lat},
+      {"faa", &r.total.faa_lat},
+  };
+  for (const auto& [name, hist] : ops) {
+    if (hist->total() == 0) continue;
+    obs::Labels with_op = labels;
+    with_op.emplace_back("op", name);
+    reg.set_gauge("kvs.lat_p50_us", static_cast<double>(hist->quantile(0.5)) / 1e3,
+                  with_op);
+    reg.set_gauge("kvs.lat_p99_us", static_cast<double>(hist->quantile(0.99)) / 1e3,
+                  with_op);
+    reg.set_gauge("kvs.lat_p999_us",
+                  static_cast<double>(hist->quantile(0.999)) / 1e3, with_op);
+    reg.set_gauge("kvs.lat_mean_us", hist->mean() / 1e3, with_op);
+    reg.set_gauge("kvs.lat_max_us", static_cast<double>(hist->max()) / 1e3,
+                  with_op);
+    reg.set_histogram("kvs.latency_ns", *hist, with_op);
+  }
+}
+
+}  // namespace pgasq::kvs

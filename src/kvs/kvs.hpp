@@ -1,0 +1,218 @@
+// Sharded key-value service over the ARMCI runtime: the first
+// latency-bound, many-small-messages workload in the tree (the paper
+// evaluates only dense kernels; the ROADMAP north star asks for a
+// serving-tier workload).
+//
+// Layout — one collective allocation carries every shard: keys hash to
+// a home member, each member owns an open-addressed table of
+// fixed-size slots (64-bit words):
+//
+//   [ version | key_tag | faa counter | value word 0 (stamp) | ... ]
+//
+// version 0 = empty, odd = write-locked, even >= 2 = stable; key_tag
+// is key + 1 so 0 means empty; the counter lives outside the value so
+// put and faa never interfere.
+//
+// Protocols (see docs/kvs.md):
+//  * get — one contiguous armci get of the whole slot. A slot write
+//    holds the version odd for its whole span, so any even-version
+//    snapshot is consistent; odd versions retry.
+//  * put — versioned rmw write: CAS the even version v to v+1 (a lost
+//    CAS is a detected race, retried), put the value, fence, publish
+//    v+2, fence. The final fence is the client-visible ack.
+//  * faa — armci fetch_add on the slot's counter word (hardware AMO
+//    when the machine enables it); remote completion is the ack.
+//  * insert — CAS the version 0 -> 1 to claim the slot, write
+//    tag+value, publish version 2.
+//
+// Durability — KvStore implements ft::Shardable: the whole local table
+// is the shard, riding the buddy-checkpoint/shrink/rollback path of
+// ft::Runtime. Clients keep replayable op logs; after a rollback to
+// checkpoint label L every surviving client replays its acked ops with
+// epoch >= L, so a mid-run node fail-stop loses zero writes that were
+// acknowledged to a surviving client.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/comm.hpp"
+#include "ft/recovery.hpp"
+#include "obs/registry.hpp"
+#include "util/config.hpp"
+#include "util/histogram.hpp"
+#include "util/rng.hpp"
+
+namespace pgasq::kvs {
+
+/// `kvs.*` configuration (see KvConfig::from_config and docs/kvs.md).
+struct KvConfig {
+  std::int64_t keys = 4096;        ///< key space size
+  double zipf_theta = 0.99;        ///< 0 = uniform; YCSB-style skew at 0.99
+  double get_ratio = 0.8;          ///< fraction of requests that are gets
+  double faa_ratio = 0.0;          ///< fraction that are faa; rest are puts
+  std::int64_t requests = 64;      ///< closed-loop requests per rank
+  double think_us = 0.0;           ///< client think time between requests
+  std::int64_t value_bytes = 32;   ///< value payload (multiple of 8, >= 8)
+  std::int64_t slots_per_rank = 0; ///< 0 = auto-size for the worst shrink
+  std::int64_t checkpoint_every = 0;  ///< requests between checkpoints; 0 off
+  std::uint64_t seed = 1;          ///< workload seed (keys, op mix)
+  bool conflict_free = false;      ///< each key has a single writer rank
+  bool verify = true;              ///< post-run acked-write audit
+
+  /// Parses the kvs.* namespace, rejecting unknown keys with a typo
+  /// suggestion (matching the fault./ft./integrity. precedent).
+  static KvConfig from_config(const Config& cfg);
+};
+
+/// Deterministic zipfian key generator (Gray et al.'s method, as in
+/// YCSB): theta in [0, 1), theta = 0 degrades to uniform.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(std::uint64_t n, double theta);
+  std::uint64_t next(Rng& rng) const;
+
+ private:
+  std::uint64_t n_;
+  double theta_, alpha_, zetan_, eta_;
+};
+
+/// Per-client (per-rank) statistics; histograms hold per-op latency in
+/// nanoseconds of virtual time.
+struct KvStats {
+  std::uint64_t gets = 0, puts = 0, faas = 0;  // acked ops
+  std::uint64_t get_misses = 0;
+  std::uint64_t cas_lost = 0;         ///< version CAS races lost (retried)
+  std::uint64_t version_retries = 0;  ///< reads that saw a locked slot
+  std::uint64_t probe_steps = 0;      ///< extra probe hops past the home slot
+  std::uint64_t torn_reads = 0;       ///< value-pattern mismatches (must be 0)
+  std::uint64_t replayed_ops = 0;     ///< ops re-applied from the op log
+  std::uint64_t lost_acked = 0;       ///< acked writes missing at audit time
+  util::Histogram get_lat, put_lat, faa_lat;
+
+  void merge(const KvStats& o);
+};
+
+/// The sharded store; one instance per rank (collective construction).
+class KvStore final : public ft::Shardable {
+ public:
+  /// Collective over all world ranks.
+  KvStore(armci::Comm& comm, const KvConfig& cfg);
+
+  /// Collective over `members`: fresh zeroed member-mode table (the
+  /// old allocation is freed-but-kept, so stale in-flight traffic from
+  /// a dead epoch never lands in the new table).
+  void rebuild(const std::vector<int>& members);
+
+  /// Reads `key`. Returns false on miss; on hit fills version/stamp
+  /// and verifies the value pattern (torn_reads on mismatch).
+  bool get(std::int64_t key, std::uint64_t* version, std::uint64_t* stamp,
+           KvStats& st);
+  /// Versioned write; returns the installed (even) version. The value
+  /// payload is the deterministic pattern generated from `stamp`.
+  std::uint64_t put(std::int64_t key, std::uint64_t stamp, KvStats& st);
+  /// Fetch-and-add on the key's counter; returns the pre-add value
+  /// (inserting the key with an empty value when absent).
+  std::int64_t faa(std::int64_t key, std::int64_t delta, KvStats& st);
+
+  armci::RankId home_of(std::int64_t key) const;
+  std::size_t slots() const { return slots_; }
+  const std::vector<int>& members() const { return members_; }
+
+  // ft::Shardable — the shard is the whole local slot table, so shard
+  // size is membership-independent.
+  std::size_t max_shard_bytes(int) const override { return table_bytes(); }
+  std::size_t shard_bytes(int, int) const override { return table_bytes(); }
+  void save_shard(std::byte* out) override;
+  void restore_shard(int q_old, int v, const std::byte* data,
+                     std::size_t bytes) override;
+
+  // Local-shard introspection; call only at a quiescent point (after a
+  // barrier, no in-flight writers).
+  std::uint64_t local_counter_sum() const;
+  std::uint64_t local_keys() const;
+  /// CRC of the local table (versions included): bitwise state digest
+  /// for determinism and fault-transparency tests.
+  std::uint32_t local_crc() const;
+
+ private:
+  std::size_t table_bytes() const { return slots_ * slot_words_ * 8; }
+  std::size_t slot_off(std::size_t idx) const { return idx * slot_words_ * 8; }
+  /// Finds the slot holding `key` on its home (`*inserted` = false),
+  /// or claims a free slot and publishes the given slot image —
+  /// tag/counter/value first, version word last (`*inserted` = true).
+  /// Returns the slot index. Used by insert paths and shard restore.
+  std::size_t publish_slot(armci::RankId home, std::int64_t key,
+                           const std::uint64_t* image, bool* inserted,
+                           KvStats& st);
+  /// Probe for `key` on its home: fills `idx` with the matching or
+  /// first-empty slot; true when the key was found.
+  bool find_slot(armci::RankId home, std::int64_t key, std::size_t* idx,
+                 KvStats& st);
+
+  armci::Comm& comm_;
+  KvConfig cfg_;
+  std::vector<int> members_;
+  armci::GlobalMem* mem_ = nullptr;
+  std::size_t slots_ = 0;
+  std::size_t value_words_ = 0;
+  std::size_t slot_words_ = 0;
+  /// Read-side landing buffers. A fail-stop abort can unwind a blocked
+  /// get while its delivery event is still in flight, and the delivery
+  /// writes the destination afterwards — so destinations must live as
+  /// long as the store, never on an op's stack frame. Contents are
+  /// consumed before the next comm call, so late stale writes are
+  /// harmless.
+  std::vector<std::uint64_t> slot_buf_;
+  std::uint64_t hdr_buf_[2] = {0, 0};
+  std::uint64_t ver_buf_ = 0;
+  /// Write-side staging image. Also a stable address on purpose: puts
+  /// register on-the-fly memregions keyed by the source address, so a
+  /// per-call buffer would make registration hits depend on heap
+  /// reuse — breaking bitwise run-to-run determinism in one process.
+  std::vector<std::uint64_t> image_buf_;
+};
+
+/// One fail-stop recovery observed by the workload driver.
+struct RecoveryEvent {
+  int restart_label = 0;        ///< checkpoint label rolled back to
+  std::vector<int> dead_ranks;  ///< cumulative dead set at this event
+};
+
+/// Aggregated result of run_workload.
+struct KvResult {
+  KvStats total;                      ///< merged over all clients
+  std::vector<KvStats> per_rank;
+  double elapsed_s = 0.0;             ///< virtual seconds, live clients' span
+  double mops = 0.0;                  ///< acked ops / elapsed, in millions
+  /// Absolute virtual-time span of the client traffic (min start / max
+  /// end over live clients) — lets callers aim fault times into it.
+  Time traffic_begin = 0, traffic_end = 0;
+  std::uint64_t acked_ops = 0;
+  std::uint64_t faa_expected = 0;     ///< exactly-once sum of applied faa
+  std::uint64_t faa_applied = 0;      ///< counters summed over live shards
+  std::uint64_t lost_acked = 0;       ///< survivors' missing acked writes
+  std::uint64_t torn_reads = 0;
+  int survivors = 0;
+  int recoveries = 0;
+  std::uint64_t checkpoints = 0;      ///< checkpoint labels committed
+  std::vector<RecoveryEvent> events;
+  /// Per-live-member shard CRCs at the quiescent end state.
+  std::vector<std::uint32_t> shard_crcs;
+};
+
+/// Runs the closed-loop zipfian/uniform client mix on every rank of
+/// `world` (collective; calls world.spmd). With a fault plan that
+/// schedules node deaths, shards checkpoint every cfg.checkpoint_every
+/// requests through ft::Runtime and clients replay their op logs after
+/// each rollback.
+KvResult run_workload(armci::World& world, const KvConfig& cfg);
+
+/// Publishes kvs.* metrics for `r` into `reg` (throughput, op counts,
+/// p50/p99/p999 latency gauges, full latency histograms, durability
+/// counters), each with `labels` (e.g. {{"mix", "zipfian"}}).
+void export_metrics(obs::Registry& reg, const KvResult& r,
+                    const obs::Labels& labels = {});
+
+}  // namespace pgasq::kvs

@@ -1,5 +1,7 @@
 #include "obs/registry.hpp"
 
+#include <cstdio>
+
 #include "util/error.hpp"
 
 namespace pgasq::obs {
@@ -43,6 +45,66 @@ void Registry::set_histogram(const std::string& name, const Log2Histogram& hist,
   for (std::size_t i = 0; i < hist.bucket_count(); ++i) {
     m.buckets.push_back(hist.bucket(i));
   }
+}
+
+void Registry::set_histogram(const std::string& name,
+                             const util::Histogram& hist, Labels labels) {
+  Metric& m = find_or_create(name, labels, Kind::kHistogram);
+  m.total = hist.total();
+  m.buckets.clear();
+  for (std::size_t i = 0; i < hist.bucket_count(); ++i) {
+    m.buckets.push_back(hist.bucket(i));
+  }
+}
+
+void Registry::merge_from(const Registry& other) {
+  for (const Metric& src : other.metrics_) {
+    Metric& dst = find_or_create(src.name, src.labels, src.kind);
+    dst.count = src.count;
+    dst.value = src.value;
+    dst.buckets = src.buckets;
+    dst.total = src.total;
+  }
+}
+
+std::string Registry::to_text() const {
+  std::string out;
+  char buf[64];
+  for (const auto& m : metrics_) {
+    out += "  ";
+    out += m.name;
+    if (!m.labels.empty()) {
+      out += '{';
+      bool first = true;
+      for (const auto& [k, v] : m.labels) {
+        if (!first) out += ',';
+        first = false;
+        out += k;
+        out += '=';
+        out += v;
+      }
+      out += '}';
+    }
+    out += " = ";
+    switch (m.kind) {
+      case Kind::kCounter:
+        std::snprintf(buf, sizeof buf, "%llu",
+                      static_cast<unsigned long long>(m.count));
+        out += buf;
+        break;
+      case Kind::kGauge:
+        std::snprintf(buf, sizeof buf, "%.3f", m.value);
+        out += buf;
+        break;
+      case Kind::kHistogram:
+        std::snprintf(buf, sizeof buf, "histogram(total=%llu)",
+                      static_cast<unsigned long long>(m.total));
+        out += buf;
+        break;
+    }
+    out += '\n';
+  }
+  return out;
 }
 
 std::vector<std::string> Registry::names() const {

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "obs/json.hpp"
+#include "util/histogram.hpp"
 #include "util/stats.hpp"
 
 namespace pgasq::obs {
@@ -35,8 +36,21 @@ class Registry {
   /// Snapshots a log2-bucketed histogram.
   void set_histogram(const std::string& name, const Log2Histogram& hist,
                      Labels labels = {});
+  /// Snapshots a util::Histogram (HDR-style log-bucketed latency
+  /// histogram); serialized with the same {"total", "buckets"} shape.
+  void set_histogram(const std::string& name, const util::Histogram& hist,
+                     Labels labels = {});
+
+  /// Folds every metric of `other` into this registry (set semantics:
+  /// same name+labels overwrites). Lets an application accumulate its
+  /// own registry across phases and splice it into the report.
+  void merge_from(const Registry& other);
 
   std::size_t size() const { return metrics_.size(); }
+
+  /// Deterministic plain-text rendering, one "name{k=v,...} = value"
+  /// line per metric (histograms show their totals); insertion order.
+  std::string to_text() const;
 
   /// All metric names in insertion order (duplicates possible when the
   /// same name carries different labels).

@@ -25,6 +25,7 @@ Machine::Machine(MachineConfig config)
   network_ = noc::make_network_model(config_.network_model, torus_, config_.params);
   if (!config_.trace_json_path.empty()) {
     trace_ = std::make_unique<sim::TraceRecorder>(config_.trace_max_events);
+    trace_->set_aggregate(config_.trace_aggregate);
     engine_.set_trace(trace_.get());
     if (config_.trace_sample_ranks > 0 &&
         config_.trace_sample_ranks < config_.num_ranks) {
@@ -100,7 +101,8 @@ bool Machine::rank_traced(RankId rank) const {
 }
 
 void configure_observability(const Config& cfg, MachineConfig& config) {
-  cfg.reject_unknown("trace", {"json_path", "max_events", "sample_ranks"});
+  cfg.reject_unknown("trace",
+                     {"json_path", "max_events", "sample_ranks", "aggregate"});
   config.trace_json_path = cfg.get_string("trace.json_path", config.trace_json_path);
   const std::int64_t cap = cfg.get_int(
       "trace.max_events", static_cast<std::int64_t>(config.trace_max_events));
@@ -110,6 +112,8 @@ void configure_observability(const Config& cfg, MachineConfig& config) {
       "trace.sample_ranks", static_cast<std::int64_t>(config.trace_sample_ranks));
   PGASQ_CHECK(sample >= 0, << "trace.sample_ranks must be >= 0 (0 = all ranks)");
   config.trace_sample_ranks = static_cast<int>(sample);
+  config.trace_aggregate =
+      cfg.get_bool("trace.aggregate", config.trace_aggregate);
   config.obs = obs::Options::from_config(cfg, config.obs);
 }
 

@@ -61,14 +61,19 @@ struct MachineConfig {
   /// other rank's tracks. 0 traces all ranks. Keeps large-p trace
   /// files bounded; cross-rank flows into unsampled ranks are pruned.
   int trace_sample_ranks = 0;
+  /// trace.aggregate: record per-(track, event) latency histograms
+  /// instead of individual events — O(series), not O(events), memory,
+  /// so multi-thousand-rank runs stay traceable. The JSON keeps the
+  /// {"traceEvents": []} envelope and adds "aggregates"/"instants".
+  bool trace_aggregate = false;
   /// Observability knobs (obs.*): per-link byte accounting & heatmap.
   obs::Options obs{};
 };
 
 /// Applies the trace.* and obs.* config namespaces onto `config`
 /// (rejecting unknown keys): trace.json_path, trace.max_events,
-/// trace.sample_ranks, obs.links, obs.link_bucket_us, obs.link_top,
-/// obs.link_csv.
+/// trace.sample_ranks, trace.aggregate, obs.links, obs.link_bucket_us,
+/// obs.link_top, obs.link_csv.
 void configure_observability(const Config& cfg, MachineConfig& config);
 
 class Machine {

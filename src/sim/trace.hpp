@@ -11,10 +11,13 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "util/histogram.hpp"
 #include "util/time_types.hpp"
 
 namespace pgasq::sim {
@@ -43,6 +46,20 @@ class TraceRecorder {
   /// to_json() then prunes flow continuations whose start was muted.
   bool sampling() const { return sampling_; }
   bool track_muted(std::uint32_t track) const { return muted_[track]; }
+
+  /// Aggregate mode (trace.aggregate): instead of storing one event
+  /// per call — O(events) memory, unusable at thousands of ranks —
+  /// fold everything into per-(track, name) histograms: complete
+  /// events aggregate their durations, each flow aggregates its
+  /// start-to-finish latency at the 'f' point, instants count. The
+  /// JSON keeps the {"traceEvents": []} envelope (empty) and adds an
+  /// "aggregates" array of per-series latency quantiles.
+  void set_aggregate(bool on) { aggregate_ = on; }
+  bool aggregate() const { return aggregate_; }
+  /// Number of aggregated (track, name) series (aggregate mode only).
+  std::size_t aggregate_series() const {
+    return agg_.size() + instant_counts_.size();
+  }
 
   void begin_slice(std::uint32_t track, Time at);
   void end_slice(std::uint32_t track, Time at);
@@ -87,13 +104,23 @@ class TraceRecorder {
   /// False (and warns once) when the event cap is reached.
   bool room();
 
+  /// Series key: (track id, event name). std::map keeps rendering
+  /// order deterministic without a sort at serialization time.
+  using SeriesKey = std::pair<std::uint32_t, std::string>;
+
   std::size_t max_events_;
   bool truncated_ = false;
   bool sampling_ = false;
+  bool aggregate_ = false;
   std::uint64_t last_flow_id_ = 0;
   std::vector<std::string> tracks_;
   std::vector<bool> muted_;
   std::vector<Event> events_;
+  /// Aggregate mode: latency histograms (ns) per series and pending
+  /// flow starts ('s' seen, 'f' not yet).
+  std::map<SeriesKey, util::Histogram> agg_;
+  std::map<SeriesKey, std::uint64_t> instant_counts_;
+  std::unordered_map<std::uint64_t, Time> open_flows_;
 };
 
 }  // namespace pgasq::sim

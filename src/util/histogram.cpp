@@ -1,0 +1,95 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace pgasq::util {
+
+// Bucket layout: values < kSubBuckets are exact (one bucket each);
+// above that, each octave [2^k, 2^(k+1)) splits into kSubBuckets/2
+// fresh linear buckets (the lower half of each octave aliases the
+// previous one, as in HDR histograms).
+std::size_t Histogram::bucket_index(std::uint64_t value) {
+  if (value < kSubBuckets) return static_cast<std::size_t>(value);
+  const unsigned msb = 63u - static_cast<unsigned>(__builtin_clzll(value));
+  const unsigned octave = msb - (kSubBits - 1);  // >= 1
+  const std::uint64_t sub = (value >> (msb - (kSubBits - 1))) - (kSubBuckets / 2);
+  return static_cast<std::size_t>(kSubBuckets +
+                                  (octave - 1) * (kSubBuckets / 2) + sub);
+}
+
+std::uint64_t Histogram::bucket_upper(std::size_t i) {
+  if (i < kSubBuckets) return i;
+  const std::size_t rel = i - kSubBuckets;
+  const unsigned octave = static_cast<unsigned>(rel / (kSubBuckets / 2)) + 1;
+  const std::uint64_t sub = rel % (kSubBuckets / 2) + kSubBuckets / 2;
+  // Octave o holds values with msb = o + kSubBits - 1, i.e. the
+  // retained kSubBits-wide prefix `sub` sits `o` bits up; the upper
+  // edge is the last value sharing that prefix.
+  return ((sub + 1) << octave) - 1;
+}
+
+void Histogram::add(std::uint64_t value, std::uint64_t count) {
+  if (count == 0) return;
+  const std::size_t idx = bucket_index(value);
+  if (idx >= buckets_.size()) buckets_.resize(idx + 1, 0);
+  buckets_[idx] += count;
+  total_ += count;
+  sum_ += value * count;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.total_ == 0) return;
+  if (other.buckets_.size() > buckets_.size()) {
+    buckets_.resize(other.buckets_.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  total_ += other.total_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Histogram::mean() const {
+  return total_ == 0 ? 0.0
+                     : static_cast<double>(sum_) / static_cast<double>(total_);
+}
+
+std::uint64_t Histogram::quantile(double q) const {
+  PGASQ_CHECK(q >= 0.0 && q <= 1.0, << "quantile " << q);
+  if (total_ == 0) return 0;
+  // Rank of the q-th sample, 1-based, ceil — p50 of n=1 is sample 1.
+  std::uint64_t rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(total_) + 0.9999999999);
+  rank = std::max<std::uint64_t>(1, std::min(rank, total_));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      return std::min(std::max(bucket_upper(i), min()), max_);
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::to_string() const {
+  char buf[192];
+  std::snprintf(buf, sizeof buf,
+                "n=%llu min=%llu p50=%llu p90=%llu p99=%llu p999=%llu max=%llu",
+                static_cast<unsigned long long>(total_),
+                static_cast<unsigned long long>(min()),
+                static_cast<unsigned long long>(quantile(0.5)),
+                static_cast<unsigned long long>(quantile(0.9)),
+                static_cast<unsigned long long>(quantile(0.99)),
+                static_cast<unsigned long long>(quantile(0.999)),
+                static_cast<unsigned long long>(max_));
+  return buf;
+}
+
+}  // namespace pgasq::util

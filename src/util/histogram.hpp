@@ -1,0 +1,56 @@
+// Log-bucketed latency histogram (HDR-histogram style): power-of-two
+// octaves split into 2^kSubBits linear sub-buckets, so quantiles carry
+// a bounded relative error (~1/2^kSubBits ≈ 3%) at any magnitude.
+// Values are unsigned 64-bit integers — nanoseconds of virtual time in
+// every current caller, but the class is unit-agnostic.
+//
+// Everything is deterministic: identical add() sequences (in any
+// order) produce identical buckets, quantiles, merges, and renderings,
+// so histograms can sit in byte-identical reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pgasq::util {
+
+class Histogram {
+ public:
+  /// Sub-bucket resolution: 32 linear buckets per power-of-two octave.
+  static constexpr unsigned kSubBits = 5;
+  static constexpr std::uint64_t kSubBuckets = 1ull << kSubBits;
+
+  void add(std::uint64_t value, std::uint64_t count = 1);
+  /// Folds `other` in (bucket-wise; min/max/total/sum all combine).
+  void merge(const Histogram& other);
+
+  std::uint64_t total() const { return total_; }
+  std::uint64_t min() const { return total_ == 0 ? 0 : min_; }
+  std::uint64_t max() const { return max_; }
+  /// Exact mean of the added values (the sum is kept exactly).
+  double mean() const;
+  /// Value at quantile q in [0, 1]: the representative (upper edge) of
+  /// the bucket holding the q-th sample, clamped to [min, max]. q = 0
+  /// gives min(), q = 1 gives max().
+  std::uint64_t quantile(double q) const;
+
+  std::size_t bucket_count() const { return buckets_.size(); }
+  std::uint64_t bucket(std::size_t i) const { return buckets_[i]; }
+  /// Inclusive upper edge of bucket i (its representative value).
+  static std::uint64_t bucket_upper(std::size_t i);
+
+  /// One line, e.g. "n=100 min=3 p50=17 p90=40 p99=52 p999=52 max=52".
+  std::string to_string() const;
+
+ private:
+  static std::size_t bucket_index(std::uint64_t value);
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t total_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = ~0ull;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace pgasq::util

@@ -142,7 +142,7 @@ TEST(FtRecovery, DeathDuringCollectiveUnblocksSurvivors) {
   int completed_loops = 0;
   world.spmd([&](Comm& comm) {
     coll::CollEngine::of(comm);
-    ft::Runtime rt(comm, {}, {});
+    ft::Runtime rt(comm, {}, std::vector<ga::GlobalArray*>{});
     int i = 0;
     while (i < 2000) {
       try {

@@ -414,7 +414,7 @@ TEST(GroupShrink, RebuildKeepsNodeAndLeaderGroupsConsistent) {
     auto node0 = reg.node_group();
     auto lead0 = reg.leaders_group();
     auto user = reg.split(comm.rank() % 2, comm.rank());
-    ft::Runtime rt(comm, ft::RuntimeConfig{}, {});
+    ft::Runtime rt(comm, ft::RuntimeConfig{}, std::vector<ga::GlobalArray*>{});
     ASSERT_TRUE(rt.enabled());
 
     bool recovered = false;

@@ -73,8 +73,47 @@ obs_gate() {
     --report "${out}/scf_corrupt_report.json"
 }
 
+kvs_gate() {
+  # KV durability + determinism gate (docs/kvs.md): the sharded KV
+  # bench must survive a soak with packet loss, corruption, AND a
+  # mid-run node death (the bench exits 1 on any lost acked write or a
+  # faa exactly-once mismatch), with every injected flip caught by the
+  # transport CRC; and two identical runs must emit bitwise-identical
+  # kvs.* metrics.
+  local dir="$1" out="${repo}/$1/kvs-gate"
+  echo "=== kvs gate: ${dir}" >&2
+  mkdir -p "${out}"
+  "${repo}/${dir}/bench/bench_abl_kvs" --ranks=32 --requests=16 \
+    --failstop_ranks=32 --fault.seed=5 --fault.drop_prob=0.005 \
+    --fault.corrupt_prob=0.005 \
+    "--report.json_path=${out}/BENCH_kvs_soak.json" >/dev/null
+  python3 - "${out}/BENCH_kvs_soak.json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+m = {}
+for e in doc["metrics"]:
+    m.setdefault(e["name"], []).append(e)
+for name in ("kvs.lost_acked_writes", "kvs.torn_reads"):
+    for e in m[name]:
+        assert e.get("value", 0) == 0, (name, e)
+inj = sum(e.get("value", 0) for e in m["integrity.flips_injected"])
+det = sum(e.get("value", 0) for e in m["integrity.flips_detected"])
+assert inj > 0 and inj == det, (inj, det)
+mixes = {(e.get("labels") or {}).get("mix") for e in m["kvs.acked_ops"]}
+assert {"zipfian", "uniform", "failstop"} <= mixes, mixes
+print(f"kvs soak OK: flips {det}/{inj} caught, mixes {sorted(mixes)}")
+PY
+  "${repo}/${dir}/bench/bench_abl_kvs" --ranks=24 --requests=16 \
+    --failstop=0 "--report.json_path=${out}/BENCH_kvs_a.json" >/dev/null
+  "${repo}/${dir}/bench/bench_abl_kvs" --ranks=24 --requests=16 \
+    --failstop=0 "--report.json_path=${out}/BENCH_kvs_b.json" >/dev/null
+  python3 "${repo}/tools/bench_diff.py" --fail-over 0 --metric kvs. \
+    "${out}/BENCH_kvs_a.json" "${out}/BENCH_kvs_b.json"
+}
+
 pass build-check
 obs_gate build-check
+kvs_gate build-check
 pass build-check-ubsan -DPGASQ_SANITIZE=undefined \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 if [[ "${run_asan}" == 1 ]]; then
