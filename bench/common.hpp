@@ -15,6 +15,7 @@
 #include "core/world.hpp"
 #include "fault/fault.hpp"
 #include "fault/integrity.hpp"
+#include "flow/flow.hpp"
 #include "ft/recovery.hpp"
 #include "util/config.hpp"
 #include "util/error.hpp"
@@ -58,6 +59,10 @@ inline armci::WorldConfig make_world_config(const Config& cli, int default_ranks
   // cadence (--ft.checkpoint_interval) is app-level — benches that run
   // SCF pick it up from the same parse via ft::RuntimeConfig.
   cfg.machine.ft = ft::RuntimeConfig::from_config(cli).liveness;
+  // Overload-control knobs (--flow.credits, --flow.deadline_us,
+  // --flow.admit ...). All off by default — with flow.* unset no
+  // controller is built and runs stay byte-identical.
+  cfg.machine.flow = flow::FlowConfig::from_config(cli);
   // Collectives-engine knobs ride through opaquely: every "--coll.*"
   // key is handed to coll::CollConfig with the prefix stripped, e.g.
   // --coll.algo.allreduce=torus-ring or --coll.hw=0.

@@ -13,6 +13,7 @@
 #include "ga/collectives.hpp"
 #include "ga/global_array.hpp"
 #include "fault/fault.hpp"
+#include "flow/flow.hpp"
 #include "util/config.hpp"
 #include "util/rng.hpp"
 
@@ -27,6 +28,10 @@ int main(int argc, char** argv) {
   const int batch = static_cast<int>(cli.get_int("batch", 24));
 
   cfg.machine.fault = fault::FaultPlan::from_config(cli);
+  // --flow.* arms overload control (credit backpressure, deadlines);
+  // the report then grows an "overload control (flow)" table
+  // (docs/overload.md).
+  cfg.machine.flow = flow::FlowConfig::from_config(cli);
   // --coll.* keys reach the collectives engine with the prefix
   // stripped, e.g. --coll.algo.allreduce=torus-ring (docs/collectives.md).
   for (const std::string& key : cli.keys()) {

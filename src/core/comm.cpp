@@ -3,6 +3,7 @@
 #include <cstring>
 #include <sstream>
 
+#include "flow/flow.hpp"
 #include "ft/liveness.hpp"
 #include "util/error.hpp"
 
@@ -626,6 +627,34 @@ bool Comm::test(Handle& handle) {
   return handle.done();
 }
 
+void Comm::idle_until(Time t) {
+  if (now() >= t) return;
+  auto fired = std::make_shared<bool>(false);
+  main_context().post_completion_at(t, [fired] { *fired = true; }, 0);
+  progress_until([fired] { return *fired; });
+}
+
+bool Comm::wait_until(Handle& handle, Time t) {
+  const Time t0 = now();
+  if (!handle.done() && now() < t) {
+    // The timer must survive an abort unwind of this frame: a fail-stop
+    // recovery can leave the posted item pending, and it fires into the
+    // shared_ptr, not this stack.
+    auto fired = std::make_shared<bool>(false);
+    main_context().post_completion_at(t, [fired] { *fired = true; }, 0);
+    progress_until([&handle, fired] { return handle.done() || *fired; });
+  }
+  stats_.time_in_wait += now() - t0;
+  return handle.done();
+}
+
+bool Comm::wait_any(Handle& a, Handle& b) {
+  const Time t0 = now();
+  progress_until([&a, &b] { return a.done() || b.done(); });
+  stats_.time_in_wait += now() - t0;
+  return a.done();
+}
+
 void Comm::wait_all() { wait(implicit_); }
 
 // ---------------------------------------------------------------------------
@@ -738,8 +767,20 @@ void Comm::nb_get(RemotePtr src, void* dst, std::size_t bytes, Handle& handle) {
     main_context().rget(*local, loff, *remote, roff, bytes, make_done(handle));
   } else {
     ++stats_.fallback_gets;
+    pami::Callback on_expired;
+    if (op_deadline_ != 0) {
+      // Server-side shed notification: mark the sticky flag, then
+      // complete the handle so the blocking wrapper unblocks and
+      // converts the mark into the typed error.
+      pami::Callback done = make_done(handle);
+      on_expired = [this, done = std::move(done)] {
+        deadline_expired_ = true;
+        done();
+      };
+    }
     main_context().get(service_endpoint(src.rank), static_cast<std::byte*>(dst),
-                       src.addr, bytes, make_done(handle));
+                       src.addr, bytes, make_done(handle), op_deadline_,
+                       std::move(on_expired));
   }
 }
 
@@ -749,6 +790,10 @@ void Comm::get(RemotePtr src, void* dst, std::size_t bytes) {
   nb_get(src, dst, bytes, h);
   progress_until([&h] { return h.done(); });
   stats_.time_in_get += now() - t0;
+  if (deadline_expired_) {
+    deadline_expired_ = false;
+    throw_op_expired("get", src.rank);
+  }
 }
 
 template <typename T>
@@ -774,7 +819,8 @@ void Comm::nb_acc_t(T alpha, const T* src, RemotePtr dst, std::size_t count,
   ProgressGuard guard(needs_context_lock(), main_context(),
                       process_.machine().params().context_lock_cost);
   main_context().send(service_endpoint(dst.rank), kDispatchAcc, std::move(header),
-                      std::move(payload), make_done(handle), "accumulate");
+                      std::move(payload), make_done(handle), "accumulate",
+                      op_deadline_);
 }
 
 template <typename T>
@@ -1302,6 +1348,17 @@ std::int64_t* checked_word(const RemotePtr& p) {
 }
 }  // namespace
 
+void Comm::throw_op_expired(const char* what, RankId target) {
+  auto& m = process_.machine();
+  if (flow::Controller* fc = m.flow()) fc->note_client_expiry(now());
+  const int src_node = process_.node();
+  const int dst_node = m.mapping().node_of_rank(target);
+  std::ostringstream os;
+  os << "flow: " << what << " from rank " << rank() << " to rank " << target
+     << " shed — its deadline passed before the server reached it";
+  throw flow::DeadlineError(what, src_node, dst_node, 0, os.str());
+}
+
 std::int64_t Comm::fetch_add(RemotePtr counter, std::int64_t delta) {
   ++stats_.rmws;
   const Time t0 = now();
@@ -1319,10 +1376,14 @@ std::int64_t Comm::fetch_add(RemotePtr counter, std::int64_t delta) {
                        [box](std::int64_t old) {
                          box->second = old;
                          box->first = true;
-                       });
+                       },
+                       op_deadline_);
   }
   progress_until([box] { return box->first; });
   stats_.time_in_rmw += now() - t0;
+  if (op_deadline_ != 0 && box->second == flow::kExpiredRmw) {
+    throw_op_expired("fetch_add", counter.rank);
+  }
   return box->second;
 }
 
@@ -1340,10 +1401,14 @@ std::int64_t Comm::swap(RemotePtr word, std::int64_t value) {
                        [box](std::int64_t old) {
                          box->second = old;
                          box->first = true;
-                       });
+                       },
+                       op_deadline_);
   }
   progress_until([box] { return box->first; });
   stats_.time_in_rmw += now() - t0;
+  if (op_deadline_ != 0 && box->second == flow::kExpiredRmw) {
+    throw_op_expired("swap", word.rank);
+  }
   return box->second;
 }
 
@@ -1362,10 +1427,14 @@ std::int64_t Comm::compare_swap(RemotePtr word, std::int64_t compare,
                        [box](std::int64_t old) {
                          box->second = old;
                          box->first = true;
-                       });
+                       },
+                       op_deadline_);
   }
   progress_until([box] { return box->first; });
   stats_.time_in_rmw += now() - t0;
+  if (op_deadline_ != 0 && box->second == flow::kExpiredRmw) {
+    throw_op_expired("compare_swap", word.rank);
+  }
   return box->second;
 }
 
@@ -1409,25 +1478,30 @@ void Comm::on_acc_message(pami::Context& ctx, const pami::AmMessage& msg) {
   const std::byte* p = msg.header.data();
   const auto h = read_pod<AccHeader>(p);
   const auto& params = process_.machine().params();
-  // Apply the reduction at daxpy rate.
-  process_.busy(from_ns(params.acc_apply_ns_per_byte *
-                        static_cast<double>(msg.payload.size())));
-  switch (h.type) {
-    case AccWireType::kInt32:
-      apply_acc<std::int32_t>(h.dst, msg.payload.data(), h.count, h.alpha);
-      break;
-    case AccWireType::kInt64:
-      apply_acc<std::int64_t>(h.dst, msg.payload.data(), h.count, h.alpha);
-      break;
-    case AccWireType::kFloat:
-      apply_acc<float>(h.dst, msg.payload.data(), h.count, h.alpha);
-      break;
-    case AccWireType::kDouble:
-      apply_acc<double>(h.dst, msg.payload.data(), h.count, h.alpha);
-      break;
-    case AccWireType::kComplexDouble:
-      apply_acc<std::complex<double>>(h.dst, msg.payload.data(), h.count, h.alpha);
-      break;
+  // An expired accumulate is shed: the arithmetic (and its daxpy-rate
+  // service time) is skipped, but the ack below still flows — the
+  // sender's fence accounting must see every write retire.
+  if (!msg.expired) {
+    process_.busy(from_ns(params.acc_apply_ns_per_byte *
+                          static_cast<double>(msg.payload.size())));
+    switch (h.type) {
+      case AccWireType::kInt32:
+        apply_acc<std::int32_t>(h.dst, msg.payload.data(), h.count, h.alpha);
+        break;
+      case AccWireType::kInt64:
+        apply_acc<std::int64_t>(h.dst, msg.payload.data(), h.count, h.alpha);
+        break;
+      case AccWireType::kFloat:
+        apply_acc<float>(h.dst, msg.payload.data(), h.count, h.alpha);
+        break;
+      case AccWireType::kDouble:
+        apply_acc<double>(h.dst, msg.payload.data(), h.count, h.alpha);
+        break;
+      case AccWireType::kComplexDouble:
+        apply_acc<std::complex<double>>(h.dst, msg.payload.data(), h.count,
+                                        h.alpha);
+        break;
+    }
   }
   // NIC-level ack back to the writer for its fence accounting.
   auto* closure = static_cast<AckClosure*>(h.ack);

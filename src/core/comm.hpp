@@ -63,8 +63,15 @@ class Comm {
   Time now() const { return process_.now(); }
 
   /// Occupies this rank's main thread for `t` of virtual time (the
-  /// application's local computation, "do work" in Fig 10).
+  /// application's local computation, "do work" in Fig 10). Incoming
+  /// requests are NOT serviced meanwhile (that is the paper's Default
+  /// progress problem) — an idle client should use idle_until.
   void compute(Time t) { process_.busy(t); }
+  /// Parks this rank until virtual time `t` while continuing to drive
+  /// progress, so remote requests keep being serviced — "idle but
+  /// responsive", e.g. an open-loop client between arrivals. No-op
+  /// when `t` has already passed.
+  void idle_until(Time t);
 
   // --- Lifecycle (called by World::spmd) -------------------------------------
 
@@ -157,10 +164,35 @@ class Comm {
   /// Compare-and-swap; returns the old value.
   std::int64_t compare_swap(RemotePtr word, std::int64_t compare, std::int64_t value);
 
+  // --- Overload control (src/flow) -------------------------------------------
+
+  /// Absolute virtual-time deadline attached to subsequent rmw and
+  /// fall-back get operations (0 = none, the default). A request the
+  /// server dequeues past its deadline is shed before servicing and
+  /// the blocking call throws flow::DeadlineError instead of
+  /// returning a stale answer. RDMA paths (rget/rput) involve no
+  /// target software and are never shed — for them the deadline is a
+  /// client-side concern (see src/kvs's open-loop driver). Requires
+  /// the machine's flow controller (flow.* configured); without it
+  /// deadlines are carried but never enforced.
+  void set_op_deadline(Time deadline) { op_deadline_ = deadline; }
+  Time op_deadline() const { return op_deadline_; }
+
   // --- Completion & synchronization --------------------------------------------
 
   void wait(Handle& handle);
   bool test(Handle& handle);
+  /// Blocks until `handle` completes or virtual time reaches `t`,
+  /// whichever is earlier; returns handle.done(). The timeout is a
+  /// zero-cost self-completion posted on this rank's context, so the
+  /// fiber wakes at exactly `t` (no polling quantum). Used by hedged
+  /// requests (src/kvs) to arm a backup after a tail-latency delay.
+  bool wait_until(Handle& handle, Time t);
+  /// Blocks until either handle completes; returns true when `a` is
+  /// the one that did (ties go to `a`). The loser stays in flight —
+  /// callers must keep its landing buffer alive and drain it before
+  /// reuse.
+  bool wait_any(Handle& a, Handle& b);
   /// One explicit progress-engine call (what a Default-mode
   /// application must sprinkle into compute phases to service remote
   /// requests, S III-D).
@@ -363,9 +395,19 @@ class Comm {
                               std::vector<pami::MemoryRegion>* local_mrs,
                               std::vector<pami::MemoryRegion>* remote_mrs);
 
+  /// Raises flow::DeadlineError for an op against `target` whose
+  /// server-side work was shed; counts the client-side expiry.
+  [[noreturn]] void throw_op_expired(const char* what, RankId target);
+
   World& world_;
   pami::Process& process_;
   ft::HealthMonitor* monitor_ = nullptr;
+  /// Deadline stamped onto outgoing rmw / fall-back get requests.
+  Time op_deadline_ = 0;
+  /// Sticky marker set by a fall-back get's server-side shed
+  /// notification; consumed by the blocking get wrapper. Safe because
+  /// a rank has at most one blocking deadline-carrying get in flight.
+  bool deadline_expired_ = false;
   std::uint64_t ft_acked_epoch_ = 0;
   bool ft_failed_ = false;
   int service_context_index_ = 0;

@@ -5,6 +5,7 @@
 
 #include "fault/fault.hpp"
 #include "fault/integrity.hpp"
+#include "flow/flow.hpp"
 #include "ft/liveness.hpp"
 #include "obs/link_usage.hpp"
 #include "sim/trace.hpp"
@@ -169,6 +170,31 @@ std::string render_report(const World& world, const ReportOptions& options) {
         .add(f.rollback_ranks);
     ft.row().add(std::string("recovery seconds")).add(to_s(f.recovery_time), 6);
     os << ft.to_string();
+  }
+
+  if (const flow::Controller* fc = world.machine().flow()) {
+    const flow::FlowStats& f = fc->stats();
+    os << '\n';
+    Table fl({"overload control (flow)", "value"});
+    fl.row().add(std::string("credit window (per src,dst)"))
+        .add(fc->config().credits);
+    fl.row().add(std::string("credit stalls")).add(f.credit_stalls);
+    fl.row().add(std::string("credit stall seconds (sum)"))
+        .add(to_s(f.credit_stall_time), 6);
+    fl.row().add(std::string("queue depth p50 / p99 / max"))
+        .add(std::to_string(f.queue_depth.quantile(0.5)) + " / " +
+             std::to_string(f.queue_depth.quantile(0.99)) + " / " +
+             std::to_string(f.queue_depth.max()));
+    fl.row().add(std::string("requests shed at server (expired)"))
+        .add(f.expired_server);
+    fl.row().add(std::string("requests expired at client")).add(f.expired_client);
+    fl.row().add(std::string("shed by admission (low prio)"))
+        .add(f.shed_low_prio);
+    fl.row().add(std::string("shed by admission (high prio)"))
+        .add(f.shed_high_prio);
+    fl.row().add(std::string("retry budgets exhausted"))
+        .add(f.retry_budget_exhausted);
+    os << fl.to_string();
   }
 
   if (const obs::LinkUsage* lu = world.machine().link_usage()) {

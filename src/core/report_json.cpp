@@ -4,6 +4,7 @@
 
 #include "fault/fault.hpp"
 #include "fault/integrity.hpp"
+#include "flow/flow.hpp"
 #include "ft/liveness.hpp"
 #include "util/error.hpp"
 
@@ -117,6 +118,22 @@ void fill_integrity(obs::Registry& reg, const fault::IntegrityStats& is,
   reg.set_counter("integrity.ckpt_fallback_restores", is.ckpt_fallback_restores);
 }
 
+void fill_flow(obs::Registry& reg, const flow::Controller& fc) {
+  const flow::FlowStats& f = fc.stats();
+  reg.set_counter("flow.credits", static_cast<std::uint64_t>(
+                                      std::max(fc.config().credits, 0)));
+  reg.set_counter("flow.credit_stalls", f.credit_stalls);
+  reg.set_gauge("flow.credit_stall_us", us(f.credit_stall_time));
+  reg.set_counter("flow.expired_server", f.expired_server);
+  reg.set_counter("flow.expired_client", f.expired_client);
+  reg.set_counter("flow.shed_low_prio", f.shed_low_prio);
+  reg.set_counter("flow.shed_high_prio", f.shed_high_prio);
+  reg.set_counter("flow.retry_budget_exhausted", f.retry_budget_exhausted);
+  if (f.queue_depth.total() > 0) {
+    reg.set_histogram("flow.queue_depth", f.queue_depth);
+  }
+}
+
 void fill_ft(obs::Registry& reg, const ft::FtStats& f) {
   reg.set_counter("ft.detections", f.detections);
   reg.set_gauge("ft.detection_delay_us", us(f.detection_delay));
@@ -150,6 +167,7 @@ obs::Registry build_registry(const World& world) {
                    inj != nullptr ? inj->stats().packets_corrupted : 0);
   }
   if (const ft::HealthMonitor* mon = m.monitor()) fill_ft(reg, mon->stats());
+  if (const flow::Controller* fc = m.flow()) fill_flow(reg, *fc);
 
   if (const obs::LinkUsage* lu = m.link_usage()) {
     reg.set_counter("obs.link_transfers", lu->transfers());

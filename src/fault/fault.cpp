@@ -98,7 +98,7 @@ FaultPlan FaultPlan::from_config(const Config& cfg) {
                      {"seed", "drop_prob", "corrupt_prob", "corrupt_bits",
                       "corrupt_window", "link_fail", "link_degrade", "stall",
                       "node_fail", "ack_timeout_us", "backoff_factor",
-                      "max_backoff_us", "retry_budget"});
+                      "max_backoff_us", "retry_budget", "backoff_jitter"});
   FaultPlan plan;
   plan.seed = static_cast<std::uint64_t>(cfg.get_int("fault.seed", 1));
   plan.drop_prob = cfg.get_double("fault.drop_prob", 0.0);
@@ -174,11 +174,15 @@ FaultPlan FaultPlan::from_config(const Config& cfg) {
   plan.backoff_factor = cfg.get_double("fault.backoff_factor", 2.0);
   plan.max_backoff = from_us(cfg.get_double("fault.max_backoff_us", 320.0));
   plan.retry_budget = static_cast<std::uint64_t>(cfg.get_int("fault.retry_budget", 64));
+  plan.backoff_jitter = cfg.get_double("fault.backoff_jitter", 0.0);
   PGASQ_CHECK(plan.ack_timeout > 0, << "fault.ack_timeout_us must be positive");
   PGASQ_CHECK(plan.backoff_factor >= 1.0,
               << "fault.backoff_factor = " << plan.backoff_factor);
   PGASQ_CHECK(plan.max_backoff >= plan.ack_timeout,
               << "fault.max_backoff_us below fault.ack_timeout_us");
+  PGASQ_CHECK(plan.backoff_jitter >= 0.0 && plan.backoff_jitter < 1.0,
+              << "fault.backoff_jitter must be in [0,1), got "
+              << plan.backoff_jitter);
   return plan;
 }
 

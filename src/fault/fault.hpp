@@ -159,6 +159,14 @@ struct FaultPlan {
   /// Total retransmits a single context may spend before escalating to
   /// FaultError (`fault.retry_budget`).
   std::uint64_t retry_budget = 64;
+  /// Deterministic per-(rank, attempt) spread applied to each
+  /// retransmit timeout, as a fraction in [0, 1)
+  /// (`fault.backoff_jitter`). 0 keeps the historical synchronized
+  /// backoff — every rank that lost a packet in the same stall window
+  /// re-offers it at the same instant, the seed of a retry storm; a
+  /// positive spread desynchronizes the retries while staying
+  /// bit-reproducible across reruns.
+  double backoff_jitter = 0.0;
 
   /// True when any fault is configured; a disabled plan constructs no
   /// injector and perturbs nothing.
@@ -176,7 +184,7 @@ struct FaultPlan {
   ///   fault.stall       = "rank:from_us:until_us",...
   ///   fault.node_fail   = "node:at_us",...
   ///   fault.ack_timeout_us, fault.backoff_factor, fault.max_backoff_us,
-  ///   fault.retry_budget
+  ///   fault.retry_budget, fault.backoff_jitter
   /// where dir is '+', '-' or '*' (both directions of the cable).
   /// Misspelled fault.* keys are rejected with a typo suggestion
   /// (Config::reject_unknown).

@@ -177,6 +177,26 @@ std::size_t Runtime::digest_offset(std::size_t object, int buf) const {
          (static_cast<std::size_t>(buf) * max_shard_.size() + object) * 8;
 }
 
+int Runtime::shard_copy_label() const {
+  if (arena_ == nullptr) return 0;
+  const int b = committed_[1] > committed_[0] ? 1 : 0;
+  if (committed_[b] == 0 || ckpt_members_[b] != members_) return 0;
+  return committed_[b];
+}
+
+armci::RemotePtr Runtime::shard_copy(std::size_t object,
+                                     armci::RankId home) const {
+  if (shard_copy_label() == 0 || object >= max_shard_.size()) return {};
+  const int b = committed_[1] > committed_[0] ? 1 : 0;
+  for (std::size_t v = 0; v < members_.size(); ++v) {
+    if (members_[v] != home) continue;
+    const armci::RankId buddy = members_[(v + 1) % members_.size()];
+    if (buddy == home) return {};  // self-buddy: no second node to race
+    return arena_->at(buddy, in_offset(object, b));
+  }
+  return {};
+}
+
 void Runtime::poison_for_test(int buf, std::size_t object) {
   PGASQ_CHECK(arena_ != nullptr && object < max_shard_.size());
   arena_->local(comm_.rank())[own_offset(object, buf)] ^= std::byte{0xff};

@@ -161,6 +161,21 @@ class Runtime {
   /// member-mode `arrays`, then restores.
   void restore(const std::vector<ga::GlobalArray*>& arrays);
 
+  /// Buddy-readable copy path (hedged reads): remote pointer to the
+  /// buddy-held checkpoint copy of member `home`'s shard of `object`
+  /// in the newest committed buffer. The buddy is a DIFFERENT node
+  /// than `home`, so a read of the copy travels an independent
+  /// (src,dst) pair — it can overtake a retransmission stalled on the
+  /// pair to `home`, which pairwise in-order delivery forbids for a
+  /// same-destination re-read. The bytes are a consistent snapshot
+  /// labelled shard_copy_label() (bounded staleness: one checkpoint
+  /// interval). Invalid when the Runtime is inert, no checkpoint has
+  /// committed under the current membership, or the buddy IS `home`
+  /// (single-member cliques).
+  armci::RemotePtr shard_copy(std::size_t object, armci::RankId home) const;
+  /// Iteration label of the checkpoint shard_copy() reads (0 = none).
+  int shard_copy_label() const;
+
   /// Test hook: flips one byte of this rank's own-shard copy of
   /// `object` in buffer `buf`, so digest validation deterministically
   /// rejects that buffer at the next recover().

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <limits>
 #include <map>
+#include <sstream>
 #include <utility>
 
 #include "coll/coll.hpp"
@@ -65,7 +66,9 @@ KvConfig KvConfig::from_config(const Config& cfg) {
   cfg.reject_unknown("kvs", {"keys", "zipf_theta", "get_ratio", "faa_ratio",
                              "requests", "think_us", "value_bytes",
                              "slots_per_rank", "checkpoint_every", "seed",
-                             "conflict_free", "verify"});
+                             "conflict_free", "verify", "prefill",
+                             "arrival_rate", "hedge_us", "slo_us",
+                             "stall_at_us", "stall_us"});
   KvConfig c;
   c.keys = cfg.get_int("kvs.keys", c.keys);
   c.zipf_theta = cfg.get_double("kvs.zipf_theta", c.zipf_theta);
@@ -80,6 +83,12 @@ KvConfig KvConfig::from_config(const Config& cfg) {
       cfg.get_int("kvs.seed", static_cast<std::int64_t>(c.seed)));
   c.conflict_free = cfg.get_bool("kvs.conflict_free", c.conflict_free);
   c.verify = cfg.get_bool("kvs.verify", c.verify);
+  c.prefill = cfg.get_bool("kvs.prefill", c.prefill);
+  c.arrival_rate = cfg.get_double("kvs.arrival_rate", c.arrival_rate);
+  c.hedge_us = cfg.get_double("kvs.hedge_us", c.hedge_us);
+  c.slo_us = cfg.get_double("kvs.slo_us", c.slo_us);
+  c.stall_at_us = cfg.get_double("kvs.stall_at_us", c.stall_at_us);
+  c.stall_us = cfg.get_double("kvs.stall_us", c.stall_us);
   PGASQ_CHECK(c.keys >= 1, << "kvs.keys must be >= 1");
   PGASQ_CHECK(c.zipf_theta >= 0.0 && c.zipf_theta < 1.0,
               << "kvs.zipf_theta must be in [0, 1)");
@@ -91,6 +100,13 @@ KvConfig KvConfig::from_config(const Config& cfg) {
   PGASQ_CHECK(c.value_bytes >= 8 && c.value_bytes % 8 == 0,
               << "kvs.value_bytes must be a positive multiple of 8");
   PGASQ_CHECK(c.checkpoint_every >= 0, << "kvs.checkpoint_every must be >= 0");
+  PGASQ_CHECK(c.arrival_rate >= 0.0, << "kvs.arrival_rate must be >= 0");
+  PGASQ_CHECK(c.hedge_us >= 0.0, << "kvs.hedge_us must be >= 0");
+  PGASQ_CHECK(c.slo_us >= 0.0, << "kvs.slo_us must be >= 0");
+  PGASQ_CHECK(c.stall_at_us >= 0.0 && c.stall_us >= 0.0,
+              << "kvs.stall_at_us / kvs.stall_us must be >= 0");
+  PGASQ_CHECK(c.stall_us == 0.0 || c.arrival_rate > 0.0,
+              << "kvs.stall_us needs the open-loop driver (kvs.arrival_rate)");
   return c;
 }
 
@@ -136,6 +152,14 @@ void KvStats::merge(const KvStats& o) {
   torn_reads += o.torn_reads;
   replayed_ops += o.replayed_ops;
   lost_acked += o.lost_acked;
+  shed_ops += o.shed_ops;
+  expired_ops += o.expired_ops;
+  deadline_errors += o.deadline_errors;
+  hedged_gets += o.hedged_gets;
+  hedge_wins += o.hedge_wins;
+  hedge_stale += o.hedge_stale;
+  hedge_skips += o.hedge_skips;
+  retry_backoffs += o.retry_backoffs;
   get_lat.merge(o.get_lat);
   put_lat.merge(o.put_lat);
   faa_lat.merge(o.faa_lat);
@@ -175,11 +199,30 @@ KvStore::KvStore(armci::Comm& comm, const KvConfig& cfg)
   slots_ = pow2_at_least(want);
   slot_buf_.assign(slot_words_, 0);
   image_buf_.assign(slot_words_, 0);
+  hedge_pool_.resize(8);
+  for (HedgeSlot& s : hedge_pool_) s.buf.assign(slot_words_, 0);
+  flow_ = comm.world().machine().flow();
   mem_ = &comm.malloc_collective(table_bytes());
+}
+
+KvStore::~KvStore() {
+  for (HedgeSlot& s : hedge_pool_) {
+    if (!s.h.used() || s.h.done()) continue;
+    try {
+      comm_.wait(s.h);
+    } catch (...) {
+      // Teardown after an abort: the straggler's peer may be dead and
+      // its reply lost. The landing buffer dies with us either way.
+    }
+  }
 }
 
 void KvStore::rebuild(const std::vector<int>& members) {
   members_ = members;
+  // Hedge stragglers from the dead epoch may never complete; abandon
+  // them. The landing buffers are stable members, so a late stale
+  // write is harmless (the next read overwrites it before any parse).
+  for (HedgeSlot& s : hedge_pool_) s.h = armci::Handle{};
   // Fresh member-mode allocation; the old slabs are deliberately left
   // in place so stale in-flight traffic from the dead epoch lands in
   // memory the new table never reads.
@@ -189,6 +232,105 @@ void KvStore::rebuild(const std::vector<int>& members) {
 armci::RankId KvStore::home_of(std::int64_t key) const {
   return members_[static_cast<std::size_t>(
       mix64(static_cast<std::uint64_t>(key)) % members_.size())];
+}
+
+void KvStore::arm_budget(bool on) {
+  if (on && flow_ != nullptr && flow_->config().retry_budget > 0) {
+    budget_.emplace(flow_->config(), comm_.rank(), ++op_seq_);
+  } else {
+    budget_.reset();
+  }
+}
+
+void KvStore::retry_backoff(const char* what, armci::RankId home, KvStats& st) {
+  if (!budget_.has_value()) return;  // historical immediate re-poll
+  if (!budget_->allow()) {
+    ++flow_->stats().retry_budget_exhausted;
+    std::ostringstream os;
+    os << "flow: " << what << " on rank " << comm_.rank() << " against rank "
+       << home << " exhausted its retry budget of "
+       << flow_->config().retry_budget << " jittered backoffs";
+    throw flow::DeadlineError(what, comm_.rank(), home,
+                              static_cast<int>(budget_->used()), os.str());
+  }
+  ++st.retry_backoffs;
+  comm_.compute(budget_->next_backoff());
+}
+
+KvStore::HedgeSlot* KvStore::try_hedge_slot(const HedgeSlot* avoid) {
+  for (HedgeSlot& s : hedge_pool_) {
+    if (&s == avoid) continue;
+    if (!s.h.used() || s.h.done()) {
+      s.h = armci::Handle{};
+      return &s;
+    }
+  }
+  // Pool exhausted: every slot holds a race-losing straggler still in
+  // flight. Blocking on one would hand the straggler's tail latency to
+  // an innocent request — the caller degrades to an unhedged read
+  // instead (st.hedge_skips), which is also the natural throttle when
+  // a slow path is saturated: rescuing reads faster than the slow
+  // replica drains only piles the backlog higher.
+  return nullptr;
+}
+
+const std::uint64_t* KvStore::read_slot(armci::RankId home, std::size_t off,
+                                        KvStats& st) {
+  HedgeSlot* const primary =
+      cfg_.hedge_us <= 0.0 || hedge_paused_ ? nullptr : try_hedge_slot();
+  if (primary == nullptr) {
+    if (cfg_.hedge_us > 0.0 && !hedge_paused_) ++st.hedge_skips;
+    comm_.get(mem_->at(home, off), slot_buf_.data(), slot_words_ * 8);
+    return slot_buf_.data();
+  }
+  HedgeSlot& first = *primary;
+  comm_.nb_get(mem_->at(home, off), first.buf.data(), slot_words_ * 8,
+               first.h);
+  if (comm_.wait_until(first.h, comm_.now() + from_us(cfg_.hedge_us))) {
+    return first.buf.data();
+  }
+  // Slow primary. A second read of `home` could never win: pairwise
+  // in-order delivery queues it behind the very retransmission that is
+  // holding the first read up. The hedge instead races the BUDDY's
+  // checkpoint copy of the shard — an independent (src,dst) pair with
+  // its own delivery floor. First response wins; the loser stays in
+  // flight into its own pool slot and resolves in the background, so a
+  // win is real latency, not deferred waiting.
+  const armci::RemotePtr copy =
+      rt_ != nullptr ? rt_->shard_copy(0, home) : armci::RemotePtr{};
+  if (!copy.valid()) {  // no committed checkpoint (or inert runtime)
+    comm_.wait(first.h);
+    return first.buf.data();
+  }
+  HedgeSlot* const backup = try_hedge_slot(&first);
+  if (backup == nullptr) {  // pool full of stragglers: don't add one
+    ++st.hedge_skips;
+    comm_.wait(first.h);
+    return first.buf.data();
+  }
+  ++st.hedged_gets;
+  HedgeSlot& second = *backup;
+  comm_.nb_get(copy.offset(static_cast<std::ptrdiff_t>(off)),
+               second.buf.data(), slot_words_ * 8, second.h);
+  if (comm_.wait_any(first.h, second.h)) {
+    return first.buf.data();
+  }
+  // A buddy win is bounded-staleness data: use it only when the copy
+  // held a STABLE, NON-EMPTY image of this slot. A slot's tag is
+  // written once and never changes (no deletion), so a stable
+  // other-key image steps the caller's probe chain exactly as the
+  // live slot would; a stable same-key image is a hit at most one
+  // checkpoint old. Anything else (empty, mid-insert) falls back to
+  // the primary: the slot may have been claimed since the snapshot,
+  // so misses stay strongly fresh.
+  if (second.buf[kVersionWord] >= 2 && (second.buf[kVersionWord] & 1) == 0 &&
+      second.buf[kTagWord] != 0) {
+    ++st.hedge_wins;
+    return second.buf.data();
+  }
+  ++st.hedge_stale;
+  comm_.wait(first.h);
+  return first.buf.data();
 }
 
 bool KvStore::find_slot(armci::RankId home, std::int64_t key, std::size_t* idx,
@@ -216,6 +358,7 @@ bool KvStore::find_slot(armci::RankId home, std::int64_t key, std::size_t* idx,
       // re-read until the tag lands and tells us whose slot this is.
       ++st.version_retries;
       comm_.progress();
+      retry_backoff("kv probe", home, st);
       continue;
     }
     ++step;  // another key's slot
@@ -239,6 +382,7 @@ std::size_t KvStore::publish_slot(armci::RankId home, std::int64_t key,
       // Another client claimed this slot first (same or different
       // key); re-probe from scratch.
       ++st.cas_lost;
+      retry_backoff("kv insert", home, st);
       continue;
     }
     // The slot is ours: land tag/counter/value, then publish the final
@@ -255,21 +399,23 @@ std::size_t KvStore::publish_slot(armci::RankId home, std::int64_t key,
 
 bool KvStore::get(std::int64_t key, std::uint64_t* version,
                   std::uint64_t* stamp, KvStats& st) {
+  arm_budget(true);
   const armci::RankId home = home_of(key);
   const std::uint64_t want = static_cast<std::uint64_t>(key) + 1;
   const std::size_t mask = slots_ - 1;
   const std::size_t start =
       static_cast<std::size_t>(mix64(mix64(static_cast<std::uint64_t>(key)) + 1)) & mask;
-  std::vector<std::uint64_t>& slot = slot_buf_;  // member: survives unwinds
   for (std::size_t step = 0; step < slots_;) {
     const std::size_t i = (start + step) & mask;
-    comm_.get(mem_->at(home, slot_off(i)), slot.data(), slot_words_ * 8);
+    // Member landing buffers: survive abort unwinds (see read_slot).
+    const std::uint64_t* slot = read_slot(home, slot_off(i), st);
     if (slot[kTagWord] == want) {
       if (slot[kVersionWord] & 1) {
         // Write in progress: the writer holds the version odd for the
         // whole value update, so re-read until it publishes.
         ++st.version_retries;
         comm_.progress();
+        retry_backoff("kv get", home, st);
         continue;
       }
       st.probe_steps += step;
@@ -290,6 +436,7 @@ bool KvStore::get(std::int64_t key, std::uint64_t* version,
     if (slot[kTagWord] == 0) {  // mid-claim, identity unknown yet
       ++st.version_retries;
       comm_.progress();
+      retry_backoff("kv get", home, st);
       continue;
     }
     ++step;
@@ -300,6 +447,7 @@ bool KvStore::get(std::int64_t key, std::uint64_t* version,
 }
 
 std::uint64_t KvStore::put(std::int64_t key, std::uint64_t stamp, KvStats& st) {
+  arm_budget(true);
   const armci::RankId home = home_of(key);
   std::vector<std::uint64_t>& image = image_buf_;
   image[kVersionWord] = 2;
@@ -320,12 +468,14 @@ std::uint64_t KvStore::put(std::int64_t key, std::uint64_t stamp, KvStats& st) {
     const std::uint64_t v = ver_buf_;
     if (v & 1) {
       ++st.version_retries;
+      retry_backoff("kv put", home, st);
       continue;
     }
     if (comm_.compare_swap(vptr, static_cast<std::int64_t>(v),
                            static_cast<std::int64_t>(v + 1)) !=
         static_cast<std::int64_t>(v)) {
       ++st.cas_lost;
+      retry_backoff("kv put", home, st);
       continue;
     }
     comm_.put(image.data() + kValueWord,
@@ -339,6 +489,7 @@ std::uint64_t KvStore::put(std::int64_t key, std::uint64_t stamp, KvStats& st) {
 }
 
 std::int64_t KvStore::faa(std::int64_t key, std::int64_t delta, KvStats& st) {
+  arm_budget(true);
   const armci::RankId home = home_of(key);
   // Absent keys are inserted with a zero counter and the stamp-0 value
   // pattern (so a later get still verifies), then hit the same AMO.
@@ -361,6 +512,7 @@ void KvStore::save_shard(std::byte* out) {
 
 void KvStore::restore_shard(int, int, const std::byte* data,
                             std::size_t bytes) {
+  arm_budget(false);  // recovery traffic must never hit a retry budget
   PGASQ_CHECK(bytes == table_bytes(),
               << "kvs: shard size mismatch in restore (" << bytes << " vs "
               << table_bytes() << ")");
@@ -416,10 +568,24 @@ KvResult run_workload(armci::World& world, const KvConfig& cfg) {
   PGASQ_CHECK(!cfg.conflict_free || cfg.keys >= p,
               << "kvs.conflict_free needs kvs.keys >= the rank count");
 
+  // Overload-control context: the machine's flow controller (nullptr
+  // when flow.* is unset), the enforced deadline, and the post-hoc
+  // goodput SLO. Enforcement and measurement are deliberately
+  // separate so an uncontrolled run's collapse is still measurable.
+  flow::Controller* fc = world.machine().flow();
+  const flow::FlowConfig& fcfg = world.machine().config().flow;
+  const bool open_loop = cfg.arrival_rate > 0.0;
+  const bool enforce = fc != nullptr && fcfg.deadline_us > 0.0;
+  const Time slo = cfg.slo_us > 0.0 ? from_us(cfg.slo_us) : fcfg.deadline();
+
   KvResult res;
   res.per_rank.assign(static_cast<std::size_t>(p), KvStats{});
   std::vector<Time> t_start(static_cast<std::size_t>(p), 0);
   std::vector<Time> t_end(static_cast<std::size_t>(p), 0);
+  std::vector<std::uint64_t> offered(static_cast<std::size_t>(p), 0);
+  std::vector<std::uint64_t> good(static_cast<std::size_t>(p), 0);
+  std::vector<std::vector<Time>> done_t(static_cast<std::size_t>(p));
+  std::vector<std::vector<Time>> good_t(static_cast<std::size_t>(p));
   std::vector<std::uint64_t> counter_sum(static_cast<std::size_t>(p), 0);
   std::vector<std::uint32_t> crc(static_cast<std::size_t>(p), 0);
   std::vector<char> alive(static_cast<std::size_t>(p), 0);
@@ -452,6 +618,7 @@ KvResult run_workload(armci::World& world, const KvConfig& cfg) {
     ft::RuntimeConfig rc;
     rc.checkpoint_interval = 1;  // labels are request-block indices
     ft::Runtime rt(comm, rc, {&store});
+    store.set_runtime(&rt);  // buddy-readable copies back hedged gets
     const bool ft_on = rt.enabled() && cfg.checkpoint_every > 0;
     KvStats& st = res.per_rank[static_cast<std::size_t>(me)];
     Rng rng(cfg.seed * 0x9e3779b97f4a7c15ULL +
@@ -535,8 +702,71 @@ KvResult run_workload(armci::World& world, const KvConfig& cfg) {
     };
 
     bool i_died = !guarded([&] { comm.barrier(); });
+
+    // Optional prefill (kvs.prefill): populate every key before the
+    // timed loop. Keys are partitioned round-robin by client so each
+    // is written exactly once, and the puts go through the op log
+    // (acked, current epoch) so a post-death replay restores them like
+    // any other acked write.
+    if (!i_died && cfg.prefill) {
+      const std::size_t mark = oplog.size();
+      i_died = !guarded([&] {
+        oplog.resize(mark);  // a retried body starts from scratch
+        for (std::int64_t key = me; key < cfg.keys; key += p) {
+          oplog.push_back(OpRec{
+              'p', key, (static_cast<std::uint64_t>(me + 1) << 32) | ++seq, 0,
+              epoch, 0, false});
+          OpRec& op = oplog.back();
+          op.version = store.put(op.key, op.stamp, st);
+          op.acked = true;
+          last_put[op.key] = {op.version, op.stamp};
+        }
+        comm.barrier();  // table fully populated before anyone reads
+      });
+      // With no mid-run checkpoints scheduled, commit one right here
+      // so buddy copies of the populated table exist from the first
+      // request (hedged reads stay un-armed until a checkpoint
+      // commits). Gated on checkpoint_every >= requests: interleaving
+      // an extra label-1 checkpoint with the loop's own label
+      // sequence would make replay-after-death ambiguous for faa ops.
+      if (!i_died && ft_on && cfg.checkpoint_every >= cfg.requests) {
+        i_died = !guarded([&] { rt.checkpoint(1); });
+        if (!i_died) epoch = 1;
+      }
+    }
+
+    // Open-loop arrival plan: seeded Poisson interarrivals drawn up
+    // front from a dedicated stream (the op-mix stream stays
+    // draw-for-draw identical to the closed loop), absolute times
+    // anchored at this client's traffic start. Priority classes are
+    // drawn alongside so shed decisions replay deterministically.
+    std::vector<Time> arrivals;
+    std::vector<char> lowprio;
+    std::optional<flow::AdmissionController> admit;
+    if (open_loop) {
+      Rng arr((cfg.seed ^ 0xf10bf10bULL) * 0x9e3779b97f4a7c15ULL +
+              static_cast<std::uint64_t>(me) + 1);
+      const double mean_ps = 1e12 / cfg.arrival_rate;
+      const double lp_frac = fc != nullptr ? fcfg.low_prio_frac : 0.0;
+      Time t = 0;
+      arrivals.reserve(static_cast<std::size_t>(cfg.requests));
+      lowprio.reserve(static_cast<std::size_t>(cfg.requests));
+      for (std::int64_t r = 0; r < cfg.requests; ++r) {
+        t += std::max<Time>(1, static_cast<Time>(arr.next_exponential(mean_ps)));
+        arrivals.push_back(t);
+        lowprio.push_back(lp_frac > 0.0 && arr.next_double() < lp_frac ? 1 : 0);
+      }
+      if (fc != nullptr && fcfg.admit) admit.emplace(fcfg);
+    }
+
     if (!i_died) {
       t_start[static_cast<std::size_t>(me)] = comm.now();
+      const Time base = comm.now();
+      // Metastability trigger window (absolute), see kvs.stall_at_us.
+      const Time stall_begin =
+          cfg.stall_us > 0.0 ? base + from_us(cfg.stall_at_us) : 0;
+      const Time stall_end =
+          cfg.stall_us > 0.0 ? stall_begin + from_us(cfg.stall_us) : 0;
       for (std::int64_t r = 0; r < cfg.requests; ++r) {
         if (ft_on && r > 0 && r % cfg.checkpoint_every == 0) {
           const int label = static_cast<int>(r / cfg.checkpoint_every);
@@ -545,6 +775,55 @@ KvResult run_workload(armci::World& world, const KvConfig& cfg) {
             break;
           }
           epoch = label;
+        }
+        Time arrival = 0;
+        Time deadline_enf = 0;  // enforced absolute deadline (0 = none)
+        if (open_loop) {
+          arrival = base + arrivals[static_cast<std::size_t>(r)];
+          ++offered[static_cast<std::size_t>(me)];
+          // Idle (but responsive — incoming shard requests keep being
+          // serviced) until the next arrival; then serve any stall
+          // window it landed in. The stall is compute(), not idle: a
+          // frozen service neither serves its own queue NOR its
+          // peers', and the accrued backlog is the metastability seed.
+          if (comm.now() < arrival) comm.idle_until(arrival);
+          if (stall_end > 0 && comm.now() >= stall_begin &&
+              comm.now() < stall_end) {
+            comm.compute(stall_end - comm.now());
+          }
+          if (enforce) deadline_enf = arrival + fcfg.deadline();
+          // Backlog: arrivals already due but still unserved behind
+          // this one. The client is a single fiber, so this IS the
+          // queue depth the AIMD limiter governs.
+          int backlog = 0;
+          for (std::int64_t j = r + 1;
+               j < cfg.requests &&
+               base + arrivals[static_cast<std::size_t>(j)] <= comm.now();
+               ++j) {
+            ++backlog;
+          }
+          if (admit.has_value() && !admit->admit(backlog)) {
+            // Load shedding, low-priority class first; high-priority
+            // requests are dropped only under severe (2x) overrun.
+            if (lowprio[static_cast<std::size_t>(r)] != 0) {
+              ++fc->stats().shed_low_prio;
+              ++st.shed_ops;
+              continue;
+            }
+            if (backlog >= 2 * admit->limit()) {
+              ++fc->stats().shed_high_prio;
+              ++st.shed_ops;
+              continue;
+            }
+          }
+          // Client-side expiry: the deadline passed while queued —
+          // issuing the request would only waste server capacity.
+          if (deadline_enf > 0 && comm.now() > deadline_enf) {
+            fc->note_client_expiry(comm.now());
+            ++st.expired_ops;
+            if (admit.has_value()) admit->on_overload();
+            continue;
+          }
         }
         // The op stream is drawn up front and recorded before the op
         // runs, so recovery retries re-run the SAME op.
@@ -569,27 +848,58 @@ KvResult run_workload(armci::World& world, const KvConfig& cfg) {
         OpRec& op = oplog.back();
 
         Time t0 = 0;
+        bool deadline_errored = false;
         const bool ok = guarded([&] {
-          if (cfg.think_us > 0.0) comm.compute(from_us(cfg.think_us));
-          t0 = comm.now();
-          if (op.type == 'g') {
-            std::uint64_t v = 0, s = 0;
-            if (!store.get(op.key, &v, &s, st)) ++st.get_misses;
-          } else if (op.type == 'p') {
-            op.version = store.put(op.key, op.stamp, st);
-          } else {
-            store.faa(op.key, op.delta, st);
+          deadline_errored = false;
+          if (!open_loop && cfg.think_us > 0.0) {
+            comm.compute(from_us(cfg.think_us));
           }
+          t0 = comm.now();
+          if (deadline_enf > 0) comm.set_op_deadline(deadline_enf);
+          try {
+            if (op.type == 'g') {
+              std::uint64_t v = 0, s = 0;
+              if (!store.get(op.key, &v, &s, st)) ++st.get_misses;
+            } else if (op.type == 'p') {
+              op.version = store.put(op.key, op.stamp, st);
+            } else {
+              store.faa(op.key, op.delta, st);
+            }
+          } catch (const flow::DeadlineError&) {
+            // Shed server-side (or out of retry budget): the op is NOT
+            // acked and is never replayed. The protocols leave no slot
+            // locked — rmw sheds happen before the CAS applies.
+            deadline_errored = true;
+          }
+          comm.set_op_deadline(0);
         });
         if (!ok) {
           i_died = true;
           break;
         }
+        if (deadline_errored) {
+          ++st.deadline_errors;
+          if (admit.has_value()) admit->on_overload();
+          continue;
+        }
         const Time t1 = comm.now();
         // Latency of the successful attempt (recovery rounds excluded;
         // they are reported separately as recoveries/rollback time).
-        const auto lat_ns = static_cast<std::uint64_t>((t1 - t0) / kNanosecond);
+        // Open loop measures from the scheduled arrival, so queueing
+        // delay — the overload signal — is part of every sample.
+        const Time lat_from = open_loop ? arrival : t0;
+        const auto lat_ns =
+            static_cast<std::uint64_t>((t1 - lat_from) / kNanosecond);
         op.acked = true;
+        done_t[static_cast<std::size_t>(me)].push_back(t1);
+        const bool in_slo = slo <= 0 || t1 - lat_from <= slo;
+        if (in_slo) {
+          ++good[static_cast<std::size_t>(me)];
+          good_t[static_cast<std::size_t>(me)].push_back(t1);
+        }
+        if (admit.has_value()) {
+          in_slo ? admit->on_success() : admit->on_overload();
+        }
         if (op.type == 'g') {
           ++st.gets;
           st.get_lat.add(lat_ns);
@@ -627,6 +937,9 @@ KvResult run_workload(armci::World& world, const KvConfig& cfg) {
       // another client legitimately raises the version past ours, so
       // "lost" means: missing, version below ours, or our version
       // carrying someone else's (i.e. an older replayed) stamp.
+      // Strongly fresh reads only: a bounded-staleness buddy win here
+      // would misreport a post-checkpoint put as lost.
+      store.pause_hedging(true);
       std::uint64_t lost = 0;
       i_died = !guarded([&] {
         lost = 0;
@@ -668,7 +981,16 @@ KvResult run_workload(armci::World& world, const KvConfig& cfg) {
     hi = std::max(hi, t_end[i]);
     res.faa_applied += counter_sum[i];
     res.shard_crcs.push_back(crc[i]);
+    res.offered_ops += offered[i];
+    res.good_ops += good[i];
+    res.done_times.insert(res.done_times.end(), done_t[i].begin(),
+                          done_t[i].end());
+    res.good_times.insert(res.good_times.end(), good_t[i].begin(),
+                          good_t[i].end());
   }
+  std::sort(res.done_times.begin(), res.done_times.end());
+  std::sort(res.good_times.begin(), res.good_times.end());
+  if (!open_loop) res.offered_ops = res.acked_ops;
   if (res.survivors > 0) {
     res.traffic_begin = lo;
     res.traffic_end = hi;
@@ -677,6 +999,9 @@ KvResult run_workload(armci::World& world, const KvConfig& cfg) {
   res.mops = res.elapsed_s > 0.0
                  ? static_cast<double>(res.acked_ops) / res.elapsed_s / 1e6
                  : 0.0;
+  res.goodput_mops = res.elapsed_s > 0.0
+                         ? static_cast<double>(res.good_ops) / res.elapsed_s / 1e6
+                         : 0.0;
 
   // Exactly-once expectation for the counters: a survivor's acked faas
   // all stick (rollbacks discard, replay re-applies). A dead client's
@@ -725,6 +1050,17 @@ void export_metrics(obs::Registry& reg, const KvResult& r,
   reg.set_counter("kvs.lost_acked_writes", r.lost_acked, labels);
   reg.set_counter("kvs.faa_expected", r.faa_expected, labels);
   reg.set_counter("kvs.faa_applied", r.faa_applied, labels);
+  reg.set_counter("kvs.offered_ops", r.offered_ops, labels);
+  reg.set_counter("kvs.good_ops", r.good_ops, labels);
+  reg.set_gauge("kvs.goodput_mops", r.goodput_mops, labels);
+  reg.set_counter("kvs.shed_ops", r.total.shed_ops, labels);
+  reg.set_counter("kvs.expired_ops", r.total.expired_ops, labels);
+  reg.set_counter("kvs.deadline_errors", r.total.deadline_errors, labels);
+  reg.set_counter("kvs.hedged_gets", r.total.hedged_gets, labels);
+  reg.set_counter("kvs.hedge_wins", r.total.hedge_wins, labels);
+  reg.set_counter("kvs.hedge_stale", r.total.hedge_stale, labels);
+  reg.set_counter("kvs.hedge_skips", r.total.hedge_skips, labels);
+  reg.set_counter("kvs.retry_backoffs", r.total.retry_backoffs, labels);
   reg.set_counter("kvs.survivors", static_cast<std::uint64_t>(r.survivors),
                   labels);
   reg.set_counter("kvs.recoveries", static_cast<std::uint64_t>(r.recoveries),

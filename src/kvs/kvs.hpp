@@ -34,10 +34,12 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/comm.hpp"
+#include "flow/flow.hpp"
 #include "ft/recovery.hpp"
 #include "obs/registry.hpp"
 #include "util/config.hpp"
@@ -60,6 +62,44 @@ struct KvConfig {
   std::uint64_t seed = 1;          ///< workload seed (keys, op mix)
   bool conflict_free = false;      ///< each key has a single writer rank
   bool verify = true;              ///< post-run acked-write audit
+  /// Populate every key (round-robin by client, through the op log)
+  /// before the timed loop, so read-mostly runs measure hits instead
+  /// of cold misses. Off by default: the historical driver starts
+  /// from an empty table.
+  bool prefill = false;
+
+  // Overload-control extensions (src/flow, docs/overload.md). All off
+  // by default: with every knob at 0 the driver is the historical
+  // closed loop, byte for byte.
+  /// Per-rank offered load in ops/second of virtual time. 0 = closed
+  /// loop; > 0 switches the driver to an open-loop Poisson arrival
+  /// process (seeded, drawn up front) where latency is measured from
+  /// the scheduled arrival — queueing delay included — so saturation
+  /// shows up as unbounded latency, not reduced throughput.
+  double arrival_rate = 0.0;
+  /// Hedged gets: when a slot read has not completed after this many
+  /// virtual microseconds, a backup read of the home's checkpoint copy
+  /// on its BUDDY node races the primary and the first response wins.
+  /// A same-destination re-read could never win — pairwise in-order
+  /// delivery queues it behind the very retransmission it is trying to
+  /// dodge — so hedging needs the buddy copy path (set_runtime) and
+  /// silently stays un-armed without a committed checkpoint. A buddy
+  /// win is accepted only for a stable slot of the right key and is a
+  /// bounded-staleness read: at most one checkpoint interval old.
+  /// 0 = off (the default; reads are then always strongly fresh).
+  double hedge_us = 0.0;
+  /// Goodput SLO in virtual microseconds: an op counts toward goodput
+  /// only when it completes within this budget of its arrival.
+  /// Measured post-hoc even with no flow controller (so an
+  /// uncontrolled run's collapse is visible); 0 falls back to
+  /// flow.deadline_us, and with both 0 every acked op is good.
+  double slo_us = 0.0;
+  /// Metastability trigger (open loop only): clients stop serving for
+  /// stall_us starting stall_at_us after traffic begins, while
+  /// arrivals keep accruing. The post-stall backlog is the retry-storm
+  /// seed the flow controls must shed. 0 = no stall.
+  double stall_at_us = 0.0;
+  double stall_us = 0.0;
 
   /// Parses the kvs.* namespace, rejecting unknown keys with a typo
   /// suggestion (matching the fault./ft./integrity. precedent).
@@ -89,6 +129,16 @@ struct KvStats {
   std::uint64_t torn_reads = 0;       ///< value-pattern mismatches (must be 0)
   std::uint64_t replayed_ops = 0;     ///< ops re-applied from the op log
   std::uint64_t lost_acked = 0;       ///< acked writes missing at audit time
+  // Overload-control counters (all zero in closed-loop runs with no
+  // flow controller).
+  std::uint64_t shed_ops = 0;         ///< dropped by admission control
+  std::uint64_t expired_ops = 0;      ///< dropped client-side, deadline passed
+  std::uint64_t deadline_errors = 0;  ///< ops shed server-side (DeadlineError)
+  std::uint64_t hedged_gets = 0;      ///< slot reads that armed a hedge
+  std::uint64_t hedge_wins = 0;       ///< hedges whose reply came back first
+  std::uint64_t hedge_stale = 0;      ///< buddy wins rejected (wrong/unstable slot)
+  std::uint64_t hedge_skips = 0;      ///< reads unhedged: straggler pool full
+  std::uint64_t retry_backoffs = 0;   ///< jittered spin-loop backoffs taken
   util::Histogram get_lat, put_lat, faa_lat;
 
   void merge(const KvStats& o);
@@ -99,6 +149,9 @@ class KvStore final : public ft::Shardable {
  public:
   /// Collective over all world ranks.
   KvStore(armci::Comm& comm, const KvConfig& cfg);
+  /// Drains any in-flight hedge straggler so late deliveries never
+  /// land in freed member buffers.
+  ~KvStore() override;
 
   /// Collective over `members`: fresh zeroed member-mode table (the
   /// old allocation is freed-but-kept, so stale in-flight traffic from
@@ -119,6 +172,14 @@ class KvStore final : public ft::Shardable {
   armci::RankId home_of(std::int64_t key) const;
   std::size_t slots() const { return slots_; }
   const std::vector<int>& members() const { return members_; }
+
+  /// Hands the store the checkpoint runtime whose buddy copies back the
+  /// hedged-read path (kvs.hedge_us). Optional: without it (or without
+  /// a committed checkpoint) hedges are simply never armed.
+  void set_runtime(const ft::Runtime* rt) { rt_ = rt; }
+  /// Temporarily forces reads strongly fresh (audit / verification
+  /// passes must not see bounded-staleness buddy data).
+  void pause_hedging(bool paused) { hedge_paused_ = paused; }
 
   // ft::Shardable — the shard is the whole local slot table, so shard
   // size is membership-independent.
@@ -150,6 +211,27 @@ class KvStore final : public ft::Shardable {
   /// first-empty slot; true when the key was found.
   bool find_slot(armci::RankId home, std::int64_t key, std::size_t* idx,
                  KvStats& st);
+  /// Reads the full slot at `off` on `home` into a stable member
+  /// buffer. With kvs.hedge_us > 0 and a buddy copy available (see
+  /// set_runtime), a still-in-flight read is raced after cfg_.hedge_us
+  /// against a read of the buddy's checkpoint copy; first response
+  /// wins, and a buddy win is used only when the copy holds a stable
+  /// non-empty slot (tags are write-once, so such an image steps a
+  /// probe chain or serves a bounded-staleness hit safely; empty or
+  /// mid-insert copies fall back to the primary). Returns a pointer
+  /// to the winning buffer; the loser stays in flight into its pool
+  /// slot and is drained before that slot is reused.
+  const std::uint64_t* read_slot(armci::RankId home, std::size_t off,
+                                 KvStats& st);
+  /// Arms (or disarms, when `on` is false or the machine has no
+  /// retry-budget flow config) the per-op retry budget consumed by
+  /// retry_backoff. Called at the top of each public op.
+  void arm_budget(bool on);
+  /// One spin-loop retry step: with an armed budget, backs off for the
+  /// budget's jittered exponential delay (st.retry_backoffs) and
+  /// throws flow::DeadlineError once the budget is exhausted. A no-op
+  /// without flow — call sites keep their historical immediate re-poll.
+  void retry_backoff(const char* what, armci::RankId home, KvStats& st);
 
   armci::Comm& comm_;
   KvConfig cfg_;
@@ -172,6 +254,32 @@ class KvStore final : public ft::Shardable {
   /// per-call buffer would make registration hits depend on heap
   /// reuse — breaking bitwise run-to-run determinism in one process.
   std::vector<std::uint64_t> image_buf_;
+  /// Hedged-get state: second landing buffer, the still-in-flight
+  /// loser of the last race, and the machine's flow controller
+  /// (nullptr when flow.* is unset — every hook below is one pointer
+  /// test, preserving the zero-cost-off guarantee).
+  /// A race loser stays in flight into its own pool slot and resolves
+  /// in the background — draining it eagerly would just transfer the
+  /// dodged retransmit tail onto the next op. Slots are reused only
+  /// once their transfer completed (or, pool exhausted, after a wait).
+  struct HedgeSlot {
+    std::vector<std::uint64_t> buf;
+    armci::Handle h;
+  };
+  std::vector<HedgeSlot> hedge_pool_;
+  /// A hedge pool slot whose buffer and handle are free to reuse
+  /// (never `avoid`, which the caller holds in flight), or nullptr
+  /// when every slot still has a straggler in flight — the caller
+  /// then degrades to an unhedged read (st.hedge_skips) rather than
+  /// inherit a straggler's tail by blocking on it.
+  HedgeSlot* try_hedge_slot(const HedgeSlot* avoid = nullptr);
+  const ft::Runtime* rt_ = nullptr;
+  bool hedge_paused_ = false;
+  flow::Controller* flow_ = nullptr;
+  /// Per-op retry budget (armed only while flow.retry_budget > 0) and
+  /// the monotone op id salting its jitter stream.
+  std::optional<flow::RetryBudget> budget_;
+  std::uint64_t op_seq_ = 0;
 };
 
 /// One fail-stop recovery observed by the workload driver.
@@ -190,6 +298,16 @@ struct KvResult {
   /// end over live clients) — lets callers aim fault times into it.
   Time traffic_begin = 0, traffic_end = 0;
   std::uint64_t acked_ops = 0;
+  /// Open-loop accounting (offered == acked in closed-loop runs).
+  std::uint64_t offered_ops = 0;      ///< arrivals presented to clients
+  std::uint64_t good_ops = 0;         ///< acked within the SLO of arrival
+  double goodput_mops = 0.0;          ///< good_ops / elapsed, in millions
+  /// Completion times (virtual, absolute) of every acked op and of the
+  /// SLO-meeting subset, merged over live clients and sorted — the
+  /// metastability analysis windows goodput over these (see
+  /// bench_abl_overload).
+  std::vector<Time> done_times;
+  std::vector<Time> good_times;
   std::uint64_t faa_expected = 0;     ///< exactly-once sum of applied faa
   std::uint64_t faa_applied = 0;      ///< counters summed over live shards
   std::uint64_t lost_acked = 0;       ///< survivors' missing acked writes

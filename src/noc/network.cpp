@@ -113,7 +113,11 @@ Transfer LogGPModel::transfer(int src_node, int dst_node, std::uint64_t bytes,
     // only when someone is watching the links.
     if (link_usage_ != nullptr) route = torus_.route(src_node, dst_node);
   }
-  const Time begin = claim_injection(src_node, start, ser);
+  // Credit gate: with a full (src,dst) window the injection start is
+  // pushed to the earliest outstanding delivery — the software
+  // analogue of blocking on a returned torus token.
+  const Time gated = flow_acquire(src_node, dst_node, start, opts);
+  const Time begin = claim_injection(src_node, gated, ser);
   const Time inject_done = begin + ser;
   if (link_usage_ != nullptr) link_usage_->record_transfer(route, begin, bytes);
   // Cut-through: the head races ahead while the tail serializes, so
@@ -121,6 +125,9 @@ Transfer LogGPModel::transfer(int src_node, int dst_node, std::uint64_t bytes,
   const Time arrive = inject_done + fly;
   Transfer t{inject_done, arrive};
   roll_fate(t, begin, opts);
+  // Dropped transfers release too: the window models the sender-local
+  // in-flight budget, and the retransmit will claim a fresh credit.
+  flow_release(src_node, dst_node, t.arrive, opts);
   return t;
 }
 
@@ -136,7 +143,8 @@ Transfer LinkContentionModel::transfer(int src_node, int dst_node,
   // Wormhole approximation: the message head moves link by link,
   // stalling behind earlier messages; each traversed link is then
   // occupied for the full serialization time (the worm's body).
-  Time head = claim_injection(src_node, start, ser);
+  Time head = claim_injection(
+      src_node, flow_acquire(src_node, dst_node, start, opts), ser);
   Time inject_done = start;
   std::vector<topo::Link> route;
   const bool faulty = injector_ != nullptr &&
@@ -179,6 +187,7 @@ Transfer LinkContentionModel::transfer(int src_node, int dst_node,
   const Time arrive = head + tail + params_.wire_base_latency;
   Transfer t{inject_done, arrive};
   roll_fate(t, inject_done, opts);
+  flow_release(src_node, dst_node, t.arrive, opts);
   return t;
 }
 

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "fault/fault.hpp"
+#include "flow/flow.hpp"
 #include "noc/parameters.hpp"
 #include "obs/link_usage.hpp"
 #include "topo/torus.hpp"
@@ -99,6 +100,15 @@ class NetworkModel {
   void set_link_usage(obs::LinkUsage* usage) { link_usage_ = usage; }
   obs::LinkUsage* link_usage() const { return link_usage_; }
 
+  /// Attaches (or detaches, with nullptr) the overload controller's
+  /// per-(src,dst) credit ledger. Not owned. With no controller the
+  /// credit hook is a single null check and timings are bit-identical
+  /// to a build without flow control. Control packets and intra-node
+  /// shared-memory copies are exempt (they carry the ack/reply traffic
+  /// that releases credits, so gating them could deadlock).
+  void set_flow(flow::Controller* fc) { flow_ = fc; }
+  flow::Controller* flow() const { return flow_; }
+
   /// Total messages / bytes injected (diagnostics & tests).
   std::uint64_t messages_sent() const { return messages_; }
   std::uint64_t bytes_sent() const { return bytes_; }
@@ -143,6 +153,21 @@ class NetworkModel {
   BgqParameters params_;
   fault::Injector* injector_ = nullptr;
   obs::LinkUsage* link_usage_ = nullptr;
+  flow::Controller* flow_ = nullptr;
+
+  /// Credit gate for one wire injection: delays `start` until the
+  /// (src,dst) window holds a free credit and records the transfer's
+  /// delivery horizon. Call after the Transfer times are final.
+  Time flow_acquire(int src_node, int dst_node, Time start,
+                    const TransferOptions& opts) {
+    if (flow_ == nullptr || opts.is_control) return start;
+    return flow_->acquire(src_node, dst_node, start);
+  }
+  void flow_release(int src_node, int dst_node, Time arrive,
+                    const TransferOptions& opts) {
+    if (flow_ == nullptr || opts.is_control) return;
+    flow_->release(src_node, dst_node, arrive);
+  }
 
  private:
   std::uint64_t messages_ = 0;

@@ -94,11 +94,22 @@ noc::Transfer Context::wire_transfer(int src_node, int dst_node, std::uint64_t b
   std::uint64_t spent = 0;
   while (t.dropped || (t.corrupted && verify)) {
     const bool from_corruption = !t.dropped;
+    // Deterministic jitter (fault.backoff_jitter) spreads the wait so
+    // ranks that lost packets in the same window do not re-offer them
+    // at the same instant — the retry-storm seed. A pure function of
+    // (seed, rank, lifetime attempt): reruns stay byte-identical, and
+    // with jitter 0 the factor is exactly 1.0 (the historical timing).
+    const Time wait =
+        plan.backoff_jitter > 0.0
+            ? static_cast<Time>(static_cast<double>(timeout) *
+                                flow::jitter(plan.seed, process_.rank(),
+                                             retries_used_, plan.backoff_jitter))
+            : timeout;
     Time resend_at;
     if (t.dropped) {
       // The expected ack never came: declare the packet lost `timeout`
       // after it drained, re-inject, and widen the timeout (capped).
-      const Time timeout_at = t.inject_done + timeout;
+      const Time timeout_at = t.inject_done + wait;
       if (mon != nullptr) {
         // Report the missed ack against the fail-stopped endpoint (if
         // any); the suspect_acks'th miss declares it dead. The retries a
@@ -132,7 +143,7 @@ noc::Transfer Context::wire_transfer(int src_node, int dst_node, std::uint64_t b
       const noc::Transfer nack = net.transfer(
           dst_node, src_node, machine().params().control_packet_bytes, detect,
           noc::TransferOptions{.is_control = true});
-      resend_at = nack.dropped ? t.inject_done + timeout : nack.arrive;
+      resend_at = nack.dropped ? t.inject_done + wait : nack.arrive;
     }
     ++stats_.retransmits;
     ++spent;
@@ -154,8 +165,8 @@ noc::Transfer Context::wire_transfer(int src_node, int dst_node, std::uint64_t b
       throw FaultError(what, src_node, dst_node, retries_used_ - 1, os.str());
     }
     if (t.dropped) {
-      stats_.retransmit_backoff += timeout;
-      inj->record_retransmit(timeout, resend_at);
+      stats_.retransmit_backoff += wait;
+      inj->record_retransmit(wait, resend_at);
       timeout = std::min(
           static_cast<Time>(static_cast<double>(timeout) * plan.backoff_factor),
           plan.max_backoff);
@@ -286,7 +297,8 @@ void Context::post_am(DispatchId dispatch, AmMessage msg) {
 
 void Context::post_rmw_service(std::int64_t* word, RmwOp op, std::int64_t operand,
                                std::int64_t compare, Endpoint reply_to,
-                               RmwCallback reply_cb, std::uint64_t flow_id) {
+                               RmwCallback reply_cb, std::uint64_t flow_id,
+                               Time deadline) {
   Item item;
   item.kind = Item::Kind::kRmwService;
   item.word = word;
@@ -296,6 +308,7 @@ void Context::post_rmw_service(std::int64_t* word, RmwOp op, std::int64_t operan
   item.reply_to = reply_to;
   item.rmw_reply = std::move(reply_cb);
   item.flow_id = flow_id;
+  item.deadline = deadline;
   post(std::move(item));
 }
 
@@ -331,6 +344,14 @@ void Context::process_item(Item& item) {
     case Item::Kind::kAm: {
       ++stats_.ams_dispatched;
       busy(p.o_am_dispatch);
+      // An expired AM is not dropped — its handler generates the acks
+      // that fences and flush protocols wait on, so dropping would
+      // hang the sender. The handler sees message.expired and skips
+      // the real work while still answering.
+      if (flow::Controller* fc = machine().flow();
+          fc != nullptr && fc->expired_at_server(item.message.deadline, now())) {
+        item.message.expired = true;
+      }
       flow('f', process_.rank(), "am dispatch", item.message.flow_id, now());
       const auto it = dispatch_.find(item.dispatch);
       PGASQ_CHECK(it != dispatch_.end(),
@@ -340,9 +361,21 @@ void Context::process_item(Item& item) {
       break;
     }
     case Item::Kind::kRmwService: {
-      ++stats_.rmws_serviced;
-      busy(p.o_rmw_service);
-      const std::int64_t old = apply_rmw(item.word, item.op, item.operand, item.compare);
+      // Deadline shed: the cheapest place to drop overload is here,
+      // before the service cost is paid or the word is touched. The
+      // (cheap, control-size) reply still flows so the requester
+      // unblocks — it sees the kExpiredRmw sentinel and raises its
+      // typed error instead of using a stale answer.
+      flow::Controller* fc = machine().flow();
+      const bool shed =
+          fc != nullptr && fc->expired_at_server(item.deadline, now());
+      if (!shed) {
+        ++stats_.rmws_serviced;
+        busy(p.o_rmw_service);
+      }
+      const std::int64_t old =
+          shed ? flow::kExpiredRmw
+               : apply_rmw(item.word, item.op, item.operand, item.compare);
       // NIC-level reply packet back to the requester; the requester
       // sees the result when it next advances after arrival.
       const int here = process_.node();
@@ -362,9 +395,26 @@ void Context::process_item(Item& item) {
     case Item::Kind::kGetRequest: {
       // Fall-back get service: the target streams the data back,
       // paying its own send overhead — the second "o" of Eq 8.
-      busy(p.o_send);
       const int here = process_.node();
       const int dest_node = machine().mapping().node_of_rank(item.reply_to.rank);
+      // Deadline shed: skip the read + payload stream entirely; only a
+      // control-size "expired" notification returns, delivered to the
+      // requester's on_expired callback.
+      if (flow::Controller* fc = machine().flow();
+          fc != nullptr && item.on_expired != nullptr &&
+          fc->expired_at_server(item.deadline, now())) {
+        const auto t = wire_control(here, dest_node, now(), "get expired");
+        flow('f', item.reply_to.rank, "get expired", item.flow_id, t.arrive);
+        Context& dest_ctx =
+            machine().process(item.reply_to.rank).context(item.reply_to.context);
+        machine().engine().schedule_at(
+            t.arrive, [&dest_ctx, cb = std::move(item.on_expired),
+                       cost = p.o_completion]() mutable {
+              dest_ctx.post_completion(std::move(cb), cost);
+            });
+        break;
+      }
+      busy(p.o_send);
       // Read the data now (service time) and ship it.
       std::vector<std::byte> staged(item.bytes);
       std::memcpy(staged.data(), item.source_data, item.bytes);
@@ -594,7 +644,7 @@ void Context::rget_typed(const MemoryRegion& local_mr, const MemoryRegion& remot
 
 void Context::send(Endpoint dest, DispatchId dispatch, std::vector<std::byte> header,
                    std::vector<std::byte> payload, Callback on_local_done,
-                   const char* what) {
+                   const char* what, Time deadline) {
   PGASQ_CHECK(dest.rank >= 0 && dest.rank < machine().num_ranks());
   const auto& p = machine().params();
   busy(p.o_send);
@@ -612,6 +662,7 @@ void Context::send(Endpoint dest, DispatchId dispatch, std::vector<std::byte> he
   msg.payload = std::move(payload);
   msg.sent_at = now();
   msg.arrived_at = t.arrive;
+  msg.deadline = deadline;
   if (trace() != nullptr) {
     msg.flow_id = trace()->next_flow_id();
     flow('s', process_.rank(), "am send", msg.flow_id, now(), wire_bytes,
@@ -673,7 +724,8 @@ void Context::put(Endpoint dest, const std::byte* local, std::byte* remote,
 }
 
 void Context::get(Endpoint dest, std::byte* local, const std::byte* remote,
-                  std::uint64_t bytes, Callback on_done) {
+                  std::uint64_t bytes, Callback on_done, Time deadline,
+                  Callback on_expired) {
   const auto& p = machine().params();
   busy(p.o_send);
   const int src_node = process_.node();
@@ -692,6 +744,8 @@ void Context::get(Endpoint dest, std::byte* local, const std::byte* remote,
   item.reply_to = Endpoint{process_.rank(), index_};
   item.callback = std::move(on_done);
   item.flow_id = fid;
+  item.deadline = deadline;
+  item.on_expired = std::move(on_expired);
   Context& dest_ctx = machine().process(dest.rank).context(dest.context);
   machine().engine().schedule_at(req.arrive, [&dest_ctx, item = std::move(item)]() mutable {
     dest_ctx.post(std::move(item));
@@ -699,7 +753,8 @@ void Context::get(Endpoint dest, std::byte* local, const std::byte* remote,
 }
 
 void Context::rmw(Endpoint dest, std::int64_t* remote_word, RmwOp op,
-                  std::int64_t operand, std::int64_t compare, RmwCallback on_done) {
+                  std::int64_t operand, std::int64_t compare, RmwCallback on_done,
+                  Time deadline) {
   PGASQ_CHECK(on_done != nullptr);
   const auto& p = machine().params();
   busy(p.o_send);
@@ -721,9 +776,16 @@ void Context::rmw(Endpoint dest, std::int64_t* remote_word, RmwOp op,
     machine().engine().schedule_at(
         req.arrive + p.hw_amo_service,
         [self, remote_word, op, operand, compare, dst_node, src_node, fid, me,
-         dest, cb = std::move(on_done)]() mutable {
-          const std::int64_t old = apply_rmw(remote_word, op, operand, compare);
+         dest, deadline, cb = std::move(on_done)]() mutable {
           Machine& m = self->machine();
+          // NIC-level deadline check mirrors the software service: an
+          // expired request never touches the word.
+          flow::Controller* fc = m.flow();
+          const bool shed = fc != nullptr &&
+                            fc->expired_at_server(deadline, m.engine().now());
+          const std::int64_t old =
+              shed ? flow::kExpiredRmw
+                   : apply_rmw(remote_word, op, operand, compare);
           const auto reply =
               self->wire_control(dst_node, src_node, m.engine().now(), "rmw hw reply");
           self->flow('t', dest.rank, "rmw hw serve", fid, m.engine().now());
@@ -741,9 +803,9 @@ void Context::rmw(Endpoint dest, std::int64_t* remote_word, RmwOp op,
   const Endpoint me{process_.rank(), index_};
   machine().engine().schedule_at(
       req.arrive, [&dest_ctx, remote_word, op, operand, compare, me, fid,
-                   cb = std::move(on_done)]() mutable {
+                   deadline, cb = std::move(on_done)]() mutable {
         dest_ctx.post_rmw_service(remote_word, op, operand, compare, me,
-                                  std::move(cb), fid);
+                                  std::move(cb), fid, deadline);
       });
 }
 

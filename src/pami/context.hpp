@@ -133,9 +133,13 @@ class Context {
   /// when the target advances the addressed context. `what` names the
   /// specific operation riding the AM (accumulate, strided write, ...)
   /// in fault/integrity errors.
+  /// `deadline` (absolute virtual time, 0 = none) rides the message to
+  /// the target, which marks it expired-on-arrival instead of dropping
+  /// it — the handler still runs (its ack keeps fences alive) but is
+  /// expected to skip the real work (see AmMessage::expired).
   void send(Endpoint dest, DispatchId dispatch, std::vector<std::byte> header,
             std::vector<std::byte> payload, Callback on_local_done,
-            const char* what = "active message");
+            const char* what = "active message", Time deadline = 0);
 
   /// Non-RDMA put (PAMI default RMA): data travels as a payload and is
   /// deposited into target memory when the target advances.
@@ -147,15 +151,24 @@ class Context {
   /// Non-RDMA get: a request is queued at the target; when the target
   /// advances, it streams the data back (Eq 8's extra "o"). Not truly
   /// one-sided (S III-D).
+  /// With a deadline and `on_expired`, a request the target dequeues
+  /// past its deadline is shed server-side: the data is never staged
+  /// or shipped — only a control-size notification returns, delivered
+  /// to `on_expired` instead of `on_done`.
   void get(Endpoint dest, std::byte* local, const std::byte* remote,
-           std::uint64_t bytes, Callback on_done);
+           std::uint64_t bytes, Callback on_done, Time deadline = 0,
+           Callback on_expired = nullptr);
 
   /// Read-modify-write on an aligned 64-bit word at the target.
   /// Serviced by target software during advance() on BG/Q; serviced by
   /// the NIC when BgqParameters::hardware_amo is set. Unordered with
   /// respect to other messages (S III-A4).
+  /// With a deadline, a request serviced past it is shed before the
+  /// word is touched; the reply carries flow::kExpiredRmw instead of
+  /// the old value so the requester can raise its typed error.
   void rmw(Endpoint dest, std::int64_t* remote_word, RmwOp op,
-           std::int64_t operand, std::int64_t compare, RmwCallback on_done);
+           std::int64_t operand, std::int64_t compare, RmwCallback on_done,
+           Time deadline = 0);
 
   // --- Internal delivery (called by engine events / peer contexts) --------
 
@@ -166,7 +179,8 @@ class Context {
   void post_am(DispatchId dispatch, AmMessage msg);
   void post_rmw_service(std::int64_t* word, RmwOp op, std::int64_t operand,
                         std::int64_t compare, Endpoint reply_to,
-                        RmwCallback reply_cb, std::uint64_t flow_id = 0);
+                        RmwCallback reply_cb, std::uint64_t flow_id = 0,
+                        Time deadline = 0);
 
   // --- Wire legs with fault recovery --------------------------------------
 
@@ -223,6 +237,12 @@ class Context {
     /// Causal-trace flow id carried from initiation to service (0 =
     /// untraced); lets the service side finish the Perfetto arrow.
     std::uint64_t flow_id = 0;
+    /// Absolute virtual-time deadline (0 = none): the service side
+    /// sheds the item instead of processing it when dequeued late.
+    Time deadline = 0;
+    /// kGetRequest only: delivered instead of `callback` when the
+    /// request was shed server-side (deadline expired).
+    Callback on_expired;
   };
 
   void process_item(Item& item);

@@ -76,6 +76,11 @@ Machine::Machine(MachineConfig config)
   if (config_.fault.corrupt_prob > 0.0 || config_.integrity.configured) {
     integrity_ = std::make_unique<fault::Integrity>(config_.integrity);
   }
+  if (config_.flow.enabled()) {
+    flow_ = std::make_unique<flow::Controller>(config_.flow, torus_.num_nodes());
+    flow_->set_trace(trace_.get());
+    network_->set_flow(flow_.get());
+  }
   processes_.reserve(static_cast<std::size_t>(config_.num_ranks));
   for (RankId r = 0; r < config_.num_ranks; ++r) {
     processes_.push_back(

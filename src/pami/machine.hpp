@@ -11,6 +11,7 @@
 
 #include "fault/fault.hpp"
 #include "fault/integrity.hpp"
+#include "flow/flow.hpp"
 #include "ft/liveness.hpp"
 #include "noc/network.hpp"
 #include "noc/parameters.hpp"
@@ -68,6 +69,10 @@ struct MachineConfig {
   bool trace_aggregate = false;
   /// Observability knobs (obs.*): per-link byte accounting & heatmap.
   obs::Options obs{};
+  /// Overload-control knobs (flow.*). The Controller is built only
+  /// when a knob enables it (credits or deadlines); otherwise every
+  /// hook is one null check and timings stay bit-identical.
+  flow::FlowConfig flow{};
 };
 
 /// Applies the trace.* and obs.* config namespaces onto `config`
@@ -102,6 +107,10 @@ class Machine {
   /// Per-link byte accounting, or nullptr when obs.links is off.
   obs::LinkUsage* link_usage() { return link_usage_.get(); }
   const obs::LinkUsage* link_usage() const { return link_usage_.get(); }
+  /// Overload controller (credit ledger, deadline/shed counters), or
+  /// nullptr when no flow.* knob enables it.
+  flow::Controller* flow() { return flow_.get(); }
+  const flow::Controller* flow() const { return flow_.get(); }
   /// Trace track carrying rank `r`'s network flow endpoints
   /// ("net@rank<r>"); only valid while tracing.
   std::uint32_t rank_track(RankId rank) const;
@@ -141,6 +150,7 @@ class Machine {
   std::unique_ptr<fault::Injector> injector_;
   std::unique_ptr<ft::HealthMonitor> monitor_;
   std::unique_ptr<fault::Integrity> integrity_;
+  std::unique_ptr<flow::Controller> flow_;
   std::vector<std::unique_ptr<Process>> processes_;
   Rng rng_;
 };

@@ -52,6 +52,13 @@ struct AmMessage {
   Time arrived_at = 0;
   /// Causal-trace flow id linking send to dispatch (0 = untraced).
   std::uint64_t flow_id = 0;
+  /// Absolute virtual-time deadline (0 = none). Set by overload-aware
+  /// clients; consulted by the target before dispatch.
+  Time deadline = 0;
+  /// Set by the target when the deadline had passed on arrival: the
+  /// handler must still run (its ack keeps fences alive) but should
+  /// skip the real work and answer with its protocol's expired signal.
+  bool expired = false;
 };
 
 /// One contiguous piece of a typed (strided) transfer: byte offsets

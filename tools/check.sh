@@ -111,9 +111,59 @@ PY
     "${out}/BENCH_kvs_a.json" "${out}/BENCH_kvs_b.json"
 }
 
+overload_gate() {
+  # Overload-control gate (docs/overload.md): past saturation the
+  # flow-on arm must hold its goodput plateau (>= 85% of the on-arm
+  # peak at 2x load) while the uncontrolled arm collapses (< 50% of
+  # its own peak); the metastability soak must recover with the
+  # controls on (>= 90% of pre-stall goodput) and stay degraded with
+  # them off; and two identical runs must emit bitwise-identical
+  # flow.* metrics.
+  local dir="$1" out="${repo}/$1/overload-gate"
+  echo "=== overload gate: ${dir}" >&2
+  mkdir -p "${out}"
+  "${repo}/${dir}/bench/bench_abl_overload" --hedge=0 \
+    "--report.json_path=${out}/BENCH_overload.json" >/dev/null
+  python3 - "${out}/BENCH_overload.json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+goodput, soak = {}, {}
+for e in doc["metrics"]:
+    lab = e.get("labels") or {}
+    if e["name"] == "kvs.goodput_mops" and "load" in lab:
+        goodput[(lab["arm"], lab["load"])] = e["value"]
+    if e["name"].startswith("overload.soak_"):
+        soak[(e["name"], lab["arm"])] = e["value"]
+peak = {arm: max(v for (a, l), v in goodput.items() if a == arm and l != "soak")
+        for arm in ("on", "off")}
+on2 = goodput[("on", "2.0")]
+off2 = goodput[("off", "2.0")]
+assert on2 >= 0.85 * peak["on"], (on2, peak["on"])
+assert off2 < 0.50 * peak["off"], (off2, peak["off"])
+pre_on = soak[("overload.soak_pre_goodput", "on")]
+post_on = soak[("overload.soak_post_goodput", "on")]
+pre_off = soak[("overload.soak_pre_goodput", "off")]
+post_off = soak[("overload.soak_post_goodput", "off")]
+assert post_on >= 0.90 * pre_on, (post_on, pre_on)
+assert post_off < 0.50 * pre_off, (post_off, pre_off)
+print(f"overload OK: on 2x holds {on2 / peak['on']:.0%} of peak "
+      f"(off collapses to {off2 / peak['off']:.0%}), "
+      f"soak recovers {post_on / pre_on:.0%} on / {post_off / pre_off:.0%} off")
+PY
+  "${repo}/${dir}/bench/bench_abl_overload" --factors=1.5 --soak=0 --hedge=0 \
+    "--report.json_path=${out}/BENCH_overload_a.json" >/dev/null
+  "${repo}/${dir}/bench/bench_abl_overload" --factors=1.5 --soak=0 --hedge=0 \
+    "--report.json_path=${out}/BENCH_overload_b.json" >/dev/null
+  python3 "${repo}/tools/bench_diff.py" --fail-over 0 --metric flow. \
+    "${out}/BENCH_overload_a.json" "${out}/BENCH_overload_b.json"
+  python3 "${repo}/tools/bench_diff.py" --fail-over 0 --metric kvs. \
+    "${out}/BENCH_overload_a.json" "${out}/BENCH_overload_b.json"
+}
+
 pass build-check
 obs_gate build-check
 kvs_gate build-check
+overload_gate build-check
 pass build-check-ubsan -DPGASQ_SANITIZE=undefined \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 if [[ "${run_asan}" == 1 ]]; then
