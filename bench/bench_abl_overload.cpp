@@ -156,6 +156,10 @@ int main(int argc, char** argv) {
   const ArmSpec arms[] = {{"off", false}, {"on", true}};
   Table table({"load", "arm", "offered", "acked", "good", "goodput_Mops",
                "lat_p50us", "lat_p99us", "shed", "expired", "dlerr"});
+  // With obs.timeline on, the top-factor uncontrolled world is kept
+  // alive so its queue-depth runaway can be printed next to the
+  // controlled arm's credit-window plateau.
+  std::unique_ptr<armci::World> off_world;
   for (const double f : factors) {
     for (const ArmSpec& arm : arms) {
       kvs::KvConfig kc = base;
@@ -178,10 +182,39 @@ int main(int argc, char** argv) {
       char load[16];
       std::snprintf(load, sizeof load, "%.1f", f);
       kvs::export_metrics(acc, r, {{"arm", arm.name}, {"load", load}});
-      last_world = std::move(world);
+      if (!arm.flow_on && f == factors.back() &&
+          world->machine().timeline() != nullptr) {
+        off_world = std::move(world);
+      } else {
+        last_world = std::move(world);
+      }
     }
   }
   table.print();
+
+  // Tentpole proof (obs.timeline): side by side at the top load
+  // factor, the uncontrolled arm's pending-op depth runs away while
+  // the controlled arm's credit-window occupancy plateaus at the
+  // configured window.
+  if (off_world != nullptr && last_world->machine().timeline() != nullptr) {
+    const int top = last_world->machine().config().obs.timeline_top;
+    const obs::Timeline& off_tl = *off_world->machine().timeline();
+    const obs::Timeline& on_tl = *last_world->machine().timeline();
+    std::printf("\ntimeline @ %.1fx load, arm=off (uncontrolled):\n",
+                factors.back());
+    std::fputs(off_tl.render(top).c_str(), stdout);
+    std::printf("timeline @ %.1fx load, arm=on (controlled, %d credits):\n",
+                factors.back(), credits);
+    std::fputs(on_tl.render(top).c_str(), stdout);
+    std::printf(
+        "queue runaway vs plateau: off kvs.client_backlog peak=%.0f, "
+        "on kvs.client_backlog peak=%.0f, on flow.window_occupancy "
+        "peak=%.0f (window=%d)\n",
+        off_tl.gauge_peak("kvs.client_backlog"),
+        on_tl.gauge_peak("kvs.client_backlog"),
+        on_tl.gauge_peak("flow.window_occupancy"), credits);
+    off_world.reset();
+  }
 
   // --- Hedged gets past transient link brownouts ------------------------
   if (cli.get_bool("hedge", true)) {
@@ -315,6 +348,20 @@ int main(int argc, char** argv) {
           .add(static_cast<std::int64_t>(r.total.hedge_skips));
       kvs::export_metrics(
           acc, r, {{"arm", hedge > 0.0 ? "hedged" : "unhedged"}});
+      // Tentpole proof (obs.critpath): on the unhedged arm the
+      // bottleneck tables pin the brownout p99 inflation on the
+      // faulted links' wire/inject-wait segments.
+      if (hedge <= 0.0) {
+        if (const obs::CritPath* cp = world->machine().critpath()) {
+          std::printf("\nbrownout critical path, arm=unhedged:\n");
+          std::fputs(cp->render().c_str(), stdout);
+          std::printf(
+              "degraded-link share of wire+inject-wait time: %.0f%% "
+              "(%.0fus of %.0fus)\n",
+              100.0 * cp->degraded_share(), to_us(cp->degraded_wire_wait()),
+              to_us(cp->wire_wait_total()));
+        }
+      }
       last_world = std::move(world);
     }
     ht.print();

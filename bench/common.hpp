@@ -79,10 +79,10 @@ inline armci::WorldConfig make_world_config(const Config& cli, int default_ranks
 }
 
 /// End-of-run observability artifacts: writes the versioned
-/// machine-readable report (--report.json_path, e.g. BENCH_fig3.json)
-/// and the per-link CSV (--obs.link_csv) when the corresponding knob
-/// is set. (The trace JSON is written by Machine::run itself.) No-op
-/// when both are unset.
+/// machine-readable report (--report.json_path, e.g. BENCH_fig3.json),
+/// the per-link CSV (--obs.link_csv), and the timeline CSV
+/// (--obs.timeline_csv) when the corresponding knob is set. (The trace
+/// JSON is written by Machine::run itself.) No-op when all are unset.
 inline void emit_observability(const Config& cli, const armci::World& world) {
   const std::string report_path = armci::json_report_path_from_config(cli);
   if (!report_path.empty()) armci::write_json_report(world, report_path);
@@ -90,6 +90,11 @@ inline void emit_observability(const Config& cli, const armci::World& world) {
   if (const obs::LinkUsage* lu = m.link_usage()) {
     if (!m.config().obs.link_csv.empty()) {
       lu->write_csv(m.config().obs.link_csv);
+    }
+  }
+  if (const obs::Timeline* tl = m.timeline()) {
+    if (!m.config().obs.timeline_csv.empty()) {
+      tl->write_csv(m.config().obs.timeline_csv);
     }
   }
 }

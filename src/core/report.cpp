@@ -7,7 +7,9 @@
 #include "fault/integrity.hpp"
 #include "flow/flow.hpp"
 #include "ft/liveness.hpp"
+#include "obs/critpath.hpp"
 #include "obs/link_usage.hpp"
+#include "obs/timeline.hpp"
 #include "sim/trace.hpp"
 #include "util/table.hpp"
 
@@ -201,6 +203,14 @@ std::string render_report(const World& world, const ReportOptions& options) {
     os << '\n'
        << lu->heatmap(1.0 / world.machine().params().g_ns_per_byte,
                       world.machine().config().obs.link_top);
+  }
+
+  if (const obs::Timeline* tl = world.machine().timeline()) {
+    os << '\n' << tl->render(world.machine().config().obs.timeline_top);
+  }
+
+  if (const obs::CritPath* cp = world.machine().critpath()) {
+    os << '\n' << cp->render();
   }
 
   if (world.app_metrics().size() != 0) {

@@ -206,6 +206,12 @@ obs::Json render_json_report(const World& world) {
   if (const obs::LinkUsage* lu = m.link_usage()) {
     doc.set("links", lu->to_json());
   }
+  if (const obs::Timeline* tl = m.timeline()) {
+    doc.set("timeline", tl->to_json());
+  }
+  if (const obs::CritPath* cp = m.critpath()) {
+    doc.set("critpath", cp->to_json());
+  }
   if (const sim::TraceRecorder* tr = m.trace()) {
     obs::Json trace = obs::Json::object();
     trace.set("events",
@@ -218,6 +224,33 @@ obs::Json render_json_report(const World& world) {
       trace.set("aggregate_series",
                 obs::Json::number(
                     static_cast<std::uint64_t>(tr->aggregate_series())));
+      // Per-(track, event) latency quantiles and instant counts — the
+      // same rows the aggregate-mode trace file carries, so report
+      // consumers need not parse the trace JSON.
+      obs::Json aggs = obs::Json::array();
+      obs::Json instants = obs::Json::array();
+      for (const auto& row : tr->aggregate_rows()) {
+        obs::Json o = obs::Json::object();
+        o.set("track", obs::Json::string(row.track));
+        o.set("name", obs::Json::string(row.name));
+        o.set("count", obs::Json::number(row.count));
+        if (row.latency == nullptr) {
+          instants.push(std::move(o));
+          continue;
+        }
+        const util::Histogram& h = *row.latency;
+        o.set("min_us", obs::Json::number(us(static_cast<Time>(h.min()))));
+        o.set("p50_us",
+              obs::Json::number(us(static_cast<Time>(h.quantile(0.5)))));
+        o.set("p99_us",
+              obs::Json::number(us(static_cast<Time>(h.quantile(0.99)))));
+        o.set("p999_us",
+              obs::Json::number(us(static_cast<Time>(h.quantile(0.999)))));
+        o.set("max_us", obs::Json::number(us(static_cast<Time>(h.max()))));
+        aggs.push(std::move(o));
+      }
+      trace.set("aggregates", std::move(aggs));
+      trace.set("instants", std::move(instants));
     }
     trace.set("sampled", obs::Json::boolean(tr->sampling()));
     if (tr->sampling()) {

@@ -51,6 +51,10 @@
 namespace pgasq {
 class Config;
 
+namespace obs {
+class Timeline;
+}
+
 namespace sim {
 class TraceRecorder;
 }
@@ -181,6 +185,10 @@ class Controller {
   /// instant track.
   void set_trace(sim::TraceRecorder* trace);
 
+  /// Continuous telemetry (obs.timeline): credit-window occupancy per
+  /// acquire plus stall/shed/expiry counters. Not owned; nullptr off.
+  void set_timeline(obs::Timeline* timeline);
+
  private:
   FlowConfig cfg_;
   FlowStats stats_;
@@ -193,6 +201,11 @@ class Controller {
   int num_ranks_ = 0;
   sim::TraceRecorder* trace_ = nullptr;
   std::uint32_t track_ = 0;
+  obs::Timeline* timeline_ = nullptr;
+  std::uint32_t tl_window_ = 0xffffffffu;  // obs::Timeline::kNone
+  std::uint32_t tl_stalls_ = 0xffffffffu;
+  std::uint32_t tl_shed_server_ = 0xffffffffu;
+  std::uint32_t tl_expired_client_ = 0xffffffffu;
 
   std::size_t pair_index(int src, int dst) const {
     return static_cast<std::size_t>(src) * static_cast<std::size_t>(num_ranks_) +

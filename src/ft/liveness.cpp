@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/timeline.hpp"
 #include "util/error.hpp"
 
 namespace pgasq::ft {
@@ -52,10 +53,25 @@ int HealthMonitor::lowest_live_rank() const {
 void HealthMonitor::probe(Time now) {
   if (!deaths_pending()) return;
   injector_.trace_mark("heartbeat probe", now);
+  Time worst_lag = 0;
   for (const auto& n : injector_.plan().node_fails) {
     if (n.node >= static_cast<int>(dead_nodes_.size())) continue;
     if (dead_nodes_[static_cast<std::size_t>(n.node)]) continue;
+    if (n.at <= now) worst_lag = std::max(worst_lag, now - n.at);
     if (n.at + config_.heartbeat_timeout <= now) declare_dead(n.node, now);
+  }
+  if (timeline_ != nullptr) {
+    // Detection lag: how long the oldest truth-dead, still-undeclared
+    // node has been silent at this probe.
+    timeline_->sample(tl_lag_, now, to_us(worst_lag));
+  }
+}
+
+void HealthMonitor::set_timeline(obs::Timeline* timeline) {
+  timeline_ = timeline;
+  if (timeline_ != nullptr) {
+    tl_lag_ = timeline_->series("ft.heartbeat_lag_us",
+                                obs::Timeline::Kind::kGauge);
   }
 }
 

@@ -38,6 +38,10 @@
 #include "topo/torus.hpp"
 #include "util/time_types.hpp"
 
+namespace pgasq::obs {
+class Timeline;
+}  // namespace pgasq::obs
+
 namespace pgasq::ft {
 
 /// Typed escalation for fail-stop faults: the operation's peer (or the
@@ -132,6 +136,11 @@ class HealthMonitor {
   FtStats& stats() { return stats_; }
   const FtStats& stats() const { return stats_; }
 
+  /// Continuous telemetry (obs.timeline): each probe samples the
+  /// worst undeclared-death lag ("ft.heartbeat_lag_us"). Not owned;
+  /// nullptr disables.
+  void set_timeline(obs::Timeline* timeline);
+
   const topo::RankMapping& mapping() const { return mapping_; }
   /// The fault layer's ground truth (also carries the shared "faults"
   /// trace track for recovery-protocol markers).
@@ -151,6 +160,8 @@ class HealthMonitor {
   std::size_t declared_ = 0;
   std::vector<std::function<void()>> listeners_;
   FtStats stats_;
+  obs::Timeline* timeline_ = nullptr;
+  std::uint32_t tl_lag_ = 0xffffffffu;  // obs::Timeline::kNone
 };
 
 }  // namespace pgasq::ft

@@ -2,11 +2,44 @@
 
 #include <algorithm>
 #include <array>
+#include <sstream>
 #include <string>
 
+#include "obs/timeline.hpp"
 #include "util/error.hpp"
 
 namespace pgasq::noc {
+
+void NetworkModel::set_timeline(obs::Timeline* timeline) {
+  timeline_ = timeline;
+  if (timeline_ != nullptr) {
+    tl_backlog_ = timeline_->series("noc.inject_backlog_us",
+                                    obs::Timeline::Kind::kGauge);
+    tl_node_backlog_.assign(static_cast<std::size_t>(torus_.num_nodes()),
+                            obs::Timeline::kNone - 1);
+    tl_link_wait_.assign(static_cast<std::size_t>(torus_.num_links()),
+                         obs::Timeline::kNone - 1);
+  } else {
+    tl_backlog_ = obs::Timeline::kNone;
+    tl_node_backlog_.clear();
+    tl_link_wait_.clear();
+  }
+}
+
+std::uint32_t NetworkModel::link_wait_series(int link_index) {
+  auto& id = tl_link_wait_[static_cast<std::size_t>(link_index)];
+  if (id == obs::Timeline::kNone - 1) {
+    // Same name format as LinkUsage::link_name, prefixed.
+    constexpr char kDimNames[topo::kDims + 1] = "ABCDE";
+    const int node = link_index / (topo::kDims * 2);
+    const int rest = link_index % (topo::kDims * 2);
+    std::ostringstream os;
+    os << "noc.link_wait_us.n" << node << ' ' << kDimNames[rest / 2]
+       << ((rest % 2) ? '-' : '+');
+    id = timeline_->series(os.str(), obs::Timeline::Kind::kGauge);
+  }
+  return id;
+}
 
 Time NetworkModel::serialization(std::uint64_t bytes, TransferOptions opts) const {
   Time t = from_ns(params_.g_ns_per_byte * static_cast<double>(bytes));
@@ -30,6 +63,19 @@ Time NetworkModel::claim_injection(int src_node, Time start, Time serialization_
   // leg, timed at initiation) reserve the NIC in *call* order, an
   // approximation documented in DESIGN.md.
   const Time begin = std::max(start, free_at);
+  if (timeline_ != nullptr) {
+    // Injection-queue depth: how far the NIC's busy horizon is ahead
+    // of this message's requested start.
+    const double backlog_us = to_us(std::max<Time>(0, free_at - start));
+    timeline_->sample(tl_backlog_, start, backlog_us);
+    auto& id = tl_node_backlog_[static_cast<std::size_t>(src_node)];
+    if (id == obs::Timeline::kNone - 1) {
+      id = timeline_->series("noc.inject_backlog_us.n" +
+                                 std::to_string(src_node),
+                             obs::Timeline::Kind::kGauge);
+    }
+    timeline_->sample(id, start, backlog_us);
+  }
   free_at = begin + serialization_time;
   return begin;
 }
@@ -37,7 +83,9 @@ Time NetworkModel::claim_injection(int src_node, Time start, Time serialization_
 Transfer NetworkModel::shm_transfer(std::uint64_t bytes, Time start) const {
   const Time copy = from_ns(params_.shm_g_ns_per_byte * static_cast<double>(bytes));
   const Time done = start + params_.shm_latency + copy;
-  return Transfer{done, done};
+  Transfer t{done, done};
+  t.inject_begin = start;  // no torus link: the whole cost is "wire"
+  return t;
 }
 
 void NetworkModel::roll_fate(Transfer& t, Time at, const TransferOptions& opts) {
@@ -65,6 +113,8 @@ Transfer NetworkModel::dead_node_transfer(int src_node, int dst_node,
   const Time inject_done = begin + ser;
   Transfer t{inject_done, inject_done + flight(src_node, dst_node)};
   t.dropped = true;
+  t.inject_begin = begin;
+  t.ser_nominal = ser;
   return t;
 }
 
@@ -94,15 +144,16 @@ Transfer LogGPModel::transfer(int src_node, int dst_node, std::uint64_t bytes,
     return dead_node_transfer(src_node, dst_node, bytes, start, opts);
   }
   if (src_node == dst_node) return shm_transfer(bytes, start);
-  Time ser = serialization(bytes, opts);
+  const Time ser_nominal = serialization(bytes, opts);
+  Time ser = ser_nominal;
   Time fly;
+  double cap = 1.0;
   std::vector<topo::Link> route;
   if (injector_ != nullptr &&
       (injector_->has_link_faults() || injector_->has_node_fails())) {
     // A failed link stretches the path (dimension-order route-around);
     // a degraded link throttles the end-to-end cut-through stream to
     // the slowest link on the path.
-    double cap = 1.0;
     route = faulted_route(src_node, dst_node, start, &cap);
     fly = params_.wire_base_latency +
           static_cast<Time>(route.size()) * params_.hop_latency;
@@ -111,7 +162,9 @@ Transfer LogGPModel::transfer(int src_node, int dst_node, std::uint64_t bytes,
     fly = flight(src_node, dst_node);
     // The stateless model never needs the route for timing; walk it
     // only when someone is watching the links.
-    if (link_usage_ != nullptr) route = torus_.route(src_node, dst_node);
+    if (link_usage_ != nullptr || critpath_ != nullptr) {
+      route = torus_.route(src_node, dst_node);
+    }
   }
   // Credit gate: with a full (src,dst) window the injection start is
   // pushed to the earliest outstanding delivery — the software
@@ -124,6 +177,22 @@ Transfer LogGPModel::transfer(int src_node, int dst_node, std::uint64_t bytes,
   // arrival is serialization + flight, not store-and-forward per hop.
   const Time arrive = inject_done + fly;
   Transfer t{inject_done, arrive};
+  t.inject_begin = begin;
+  t.ser_nominal = ser_nominal;
+  t.route_capacity = cap;
+  if (!route.empty()) {
+    // Bottleneck: the worst-degraded link under faults, else the first
+    // hop (the stateless model has no queueing to disambiguate).
+    t.bottleneck_link = torus_.link_index(route.front());
+    if (cap < 1.0) {
+      for (const auto& l : route) {
+        if (injector_->link_capacity(l, start) <= cap) {
+          t.bottleneck_link = torus_.link_index(l);
+          break;
+        }
+      }
+    }
+  }
   roll_fate(t, begin, opts);
   // Dropped transfers release too: the window models the sender-local
   // in-flight budget, and the retransmit will claim a fresh credit.
@@ -164,19 +233,35 @@ Transfer LinkContentionModel::transfer(int src_node, int dst_node,
   }
   PGASQ_CHECK(!route.empty());
   if (link_usage_ != nullptr) link_usage_->note_transfer(bytes);
+  Time inject_begin = start;
+  int bottleneck = torus_.link_index(route.front());
+  Time worst_wait = -1;
   for (std::size_t i = 0; i < route.size(); ++i) {
     const auto& link = route[i];
-    auto& free_at = link_free_[static_cast<std::size_t>(torus_.link_index(link))];
+    const int link_idx = torus_.link_index(link);
+    auto& free_at = link_free_[static_cast<std::size_t>(link_idx)];
     // A degraded link drains the worm's body proportionally slower.
     Time occupy = ser;
     if (faulty) {
       const double cap = injector_->link_capacity(link, start);
       if (cap < 1.0) occupy = static_cast<Time>(static_cast<double>(ser) / cap);
     }
-    if (link_usage_ != nullptr && free_at > head) {
-      link_usage_->record_wait(link, head, free_at - head);
+    const Time waited = free_at > head ? free_at - head : 0;
+    if (waited > 0) {
+      if (link_usage_ != nullptr) link_usage_->record_wait(link, head, waited);
+      if (timeline_ != nullptr) {
+        timeline_->sample(link_wait_series(link_idx), head, to_us(waited));
+      }
     }
-    head = std::max(head, free_at) + params_.hop_latency;
+    // The bottleneck is the link the head queued longest behind (ties
+    // to the earliest hop); a clean pass leaves the first hop.
+    if (waited > worst_wait) {
+      worst_wait = waited;
+      bottleneck = link_idx;
+    }
+    const Time advanced = std::max(head, free_at);
+    if (i == 0) inject_begin = advanced;
+    head = advanced + params_.hop_latency;
     free_at = head + occupy;
     if (link_usage_ != nullptr) link_usage_->record_hop(link, head, bytes);
     if (i == 0) inject_done = head + occupy;  // source link drained
@@ -186,6 +271,19 @@ Transfer LinkContentionModel::transfer(int src_node, int dst_node,
                         : ser;
   const Time arrive = head + tail + params_.wire_base_latency;
   Transfer t{inject_done, arrive};
+  t.inject_begin = inject_begin;
+  t.ser_nominal = ser;
+  if (worst_wait <= 0 && path_capacity < 1.0) {
+    // No queueing, but the path is degraded: blame the slow link.
+    for (const auto& l : route) {
+      if (injector_->link_capacity(l, start) <= path_capacity) {
+        bottleneck = torus_.link_index(l);
+        break;
+      }
+    }
+  }
+  t.bottleneck_link = bottleneck;
+  t.route_capacity = path_capacity;
   roll_fate(t, inject_done, opts);
   flow_release(src_node, dst_node, t.arrive, opts);
   return t;

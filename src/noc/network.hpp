@@ -27,6 +27,11 @@
 #include "topo/torus.hpp"
 #include "util/time_types.hpp"
 
+namespace pgasq::obs {
+class CritPath;
+class Timeline;
+}  // namespace pgasq::obs
+
 namespace pgasq::noc {
 
 /// Timing result of one message transfer.
@@ -43,6 +48,20 @@ struct Transfer {
   /// NACK) or lands in memory is the integrity layer's call.
   bool corrupted = false;
   std::uint64_t corrupt_token = 0;
+  /// --- Injection diagnostics (obs::CritPath segment attribution) ---
+  /// When source-link serialization actually began (after credit gate
+  /// and NIC-busy wait); 0 for shared-memory copies.
+  Time inject_begin = 0;
+  /// Nominal (undegraded) serialization cost of this message; the
+  /// excess drain time of a degraded link lands in the wire segment.
+  Time ser_nominal = 0;
+  /// Densest link on the route: the worst-degraded link under faults,
+  /// the longest-waited link under contention, else the first hop.
+  /// -1 when no torus link was crossed (shm) or no route was computed.
+  int bottleneck_link = -1;
+  /// Worst per-link capacity factor on the path (< 1.0 means the
+  /// route crossed a degraded/faulted link).
+  double route_capacity = 1.0;
 };
 
 /// Options for a single transfer.
@@ -109,6 +128,21 @@ class NetworkModel {
   void set_flow(flow::Controller* fc) { flow_ = fc; }
   flow::Controller* flow() const { return flow_; }
 
+  /// Attaches (or detaches, with nullptr) continuous telemetry
+  /// (obs.timeline): per-source-node injection backlog plus, in the
+  /// contention model, per-link queue-wait series. Pure observation
+  /// behind a null check, like set_link_usage.
+  void set_timeline(obs::Timeline* timeline);
+  obs::Timeline* timeline() const { return timeline_; }
+
+  /// Attaches (or detaches, with nullptr) critical-path attribution.
+  /// The models never call into it — a non-null pointer just makes
+  /// them compute the route when timing alone would not need it and
+  /// stamp the Transfer diagnostics (bottleneck_link, route_capacity);
+  /// the pami layer records the legs.
+  void set_critpath(obs::CritPath* cp) { critpath_ = cp; }
+  obs::CritPath* critpath() const { return critpath_; }
+
   /// Total messages / bytes injected (diagnostics & tests).
   std::uint64_t messages_sent() const { return messages_; }
   std::uint64_t bytes_sent() const { return bytes_; }
@@ -154,6 +188,12 @@ class NetworkModel {
   fault::Injector* injector_ = nullptr;
   obs::LinkUsage* link_usage_ = nullptr;
   flow::Controller* flow_ = nullptr;
+  obs::Timeline* timeline_ = nullptr;
+  obs::CritPath* critpath_ = nullptr;
+
+  /// Timeline gauge for a link's queue wait, registered on first
+  /// touch (contention model only).
+  std::uint32_t link_wait_series(int link_index);
 
   /// Credit gate for one wire injection: delays `start` until the
   /// (src,dst) window holds a free credit and records the transfer's
@@ -173,6 +213,9 @@ class NetworkModel {
   std::uint64_t messages_ = 0;
   std::uint64_t bytes_ = 0;
   std::vector<Time> nic_free_;
+  std::uint32_t tl_backlog_ = 0xffffffffu;  // obs::Timeline::kNone
+  std::vector<std::uint32_t> tl_node_backlog_;
+  std::vector<std::uint32_t> tl_link_wait_;
 };
 
 /// Stateless LogGP + hop-count model.

@@ -1,0 +1,231 @@
+#include "obs/critpath.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "topo/torus.hpp"
+#include "util/error.hpp"
+
+namespace pgasq::obs {
+
+namespace {
+constexpr char kDimNames[topo::kDims + 1] = "ABCDE";
+
+// Same format as LinkUsage::link_name — a dense directed-link index
+// decodes to "n<node> <dim><+|->" by pure arithmetic.
+std::string link_label(int link_index) {
+  if (link_index < 0) return "shm";
+  const int node = link_index / (topo::kDims * 2);
+  const int rest = link_index % (topo::kDims * 2);
+  const int dim = rest / 2;
+  const char dir = (rest % 2) ? '-' : '+';
+  std::ostringstream os;
+  os << 'n' << node << ' ' << kDimNames[dim] << dir;
+  return os.str();
+}
+
+// Pure acknowledgements carry no payload the op is waiting to move;
+// their whole latency is the ack segment.
+bool is_ack(std::string_view what) {
+  return what.find("ack") != std::string_view::npos;
+}
+
+std::string class_of(std::string_view what) {
+  const std::size_t sp = what.find(' ');
+  return std::string(sp == std::string_view::npos ? what : what.substr(0, sp));
+}
+
+Json seg_json(const CritPath::Seg& s) {
+  Json j = Json::object();
+  j.set("legs", Json::number(s.legs));
+  j.set("degraded_legs", Json::number(s.degraded_legs));
+  j.set("inject_wait_us", Json::number(to_us(s.inject_wait)));
+  j.set("ser_us", Json::number(to_us(s.ser)));
+  j.set("wire_us", Json::number(to_us(s.wire)));
+  j.set("ack_us", Json::number(to_us(s.ack)));
+  j.set("total_us", Json::number(to_us(s.total())));
+  return j;
+}
+}  // namespace
+
+CritPath::CritPath(int top_k) : top_(std::max(1, top_k)) {}
+
+void CritPath::record_leg(std::string_view what, int src_rank, Time requested,
+                          Time inject_begin, Time inject_done,
+                          Time ser_nominal, Time arrive, int bottleneck_link,
+                          bool degraded) {
+  const Time latency = arrive - requested;
+  PGASQ_CHECK(latency >= 0, << "critpath leg '" << what
+                            << "' arrives before it was requested");
+  Seg leg;
+  leg.legs = 1;
+  leg.degraded_legs = degraded ? 1 : 0;
+  if (is_ack(what)) {
+    leg.ack = latency;
+  } else {
+    leg.inject_wait = std::max<Time>(0, inject_begin - requested);
+    leg.ser = std::min(std::max<Time>(0, inject_done - inject_begin),
+                       std::max<Time>(0, ser_nominal));
+    leg.wire = latency - leg.inject_wait - leg.ser;
+    if (leg.wire < 0) {  // clamp, keep the exact-sum identity
+      leg.ser += leg.wire;
+      leg.wire = 0;
+    }
+  }
+  auto fold = [&leg](Seg& into) {
+    into.legs += leg.legs;
+    into.degraded_legs += leg.degraded_legs;
+    into.inject_wait += leg.inject_wait;
+    into.ser += leg.ser;
+    into.wire += leg.wire;
+    into.ack += leg.ack;
+  };
+  fold(total_);
+  if (degraded) fold(degraded_);
+  total_latency_ += latency;
+  fold(classes_[class_of(what)]);
+  fold(links_[bottleneck_link]);
+  fold(ranks_[src_rank]);
+}
+
+double CritPath::degraded_share() const {
+  const Time all = wire_wait_total();
+  if (all == 0) return 0.0;
+  return static_cast<double>(degraded_wire_wait()) / static_cast<double>(all);
+}
+
+std::string CritPath::render() const {
+  std::ostringstream os;
+  if (total_.legs == 0) {
+    os << "  (no wire legs recorded)\n";
+    return os.str();
+  }
+  char line[200];
+  std::snprintf(line, sizeof line,
+                "critical path: %llu wire legs, %.1f us total "
+                "(inject-wait %.1f, ser %.1f, wire %.1f, ack %.1f)\n",
+                static_cast<unsigned long long>(total_.legs),
+                to_us(total_latency_), to_us(total_.inject_wait),
+                to_us(total_.ser), to_us(total_.wire), to_us(total_.ack));
+  os << line;
+  if (degraded_.legs > 0) {
+    std::snprintf(line, sizeof line,
+                  "  degraded links: %llu legs carry %.1f us of "
+                  "wire+inject-wait (%.0f%% of all waiting)\n",
+                  static_cast<unsigned long long>(degraded_.legs),
+                  to_us(degraded_wire_wait()), 100.0 * degraded_share());
+    os << line;
+  }
+
+  os << "  by op class (inject-wait / ser / wire / ack, us):\n";
+  std::vector<std::pair<std::string, const Seg*>> cls;
+  cls.reserve(classes_.size());
+  for (const auto& [name, seg] : classes_) cls.emplace_back(name, &seg);
+  std::sort(cls.begin(), cls.end(), [](const auto& a, const auto& b) {
+    if (a.second->total() != b.second->total()) {
+      return a.second->total() > b.second->total();
+    }
+    return a.first < b.first;
+  });
+  for (std::size_t i = 0;
+       i < std::min<std::size_t>(cls.size(), static_cast<std::size_t>(top_));
+       ++i) {
+    const auto& [name, seg] = cls[i];
+    std::snprintf(line, sizeof line,
+                  "    %-12s legs %-7llu %9.1f /%9.1f /%9.1f /%9.1f\n",
+                  name.c_str(), static_cast<unsigned long long>(seg->legs),
+                  to_us(seg->inject_wait), to_us(seg->ser), to_us(seg->wire),
+                  to_us(seg->ack));
+    os << line;
+  }
+
+  auto top_rows = [this](const std::map<int, Seg>& by,
+                         auto metric) {
+    std::vector<std::pair<int, const Seg*>> rows;
+    rows.reserve(by.size());
+    for (const auto& [key, seg] : by) rows.emplace_back(key, &seg);
+    std::sort(rows.begin(), rows.end(),
+              [&metric](const auto& a, const auto& b) {
+                if (metric(*a.second) != metric(*b.second)) {
+                  return metric(*a.second) > metric(*b.second);
+                }
+                return a.first < b.first;
+              });
+    if (rows.size() > static_cast<std::size_t>(top_)) rows.resize(top_);
+    return rows;
+  };
+  const auto wait_of = [](const Seg& s) { return s.inject_wait + s.wire; };
+  const auto total_of = [](const Seg& s) { return s.total(); };
+
+  os << "  worst links (by wire+inject-wait):\n";
+  for (const auto& [link, seg] : top_rows(links_, wait_of)) {
+    std::snprintf(line, sizeof line,
+                  "    %-10s legs %-7llu wait %9.1f us  degraded legs %llu\n",
+                  link_label(link).c_str(),
+                  static_cast<unsigned long long>(seg->legs),
+                  to_us(wait_of(*seg)),
+                  static_cast<unsigned long long>(seg->degraded_legs));
+    os << line;
+  }
+
+  os << "  worst ranks (by attributed latency):\n";
+  for (const auto& [rank, seg] : top_rows(ranks_, total_of)) {
+    std::snprintf(line, sizeof line, "    r%-4d legs %-7llu total %9.1f us\n",
+                  rank, static_cast<unsigned long long>(seg->legs),
+                  to_us(seg->total()));
+    os << line;
+  }
+  return os.str();
+}
+
+Json CritPath::to_json() const {
+  Json j = Json::object();
+  j.set("schema", Json::string("pgasq.critpath"));
+  j.set("schema_version", Json::number(kSchemaVersion));
+  j.set("total_latency_us", Json::number(to_us(total_latency_)));
+  j.set("segments", seg_json(total_));
+  j.set("degraded", seg_json(degraded_));
+
+  Json cls = Json::array();
+  for (const auto& [name, seg] : classes_) {
+    Json row = seg_json(seg);
+    row.set("class", Json::string(name));
+    cls.push(std::move(row));
+  }
+  j.set("classes", std::move(cls));
+
+  auto dump_topk = [this](const std::map<int, Seg>& by, auto metric,
+                          const char* key_name, bool label_links) {
+    std::vector<std::pair<int, const Seg*>> rows;
+    rows.reserve(by.size());
+    for (const auto& [key, seg] : by) rows.emplace_back(key, &seg);
+    std::sort(rows.begin(), rows.end(),
+              [&metric](const auto& a, const auto& b) {
+                if (metric(*a.second) != metric(*b.second)) {
+                  return metric(*a.second) > metric(*b.second);
+                }
+                return a.first < b.first;
+              });
+    if (rows.size() > static_cast<std::size_t>(top_)) rows.resize(top_);
+    Json arr = Json::array();
+    for (const auto& [key, seg] : rows) {
+      Json row = seg_json(*seg);
+      row.set(key_name, Json::number(static_cast<std::int64_t>(key)));
+      if (label_links) row.set("name", Json::string(link_label(key)));
+      arr.push(std::move(row));
+    }
+    return arr;
+  };
+  j.set("links",
+        dump_topk(
+            links_, [](const Seg& s) { return s.inject_wait + s.wire; },
+            "link", true));
+  j.set("ranks",
+        dump_topk(
+            ranks_, [](const Seg& s) { return s.total(); }, "rank", false));
+  return j;
+}
+
+}  // namespace pgasq::obs

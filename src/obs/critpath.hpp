@@ -1,0 +1,92 @@
+// Critical-path latency attribution (obs.critpath): every wire leg a
+// context sends is split into inject-wait / serialization / wire / ack
+// segments using the injection diagnostics the noc models stamp on
+// each Transfer. The segments sum exactly to the leg's measured
+// latency (requested → arrive), so the attribution is an identity,
+// not an estimate:
+//
+//   inject_wait = inject_begin - requested   (credit gate, NIC busy,
+//                                             retransmit backoff, CRC)
+//   ser         = min(inject_done - inject_begin, nominal ser)
+//   wire        = latency - inject_wait - ser (flight, link queues,
+//                                              degraded drain)
+//   ack         = whole latency of pure ack legs ("put ack", …)
+//
+// Aggregated three ways — per op class (first token of the leg label),
+// per bottleneck link, per source rank — and rendered as top-k
+// bottleneck tables in the text report plus a versioned pgasq.critpath
+// v1 JSON section. Legs whose route crossed a degraded (faulted) link
+// are tallied separately so brownout p99 inflation can be attributed
+// to the faulted links' wire/inject-wait share.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "obs/json.hpp"
+#include "util/time_types.hpp"
+
+namespace pgasq::obs {
+
+class CritPath {
+ public:
+  /// Current pgasq.critpath schema version.
+  static constexpr int kSchemaVersion = 1;
+
+  /// `top_k` bounds every rendered table.
+  explicit CritPath(int top_k);
+
+  /// Records one wire leg. `what` labels the op ("put data",
+  /// "rget request", "put ack", …); `requested` is when the sender
+  /// asked for the wire (before CRC/credit/NIC waits); the remaining
+  /// times come from the noc Transfer diagnostics. `bottleneck_link`
+  /// is the densest link on the route (-1 for shared memory);
+  /// `degraded` is true when the route crossed a faulted link.
+  void record_leg(std::string_view what, int src_rank, Time requested,
+                  Time inject_begin, Time inject_done, Time ser_nominal,
+                  Time arrive, int bottleneck_link, bool degraded);
+
+  struct Seg {
+    std::uint64_t legs = 0;
+    std::uint64_t degraded_legs = 0;
+    Time inject_wait = 0;
+    Time ser = 0;
+    Time wire = 0;
+    Time ack = 0;
+    Time total() const { return inject_wait + ser + wire + ack; }
+  };
+
+  std::uint64_t legs() const { return total_.legs; }
+  /// Sum over legs of (arrive - requested) — equals segment_sum().
+  Time total_latency() const { return total_latency_; }
+  Time segment_sum() const { return total_.total(); }
+  /// inject_wait + wire over all legs / over degraded legs only.
+  Time wire_wait_total() const { return total_.inject_wait + total_.wire; }
+  Time degraded_wire_wait() const {
+    return degraded_.inject_wait + degraded_.wire;
+  }
+  /// Share of all wire+inject-wait time riding degraded links (0 when
+  /// nothing waited).
+  double degraded_share() const;
+
+  /// Top-k bottleneck tables: by op class, worst links, worst ranks.
+  std::string render() const;
+
+  /// {"schema":"pgasq.critpath","schema_version":1,…} with "segments",
+  /// "classes", "links" (top-k by wire+inject wait), "ranks" (top-k by
+  /// total latency).
+  Json to_json() const;
+
+ private:
+  int top_;
+  Seg total_;
+  Seg degraded_;  // legs whose route crossed a faulted link
+  Time total_latency_ = 0;
+  std::map<std::string, Seg> classes_;  // first token of `what`
+  std::map<int, Seg> links_;            // bottleneck link index
+  std::map<int, Seg> ranks_;            // source rank
+};
+
+}  // namespace pgasq::obs

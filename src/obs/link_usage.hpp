@@ -32,6 +32,25 @@ struct Options {
   /// time (obs.link_csv).
   std::string link_csv;
 
+  /// Enable continuous time-series telemetry (obs.timeline); see
+  /// obs/timeline.hpp. Off by default: runs stay byte-identical.
+  bool timeline = false;
+  /// Timeline bucket width (obs.timeline_bucket_us).
+  Time timeline_bucket = from_us(50);
+  /// Series cap; hitting it warns once (obs.timeline_max_series).
+  int timeline_max_series = 256;
+  /// Sparkline rows in the text report (obs.timeline_top).
+  int timeline_top = 12;
+  /// When non-empty, timeline buckets are exported as CSV at report
+  /// time (obs.timeline_csv).
+  std::string timeline_csv;
+
+  /// Enable critical-path latency attribution (obs.critpath); see
+  /// obs/critpath.hpp.
+  bool critpath = false;
+  /// Rows per critical-path bottleneck table (obs.critpath_top).
+  int critpath_top = 8;
+
   /// Parses the obs.* namespace from `cfg` over `defaults`; rejects
   /// unknown obs.* keys with a typo suggestion.
   static Options from_config(const Config& cfg, Options defaults);

@@ -51,6 +51,10 @@ noc::Transfer Context::wire_transfer(int src_node, int dst_node, std::uint64_t b
                                      Time at, noc::TransferOptions opts,
                                      const char* what) {
   auto& net = machine().network();
+  // Critical-path attribution measures the leg from the moment the
+  // sender asked for the wire — before CRC, credit and NIC waits.
+  const Time requested = at;
+  obs::CritPath* const cp = machine().critpath();
   ft::HealthMonitor* mon = machine().monitor();
   if (mon != nullptr) {
     // Quarantine: an op against a declared-dead endpoint fails fast
@@ -85,6 +89,11 @@ noc::Transfer Context::wire_transfer(int src_node, int dst_node, std::uint64_t b
     if (verify) {
       ++ig->stats().crc_checks;
       t.arrive += crc;
+    }
+    if (cp != nullptr) {
+      cp->record_leg(what, process_.rank(), requested, t.inject_begin,
+                     t.inject_done, t.ser_nominal, t.arrive, t.bottleneck_link,
+                     t.route_capacity < 1.0);
     }
     return t;
   }
@@ -147,6 +156,9 @@ noc::Transfer Context::wire_transfer(int src_node, int dst_node, std::uint64_t b
     }
     ++stats_.retransmits;
     ++spent;
+    if (obs::Timeline* tl = machine().timeline(); tl != nullptr) {
+      tl->count(machine().timeline_ids().retransmits, resend_at);
+    }
     if (++retries_used_ > plan.retry_budget) {
       std::ostringstream os;
       os << (from_corruption ? "integrity" : "fault") << ": retry budget ("
@@ -183,6 +195,14 @@ noc::Transfer Context::wire_transfer(int src_node, int dst_node, std::uint64_t b
   if (verify) {
     ++ig->stats().crc_checks;
     t.arrive += crc;
+  }
+  if (cp != nullptr) {
+    // The final (delivered) transfer's diagnostics: retransmit backoff
+    // and every earlier doomed injection land in the inject-wait
+    // segment, receiver-side CRC/reorder holds in the wire segment.
+    cp->record_leg(what, process_.rank(), requested, t.inject_begin,
+                   t.inject_done, t.ser_nominal, t.arrive, t.bottleneck_link,
+                   t.route_capacity < 1.0);
   }
   return t;
 }
@@ -276,6 +296,10 @@ void Context::advance_until(const std::function<bool()>& pred) {
 void Context::post(Item item) {
   item.posted_at = now();
   items_.push_back(std::move(item));
+  if (obs::Timeline* tl = machine().timeline(); tl != nullptr) {
+    tl->sample(machine().timeline_ids().pending_ops, item.posted_at,
+               static_cast<double>(items_.size()));
+  }
   arrivals_->notify_all();
 }
 

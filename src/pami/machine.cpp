@@ -62,12 +62,28 @@ Machine::Machine(MachineConfig config)
     link_usage_ = std::make_unique<obs::LinkUsage>(torus_, config_.obs.link_bucket);
     network_->set_link_usage(link_usage_.get());
   }
+  if (config_.obs.timeline) {
+    timeline_ = std::make_unique<obs::Timeline>(
+        config_.obs.timeline_bucket,
+        static_cast<std::size_t>(config_.obs.timeline_max_series));
+    engine_.set_timeline(timeline_.get());
+    network_->set_timeline(timeline_.get());
+    timeline_ids_.pending_ops =
+        timeline_->series("pami.pending_ops", obs::Timeline::Kind::kGauge);
+    timeline_ids_.retransmits =
+        timeline_->series("pami.retransmits", obs::Timeline::Kind::kCounter);
+  }
+  if (config_.obs.critpath) {
+    critpath_ = std::make_unique<obs::CritPath>(config_.obs.critpath_top);
+    network_->set_critpath(critpath_.get());
+  }
   if (config_.fault.enabled()) {
     injector_ = std::make_unique<fault::Injector>(config_.fault, torus_);
     injector_->set_trace(trace_.get());
     network_->set_injector(injector_.get());
     if (injector_->has_node_fails()) {
       monitor_ = std::make_unique<ft::HealthMonitor>(config_.ft, *injector_, mapping_);
+      monitor_->set_timeline(timeline_.get());
     }
   }
   // Integrity auto-enables under a corruption plan: a flipped payload
@@ -79,6 +95,7 @@ Machine::Machine(MachineConfig config)
   if (config_.flow.enabled()) {
     flow_ = std::make_unique<flow::Controller>(config_.flow, torus_.num_nodes());
     flow_->set_trace(trace_.get());
+    flow_->set_timeline(timeline_.get());
     network_->set_flow(flow_.get());
   }
   processes_.reserve(static_cast<std::size_t>(config_.num_ranks));

@@ -15,7 +15,9 @@
 #include "ft/liveness.hpp"
 #include "noc/network.hpp"
 #include "noc/parameters.hpp"
+#include "obs/critpath.hpp"
 #include "obs/link_usage.hpp"
+#include "obs/timeline.hpp"
 #include "pami/process.hpp"
 #include "sim/engine.hpp"
 #include "sim/trace.hpp"
@@ -78,8 +80,17 @@ struct MachineConfig {
 /// Applies the trace.* and obs.* config namespaces onto `config`
 /// (rejecting unknown keys): trace.json_path, trace.max_events,
 /// trace.sample_ranks, trace.aggregate, obs.links, obs.link_bucket_us,
-/// obs.link_top, obs.link_csv.
+/// obs.link_top, obs.link_csv, obs.timeline, obs.timeline_bucket_us,
+/// obs.timeline_max_series, obs.timeline_top, obs.timeline_csv,
+/// obs.critpath, obs.critpath_top.
 void configure_observability(const Config& cfg, MachineConfig& config);
+
+/// Pre-registered timeline series for the pami layer's hot paths (one
+/// string lookup at machine construction, plain index stores after).
+struct PamiTimelineIds {
+  obs::Timeline::SeriesId pending_ops = obs::Timeline::kNone;
+  obs::Timeline::SeriesId retransmits = obs::Timeline::kNone;
+};
 
 class Machine {
  public:
@@ -111,6 +122,14 @@ class Machine {
   /// nullptr when no flow.* knob enables it.
   flow::Controller* flow() { return flow_.get(); }
   const flow::Controller* flow() const { return flow_.get(); }
+  /// Continuous time-series telemetry, or nullptr when obs.timeline is
+  /// off.
+  obs::Timeline* timeline() { return timeline_.get(); }
+  const obs::Timeline* timeline() const { return timeline_.get(); }
+  const PamiTimelineIds& timeline_ids() const { return timeline_ids_; }
+  /// Critical-path attribution, or nullptr when obs.critpath is off.
+  obs::CritPath* critpath() { return critpath_.get(); }
+  const obs::CritPath* critpath() const { return critpath_.get(); }
   /// Trace track carrying rank `r`'s network flow endpoints
   /// ("net@rank<r>"); only valid while tracing.
   std::uint32_t rank_track(RankId rank) const;
@@ -143,6 +162,9 @@ class Machine {
   std::unique_ptr<sim::TraceRecorder> trace_;
   std::vector<std::uint32_t> net_tracks_;  // per-rank flow tracks
   std::unique_ptr<obs::LinkUsage> link_usage_;
+  std::unique_ptr<obs::Timeline> timeline_;
+  std::unique_ptr<obs::CritPath> critpath_;
+  PamiTimelineIds timeline_ids_;
   sim::Engine engine_;
   topo::Torus5D torus_;
   topo::RankMapping mapping_;

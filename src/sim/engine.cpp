@@ -1,5 +1,6 @@
 #include "sim/engine.hpp"
 
+#include "obs/timeline.hpp"
 #include "sim/trace.hpp"
 
 #if PGASQ_ASAN_FIBERS
@@ -103,6 +104,10 @@ void Engine::run() {
       PGASQ_CHECK(ev->time >= now_);
       now_ = ev->time;
       ++events_processed_;
+      if (timeline_ != nullptr) {
+        timeline_->sample(tl_queue_depth_, now_,
+                          static_cast<double>(queue_.size()));
+      }
       ev->fn();
       if (pending_exception_) {
         delete ev;
@@ -168,6 +173,16 @@ void Engine::resume(Fiber& fiber, Time delay) {
   schedule_after(delay, [this, f = &fiber] { switch_to_fiber(*f); });
 }
 
+void Engine::set_timeline(obs::Timeline* timeline) {
+  timeline_ = timeline;
+  if (timeline_ != nullptr) {
+    tl_queue_depth_ = timeline_->series("sim.event_queue_depth",
+                                        obs::Timeline::Kind::kGauge);
+    tl_fiber_switches_ = timeline_->series("sim.fiber_switches",
+                                           obs::Timeline::Kind::kCounter);
+  }
+}
+
 void Engine::set_pending_exception(std::exception_ptr e) {
   // First exception wins; later ones would mask the root cause.
   if (!pending_exception_) pending_exception_ = e;
@@ -194,6 +209,7 @@ void Engine::switch_to_fiber(Fiber& fiber) {
               << static_cast<int>(fiber.state()));
   fiber.state_ = Fiber::State::kRunning;
   current_ = &fiber;
+  if (timeline_ != nullptr) timeline_->count(tl_fiber_switches_, now_);
   const bool tracing = trace_ != nullptr && fiber.trace_track_ != 0xffffffffu;
   if (tracing) trace_->begin_slice(fiber.trace_track_, now_);
   asan_enter_fiber(fiber);

@@ -22,6 +22,10 @@
 #include "util/error.hpp"
 #include "util/time_types.hpp"
 
+namespace pgasq::obs {
+class Timeline;
+}  // namespace pgasq::obs
+
 namespace pgasq::sim {
 
 class TraceRecorder;
@@ -86,6 +90,13 @@ class Engine {
   void set_trace(TraceRecorder* trace) { trace_ = trace; }
   TraceRecorder* trace() const { return trace_; }
 
+  /// Enables continuous telemetry: samples the event-queue depth per
+  /// processed event ("sim.event_queue_depth") and counts fiber
+  /// switches ("sim.fiber_switches"). Pure observation — never changes
+  /// timing. Pass nullptr to disable; the timeline is not owned.
+  void set_timeline(obs::Timeline* timeline);
+  obs::Timeline* timeline() const { return timeline_; }
+
   /// Fibers spawned after this whose name matches `pred` get a muted
   /// trace track (their slices are dropped at record time). Used by
   /// trace.sample_ranks to silence unsampled ranks' fibers.
@@ -136,6 +147,9 @@ class Engine {
   std::uint64_t events_processed_ = 0;
   std::uint64_t next_fiber_id_ = 1;
   TraceRecorder* trace_ = nullptr;
+  obs::Timeline* timeline_ = nullptr;
+  std::uint32_t tl_queue_depth_ = 0xffffffffu;   // obs::Timeline::kNone
+  std::uint32_t tl_fiber_switches_ = 0xffffffffu;
   std::function<bool(const std::string&)> track_mute_;
   // ASan bookkeeping: the scheduler's fake stack while inside a fiber,
   // and the scheduler (main thread) stack bounds learned at fiber entry.

@@ -113,6 +113,18 @@ void append_args(std::ostringstream& os, const TraceArgs& args) {
 }
 }  // namespace
 
+std::vector<TraceRecorder::AggregateRow> TraceRecorder::aggregate_rows() const {
+  std::vector<AggregateRow> rows;
+  rows.reserve(agg_.size() + instant_counts_.size());
+  for (const auto& [key, hist] : agg_) {
+    rows.push_back({tracks_[key.first], key.second, &hist, hist.total()});
+  }
+  for (const auto& [key, count] : instant_counts_) {
+    rows.push_back({tracks_[key.first], key.second, nullptr, count});
+  }
+  return rows;
+}
+
 std::string TraceRecorder::to_json() const {
   if (aggregate_) {
     // Aggregate mode: the Chrome-trace envelope survives (so existing

@@ -61,6 +61,19 @@ class TraceRecorder {
     return agg_.size() + instant_counts_.size();
   }
 
+  /// One aggregate-mode series, resolved to its track name for report
+  /// rendering. `latency` is null for instant series (count only).
+  struct AggregateRow {
+    std::string track;
+    std::string name;
+    const util::Histogram* latency = nullptr;
+    std::uint64_t count = 0;
+  };
+  /// Aggregate-mode series in deterministic (track id, name) order:
+  /// latency rows first, then instant rows. Empty outside aggregate
+  /// mode. Pointers stay valid while the recorder lives.
+  std::vector<AggregateRow> aggregate_rows() const;
+
   void begin_slice(std::uint32_t track, Time at);
   void end_slice(std::uint32_t track, Time at);
   /// Instant marker on a track ("barrier release", "steal", ...).

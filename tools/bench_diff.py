@@ -7,8 +7,13 @@ Usage: tools/bench_diff.py BASELINE.json CANDIDATE.json [--fail-over PCT]
 Compares elapsed_us and every numeric metric (counters and gauges;
 histograms compare their totals) keyed by name + labels, and prints a
 table of baseline, candidate, and relative delta. Metrics present on
-only one side are listed as added/removed. By default only changed
-metrics are printed; --all prints every row.
+only one side are listed as added/removed; a whole metric NAMESPACE
+(the part before the first '.') or report section (links, timeline,
+critpath, trace) present on one side only is summarized as one named
+"added"/"removed" line instead of a per-key flood, so reports from
+older builds (predating a subsystem) remain diffable. Metric entries
+without a name are skipped with a note, never a crash. By default only
+changed metrics are printed; --all prints every row.
 
 --fail-over PCT turns the diff into a gate: exit 1 when any compared
 metric (optionally filtered to names starting with --metric PREFIX)
@@ -55,9 +60,23 @@ def metric_value(m):
     return m.get("value", 0)
 
 
-def flatten(doc):
+def namespace(key):
+    """'kvs.gets{arm=on}' -> 'kvs'; un-dotted keys are their own group."""
+    return key.split("{", 1)[0].split(".", 1)[0]
+
+
+# Optional top-level report sections: present only when the producing
+# run enabled the corresponding subsystem (obs.links, obs.timeline, ...).
+SECTIONS = ("links", "timeline", "critpath", "trace")
+
+
+def flatten(doc, path):
     vals = {"elapsed_us": doc.get("elapsed_us", 0)}
-    for m in doc.get("metrics", []):
+    for i, m in enumerate(doc.get("metrics", [])):
+        if not isinstance(m, dict) or "name" not in m:
+            print(f"bench_diff: note — {path} metric {i} has no name, "
+                  f"skipped: {m!r}", file=sys.stderr)
+            continue
         vals[metric_key(m)] = metric_value(m)
     return vals
 
@@ -86,8 +105,10 @@ def main():
                     help="print unchanged metrics too")
     args = ap.parse_args()
 
-    base = flatten(load_report(args.baseline))
-    cand = flatten(load_report(args.candidate))
+    base_doc = load_report(args.baseline)
+    cand_doc = load_report(args.candidate)
+    base = flatten(base_doc, args.baseline)
+    cand = flatten(cand_doc, args.candidate)
 
     added = sorted(set(cand) - set(base))
     removed = sorted(set(base) - set(cand))
@@ -115,10 +136,31 @@ def main():
             print(f"{key:<{w}}  {b:>16g}  {c:>16g}  {shown}")
     else:
         print("bench_diff: no metric changed")
-    for key in added:
-        print(f"bench_diff: only in candidate: {key} = {cand[key]:g}")
-    for key in removed:
-        print(f"bench_diff: only in baseline: {key} = {base[key]:g}")
+    def print_one_sided(keys, vals, other, side):
+        """One summary line per namespace fully absent on `other`;
+        individual lines for keys whose namespace exists on both."""
+        other_ns = {namespace(k) for k in other}
+        by_ns = {}
+        for k in keys:
+            by_ns.setdefault(namespace(k), []).append(k)
+        for ns in sorted(by_ns):
+            if ns not in other_ns:
+                print(f"bench_diff: {side}: namespace '{ns}' "
+                      f"({len(by_ns[ns])} metrics)")
+            else:
+                for k in by_ns[ns]:
+                    print(f"bench_diff: {side}: {k} = {vals[k]:g}")
+
+    print_one_sided(added, cand, base, "only in candidate")
+    print_one_sided(removed, base, cand, "only in baseline")
+    for section in SECTIONS:
+        in_base, in_cand = section in base_doc, section in cand_doc
+        if in_cand and not in_base:
+            print(f"bench_diff: only in candidate: report section "
+                  f"'{section}'")
+        elif in_base and not in_cand:
+            print(f"bench_diff: only in baseline: report section "
+                  f"'{section}'")
 
     if args.fail_over is not None:
         scope = f" (prefix {args.metric!r})" if args.metric else ""

@@ -160,10 +160,52 @@ PY
     "${out}/BENCH_overload_a.json" "${out}/BENCH_overload_b.json"
 }
 
+timeline_gate() {
+  # Continuous-telemetry gate (docs/observability.md): a traced
+  # overload run with obs.timeline + obs.critpath on must emit a
+  # schema-valid pgasq.timeline section whose counter totals reconcile
+  # with the run's own metrics, a critical-path section whose segment
+  # sums hold the attribution identity, and the timeline CSV; and the
+  # same run with every obs.* knob unset must print byte-identical
+  # stdout (zero-cost-off guarantee).
+  local dir="$1" out="${repo}/$1/timeline-gate"
+  echo "=== timeline gate: ${dir}" >&2
+  mkdir -p "${out}"
+  "${repo}/${dir}/bench/bench_abl_overload" --factors=1.5 --soak=0 \
+    --hedge=0 --obs.timeline=1 --obs.critpath=1 \
+    "--obs.timeline_csv=${out}/timeline.csv" \
+    "--report.json_path=${out}/BENCH_overload_tl.json" \
+    > "${out}/stdout_tl.txt"
+  python3 "${repo}/tools/validate_trace.py" --require-timeline \
+    --report "${out}/BENCH_overload_tl.json"
+  python3 "${repo}/tools/critical_path.py" \
+    "${out}/BENCH_overload_tl.json" >/dev/null
+  [[ -s "${out}/timeline.csv" ]] || {
+    echo "timeline gate: empty/missing ${out}/timeline.csv" >&2; exit 1; }
+  "${repo}/${dir}/bench/bench_abl_overload" --factors=1.5 --soak=0 \
+    --hedge=0 > "${out}/stdout_off.txt"
+  "${repo}/${dir}/bench/bench_abl_overload" --factors=1.5 --soak=0 \
+    --hedge=0 --obs.timeline=1 --obs.critpath=1 \
+    > "${out}/stdout_on.txt"
+  # The obs-on run must leave every pre-existing line untouched: its
+  # stdout minus the timeline/critpath sections == the obs-off stdout
+  # (virtual time unchanged — observation never perturbs the run).
+  python3 - "${out}/stdout_off.txt" "${out}/stdout_on.txt" <<'PY'
+import sys
+off = open(sys.argv[1]).read()
+on = open(sys.argv[2]).read()
+for line in off.splitlines():
+    assert line in on, f"obs-on run lost line: {line!r}"
+assert on != off, "obs.timeline=1 printed no timeline section"
+print("timeline gate OK: obs-on stdout is a superset, timings unchanged")
+PY
+}
+
 pass build-check
 obs_gate build-check
 kvs_gate build-check
 overload_gate build-check
+timeline_gate build-check
 pass build-check-ubsan -DPGASQ_SANITIZE=undefined \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 if [[ "${run_asan}" == 1 ]]; then

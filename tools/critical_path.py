@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Render critical-path bottleneck tables from a pgasq.report JSON.
+
+Usage: tools/critical_path.py REPORT.json [--top K] [--json]
+
+Consumes the pgasq.critpath v1 section a run emits under
+--obs.critpath=1 (see docs/observability.md): every wire leg's
+end-to-end latency split into inject-wait / serialization / wire / ack
+segments, aggregated per op class, per bottleneck link, and per source
+rank. Before rendering, the exact-sum identity is checked — the four
+segments must sum to the measured leg latency, per aggregate and
+overall — so a drifting attribution fails loudly instead of producing
+a plausible-looking table.
+
+Text output (default): a phase summary, then top-k tables of the worst
+op classes, links (ranked by wire + inject-wait — the share a faulted
+or congested wire adds), and source ranks. --json emits the same
+ranked content as one machine-readable document.
+
+Exit code 0 on success; 1 on a malformed report or a violated
+identity.
+"""
+
+import argparse
+import json
+import sys
+
+KNOWN_SCHEMA_VERSIONS = {1}
+SEGS = ("inject_wait_us", "ser_us", "wire_us", "ack_us")
+# Sub-microsecond slack: the C++ side sums integer picoseconds
+# exactly; only the JSON's us conversion rounds.
+TOL_US = 1e-3
+
+
+def fail(msg):
+    print(f"critical_path: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def seg_sum(entry):
+    return sum(entry.get(k, 0.0) for k in SEGS)
+
+
+def check_identity(label, entry):
+    total = entry.get("total_us", 0.0)
+    if abs(seg_sum(entry) - total) > TOL_US:
+        fail(f"{label}: segments sum to {seg_sum(entry):.6f}us but "
+             f"total_us is {total:.6f}us — attribution identity violated")
+
+
+def load_critpath(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load {path}: {e}")
+    cp = doc.get("critpath", doc)  # also accept a bare critpath doc
+    if cp.get("schema") != "pgasq.critpath":
+        fail(f"{path}: no pgasq.critpath section — was the run launched "
+             f"with --obs.critpath=1?")
+    if cp.get("schema_version") not in KNOWN_SCHEMA_VERSIONS:
+        fail(f"{path}: unknown critpath schema_version "
+             f"{cp.get('schema_version')!r}")
+    segments = cp.get("segments")
+    if not isinstance(segments, dict):
+        fail(f"{path}: critpath 'segments' must be an object")
+    check_identity("segments", segments)
+    if abs(segments.get("total_us", 0.0)
+           - cp.get("total_latency_us", 0.0)) > TOL_US:
+        fail(f"{path}: segments total {segments.get('total_us')}us != "
+             f"measured latency {cp.get('total_latency_us')}us")
+    group_sum = 0.0
+    for entry in cp.get("classes", []):
+        check_identity(f"class {entry.get('class')!r}", entry)
+        group_sum += entry.get("total_us", 0.0)
+    if cp.get("classes") and abs(group_sum - segments["total_us"]) > TOL_US:
+        fail(f"{path}: class totals sum to {group_sum:.6f}us, want "
+             f"{segments['total_us']:.6f}us")
+    for entry in cp.get("links", []):
+        check_identity(f"link {entry.get('name')!r}", entry)
+    for entry in cp.get("ranks", []):
+        check_identity(f"rank {entry.get('rank')}", entry)
+    return cp
+
+
+def wirewait(entry):
+    return entry.get("inject_wait_us", 0.0) + entry.get("wire_us", 0.0)
+
+
+def render_text(cp, top):
+    seg = cp["segments"]
+    total = seg["total_us"]
+    legs = seg.get("legs", 0)
+    print(f"critical path: {legs} wire legs, {total:.1f} us attributed")
+    print("  phase summary (share of end-to-end latency):")
+    for key, label in (("inject_wait_us", "inject-wait"), ("ser_us", "ser"),
+                       ("wire_us", "wire"), ("ack_us", "ack")):
+        v = seg.get(key, 0.0)
+        share = 100.0 * v / total if total > 0 else 0.0
+        print(f"    {label:<12} {v:>12.1f} us  {share:5.1f}%")
+    deg = cp.get("degraded", {})
+    if deg.get("legs", 0) > 0:
+        ww, all_ww = wirewait(deg), wirewait(seg)
+        share = 100.0 * ww / all_ww if all_ww > 0 else 0.0
+        print(f"  degraded links: {deg['legs']} legs carry {ww:.1f} us of "
+              f"wire+inject-wait ({share:.0f}% of all waiting)")
+
+    def table(title, entries, key_field, metric, metric_label):
+        if not entries:
+            return
+        ranked = sorted(entries, key=metric, reverse=True)[:top]
+        print(f"  worst {title} (by {metric_label}, top {len(ranked)}):")
+        for e in ranked:
+            print(f"    {str(e.get(key_field)):<12} legs {e.get('legs', 0):<8}"
+                  f" {metric(e):>12.1f} us"
+                  + (f"  degraded legs {e['degraded_legs']}"
+                     if e.get("degraded_legs") else ""))
+
+    table("op classes", cp.get("classes", []), "class",
+          lambda e: e.get("total_us", 0.0), "attributed latency")
+    table("links", cp.get("links", []), "name", wirewait, "wire+inject-wait")
+    table("ranks", cp.get("ranks", []), "rank",
+          lambda e: e.get("total_us", 0.0), "attributed latency")
+
+
+def render_json(cp, top):
+    def ranked(entries, metric):
+        return sorted(entries, key=metric, reverse=True)[:top]
+
+    out = {
+        "schema": "pgasq.critpath.summary",
+        "schema_version": 1,
+        "segments": cp["segments"],
+        "degraded": cp.get("degraded", {}),
+        "classes": ranked(cp.get("classes", []),
+                          lambda e: e.get("total_us", 0.0)),
+        "links": ranked(cp.get("links", []), wirewait),
+        "ranks": ranked(cp.get("ranks", []),
+                        lambda e: e.get("total_us", 0.0)),
+    }
+    json.dump(out, sys.stdout, indent=1)
+    print()
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("report", help="pgasq.report JSON (with a critpath "
+                                   "section) or a bare pgasq.critpath doc")
+    ap.add_argument("--top", type=int, default=8,
+                    help="rows per bottleneck table (default 8)")
+    ap.add_argument("--json", action="store_true",
+                    help="emit a machine-readable summary instead of text")
+    args = ap.parse_args()
+    cp = load_critpath(args.report)
+    if args.json:
+        render_json(cp, args.top)
+    else:
+        render_text(cp, args.top)
+
+
+if __name__ == "__main__":
+    main()

@@ -29,7 +29,14 @@ report:
   * schema == "pgasq.report" and a schema_version this tool knows;
   * metrics entries are well-formed (name/type/value);
   * per-link bucket sums equal each link's byte total, and the sum over
-    links equals metrics obs.link_bytes_total (when links are present).
+    links equals metrics obs.link_bytes_total (when links are present);
+  * with --require-timeline, the report must carry a pgasq.timeline v1
+    section (obs.timeline=1): series sorted by name, per-series bucket
+    sums reconciling with the series sample totals, gauge bucket
+    mean <= max <= series peak — and the timeline's counter totals
+    must reconcile with the end-of-run metrics the same run published
+    (pami.retransmits vs armci.retransmits, flow.credit_stalls,
+    flow.deadline_shed_server vs flow.expired_server).
 
 Exit code 0 on success; 1 with a message on the first violation.
 """
@@ -184,7 +191,76 @@ def validate_trace(path, require_ops, require_grp, require_integrity=False):
     return trace_flips
 
 
-def validate_report(path, require_integrity=False, trace_flips=None):
+KNOWN_TIMELINE_VERSIONS = {1}
+
+# (timeline series, report metric): the timeline's bucket-summed
+# counter total must equal the end-of-run counter the same subsystem
+# published — the hooks and the stats tick in the same places.
+TIMELINE_RECONCILE = (
+    ("pami.retransmits", "armci.retransmits"),
+    ("flow.credit_stalls", "flow.credit_stalls"),
+    ("flow.deadline_shed_server", "flow.expired_server"),
+    ("flow.deadline_expired_client", "flow.expired_client"),
+)
+
+
+def validate_timeline(tl, by_name):
+    if tl.get("schema") != "pgasq.timeline":
+        fail(f"timeline schema is {tl.get('schema')!r}, want 'pgasq.timeline'")
+    version = tl.get("schema_version")
+    if version not in KNOWN_TIMELINE_VERSIONS:
+        fail(f"unknown timeline schema_version {version!r}")
+    if not (isinstance(tl.get("bucket_us"), (int, float))
+            and tl["bucket_us"] > 0):
+        fail(f"timeline bucket_us must be positive, got {tl.get('bucket_us')!r}")
+    series = tl.get("series")
+    if not isinstance(series, list):
+        fail("timeline 'series' must be an array")
+    names = [s.get("name") for s in series]
+    if names != sorted(names):
+        fail("timeline series are not sorted by name")
+    totals = {}
+    for s in series:
+        name, kind = s.get("name"), s.get("kind")
+        if kind not in ("gauge", "counter"):
+            fail(f"timeline series {name!r} has unknown kind {kind!r}")
+        buckets = s.get("buckets")
+        if not isinstance(buckets, list):
+            fail(f"timeline series {name!r} 'buckets' must be an array")
+        idxs = [b[0] for b in buckets]
+        if idxs != sorted(idxs):
+            fail(f"timeline series {name!r} buckets are not time-ordered")
+        bucket_sum = sum(b[1] for b in buckets)
+        if bucket_sum != s.get("samples"):
+            fail(f"timeline series {name!r} bucket sum {bucket_sum} "
+                 f"!= samples {s.get('samples')}")
+        if kind == "gauge":
+            for b in buckets:
+                if len(b) != 4:
+                    fail(f"timeline gauge {name!r} bucket {b!r} must be "
+                         f"[idx, count, mean, max]")
+                if b[2] > b[3] + 1e-9 or b[3] > s.get("peak", 0) + 1e-9:
+                    fail(f"timeline gauge {name!r} bucket {b!r} violates "
+                         f"mean <= max <= peak ({s.get('peak')})")
+        else:
+            totals[name] = bucket_sum
+            if any(len(b) != 2 for b in buckets):
+                fail(f"timeline counter {name!r} buckets must be [idx, value]")
+    for tl_name, metric in TIMELINE_RECONCILE:
+        if tl_name not in totals or metric not in by_name:
+            continue
+        want = by_name[metric]["value"]
+        if totals[tl_name] != want:
+            fail(f"timeline {tl_name} total {totals[tl_name]} != "
+                 f"metric {metric} {want}")
+    hit = [t for t, m in TIMELINE_RECONCILE if t in totals and m in by_name]
+    print(f"validate_trace: timeline OK — schema v{version}, "
+          f"{len(series)} series, reconciled {hit or 'nothing'} "
+          f"against metrics")
+
+
+def validate_report(path, require_integrity=False, trace_flips=None,
+                    require_timeline=False):
     doc = load(path, "report")
     if doc.get("schema") != "pgasq.report":
         fail(f"report schema is {doc.get('schema')!r}, want 'pgasq.report'")
@@ -237,6 +313,13 @@ def validate_report(path, require_integrity=False, trace_flips=None):
                  f"the trace shows {trace_flips} 'packet corrupt' "
                  f"instants (--require-integrity)")
 
+    timeline = doc.get("timeline")
+    if require_timeline and timeline is None:
+        fail("report has no 'timeline' section (--require-timeline): "
+             "was the run launched with --obs.timeline=1?")
+    if timeline is not None:
+        validate_timeline(timeline, by_name)
+
     trace = doc.get("trace")
     if trace is not None and trace.get("truncated"):
         print("validate_trace: note — report says the trace was truncated",
@@ -258,6 +341,9 @@ def main():
     ap.add_argument("--require-integrity", action="store_true",
                     help="require matched packet-corrupt/corruption-nack "
                          "instants and detected == injected in the report")
+    ap.add_argument("--require-timeline", action="store_true",
+                    help="require a pgasq.timeline section in the report "
+                         "and reconcile its counter totals with metrics")
     args = ap.parse_args()
     if not args.trace and not args.report:
         ap.error("nothing to do: pass --trace and/or --report")
@@ -267,7 +353,8 @@ def main():
                                      args.require_grp,
                                      args.require_integrity)
     if args.report:
-        validate_report(args.report, args.require_integrity, trace_flips)
+        validate_report(args.report, args.require_integrity, trace_flips,
+                        args.require_timeline)
 
 
 if __name__ == "__main__":
