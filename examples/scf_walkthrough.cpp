@@ -39,6 +39,11 @@ apps::ScfResult run_mode(const Config& cli, armci::ProgressMode mode,
     if (key.rfind("coll.", 0) == 0) {
       cfg.armci.coll.emplace_back(key.substr(5), cli.get_string(key, ""));
     }
+    // Async-runtime knobs ride the same way: --async.scf_overlap=1
+    // switches run_scf to the overlapped body (docs/async.md).
+    if (key.rfind("async.", 0) == 0) {
+      cfg.armci.async.emplace_back(key.substr(6), cli.get_string(key, ""));
+    }
   }
   // Fail-stop knobs: with --fault.node_fail=node:at_us scheduled, the
   // run checkpoints and survives the death (docs/faults.md).

@@ -4,7 +4,9 @@
 #include <memory>
 #include <vector>
 
+#include "async/async.hpp"
 #include "coll/coll.hpp"
+#include "coll/nbc.hpp"
 #include "core/comm.hpp"
 #include "ft/recovery.hpp"
 #include "ga/collectives.hpp"
@@ -202,6 +204,182 @@ void run_scf_ft(armci::Comm& comm, const ScfConfig& config, ScfResult& result,
   result.forced_fences += after.forced_fences - before.forced_fences;
 }
 
+/// Overlapped iteration tail (config.overlap): identical task loop and
+/// physics, but the per-iteration energy reduction is non-blocking
+/// (coll::NbcEngine via ga::ielement_sum) and chained past the
+/// iteration boundary — it advances from the progress passes the next
+/// iteration's gets/accs/RMWs make anyway — and its window hides a
+/// speculative prefetch of the next iteration's first density patches.
+void run_scf_overlap(armci::Comm& comm, const ScfConfig& config,
+                     ScfResult& result, Time& t_start, Time& t_end) {
+  PGASQ_CHECK(config.purification_sweeps == 0,
+              << "scf overlap path does not support purification");
+  const std::int64_t nblk = (config.nbf + config.block - 1) / config.block;
+  const std::int64_t ntasks = scf_tasks_per_iteration(config);
+
+  ga::GlobalArray density(comm, config.nbf, config.nbf);
+  ga::GlobalArray fock(comm, config.nbf, config.nbf);
+  ga::GlobalArray scratch(comm, config.nbf, config.nbf);
+  ga::SharedCounter counter(comm);
+
+  auto guess = [](std::int64_t i, std::int64_t j) {
+    return 1.0 / static_cast<double>(1 + i + j);
+  };
+  if (config.distributed_guess) {
+    if (comm.rank() == 0) {
+      std::vector<double> d0(static_cast<std::size_t>(config.nbf * config.nbf));
+      for (std::int64_t i = 0; i < config.nbf; ++i) {
+        for (std::int64_t j = 0; j < config.nbf; ++j) {
+          d0[static_cast<std::size_t>(i * config.nbf + j)] = guess(i, j);
+        }
+      }
+      density.put(0, config.nbf, 0, config.nbf, d0.data(), config.nbf);
+      comm.fence_all();
+    }
+  } else {
+    density.fill_local(guess);
+  }
+  fock.fill_local(0.0);
+  density.sync();
+  // Engines up before the timed region, like the blocking path.
+  coll::CollEngine::of(comm);
+  async::Runtime& rt = async::Runtime::of(comm);
+  coll::NbcEngine::of(comm);
+
+  const armci::CommStats before = comm.stats();
+  if (comm.rank() == 0) t_start = comm.now();
+
+  std::vector<double> dij(static_cast<std::size_t>(config.block * config.block));
+  std::vector<double> dji(dij.size());
+  std::vector<double> fbuf(dij.size());
+
+  // Speculation state: the next iteration's first task is guessed to
+  // equal this iteration's (the counter hands out a similar order every
+  // build), and its density patches are fetched under the open energy
+  // reduction. A wrong guess costs nothing on the critical path — the
+  // fetch was asynchronous — and density is static, so hit or miss the
+  // physics is identical.
+  std::vector<double> pij(dij.size());
+  std::vector<double> pji(dij.size());
+  armci::Handle pf;
+  std::int64_t speculated = -1;
+  bool prefetch_live = false;
+
+  // One energy slot per iteration: each must stay alive and untouched
+  // until its reduction future is ready.
+  std::vector<double> energies(static_cast<std::size_t>(config.iterations), 0.0);
+  std::vector<fut::Future<fut::Unit>> open_reductions;
+
+  for (int iter = 0; iter < config.iterations; ++iter) {
+    counter.reset();
+    std::int64_t first_task = -1;
+    for (std::int64_t task = counter.next(); task < ntasks;
+         task = counter.next()) {
+      if (first_task < 0) first_task = task;
+      const auto [bi, bj] = scf_task_blocks(task, nblk);
+      const std::int64_t rlo = bi * config.block;
+      const std::int64_t rhi = std::min(config.nbf, rlo + config.block);
+      const std::int64_t clo = bj * config.block;
+      const std::int64_t chi = std::min(config.nbf, clo + config.block);
+      const std::int64_t nr = rhi - rlo;
+      const std::int64_t nc = chi - clo;
+
+      if (prefetch_live && task == speculated) {
+        // The patches are (usually) already local: the fetch flew
+        // while the previous iteration's energy reduction was open.
+        comm.wait(pf);
+        dij.swap(pij);
+        dji.swap(pji);
+        prefetch_live = false;
+        ++result.prefetch_hits;
+      } else {
+        armci::Handle h;
+        density.nb_get(rlo, rhi, clo, chi, dij.data(), nc, h);
+        density.nb_get(clo, chi, rlo, rhi, dji.data(), nr, h);
+        comm.wait(h);
+      }
+
+      comm.compute(scf_task_time(config, iter, task));
+
+      for (std::int64_t r = 0; r < nr; ++r) {
+        for (std::int64_t c = 0; c < nc; ++c) {
+          fbuf[static_cast<std::size_t>(r * nc + c)] =
+              0.5 * dij[static_cast<std::size_t>(r * nc + c)] +
+              0.25 * dji[static_cast<std::size_t>(c * nr + r)];
+        }
+      }
+      fock.acc(1.0, rlo, rhi, clo, chi, fbuf.data(), nc);
+      if (bi != bj) {
+        std::vector<double> ft(static_cast<std::size_t>(nr * nc));
+        for (std::int64_t r = 0; r < nr; ++r) {
+          for (std::int64_t c = 0; c < nc; ++c) {
+            ft[static_cast<std::size_t>(c * nr + r)] =
+                fbuf[static_cast<std::size_t>(r * nc + c)];
+          }
+        }
+        fock.acc(1.0, clo, chi, rlo, rhi, ft.data(), nr);
+      }
+      ++result.tasks_executed;
+    }
+    if (prefetch_live) {
+      // The guess missed (the counter dealt a different first task):
+      // retire the fetch off the critical path's accounting.
+      comm.wait(pf);
+      prefetch_live = false;
+      ++result.prefetch_misses;
+    }
+    comm.barrier();
+    ga::symmetrize(fock, scratch);
+    // Non-blocking energy reduction, chained past the iteration
+    // boundary: the continuation latches the final energy whenever the
+    // last reduction completes — possibly while the checksum readbacks
+    // below are already running.
+    const std::size_t slot = static_cast<std::size_t>(iter);
+    fut::Future<fut::Unit> f = ga::ielement_sum(fock, &energies[slot]);
+    if (comm.rank() == 0 && iter == config.iterations - 1) {
+      f = f.then([&result, &energies, slot](const fut::Unit&) {
+        result.final_energy = energies[slot];
+      });
+    }
+    open_reductions.push_back(std::move(f));
+    // The reduction window hides the next iteration's first fetch.
+    if (iter + 1 < config.iterations && first_task >= 0) {
+      speculated = first_task;
+      const auto [bi, bj] = scf_task_blocks(speculated, nblk);
+      const std::int64_t rlo = bi * config.block;
+      const std::int64_t rhi = std::min(config.nbf, rlo + config.block);
+      const std::int64_t clo = bj * config.block;
+      const std::int64_t chi = std::min(config.nbf, clo + config.block);
+      density.nb_get(rlo, rhi, clo, chi, pij.data(), chi - clo, pf);
+      density.nb_get(clo, chi, rlo, rhi, pji.data(), rhi - rlo, pf);
+      prefetch_live = true;
+    }
+  }
+
+  // Drain every reduction still in flight before reading results.
+  rt.wait(fut::when_all(rt, std::move(open_reductions)));
+  if (comm.rank() == 0) t_end = comm.now();
+
+  if (comm.rank() == 0) {
+    double sum = 0.0;
+    for (std::int64_t i = 0; i < config.nbf; i += 97) {
+      sum += fock.read_element(i, i);
+      if (i + 1 < config.nbf) sum += fock.read_element(i, i + 1);
+    }
+    result.fock_checksum = sum;
+  }
+  comm.barrier();
+
+  const armci::CommStats& after = comm.stats();
+  result.counter_time += after.time_in_rmw - before.time_in_rmw;
+  result.get_time += (after.time_in_get - before.time_in_get) +
+                     (after.time_in_wait - before.time_in_wait);
+  result.acc_time += after.time_in_acc - before.time_in_acc;
+  result.barrier_time += after.time_in_barrier - before.time_in_barrier;
+  result.reduce_time += after.coll.data_time() - before.coll.data_time();
+  result.forced_fences += after.forced_fences - before.forced_fences;
+}
+
 }  // namespace
 
 ScfResult run_scf(armci::World& world, const ScfConfig& config) {
@@ -219,6 +397,15 @@ ScfResult run_scf(armci::World& world, const ScfConfig& config) {
       // Node deaths are scheduled: take the fail-stop body. The plain
       // path below never pays for fault tolerance.
       run_scf_ft(comm, config, result, t_start, t_end);
+      return;
+    }
+    // Either the app asked for the overlapped tail or the runtime was
+    // configured with --async.scf_overlap=1. Parsing the options here
+    // is pure: with async.* unset no Runtime is instantiated and the
+    // plain path below stays byte-identical.
+    if (config.overlap ||
+        async::AsyncConfig::from_options(comm.options()).scf_overlap) {
+      run_scf_overlap(comm, config, result, t_start, t_end);
       return;
     }
     ga::GlobalArray density(comm, config.nbf, config.nbf);

@@ -53,6 +53,17 @@ struct ScfConfig {
   /// each rank filling its own block locally, leaving the published
   /// Fig 11 workload untouched. Ignored by the fail-stop body.
   bool distributed_guess = false;
+  /// Overlapped iteration tail (async.scf_overlap): the per-iteration
+  /// energy reduction goes through the non-blocking collectives engine
+  /// and is chained past the iteration boundary — it completes in the
+  /// background while the next iteration's task loop runs — and the
+  /// reduction window additionally hides a speculative prefetch of the
+  /// next iteration's first density patches. Physics (Fock checksum,
+  /// final energy) is unchanged; with coll.algo.allreduce=recdbl it is
+  /// bitwise identical to the blocking path. The default keeps the
+  /// published Fig 11 workload byte-identical. Requires
+  /// purification_sweeps == 0; ignored by the fail-stop body.
+  bool overlap = false;
 };
 
 struct ScfResult {
@@ -72,6 +83,11 @@ struct ScfResult {
   Time reduce_time = 0;
   std::uint64_t tasks_executed = 0;
   std::uint64_t forced_fences = 0;
+  /// Overlap-path speculation accounting (zero on the blocking path):
+  /// next-iteration first-task density prefetches that were consumed
+  /// vs. discarded.
+  std::uint64_t prefetch_hits = 0;
+  std::uint64_t prefetch_misses = 0;
   /// Deterministic Fock-matrix checksum (mode/p independent).
   double fock_checksum = 0.0;
   /// "Energy" from the per-iteration global reduction (GA_Dgop

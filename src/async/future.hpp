@@ -1,0 +1,248 @@
+// Composable futures for the asynchronous runtime (src/async).
+//
+// fut::Promise<T> / fut::Future<T> follow the UPC++ shape: a future is
+// a read-only view of a shared completion state; `.then()` chains a
+// continuation and returns the future of its result; when_all /
+// when_any aggregate. The crucial determinism rule: continuations
+// NEVER run inline at fulfillment. Fulfilling a promise enqueues its
+// continuations on the owning rank's fut::Scheduler (the async
+// runtime's FIFO queue), and the progress engine drains that queue on
+// the application fiber in virtual-time order — so the execution order
+// of chained work is a pure function of the simulated schedule and is
+// bitwise seed-stable (docs/async.md).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace pgasq::fut {
+
+/// Where fulfilled promises enqueue their continuations. Implemented
+/// by async::Runtime; kept abstract so unit tests can substitute a
+/// trivial immediate-drain scheduler.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  /// Append a continuation to the FIFO ready queue (drained from the
+  /// progress engine, never inline).
+  virtual void enqueue(std::function<void()> k) = 0;
+  /// Bookkeeping for the pending-futures gauge and the
+  /// abandoned-continuation check: +1 when a continuation is attached
+  /// to a not-yet-ready future, -1 when its value arrives.
+  virtual void note_pending(int delta) = 0;
+};
+
+/// Value type of futures that carry no payload ("operation finished").
+struct Unit {};
+
+template <typename T = Unit>
+class Future;
+template <typename T = Unit>
+class Promise;
+
+namespace detail {
+
+template <typename T>
+struct SharedState {
+  Scheduler* sched = nullptr;
+  std::optional<T> value;
+  /// Continuations registered before the value arrived; moved out and
+  /// enqueued (FIFO) at fulfillment.
+  std::vector<std::function<void(const T&)>> conts;
+
+  bool ready() const { return value.has_value(); }
+};
+
+template <typename U>
+struct IsFuture : std::false_type {};
+template <typename U>
+struct IsFuture<Future<U>> : std::true_type {};
+
+/// Result mapping for then(): void -> Unit, Future<U> -> U (flattened).
+template <typename R>
+struct ThenResult {
+  using type = R;
+};
+template <>
+struct ThenResult<void> {
+  using type = Unit;
+};
+template <typename U>
+struct ThenResult<Future<U>> {
+  using type = U;
+};
+
+}  // namespace detail
+
+template <typename T>
+class Promise {
+ public:
+  Promise() = default;
+  explicit Promise(Scheduler& sched)
+      : state_(std::make_shared<detail::SharedState<T>>()) {
+    state_->sched = &sched;
+  }
+
+  bool valid() const { return state_ != nullptr; }
+  bool fulfilled() const { return state_ != nullptr && state_->ready(); }
+  Future<T> future() const;
+
+  /// Stores the value and enqueues every registered continuation on
+  /// the scheduler, preserving registration order. Single-shot.
+  void fulfill(T value) const {
+    PGASQ_CHECK(state_ != nullptr, << "fulfill on a default Promise");
+    PGASQ_CHECK(!state_->ready(), << "promise fulfilled twice");
+    state_->value.emplace(std::move(value));
+    auto conts = std::move(state_->conts);
+    state_->conts.clear();
+    for (auto& k : conts) {
+      state_->sched->note_pending(-1);
+      auto st = state_;
+      state_->sched->enqueue([st, k = std::move(k)] { k(*st->value); });
+    }
+  }
+
+ private:
+  std::shared_ptr<detail::SharedState<T>> state_;
+};
+
+template <typename T>
+class Future {
+ public:
+  using value_type = T;
+
+  Future() = default;  ///< invalid (no state attached)
+
+  bool valid() const { return state_ != nullptr; }
+  bool ready() const { return state_ != nullptr && state_->ready(); }
+
+  /// The fulfilled value; checked.
+  const T& value() const {
+    PGASQ_CHECK(ready(), << "Future::value() before readiness");
+    return *state_->value;
+  }
+
+  /// Chains `f` to run (on the scheduler, never inline) once this
+  /// future is ready; returns the future of f's result. `f` may return
+  /// a plain value, void (mapped to Unit), or another Future (the
+  /// result is flattened, so communication ops compose: e.g.
+  /// `rt.get(...).then([&]{ return rt.put(...); }).then(...)`).
+  template <typename F>
+  auto then(F&& f) const {
+    PGASQ_CHECK(valid(), << "then() on an invalid Future");
+    using R = std::invoke_result_t<F, const T&>;
+    using U = typename detail::ThenResult<R>::type;
+    Promise<U> next(*state_->sched);
+    auto fn = std::function<R(const T&)>(std::forward<F>(f));
+    auto run = [next, fn](const T& v) {
+      if constexpr (std::is_void_v<R>) {
+        fn(v);
+        next.fulfill(Unit{});
+      } else if constexpr (detail::IsFuture<R>::value) {
+        // Flatten: fulfill `next` when the inner future does.
+        R inner = fn(v);
+        inner.then([next](const U& u) { next.fulfill(u); });
+      } else {
+        next.fulfill(fn(v));
+      }
+    };
+    attach(std::move(run));
+    return next.future();
+  }
+
+  /// Low-level continuation hook used by the aggregators; prefer then().
+  void attach(std::function<void(const T&)> k) const {
+    PGASQ_CHECK(valid(), << "attach() on an invalid Future");
+    if (state_->ready()) {
+      // Already ready: still goes through the queue, so ordering
+      // between "late" and "early" continuations stays FIFO.
+      auto st = state_;
+      state_->sched->enqueue([st, k = std::move(k)] { k(*st->value); });
+    } else {
+      state_->sched->note_pending(+1);
+      state_->conts.push_back(std::move(k));
+    }
+  }
+
+  Scheduler& scheduler() const {
+    PGASQ_CHECK(valid(), << "scheduler() on an invalid Future");
+    return *state_->sched;
+  }
+
+ private:
+  friend class Promise<T>;
+  explicit Future(std::shared_ptr<detail::SharedState<T>> s)
+      : state_(std::move(s)) {}
+  std::shared_ptr<detail::SharedState<T>> state_;
+};
+
+template <typename T>
+Future<T> Promise<T>::future() const {
+  PGASQ_CHECK(state_ != nullptr, << "future() on a default Promise");
+  return Future<T>(state_);
+}
+
+/// Convenience: an already-fulfilled future.
+template <typename T>
+Future<T> make_ready(Scheduler& sched, T value) {
+  Promise<T> p(sched);
+  p.fulfill(std::move(value));
+  return p.future();
+}
+
+/// Future of all inputs' values (input order preserved). Ready once
+/// every input is; an empty set is ready at the first drain.
+template <typename T>
+Future<std::vector<T>> when_all(Scheduler& sched, std::vector<Future<T>> fs) {
+  Promise<std::vector<T>> p(sched);
+  struct Gather {
+    std::vector<std::optional<T>> slots;
+    std::size_t missing;
+  };
+  auto g = std::make_shared<Gather>();
+  g->slots.resize(fs.size());
+  g->missing = fs.size();
+  if (fs.empty()) {
+    p.fulfill({});
+    return p.future();
+  }
+  for (std::size_t i = 0; i < fs.size(); ++i) {
+    fs[i].attach([p, g, i](const T& v) {
+      g->slots[i] = v;
+      if (--g->missing == 0) {
+        std::vector<T> out;
+        out.reserve(g->slots.size());
+        for (auto& s : g->slots) out.push_back(std::move(*s));
+        p.fulfill(std::move(out));
+      }
+    });
+  }
+  return p.future();
+}
+
+/// Future of the index of the first input to become ready (first in
+/// drain order; deterministic). The losers stay in flight — the caller
+/// must keep their buffers alive (same contract as Comm::wait_any).
+template <typename T>
+Future<std::size_t> when_any(Scheduler& sched, std::vector<Future<T>> fs) {
+  PGASQ_CHECK(!fs.empty(), << "when_any over an empty set");
+  Promise<std::size_t> p(sched);
+  auto won = std::make_shared<bool>(false);
+  for (std::size_t i = 0; i < fs.size(); ++i) {
+    fs[i].attach([p, won, i](const T&) {
+      if (*won) return;
+      *won = true;
+      p.fulfill(i);
+    });
+  }
+  return p.future();
+}
+
+}  // namespace pgasq::fut

@@ -161,6 +161,108 @@ void CollEngine::allreduce_recdbl(double* x, std::size_t n) {
   }
 }
 
+void CollEngine::allreduce_rab(double* x, std::size_t n) {
+  // Rabenseifner's algorithm: recursive-halving reduce-scatter, then a
+  // recursive-doubling allgather. Each rank moves ~2n doubles total
+  // where recursive doubling moves n * log2(p), so it carries the
+  // mid-size band — bandwidth-bound payloads that the torus-ring
+  // bucket schedule cannot yet amortize (or cannot run at all). It is
+  // also the flat fall-back the hierarchical leaders' group engine
+  // picks up through its own selection table.
+  const int p = geometry_.p, me = me_;
+  int pof2 = 1;
+  while (pof2 * 2 <= p) pof2 *= 2;
+  const int rem = p - pof2;
+  const int rounds = ceil_log2(pof2);
+  // Slots: 0 = pre-fold, 1+r = halving rounds, 1+rounds+r = doubling
+  // rounds, 1+2*rounds = post-fold.
+  begin_data_op(n * 8, 2 * static_cast<std::size_t>(rounds) + 2);
+
+  // Chunk c spans [c*cap, (c+1)*cap) clipped to n. Both sides of every
+  // exchange derive bounds from the shared capacity, so remainders
+  // (and ranks whose chunks clip to empty) stay in lockstep: a
+  // zero-length range is skipped identically by sender and receiver.
+  const std::size_t cap = (n + static_cast<std::size_t>(pof2) - 1) /
+                          static_cast<std::size_t>(pof2);
+  auto chunk_lo = [&](int c) {
+    return std::min(static_cast<std::size_t>(c) * cap, n);
+  };
+
+  // Non-power-of-two fold (MPICH), exactly as in recursive doubling:
+  // the first 2*rem ranks pair up; odd ranks lend their contribution
+  // to the even partner and sit out.
+  int vr;
+  if (me < 2 * rem) {
+    if (me % 2 == 1) {
+      send(me - 1, 0, x, n * 8);
+      vr = -1;
+    } else {
+      const auto* in = reinterpret_cast<const double*>(recv_wait(0, n * 8));
+      for (std::size_t i = 0; i < n; ++i) x[i] += in[i];
+      vr = me / 2;
+    }
+  } else {
+    vr = me - rem;
+  }
+
+  auto wrank = [&](int v) { return v < rem ? v * 2 : v + rem; };
+
+  if (vr >= 0) {
+    // Reduce-scatter by recursive halving: the live chunk window
+    // follows vr's bits from high to low, so after the last round this
+    // rank owns exactly chunk vr, fully combined. Each chunk's final
+    // value is produced by one rank only, so the allgathered result is
+    // bitwise identical everywhere.
+    int lo = 0, hi = pof2;
+    for (int r = 0; r < rounds; ++r) {
+      const int mask = pof2 >> (r + 1);
+      const int partner = vr ^ mask;
+      const int mid = lo + mask;
+      const bool upper = (vr & mask) != 0;
+      const int slo = upper ? lo : mid, shi = upper ? mid : hi;
+      const int rlo = upper ? mid : lo, rhi = upper ? hi : mid;
+      const std::size_t sa = chunk_lo(slo), sb = chunk_lo(shi);
+      const std::size_t ra = chunk_lo(rlo), rb = chunk_lo(rhi);
+      const std::size_t slot = static_cast<std::size_t>(1 + r);
+      if (sb > sa) send(wrank(partner), slot, x + sa, (sb - sa) * 8);
+      if (rb > ra) {
+        const auto* in =
+            reinterpret_cast<const double*>(recv_wait(slot, (rb - ra) * 8));
+        for (std::size_t i = 0; i < rb - ra; ++i) x[ra + i] += in[i];
+      }
+      lo = rlo;
+      hi = rhi;
+    }
+    // Allgather by recursive doubling, unwinding the halving: at step
+    // r the owned window is the aligned mask-chunk block holding vr;
+    // the partner holds the adjacent block.
+    for (int r = 0; r < rounds; ++r) {
+      const int mask = 1 << r;
+      const int partner = vr ^ mask;
+      const int base = vr & ~(2 * mask - 1);
+      const bool upper = (vr & mask) != 0;
+      const int slo = upper ? base + mask : base;
+      const int rlo = upper ? base : base + mask;
+      const std::size_t sa = chunk_lo(slo), sb = chunk_lo(slo + mask);
+      const std::size_t ra = chunk_lo(rlo), rb = chunk_lo(rlo + mask);
+      const std::size_t slot = static_cast<std::size_t>(1 + rounds + r);
+      if (sb > sa) send(wrank(partner), slot, x + sa, (sb - sa) * 8);
+      if (rb > ra) {
+        std::memcpy(x + ra, recv_wait(slot, (rb - ra) * 8), (rb - ra) * 8);
+      }
+    }
+  }
+
+  if (me < 2 * rem) {
+    if (me % 2 == 0) {
+      send(me + 1, static_cast<std::size_t>(1 + 2 * rounds), x, n * 8);
+    } else {
+      std::memcpy(x, recv_wait(static_cast<std::size_t>(1 + 2 * rounds), n * 8),
+                  n * 8);
+    }
+  }
+}
+
 void CollEngine::allreduce_ring(double* x, std::size_t n) {
   // Bucket allreduce over the torus rings: a ring reduce-scatter per
   // dimension going "down" (each level shrinks the live segment by the

@@ -823,6 +823,9 @@ void CollEngine::allreduce_sum(double* x, std::size_t n) {
     case Algo::kRecdbl:
       allreduce_recdbl(x, n);
       break;
+    case Algo::kRab:
+      allreduce_rab(x, n);
+      break;
     case Algo::kTorusRing:
       allreduce_ring(x, n);
       break;

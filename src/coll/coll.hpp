@@ -221,6 +221,7 @@ class CollEngine {
   void bcast_ring(std::byte* data, std::size_t bytes, int root, std::size_t seg);
   void reduce_binomial(double* x, std::size_t n, int root);
   void allreduce_recdbl(double* x, std::size_t n);
+  void allreduce_rab(double* x, std::size_t n);
   void allreduce_ring(double* x, std::size_t n);
   void allgather_binomial(const std::byte* in, std::size_t bytes, std::byte* out);
   void allgather_recdbl(const std::byte* in, std::size_t bytes, std::byte* out);

@@ -118,11 +118,16 @@ Algo CollConfig::choose(Op op, std::uint64_t bytes, const Geometry& g) const {
       pick = hw ? Algo::kHw : hier ? Algo::kHier : Algo::kBinomial;
       break;
     case Op::kAllreduce:
+      // Mid-size software band: the reduce-scatter + allgather
+      // schedule (Rabenseifner) moves ~2n doubles per rank where
+      // recursive doubling moves n log2(p) — it carries payloads that
+      // are bandwidth-bound but too small (or the geometry too
+      // irregular) for the torus-ring bucket schedule.
       pick = hw                  ? Algo::kHw
              : hier              ? Algo::kHier
              : bytes < small_bytes ? Algo::kRecdbl
              : ring              ? Algo::kTorusRing
-                                 : Algo::kRecdbl;
+                                 : Algo::kRab;
       break;
     case Op::kAllgather:
       // Total result is p * bytes: bandwidth schedules win early.
@@ -141,6 +146,10 @@ Algo CollConfig::choose(Op op, std::uint64_t bytes, const Geometry& g) const {
 Algo CollConfig::normalize(Op op, Algo algo, const Geometry& g) const {
   PGASQ_CHECK(algo != Algo::kAuto);
   if (g.p == 1) return algo;  // every algorithm degenerates to a no-op
+  // Rabenseifner only exists for allreduce (the scatter and gather
+  // phases are two halves of one combine); elsewhere it degrades to
+  // recursive doubling and rides that algorithm's fall-backs below.
+  if (algo == Algo::kRab && op != Op::kAllreduce) algo = Algo::kRecdbl;
   // The hardware model moves no torus packets, so it cannot honour a
   // fault plan that fails links or corrupts payloads; and it spans the
   // whole partition, so a shrunk survivor clique cannot ride it

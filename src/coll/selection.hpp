@@ -35,12 +35,13 @@ enum class Algo : int {
   kTorusRing = 2,  ///< per-torus-dimension ring / bucket schedule
   kHw = 3,         ///< BG/Q collective-logic hardware model
   kHier = 4,       ///< node-aware two-level (shm combine + leaders)
+  kRab = 5,        ///< Rabenseifner reduce-scatter + allgather allreduce
 };
 
 const char* op_name(Op op);
 const char* algo_name(Algo algo);
-/// Parses "binomial" / "recdbl" / "torus-ring" / "hw" / "auto".
-/// Throws pgasq::Error on anything else.
+/// Parses "binomial" / "recdbl" / "torus-ring" / "hw" / "hier" /
+/// "rab" / "auto". Throws pgasq::Error on anything else.
 Algo parse_algo(const std::string& name);
 
 /// Participant-geometry facts the selection table keys on.

@@ -160,10 +160,13 @@ struct GetReplyClosure {
 }  // namespace
 
 /// Write-acknowledgement cookie carried by accumulate / packed-write
-/// messages; the target fires it back over a control packet.
+/// messages; the target fires it back over a control packet. `extra`
+/// is the optional remote-completion callback of the async runtime
+/// (Cx::kRemote), fired at the same ack delivery.
 struct Comm::AckClosure {
   Comm* source;
   ConflictTracker::Key key;
+  pami::Callback extra;
 };
 
 // ---------------------------------------------------------------------------
@@ -209,6 +212,17 @@ void Comm::finalize() {
   grp_slot_.reset();
   barrier_hook_ = nullptr;
   coll_slot_.reset();
+  nbc_slot_.reset();
+  // Async runtime last: the collectives teardown above may still have
+  // drained nbc completions through the hook. The quiescence check
+  // aborts on abandoned continuations (chained work that can never
+  // run); a rank torn down by fail-stop recovery skips it — its
+  // futures died with its peers.
+  if (async_check_ && !ft_failed_) async_check_();
+  async_hook_ = nullptr;
+  async_check_ = nullptr;
+  async_poll_ = nullptr;
+  async_slot_.reset();
   if (async_running_) {
     async_running_ = false;
     service_context().post_completion([] {}, 0);
@@ -312,16 +326,33 @@ std::size_t Comm::locked_advance(pami::Context& ctx) {
 void Comm::progress_until(const std::function<bool()>& pred) {
   pami::Context& ctx = main_context();
   for (;;) {
+    if (!deferred_gets_.empty()) flush_deferred_gets();
+    bool done;
     {
       ProgressGuard guard(needs_context_lock(), ctx,
                           process_.machine().params().context_lock_cost);
       ctx.advance();
-      if (pred()) return;
+      done = pred();
     }
+    // Drain the async runtime outside the context lock: continuations
+    // and nbc schedule steps issue communication of their own, and the
+    // predicate may only become satisfiable through them.
+    if (async_hook_) {
+      async_hook_();
+      done = pred();
+    }
+    if (done) return;
     // A declared node death may have made this predicate unsatisfiable
     // — unwind to the recovery runtime rather than park forever.
     ft_check();
     if (ctx.has_work()) continue;
+    // Open non-blocking collectives complete through one-sided flag
+    // writes that post no context item: parking would sleep through
+    // the landing. Poll instead, at the collectives engine's cadence.
+    if (async_poll_ && async_poll_()) {
+      compute(from_ns(200));
+      continue;
+    }
     // Park (lock released) until the next delivery; every event this
     // predicate can depend on arrives as an item on this context.
     ctx.wait_for_work();
@@ -610,10 +641,7 @@ void Comm::attach(Handle& handle, int ops) {
 
 pami::Callback Comm::make_done(Handle& handle) {
   auto s = handle.state();
-  return [s] {
-    PGASQ_CHECK(s->outstanding > 0, << "handle completion underflow");
-    --s->outstanding;
-  };
+  return [s] { handle_complete_one(*s); };
 }
 
 void Comm::wait(Handle& handle) {
@@ -649,10 +677,34 @@ bool Comm::wait_until(Handle& handle, Time t) {
 }
 
 bool Comm::wait_any(Handle& a, Handle& b) {
+  // Ties go to `a`: wait_some reports completions in index order.
+  return wait_some({&a, &b}).front() == 0;
+}
+
+std::vector<std::size_t> Comm::wait_some(const std::vector<Handle*>& hs) {
+  PGASQ_CHECK(!hs.empty(), << "wait_some over an empty handle set");
   const Time t0 = now();
-  progress_until([&a, &b] { return a.done() || b.done(); });
+  progress_until([&hs] {
+    for (const Handle* h : hs) {
+      if (h->done()) return true;
+    }
+    return false;
+  });
   stats_.time_in_wait += now() - t0;
-  return a.done();
+  std::vector<std::size_t> done;
+  for (std::size_t i = 0; i < hs.size(); ++i) {
+    if (hs[i]->done()) done.push_back(i);
+  }
+  return done;
+}
+
+bool Comm::test_all(const std::vector<Handle*>& hs) {
+  locked_advance(main_context());
+  if (async_hook_) async_hook_();
+  for (const Handle* h : hs) {
+    if (!h->done()) return false;
+  }
+  return true;
 }
 
 void Comm::wait_all() { wait(implicit_); }
@@ -708,6 +760,11 @@ void Comm::free_local(void* ptr) {
 // ---------------------------------------------------------------------------
 
 void Comm::nb_put(const void* src, RemotePtr dst, std::size_t bytes, Handle& handle) {
+  nb_put(src, dst, bytes, handle, nullptr);
+}
+
+void Comm::nb_put(const void* src, RemotePtr dst, std::size_t bytes, Handle& handle,
+                  pami::Callback on_remote) {
   PGASQ_CHECK(src != nullptr && dst.valid() && bytes > 0);
   PGASQ_CHECK(dst.rank < nprocs(), << "put to rank " << dst.rank);
   ++stats_.puts;
@@ -718,6 +775,15 @@ void Comm::nb_put(const void* src, RemotePtr dst, std::size_t bytes, Handle& han
   ConflictTracker::Key key;
   track_write(dst.rank, remote ? remote->id : 0, &key);
   attach(handle, 1);
+  // Remote completion (async runtime, Cx::kRemote) rides the same ack
+  // leg the conflict tracker already pays for.
+  pami::Callback ack = make_ack(key);
+  if (on_remote) {
+    ack = [a = std::move(ack), r = std::move(on_remote)] {
+      a();
+      r();
+    };
+  }
   const bool rdma = remote.has_value() && local.has_value();
   ensure_endpoint(dst.rank, rdma ? 0 : service_context_index_);
   ProgressGuard guard(needs_context_lock(), main_context(),
@@ -728,12 +794,12 @@ void Comm::nb_put(const void* src, RemotePtr dst, std::size_t bytes, Handle& han
         static_cast<std::uint64_t>(static_cast<const std::byte*>(src) - local->base);
     const auto roff = static_cast<std::uint64_t>(dst.addr - remote->base);
     main_context().rput(*local, loff, *remote, roff, bytes, make_done(handle),
-                        make_ack(key));
+                        std::move(ack));
   } else {
     ++stats_.fallback_puts;
     main_context().put(service_endpoint(dst.rank),
                        static_cast<const std::byte*>(src), dst.addr, bytes,
-                       make_done(handle), make_ack(key));
+                       make_done(handle), std::move(ack));
   }
 }
 
@@ -796,9 +862,50 @@ void Comm::get(RemotePtr src, void* dst, std::size_t bytes) {
   }
 }
 
+std::shared_ptr<DeferredGet> Comm::nb_get_deferred(RemotePtr src, void* dst,
+                                                   std::size_t bytes) {
+  PGASQ_CHECK(dst != nullptr && src.valid() && bytes > 0);
+  auto g = std::make_shared<DeferredGet>();
+  g->src = src;
+  g->dst = dst;
+  g->bytes = bytes;
+  // One op charged to the handle up front; it retires either through
+  // the injected get's completion chain or through revoke_get.
+  attach(g->handle, 1);
+  deferred_gets_.push_back(g);
+  return g;
+}
+
+bool Comm::revoke_get(const std::shared_ptr<DeferredGet>& g) {
+  PGASQ_CHECK(g != nullptr, << "revoke of a null deferred get");
+  if (g->injected || g->revoked) return false;
+  g->revoked = true;
+  ++stats_.gets_revoked;
+  // Completes "empty": no wire leg was generated, no byte counted, the
+  // destination buffer is untouched.
+  handle_complete_one(*g->handle.state());
+  return true;
+}
+
+void Comm::flush_deferred_gets() {
+  // Swap the queue out first: injecting a get can block in a nested
+  // progress loop (region-query round trip), which re-enters here.
+  std::vector<std::shared_ptr<DeferredGet>> batch;
+  batch.swap(deferred_gets_);
+  for (const auto& g : batch) {
+    if (g->revoked) continue;
+    g->injected = true;
+    // The inner handle's completion retires the charge attached at
+    // queue time, firing any future bridged over the outer handle.
+    Handle inner;
+    inner.state()->on_zero = [s = g->handle.state()] { handle_complete_one(*s); };
+    nb_get(g->src, g->dst, g->bytes, inner);
+  }
+}
+
 template <typename T>
 void Comm::nb_acc_t(T alpha, const T* src, RemotePtr dst, std::size_t count,
-                    Handle& handle) {
+                    Handle& handle, pami::Callback on_remote) {
   PGASQ_CHECK(src != nullptr && dst.valid() && count > 0);
   PGASQ_CHECK(reinterpret_cast<std::uintptr_t>(dst.addr) % alignof(T) == 0,
               << "accumulate target misaligned for the element type");
@@ -810,7 +917,8 @@ void Comm::nb_acc_t(T alpha, const T* src, RemotePtr dst, std::size_t count,
   track_write(dst.rank, known_region_id(dst.rank, dst.addr, bytes), &key);
   attach(handle, 1);
   ensure_endpoint(dst.rank, service_context_index_);
-  AccHeader h{dst.addr, count, acc_wire_type<T>(), {}, new AckClosure{this, key}};
+  AccHeader h{dst.addr, count, acc_wire_type<T>(), {},
+              new AckClosure{this, key, std::move(on_remote)}};
   std::memcpy(h.alpha, &alpha, sizeof(T));
   std::vector<std::byte> header;
   append_pod(header, h);
@@ -834,16 +942,19 @@ void Comm::acc_t(T alpha, const T* src, RemotePtr dst, std::size_t count) {
 
 // The ARMCI_ACC_* datatypes.
 template void Comm::nb_acc_t<std::int32_t>(std::int32_t, const std::int32_t*,
-                                           RemotePtr, std::size_t, Handle&);
+                                           RemotePtr, std::size_t, Handle&,
+                                           pami::Callback);
 template void Comm::nb_acc_t<std::int64_t>(std::int64_t, const std::int64_t*,
-                                           RemotePtr, std::size_t, Handle&);
+                                           RemotePtr, std::size_t, Handle&,
+                                           pami::Callback);
 template void Comm::nb_acc_t<float>(float, const float*, RemotePtr, std::size_t,
-                                    Handle&);
+                                    Handle&, pami::Callback);
 template void Comm::nb_acc_t<double>(double, const double*, RemotePtr, std::size_t,
-                                     Handle&);
+                                     Handle&, pami::Callback);
 template void Comm::nb_acc_t<std::complex<double>>(std::complex<double>,
                                                    const std::complex<double>*,
-                                                   RemotePtr, std::size_t, Handle&);
+                                                   RemotePtr, std::size_t, Handle&,
+                                                   pami::Callback);
 template void Comm::acc_t<std::int32_t>(std::int32_t, const std::int32_t*, RemotePtr,
                                         std::size_t);
 template void Comm::acc_t<std::int64_t>(std::int64_t, const std::int64_t*, RemotePtr,
@@ -857,6 +968,11 @@ template void Comm::acc_t<std::complex<double>>(std::complex<double>,
 void Comm::nb_acc(double alpha, const double* src, RemotePtr dst, std::size_t count,
                   Handle& handle) {
   nb_acc_t<double>(alpha, src, dst, count, handle);
+}
+
+void Comm::nb_acc(double alpha, const double* src, RemotePtr dst, std::size_t count,
+                  Handle& handle, pami::Callback on_remote) {
+  nb_acc_t<double>(alpha, src, dst, count, handle, std::move(on_remote));
 }
 
 void Comm::acc(double alpha, const double* src, RemotePtr dst, std::size_t count) {
@@ -963,7 +1079,7 @@ void Comm::strided_packed(Dir dir, std::byte* local, RemotePtr remote,
       pos += spec.chunk_bytes();
     });
     std::vector<std::byte> header;
-    append_pod(header, StridedWriteHeader{remote.addr, new AckClosure{this, key},
+    append_pod(header, StridedWriteHeader{remote.addr, new AckClosure{this, key, nullptr},
                                           0.0, /*is_acc=*/0});
     append_spec(header, spec);
     ProgressGuard guard(needs_context_lock(), main_context(),
@@ -1066,7 +1182,7 @@ void Comm::nb_acc_strided(double alpha, const double* src, RemotePtr dst,
     pos += spec.chunk_bytes();
   });
   std::vector<std::byte> header;
-  append_pod(header, StridedWriteHeader{dst.addr, new AckClosure{this, key}, alpha,
+  append_pod(header, StridedWriteHeader{dst.addr, new AckClosure{this, key, nullptr}, alpha,
                                         /*is_acc=*/1});
   append_spec(header, spec);
   ProgressGuard guard(needs_context_lock(), main_context(),
@@ -1165,7 +1281,7 @@ void Comm::nb_put_v(RankId target, const VectorDescriptor& desc, Handle& handle)
   process_.busy(from_ns(p.pack_ns_per_byte * static_cast<double>(desc.total_bytes())));
   std::vector<std::byte> header;
   append_pod(header, VectorWriteHeader{desc.count(), desc.segment_bytes, 0.0,
-                                       /*is_acc=*/0, new AckClosure{this, key}});
+                                       /*is_acc=*/0, new AckClosure{this, key, nullptr}});
   for (auto* r : desc.remote) append_pod(header, r);
   std::vector<std::byte> payload(desc.total_bytes());
   for (std::size_t i = 0; i < desc.count(); ++i) {
@@ -1234,7 +1350,7 @@ void Comm::nb_acc_v(double alpha, RankId target, const VectorDescriptor& desc,
   process_.busy(from_ns(p.pack_ns_per_byte * static_cast<double>(desc.total_bytes())));
   std::vector<std::byte> header;
   append_pod(header, VectorWriteHeader{desc.count(), desc.segment_bytes, alpha,
-                                       /*is_acc=*/1, new AckClosure{this, key}});
+                                       /*is_acc=*/1, new AckClosure{this, key, nullptr}});
   for (auto* r : desc.remote) append_pod(header, r);
   std::vector<std::byte> payload(desc.total_bytes());
   for (std::size_t i = 0; i < desc.count(); ++i) {
@@ -1297,6 +1413,7 @@ void Comm::on_vector_write(pami::Context& ctx, const pami::AmMessage& msg) {
   const auto ack = ctx.wire_control(process_.node(), src_node, now(), "write ack");
   m.engine().schedule_at(ack.arrive, [closure] {
     closure->source->write_acked_from_wire(closure->key);
+    if (closure->extra) closure->extra();
     delete closure;
   });
 }
@@ -1329,8 +1446,7 @@ void Comm::on_vector_get_reply(pami::Context& ctx, const pami::AmMessage& msg) {
     std::memcpy(closure->local[i], msg.payload.data() + i * closure->segment_bytes,
                 closure->segment_bytes);
   }
-  PGASQ_CHECK(closure->state->outstanding > 0);
-  --closure->state->outstanding;
+  handle_complete_one(*closure->state);
   delete closure;
   (void)ctx;
 }
@@ -1510,6 +1626,7 @@ void Comm::on_acc_message(pami::Context& ctx, const pami::AmMessage& msg) {
   const auto ack = ctx.wire_control(process_.node(), src_node, now(), "write ack");
   m.engine().schedule_at(ack.arrive, [closure] {
     closure->source->write_acked_from_wire(closure->key);
+    if (closure->extra) closure->extra();
     delete closure;
   });
 }
@@ -1570,6 +1687,7 @@ void Comm::on_strided_put(pami::Context& ctx, const pami::AmMessage& msg) {
   const auto ack = ctx.wire_control(process_.node(), src_node, now(), "write ack");
   m.engine().schedule_at(ack.arrive, [closure] {
     closure->source->write_acked_from_wire(closure->key);
+    if (closure->extra) closure->extra();
     delete closure;
   });
 }
@@ -1608,10 +1726,20 @@ void Comm::on_strided_get_reply(pami::Context& ctx, const pami::AmMessage& msg) 
                 closure->spec.chunk_bytes());
     pos += closure->spec.chunk_bytes();
   });
-  PGASQ_CHECK(closure->state->outstanding > 0);
-  --closure->state->outstanding;
+  handle_complete_one(*closure->state);
   delete closure;
   (void)ctx;
+}
+
+void handle_complete_one(HandleState& s) {
+  PGASQ_CHECK(s.outstanding > 0, << "handle completion underflow");
+  if (--s.outstanding == 0 && s.on_zero) {
+    // Single-shot: the bridge must not survive into a reuse of the
+    // handle for later operations.
+    auto fire = std::move(s.on_zero);
+    s.on_zero = nullptr;
+    fire();
+  }
 }
 
 void CommStats::merge(const CommStats& o) {
@@ -1632,6 +1760,7 @@ void CommStats::merge(const CommStats& o) {
   bytes_put += o.bytes_put;
   bytes_got += o.bytes_got;
   bytes_acc += o.bytes_acc;
+  gets_revoked += o.gets_revoked;
   region_cache_hits += o.region_cache_hits;
   region_cache_misses += o.region_cache_misses;
   region_queries_sent += o.region_queries_sent;

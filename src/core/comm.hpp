@@ -106,6 +106,29 @@ class Comm {
   void nb_acc(double alpha, const double* src, RemotePtr dst, std::size_t count,
               Handle& handle);
 
+  /// Remote-completion variants (async runtime, Cx::kRemote):
+  /// `on_remote` fires when the target's acknowledgement arrives, i.e.
+  /// the write is visible at the target — the same ack leg the
+  /// conflict tracker uses for fencing.
+  void nb_put(const void* src, RemotePtr dst, std::size_t bytes, Handle& handle,
+              pami::Callback on_remote);
+  void nb_acc(double alpha, const double* src, RemotePtr dst, std::size_t count,
+              Handle& handle, pami::Callback on_remote);
+
+  /// Deferred-injection get (async runtime): queued locally and
+  /// injected at the next progress pass. revoke_get before injection
+  /// cancels the op outright — no wire leg, no byte counted, the
+  /// handle completes immediately. After injection it proceeds like a
+  /// plain nb_get (the fence-before-read check also runs at injection,
+  /// not at queue time). Returns the queued record; its `handle` obeys
+  /// normal wait/test semantics.
+  std::shared_ptr<DeferredGet> nb_get_deferred(RemotePtr src, void* dst,
+                                               std::size_t bytes);
+  /// True iff the get was revoked before its wire leg; false once
+  /// injected (the op then runs to completion and must be drained
+  /// through its handle before the buffer is reused).
+  bool revoke_get(const std::shared_ptr<DeferredGet>& g);
+
   /// Typed accumulate (ARMCI_Acc with ARMCI_ACC_INT/FLT/DBL/DCP):
   /// dst[i] += alpha * src[i] elementwise over `count` elements of T.
   /// T is one of std::int32_t, std::int64_t, float, double,
@@ -114,7 +137,7 @@ class Comm {
   void acc_t(T alpha, const T* src, RemotePtr dst, std::size_t count);
   template <typename T>
   void nb_acc_t(T alpha, const T* src, RemotePtr dst, std::size_t count,
-                Handle& handle);
+                Handle& handle, pami::Callback on_remote = nullptr);
 
   // --- Strided RMA ------------------------------------------------------------
 
@@ -191,17 +214,31 @@ class Comm {
   /// Blocks until either handle completes; returns true when `a` is
   /// the one that did (ties go to `a`). The loser stays in flight —
   /// callers must keep its landing buffer alive and drain it before
-  /// reuse.
+  /// reuse. Implemented over wait_some.
   bool wait_any(Handle& a, Handle& b);
+  /// N-ary aggregation: blocks until at least one handle in `hs`
+  /// completes; returns the indices of every completed handle,
+  /// ascending. Losers stay in flight (wait_any's contract).
+  std::vector<std::size_t> wait_some(const std::vector<Handle*>& hs);
+  /// One progress pass (plus an async-runtime drain when attached);
+  /// true iff every handle in `hs` has completed.
+  bool test_all(const std::vector<Handle*>& hs);
   /// One explicit progress-engine call (what a Default-mode
   /// application must sprinkle into compute phases to service remote
   /// requests, S III-D).
   void progress() {
     ft_check();
+    if (!deferred_gets_.empty()) flush_deferred_gets();
     locked_advance(main_context());
+    if (async_hook_) async_hook_();
   }
   /// Waits for local completion of all implicit non-blocking ops.
   void wait_all();
+
+  /// Spins progress passes (advancing virtual time) until `pred`
+  /// returns true. The async runtime's future waits and the
+  /// non-blocking collectives drain on this.
+  void progress_until(const std::function<bool()>& pred);
 
   /// Pairwise producer/consumer synchronization (armci_notify):
   /// fences all writes to `target`, then raises a notification there.
@@ -264,6 +301,38 @@ class Comm {
   /// label; rendered as extra tables in the communication report).
   CollStats& group_coll_stats(const std::string& label) {
     return stats_.group_coll[label];
+  }
+  /// Opaque per-rank slot owned by coll::NbcEngine (the non-blocking
+  /// collectives engine). Reset at finalize after the blocking engine
+  /// but before the async runtime's quiescence check: an open nbc op
+  /// at that point still counts as a pending future and aborts.
+  std::shared_ptr<void>& nbc_slot() { return nbc_slot_; }
+
+  // --- Async-runtime attachment (src/async) -----------------------------------
+
+  /// Opaque per-rank slot owned by async::Runtime (reset at finalize,
+  /// after the collectives engine detaches — nbc completions drain
+  /// through the runtime during coll teardown).
+  std::shared_ptr<void>& async_slot() { return async_slot_; }
+  /// Installed by the runtime. `drain` runs after every progress pass
+  /// — on this rank's application fiber, outside the context lock —
+  /// stepping non-blocking collectives and running queued
+  /// continuations in FIFO (virtual-time) order. `check` runs at
+  /// finalize, before the runtime detaches, and aborts on abandoned
+  /// continuations. Both nullptr-guarded: unattached runs pay one
+  /// pointer compare per progress pass.
+  void set_async_hook(std::function<void()> drain, std::function<void()> check) {
+    async_hook_ = std::move(drain);
+    async_check_ = std::move(check);
+  }
+  /// Installed by the runtime alongside the drain hook: returns true
+  /// while a poll-driven completion source is live (open non-blocking
+  /// collectives, whose arrival flags are one-sided RDMA writes that
+  /// post no context item). While true, progress_until advances
+  /// virtual time and re-polls instead of parking on context work —
+  /// parking would sleep through a flag landing and deadlock.
+  void set_async_poll_hook(std::function<bool()> poll) {
+    async_poll_ = std::move(poll);
   }
 
   // --- Process-group-subsystem attachment (src/grp) ----------------------------
@@ -329,8 +398,9 @@ class Comm {
   bool needs_context_lock() const;
   /// Returns the number of items serviced (Context::advance's count).
   std::size_t locked_advance(pami::Context& ctx);
-  void progress_until(const std::function<bool()>& pred);
   void start_async_thread();
+  /// Injects every queued deferred get (skipping revoked ones).
+  void flush_deferred_gets();
   /// Throws PeerDeadError when the liveness epoch moved past the last
   /// acknowledged one (or this rank's own node died). One pointer
   /// check when no monitor exists.
@@ -429,9 +499,15 @@ class Comm {
   /// Cumulative notifications received, by producer rank.
   std::vector<std::uint64_t> notifications_;
   std::shared_ptr<void> coll_slot_;
+  std::shared_ptr<void> nbc_slot_;
   std::function<void()> barrier_hook_;
   std::shared_ptr<void> grp_slot_;
   std::function<void(const std::vector<int>&)> shrink_hook_;
+  std::shared_ptr<void> async_slot_;
+  std::function<void()> async_hook_;
+  std::function<void()> async_check_;
+  std::function<bool()> async_poll_;
+  std::vector<std::shared_ptr<DeferredGet>> deferred_gets_;
   std::uint64_t coll_engine_seq_ = 0;
 };
 

@@ -4,6 +4,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -75,13 +76,29 @@ struct Options {
   /// e.g. {"algo.allreduce", "torus-ring"} or {"hw", "0"}. Core
   /// carries them opaquely; coll::CollConfig::from_options parses.
   std::vector<std::pair<std::string, std::string>> coll;
+  /// Raw key/value configuration for the asynchronous completion
+  /// runtime (src/async), the "async." CLI keys with the prefix
+  /// stripped — e.g. {"scf_overlap", "1"}. Core carries them opaquely;
+  /// async::AsyncConfig::from_options parses.
+  std::vector<std::pair<std::string, std::string>> async;
 };
 
 /// Completion state shared between a Handle and in-flight callbacks.
 struct HandleState {
   int outstanding = 0;
   bool used = false;
+  /// Completion bridge installed by the async runtime (src/async):
+  /// fired exactly once, when `outstanding` next returns to zero.
+  /// Null for plain handles — the zero-cost default.
+  std::function<void()> on_zero;
 };
+
+/// Retires one completed operation from `s` and fires the completion
+/// bridge when the count reaches zero. Every completion path — the
+/// make_done callbacks and the AM reply handlers that decrement the
+/// shared state directly — must funnel through here, or futures built
+/// over the handle would never fulfill.
+void handle_complete_one(HandleState& s);
 
 /// Non-blocking request handle (explicit-handle ARMCI semantics). A
 /// default-constructed handle can be passed to any nb_* call and then
@@ -101,6 +118,19 @@ class Handle {
   std::shared_ptr<HandleState> state_;
 };
 
+/// A get queued for deferred injection (Comm::nb_get_deferred): the
+/// wire leg is generated at the next progress pass, so a revoke that
+/// arrives first cancels the operation outright. The async runtime
+/// (src/async) wraps this as its cancellable-get primitive.
+struct DeferredGet {
+  RemotePtr src;
+  void* dst = nullptr;
+  std::size_t bytes = 0;
+  Handle handle;
+  bool injected = false;
+  bool revoked = false;
+};
+
 /// Collective-operation statistics, written by the collectives
 /// subsystem (src/coll) and folded into the communication report.
 /// Indexed [op][algo]; the name tables below give the meaning of each
@@ -108,7 +138,7 @@ class Handle {
 /// them lives above this layer.
 struct CollStats {
   static constexpr int kOps = 6;    ///< barrier..alltoall, see kCollOpNames
-  static constexpr int kAlgos = 5;  ///< binomial..hier, see kCollAlgoNames
+  static constexpr int kAlgos = 6;  ///< binomial..rab, see kCollAlgoNames
 
   std::uint64_t count[kOps][kAlgos] = {};
   /// Payload bytes handed to the collective (not wire bytes).
@@ -129,7 +159,7 @@ struct CollStats {
 inline constexpr const char* kCollOpNames[CollStats::kOps] = {
     "barrier", "broadcast", "reduce", "allreduce", "allgather", "alltoall"};
 inline constexpr const char* kCollAlgoNames[CollStats::kAlgos] = {
-    "binomial", "recdbl", "torus-ring", "hw", "hier"};
+    "binomial", "recdbl", "torus-ring", "hw", "hier", "rab"};
 
 /// Per-rank operation statistics; the benchmark harness aggregates
 /// these into the paper's tables.
@@ -143,6 +173,8 @@ struct CommStats {
   std::uint64_t typed_ops = 0, zero_copy_chunks = 0, packed_ops = 0;
   // Bytes.
   std::uint64_t bytes_put = 0, bytes_got = 0, bytes_acc = 0;
+  // Deferred gets cancelled before their wire leg (src/async revoke).
+  std::uint64_t gets_revoked = 0;
   // Region cache.
   std::uint64_t region_cache_hits = 0, region_cache_misses = 0;
   std::uint64_t region_queries_sent = 0;

@@ -1,6 +1,7 @@
 #include "ga/collectives.hpp"
 
 #include "coll/coll.hpp"
+#include "coll/nbc.hpp"
 #include "grp/group.hpp"
 #include "util/error.hpp"
 
@@ -34,6 +35,25 @@ double element_sum(GlobalArray& a, grp::ProcGroup* group) {
   a.comm().compute(from_ns(0.5 * static_cast<double>((rhi - rlo) * (chi - clo))));
   gop_sum(a.comm(), &partial, 1, group);
   return partial;
+}
+
+fut::Future<fut::Unit> ielement_sum(GlobalArray& a, double* out) {
+  PGASQ_CHECK(out != nullptr);
+  // The identical local scan (and compute charge) as element_sum, so a
+  // recdbl-pinned blocking run and an overlapped run produce bitwise
+  // equal sums.
+  const auto [rlo, rhi] = a.local_rows();
+  const auto [clo, chi] = a.local_cols();
+  const double* d = a.local_data();
+  double partial = 0.0;
+  for (std::int64_t i = 0; i < rhi - rlo; ++i) {
+    for (std::int64_t j = 0; j < chi - clo; ++j) {
+      partial += d[i * a.local_ld() + j];
+    }
+  }
+  a.comm().compute(from_ns(0.5 * static_cast<double>((rhi - rlo) * (chi - clo))));
+  *out = partial;
+  return coll::NbcEngine::of(a.comm()).iallreduce_sum(out, 1);
 }
 
 double dot(GlobalArray& a, GlobalArray& b, grp::ProcGroup* group) {

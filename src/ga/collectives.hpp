@@ -11,6 +11,7 @@
 
 #include <cstddef>
 
+#include "async/future.hpp"
 #include "ga/global_array.hpp"
 
 namespace pgasq::grp {
@@ -34,5 +35,15 @@ double dot(GlobalArray& a, GlobalArray& b, grp::ProcGroup* group = nullptr);
 
 /// Sum of all elements of the array. Collective; `group` as in dot().
 double element_sum(GlobalArray& a, grp::ProcGroup* group = nullptr);
+
+/// Non-blocking element_sum: computes the local partial into `*out`
+/// immediately, then reduces it through the non-blocking collectives
+/// engine (coll::NbcEngine). `*out` holds the global sum once the
+/// returned future is ready; until then the caller must keep it alive
+/// and untouched. Collective over the world clique, initiation-order
+/// discipline applies (docs/async.md). When the blocking engine is
+/// pinned to recursive doubling (coll.algo.allreduce=recdbl) the
+/// result is bitwise identical to element_sum().
+fut::Future<fut::Unit> ielement_sum(GlobalArray& a, double* out);
 
 }  // namespace pgasq::ga

@@ -68,8 +68,8 @@ KvConfig KvConfig::from_config(const Config& cfg) {
                              "requests", "think_us", "value_bytes",
                              "slots_per_rank", "checkpoint_every", "seed",
                              "conflict_free", "verify", "prefill",
-                             "arrival_rate", "hedge_us", "slo_us",
-                             "stall_at_us", "stall_us"});
+                             "arrival_rate", "hedge_us", "hedge_cancel",
+                             "slo_us", "stall_at_us", "stall_us"});
   KvConfig c;
   c.keys = cfg.get_int("kvs.keys", c.keys);
   c.zipf_theta = cfg.get_double("kvs.zipf_theta", c.zipf_theta);
@@ -87,6 +87,7 @@ KvConfig KvConfig::from_config(const Config& cfg) {
   c.prefill = cfg.get_bool("kvs.prefill", c.prefill);
   c.arrival_rate = cfg.get_double("kvs.arrival_rate", c.arrival_rate);
   c.hedge_us = cfg.get_double("kvs.hedge_us", c.hedge_us);
+  c.hedge_cancel = cfg.get_bool("kvs.hedge_cancel", c.hedge_cancel);
   c.slo_us = cfg.get_double("kvs.slo_us", c.slo_us);
   c.stall_at_us = cfg.get_double("kvs.stall_at_us", c.stall_at_us);
   c.stall_us = cfg.get_double("kvs.stall_us", c.stall_us);
@@ -159,6 +160,8 @@ void KvStats::merge(const KvStats& o) {
   hedged_gets += o.hedged_gets;
   hedge_wins += o.hedge_wins;
   hedge_stale += o.hedge_stale;
+  hedge_cancels += o.hedge_cancels;
+  hedge_cancel_late += o.hedge_cancel_late;
   hedge_skips += o.hedge_skips;
   retry_backoffs += o.retry_backoffs;
   get_lat.merge(o.get_lat);
@@ -303,8 +306,16 @@ const std::uint64_t* KvStore::read_slot(armci::RankId home, std::size_t off,
     return slot_buf_.data();
   }
   HedgeSlot& first = *primary;
-  comm_.nb_get(mem_->at(home, off), first.buf.data(), slot_words_ * 8,
-               first.h);
+  if (cfg_.hedge_cancel) {
+    // Revocable primary: issued through the deferred-injection path so
+    // a buddy win can try to cancel it before its wire leg.
+    first.dg = comm_.nb_get_deferred(mem_->at(home, off), first.buf.data(),
+                                     slot_words_ * 8);
+    first.h = first.dg->handle;
+  } else {
+    comm_.nb_get(mem_->at(home, off), first.buf.data(), slot_words_ * 8,
+                 first.h);
+  }
   if (comm_.wait_until(first.h, comm_.now() + from_us(cfg_.hedge_us))) {
     return first.buf.data();
   }
@@ -352,6 +363,18 @@ const std::uint64_t* KvStore::read_slot(armci::RankId home, std::size_t off,
   if (second.buf[kVersionWord] >= 2 && (second.buf[kVersionWord] & 1) == 0 &&
       second.buf[kTagWord] != 0) {
     ++st.hedge_wins;
+    if (cfg_.hedge_cancel && first.dg != nullptr) {
+      // Revoke the straggler primary. Before its wire leg this cancels
+      // outright (the pool slot frees immediately); after, the op is
+      // merely abandoned and drains in the background as it always
+      // did — the honest accounting docs/overload.md warns about.
+      if (comm_.revoke_get(first.dg)) {
+        ++st.hedge_cancels;
+      } else {
+        ++st.hedge_cancel_late;
+      }
+      first.dg.reset();
+    }
     return second.buf.data();
   }
   ++st.hedge_stale;
@@ -1116,6 +1139,8 @@ void export_metrics(obs::Registry& reg, const KvResult& r,
   reg.set_counter("kvs.hedged_gets", r.total.hedged_gets, labels);
   reg.set_counter("kvs.hedge_wins", r.total.hedge_wins, labels);
   reg.set_counter("kvs.hedge_stale", r.total.hedge_stale, labels);
+  reg.set_counter("kvs.hedge_cancels", r.total.hedge_cancels, labels);
+  reg.set_counter("kvs.hedge_cancel_late", r.total.hedge_cancel_late, labels);
   reg.set_counter("kvs.hedge_skips", r.total.hedge_skips, labels);
   reg.set_counter("kvs.retry_backoffs", r.total.retry_backoffs, labels);
   reg.set_counter("kvs.survivors", static_cast<std::uint64_t>(r.survivors),

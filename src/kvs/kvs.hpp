@@ -92,6 +92,16 @@ struct KvConfig {
   /// bounded-staleness read: at most one checkpoint interval old.
   /// 0 = off (the default; reads are then always strongly fresh).
   double hedge_us = 0.0;
+  /// With hedge_us > 0: when the buddy copy wins the race, try to
+  /// revoke the straggler primary through the deferred-injection get
+  /// path (Comm::nb_get_deferred / revoke_get, the async runtime's
+  /// cancellable-get primitive). A revoke that beats the wire leg
+  /// cancels the op outright and frees its pool slot immediately
+  /// (hedge_cancels); once injected, cancellation only marks the
+  /// straggler abandoned (hedge_cancel_late) and it drains in the
+  /// background exactly as without the knob — see the p999 caveat in
+  /// docs/overload.md. Off by default (byte-identical runs).
+  bool hedge_cancel = false;
   /// Goodput SLO in virtual microseconds: an op counts toward goodput
   /// only when it completes within this budget of its arrival.
   /// Measured post-hoc even with no flow controller (so an
@@ -142,6 +152,8 @@ struct KvStats {
   std::uint64_t hedge_wins = 0;       ///< hedges whose reply came back first
   std::uint64_t hedge_stale = 0;      ///< buddy wins rejected (wrong/unstable slot)
   std::uint64_t hedge_skips = 0;      ///< reads unhedged: straggler pool full
+  std::uint64_t hedge_cancels = 0;       ///< losers revoked before the wire leg
+  std::uint64_t hedge_cancel_late = 0;   ///< losers already injected: abandoned
   std::uint64_t retry_backoffs = 0;   ///< jittered spin-loop backoffs taken
   util::Histogram get_lat, put_lat, faa_lat;
 
@@ -269,6 +281,9 @@ class KvStore final : public ft::Shardable {
   struct HedgeSlot {
     std::vector<std::uint64_t> buf;
     armci::Handle h;
+    /// Set when the read was issued revocably (kvs.hedge_cancel): the
+    /// deferred-injection record a buddy win tries to revoke.
+    std::shared_ptr<armci::DeferredGet> dg;
   };
   std::vector<HedgeSlot> hedge_pool_;
   /// A hedge pool slot whose buffer and handle are free to reuse

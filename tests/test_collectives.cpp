@@ -138,7 +138,7 @@ INSTANTIATE_TEST_SUITE_P(
     RanksByAlgo, CollMatrix,
     ::testing::Combine(::testing::Values(4, 6, 7, 16),
                        ::testing::Values("binomial", "recdbl", "torus-ring",
-                                         "hw")),
+                                         "hw", "rab")),
     [](const auto& info) {
       return "np" + std::to_string(std::get<0>(info.param)) + "_" +
              [](std::string s) {
@@ -174,7 +174,7 @@ std::vector<std::uint64_t> allreduce_bits(int p, std::uint64_t seed,
 }
 
 TEST(CollDeterminism, BitwiseIdenticalAcrossRanksAndSeeds) {
-  for (const char* algo : {"binomial", "recdbl", "torus-ring", "hw"}) {
+  for (const char* algo : {"binomial", "recdbl", "torus-ring", "hw", "rab"}) {
     const auto run1 = allreduce_bits(6, 42, algo);
     const auto run2 = allreduce_bits(6, 1337, algo);
     for (std::size_t r = 1; r < run1.size(); ++r) {
@@ -191,7 +191,7 @@ TEST(CollDeterminism, AlgorithmsAgreeNumerically) {
     return d;
   };
   const double recdbl = as_double(allreduce_bits(6, 42, "recdbl")[0]);
-  for (const char* algo : {"binomial", "torus-ring", "hw"}) {
+  for (const char* algo : {"binomial", "torus-ring", "hw", "rab"}) {
     EXPECT_NEAR(as_double(allreduce_bits(6, 42, algo)[0]), recdbl, 1e-12)
         << algo;
   }
@@ -207,7 +207,7 @@ TEST(CollFaults, LossyFabricLeavesResultsByteIdentical) {
   plan.seed = 7;
   plan.drop_prob = 0.01;
   ASSERT_TRUE(plan.enabled());
-  for (const char* algo : {"binomial", "recdbl", "torus-ring"}) {
+  for (const char* algo : {"binomial", "recdbl", "torus-ring", "rab"}) {
     const auto clean = allreduce_bits(8, 42, algo);
     const auto lossy = allreduce_bits(8, 42, algo, plan);
     EXPECT_EQ(clean, lossy) << algo << ": faults changed the payload";

@@ -201,8 +201,46 @@ print("timeline gate OK: obs-on stdout is a superset, timings unchanged")
 PY
 }
 
+async_gate() {
+  # Async-runtime gate (docs/async.md): a traced overlapped-SCF run
+  # must emit cross-track nbc-hop flows with one-sided put/get traffic
+  # interleaved inside their window (the energy iallreduce makes
+  # incremental progress instead of blocking), plus the async.* gauge
+  # series in the timeline; both arms of the overlap bench must agree
+  # on the Fock checksum and energy (asserted in-binary), and two
+  # identical bench runs must emit bitwise-identical async.* metrics.
+  local dir="$1" out="${repo}/$1/async-gate"
+  echo "=== async gate: ${dir}" >&2
+  mkdir -p "${out}"
+  "${repo}/${dir}/examples/scf_walkthrough" --ranks=8 --nbf=24 --block=8 \
+    --task_us=50 --distributed_guess=1 --iterations=3 \
+    --coll.algo.allreduce=recdbl --async.scf_overlap=1 --obs.timeline=1 \
+    "--trace.json_path=${out}/scf_async_trace.json" \
+    "--report.json_path=${out}/scf_async_report.json" >/dev/null
+  python3 "${repo}/tools/validate_trace.py" --require-nbc \
+    --trace "${out}/scf_async_trace.json" \
+    --report "${out}/scf_async_report.json"
+  python3 - "${out}/scf_async_report.json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+names = {s["name"] for s in doc.get("timeline", {}).get("series", [])}
+want = {"async.pending_futures", "async.cont_queue_depth"}
+assert want <= names, f"missing async timeline series: {want - names}"
+print(f"async timeline OK: {sorted(want)} present")
+PY
+  "${repo}/${dir}/bench/bench_abl_async" --ranks=64 --ranks_per_node=16 \
+    --nbf=128 --block=8 --iterations=2 --task_us=500 \
+    "--report.json_path=${out}/BENCH_async_a.json" >/dev/null
+  "${repo}/${dir}/bench/bench_abl_async" --ranks=64 --ranks_per_node=16 \
+    --nbf=128 --block=8 --iterations=2 --task_us=500 \
+    "--report.json_path=${out}/BENCH_async_b.json" >/dev/null
+  python3 "${repo}/tools/bench_diff.py" --fail-over 0 --metric async. \
+    "${out}/BENCH_async_a.json" "${out}/BENCH_async_b.json"
+}
+
 pass build-check
 obs_gate build-check
+async_gate build-check
 kvs_gate build-check
 overload_gate build-check
 timeline_gate build-check

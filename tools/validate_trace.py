@@ -18,6 +18,12 @@ trace:
     traffic: at least one cross-track 'coll hop' flow with an endpoint
     on a 'grp/...' track (the per-group engines of src/grp — e.g. the
     node and leaders stages of a hierarchical allreduce);
+  * with --require-nbc, the trace must carry non-blocking collective
+    traffic: at least one cross-track 'nbc hop' flow (the NbcEngine's
+    one-sided schedule messages), and at least one put or get flow
+    point whose timestamp falls strictly inside the nbc flow-point
+    window — the collective made incremental progress interleaved with
+    one-sided traffic instead of running to completion in one block;
   * with --require-integrity, the trace must show the detect/repair
     story on the 'faults' track: every 'packet corrupt' instant (the
     injector planting a flip) is matched by a 'corruption nack'
@@ -61,7 +67,8 @@ def load(path, what):
         fail(f"cannot load {what} {path}: {e}")
 
 
-def validate_trace(path, require_ops, require_grp, require_integrity=False):
+def validate_trace(path, require_ops, require_grp, require_nbc=False,
+                   require_integrity=False):
     doc = load(path, "trace")
     if not isinstance(doc, dict) or "traceEvents" not in doc:
         fail("trace top level must be an object with 'traceEvents'")
@@ -163,6 +170,32 @@ def validate_trace(path, require_ops, require_grp, require_integrity=False):
         labels = sorted({tracks[t].split("/")[1] for t in grp_tracks
                          if len(tracks[t].split("/")) >= 2})
         print(f"validate_trace: grp OK — group tracks for {labels}")
+
+    if require_nbc:
+        nbc_ts = []
+        n_nbc = 0
+        for points in flows.values():
+            if not any("nbc hop" in name for _, _, _, name in points):
+                continue
+            if len({tid for _, _, tid, _ in points}) >= 2:
+                n_nbc += 1
+                nbc_ts.extend(t for _, t, _, _ in points)
+        if not n_nbc:
+            fail("no cross-track 'nbc hop' flow in trace (--require-nbc): "
+                 "no non-blocking collective recorded anything")
+        lo, hi = min(nbc_ts), max(nbc_ts)
+        overlapped = sum(
+            1 for points in flows.values()
+            for _, t, _, name in points
+            if ("put" in name or "get" in name) and "nbc" not in name
+            and lo < t < hi)
+        if not overlapped:
+            fail("no put/get flow point strictly inside the nbc-hop window "
+                 f"[{lo}, {hi}] (--require-nbc): the collective did not "
+                 "make incremental progress interleaved with one-sided "
+                 "traffic")
+        print(f"validate_trace: nbc OK — {n_nbc} cross-track nbc-hop flows, "
+              f"{overlapped} one-sided flow points inside their window")
 
     trace_flips = None
     if require_integrity:
@@ -338,6 +371,9 @@ def main():
                     help="require cross-track put/get/coll-hop/ack flows")
     ap.add_argument("--require-grp", action="store_true",
                     help="require cross-track coll-hop flows on grp/ tracks")
+    ap.add_argument("--require-nbc", action="store_true",
+                    help="require cross-track nbc-hop flows interleaved "
+                         "with one-sided put/get traffic")
     ap.add_argument("--require-integrity", action="store_true",
                     help="require matched packet-corrupt/corruption-nack "
                          "instants and detected == injected in the report")
@@ -350,7 +386,7 @@ def main():
     trace_flips = None
     if args.trace:
         trace_flips = validate_trace(args.trace, args.require_ops,
-                                     args.require_grp,
+                                     args.require_grp, args.require_nbc,
                                      args.require_integrity)
     if args.report:
         validate_report(args.report, args.require_integrity, trace_flips,
